@@ -1,0 +1,30 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures at a
+reduced-but-faithful scale, prints the rendered result next to the
+paper's reported numbers, and appends the text to
+``benchmarks/results/<name>.txt`` so a full run leaves a reviewable
+artefact even without ``-s``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def record_result():
+    """Print a rendered experiment and persist it under results/."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print()
+        print(text)
+
+    return _record

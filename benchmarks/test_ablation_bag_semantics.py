@@ -1,0 +1,51 @@
+"""Ablation — bag vs set semantics in supertuple Jaccard.
+
+The paper (§5.2) specifies the Jaccard coefficient *with bag
+semantics*: occurrence counts matter.  This ablation re-mines the Make
+similarities with plain set semantics and compares.
+
+Expectation: set semantics inflates similarities (every shared keyword
+counts fully regardless of frequency) and blurs the separation between
+Ford's true neighbours (Chevrolet) and the luxury outlier (BMW);
+bag semantics keeps the Figure 5 structure crisper.
+"""
+
+from repro.datasets.cardb import generate_cardb
+from repro.simmining.estimator import SimilarityMinerConfig, ValueSimilarityMiner
+
+CAR_ROWS = 8000
+
+
+def _mine(bag_semantics: bool):
+    table = generate_cardb(CAR_ROWS, seed=7)
+    config = SimilarityMinerConfig(bag_semantics=bag_semantics)
+    return ValueSimilarityMiner(config=config).mine(table, attributes=("Make",))
+
+
+def test_ablation_bag_vs_set_semantics(benchmark, record_result):
+    bag_model = benchmark.pedantic(lambda: _mine(True), rounds=1, iterations=1)
+    set_model = _mine(False)
+
+    def separation(model):
+        chevrolet = model.similarity("Make", "Ford", "Chevrolet")
+        bmw = model.similarity("Make", "Ford", "BMW")
+        return chevrolet - bmw, chevrolet, bmw
+
+    bag_gap, bag_chev, bag_bmw = separation(bag_model)
+    set_gap, set_chev, set_bmw = separation(set_model)
+    lines = [
+        "Ablation — bag vs set semantics (Make similarities)",
+        f"  bag: Ford~Chevrolet {bag_chev:.3f}  Ford~BMW {bag_bmw:.3f}  gap {bag_gap:.3f}",
+        f"  set: Ford~Chevrolet {set_chev:.3f}  Ford~BMW {set_bmw:.3f}  gap {set_gap:.3f}",
+    ]
+    record_result("ablation_bag_semantics", "\n".join(lines))
+
+    # Both keep the qualitative structure...
+    assert bag_chev > bag_bmw
+    assert set_chev > set_bmw
+    # ...but set semantics inflates similarity scores overall,
+    assert set_chev >= bag_chev
+    assert set_bmw >= bag_bmw
+    # and bag semantics separates neighbour from outlier at least as well
+    # relative to its own scale.
+    assert bag_gap / max(bag_chev, 1e-9) >= set_gap / max(set_chev, 1e-9)

@@ -1,0 +1,46 @@
+"""Figure 3 — robustness of attribute ordering over sample sizes.
+
+Paper (15k/25k/50k/100k CarDB): the dependence weight Wt_depends of
+each attribute varies in magnitude with sample size, but the *relative
+ordering* of attributes is unchanged; Make is the most dependent
+attribute (Model determines it) and Model the least dependent.
+
+Reproduction target: same invariance over 15%/25%/50%/100% nested
+samples, with Make the most dependent of the non-key attributes.
+"""
+
+from repro.evalx.experiments import run_fig3
+from repro.evalx.reporting import format_fig3
+
+CAR_ROWS = 10000
+FRACTIONS = (0.15, 0.25, 0.5, 1.0)
+
+
+def test_fig3_attribute_ordering_robust(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig3(car_rows=CAR_ROWS, fractions=FRACTIONS),
+        rounds=1,
+        iterations=1,
+    )
+    paper = (
+        "paper: weights highest at 100k, lowest at 15k, but relative "
+        "ordering unchanged; Make most dependent"
+    )
+    record_result("fig3_attribute_ordering", format_fig3(result) + "\n" + paper)
+
+    assert result.orderings_consistent(), "ordering must survive subsampling"
+    # Make is the most dependent attribute in every sample.
+    for size in result.sizes:
+        weights = {
+            name: result.weights[size][name]
+            for name in result.dependent_attributes
+        }
+        assert max(weights, key=weights.get) == "Make", (size, weights)
+    # Magnitudes vary with sample size for at least one attribute (the
+    # paper's other observation).  Make itself may sit at exactly 1.0 in
+    # every sample because Model → Make is an exact dependency.
+    varies = any(
+        len({round(result.weights[size][name], 6) for size in result.sizes}) > 1
+        for name in result.dependent_attributes
+    )
+    assert varies

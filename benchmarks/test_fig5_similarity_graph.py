@@ -1,0 +1,35 @@
+"""Figure 5 — the similarity graph for Make=Ford.
+
+Paper: Ford connects to Chevrolet (0.25, strongest), Toyota (0.16),
+Dodge (0.15), Nissan (0.12) and Honda (0.11); BMW falls below the
+threshold and is disconnected from Ford.
+
+Reproduction target: same neighbourhood shape — Chevrolet is Ford's
+strongest neighbour, the volume makes (Toyota/Honda/Dodge/Nissan) are
+connected, and BMW is NOT connected at the chosen threshold.
+"""
+
+from repro.evalx.experiments import run_fig5
+from repro.evalx.reporting import format_fig5
+
+CAR_ROWS = 10000
+THRESHOLD = 0.2
+
+
+def test_fig5_make_similarity_graph(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig5(car_rows=CAR_ROWS, threshold=THRESHOLD),
+        rounds=1,
+        iterations=1,
+    )
+    paper = (
+        "paper: Ford--Chevrolet 0.25 (strongest), --Toyota 0.16, "
+        "--Dodge 0.15, --Nissan 0.12, --Honda 0.11; BMW disconnected"
+    )
+    record_result("fig5_similarity_graph", format_fig5(result) + "\n" + paper)
+
+    neighbors = dict(result.ford_neighbors)
+    assert result.ford_neighbors[0][0] == "Chevrolet", "strongest edge"
+    for make in ("Toyota", "Honda", "Dodge", "Nissan"):
+        assert make in neighbors, f"{make} should connect to Ford"
+    assert "BMW" in result.disconnected_from_ford, "BMW must be disconnected"

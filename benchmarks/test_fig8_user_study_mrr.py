@@ -1,0 +1,53 @@
+"""Figure 8 — user study: average MRR over CarDB.
+
+Paper (14 queries x top-10 answers x 8 graduate students):
+GuidedRelax's MRR exceeds both RandomRelax's and ROCK's.  Note the
+paper's own caveat (§6.4): RandomRelax "is not [a strawman] here" —
+it examines a larger share of the database and retrieves many relevant
+answers, so the Guided-vs-Random gap is modest while ROCK trails
+clearly.
+
+Reproduction: the human panel is replaced by noisy oracle users whose
+hidden taste derives from the car catalogue (segment/tier/brand plus
+price/year/mileage closeness) — see DESIGN.md.  A single 14-query draw
+is noisy, so the benchmark averages five independent panels (70
+queries total).  Target shape: MRR(GuidedRelax) > MRR(RandomRelax) >
+MRR(ROCK), with a clear margin over ROCK.
+"""
+
+from repro.evalx.experiments import run_fig8_multi
+
+CAR_ROWS = 8000
+SAMPLE_ROWS = 2000
+N_QUERIES = 14
+N_USERS = 8
+ROCK_SAMPLE = 300
+SEEDS = (7, 17, 27, 37, 47)
+
+
+def test_fig8_user_study_mrr(benchmark, record_result):
+    outcome = benchmark.pedantic(
+        lambda: run_fig8_multi(
+            seeds=SEEDS,
+            car_rows=CAR_ROWS,
+            sample_rows=SAMPLE_ROWS,
+            n_queries=N_QUERIES,
+            n_users=N_USERS,
+            rock_sample=ROCK_SAMPLE,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["Figure 8 — Average MRR over CarDB (5 panels x 14 queries)"]
+    for name in sorted(outcome.system_mrr, key=lambda n: -outcome.system_mrr[n]):
+        lines.append(f"  {name:<14}{outcome.system_mrr[name]:.3f}")
+    paper = (
+        "paper: MRR GuidedRelax > RandomRelax > ROCK (guided best despite "
+        "examining fewer tuples; random competitive per the paper's caveat)"
+    )
+    record_result("fig8_user_study_mrr", "\n".join(lines) + "\n" + paper)
+
+    mrr = outcome.system_mrr
+    assert mrr["GuidedRelax"] > mrr["RandomRelax"], mrr
+    assert mrr["GuidedRelax"] > mrr["ROCK"] + 0.02, mrr
+    assert all(0.0 < value <= 1.0 for value in mrr.values())

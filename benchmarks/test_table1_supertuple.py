@@ -1,0 +1,29 @@
+"""Table 1 — the supertuple for Make=Ford.
+
+Paper: a 2-column structure with a bag of keywords per unbound
+attribute, e.g. ``Model  Focus:5, ZX2:7, F150:8`` and binned
+``Mileage 10k-15k:3`` / ``Price 1k-5k:5`` ranges.
+
+Reproduction: same structure from the synthetic CarDB; Ford's model
+bag must contain Ford models only and the numeric bags must be range
+labels.
+"""
+
+from repro.evalx.experiments import run_table1
+
+CAR_ROWS = 5000
+
+
+def test_table1_supertuple_generation(benchmark, record_result):
+    text = benchmark.pedantic(
+        lambda: run_table1(car_rows=CAR_ROWS), rounds=1, iterations=1
+    )
+    record_result("table1_supertuple", text)
+
+    assert "Make=Ford" in text
+    # Ford models dominate the Model bag.
+    model_line = next(line for line in text.splitlines() if "Model" in line)
+    assert any(m in model_line for m in ("F-150", "Focus", "Taurus", "Explorer"))
+    # Numeric attributes appear as range labels, as in the paper.
+    price_line = next(line for line in text.splitlines() if "Price" in line)
+    assert "-" in price_line

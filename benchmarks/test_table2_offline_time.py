@@ -1,0 +1,47 @@
+"""Table 2 — offline computation time, AIMQ vs ROCK.
+
+Paper (CarDB 25k / CensusDB 45k, ROCK sample 2k):
+
+    AIMQ   SuperTuple Generation   3 min    4 min
+           Similarity Estimation  15 min   20 min
+    ROCK   Link Computation       20 min   35 min
+           Initial Clustering     45 min   86 min
+           Data Labeling          30 min   50 min
+
+Reproduction target (shape): AIMQ's offline total is a small fraction
+of ROCK's at matched scale, because AIMQ is O(m·k²) in AV-pairs while
+ROCK pays O(sample²) neighbours + clustering plus a labelling pass over
+the whole relation.  Absolute times differ (different hardware, 10×
+smaller data, Python vs Java) — only the ratio is claimed.
+"""
+
+from repro.evalx.experiments import run_table2
+from repro.evalx.reporting import format_table2
+
+CAR_ROWS = 5000
+CENSUS_ROWS = 6000
+ROCK_SAMPLE = 500
+
+
+def test_table2_offline_costs(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_table2(
+            car_rows=CAR_ROWS,
+            census_rows=CENSUS_ROWS,
+            rock_sample=ROCK_SAMPLE,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_table2(result)
+    paper = (
+        "paper (25k/45k, ROCK sample 2k): AIMQ 18/24 min total vs "
+        "ROCK 95/171 min total — AIMQ ~5-7x cheaper"
+    )
+    record_result("table2_offline_time", text + "\n" + paper)
+
+    for dataset in ("CarDB", "CensusDB"):
+        assert result.aimq_total(dataset) > 0
+        assert result.rock_total(dataset) > 0
+        # The headline claim: AIMQ's offline phase is cheaper.
+        assert result.aimq_total(dataset) < result.rock_total(dataset), dataset

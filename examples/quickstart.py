@@ -1,0 +1,44 @@
+"""Quickstart: answer the paper's motivating query with AIMQ.
+
+The §1 example: a user searching a used-car database wants "Camrys
+around $10000" — and would also be happy with a Camry at $10,500 or a
+similar sedan.  AIMQ needs no user-supplied similarity metrics: it
+probes the source, mines attribute dependencies and value similarities,
+and answers the imprecise query with a ranked list.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AIMQSettings, ImpreciseQuery, build_model
+from repro.datasets import cardb_webdb
+
+
+def main() -> None:
+    # 1. An autonomous Web source: form-style access only.
+    webdb = cardb_webdb(10_000, seed=7)
+    print(f"Source: {webdb.name} advertising {webdb.cardinality_hint()} listings")
+
+    # 2. Offline: probe a sample, mine AFDs/keys and value similarities.
+    model = build_model(
+        webdb, sample_size=2_500, settings=AIMQSettings(max_relaxation_level=3)
+    )
+    print()
+    print(model.ordering.describe())
+
+    # 3. Online: the imprecise query from the paper's introduction.
+    engine = model.engine(webdb)
+    query = ImpreciseQuery.like("CarDB", Model="Camry", Price=10_000)
+    answers = engine.answer(query, k=10)
+
+    print()
+    print(answers.describe(webdb.schema))
+    trace = answers.trace
+    print(
+        f"\nwork: {trace.queries_issued} relaxation probes, "
+        f"{trace.tuples_extracted} tuples extracted, "
+        f"{trace.tuples_relevant} relevant"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Robustness over sampling: a compact rerun of §6.2 (Figs 3-4, Table 3).
+
+AIMQ learns from a *probed sample* of an autonomous source, so the
+paper devotes a section to showing the learned artifacts are stable
+under sampling: absolute supports and similarities shift, relative
+orderings do not.  This script reruns those three experiments at a
+laptop-friendly scale and prints the paper-style summaries.
+
+Run:  python examples/robustness_study.py
+"""
+
+from repro.evalx import (
+    format_fig3,
+    format_fig4,
+    format_table3,
+    run_fig3,
+    run_fig4,
+    run_table3,
+)
+
+CAR_ROWS = 8000
+FRACTIONS = (0.15, 0.25, 0.5, 1.0)
+
+
+def main() -> None:
+    fig3 = run_fig3(car_rows=CAR_ROWS, fractions=FRACTIONS)
+    print(format_fig3(fig3))
+
+    print()
+    fig4 = run_fig4(car_rows=CAR_ROWS, fractions=FRACTIONS)
+    print(format_fig4(fig4))
+
+    print()
+    table3 = run_table3(car_rows=CAR_ROWS, small_fraction=0.25)
+    print(format_table3(table3))
+
+    print()
+    verdicts = [
+        ("attribute ordering stable", fig3.orderings_consistent()),
+        ("best approximate key stable", fig4.best_key_stable()),
+    ]
+    for claim, held in verdicts:
+        print(f"  {claim}: {'YES' if held else 'NO'}")
+
+
+if __name__ == "__main__":
+    main()

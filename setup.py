@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The evaluation environment is offline and has no ``wheel`` package, so
+PEP 517 editable installs cannot build. This shim lets
+``pip install -e . --no-use-pep517`` (or ``python setup.py develop``)
+work with the stock setuptools; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

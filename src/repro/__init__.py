@@ -1,0 +1,76 @@
+"""AIMQ — Answering Imprecise Queries over Autonomous Web Databases.
+
+A full reproduction of Nambiar & Kambhampati (ICDE 2006): a domain- and
+user-independent system that answers imprecise ("like") queries over a
+boolean-model Web database by
+
+1. mining approximate functional dependencies and keys (TANE, g3) to
+   derive an attribute-importance ordering that guides query
+   relaxation, and
+2. mining categorical value similarities from AV-pair supertuples with
+   an importance-weighted bag-Jaccard measure.
+
+Quick start::
+
+    from repro import AIMQSettings, ImpreciseQuery, build_model
+    from repro.datasets import cardb_webdb
+
+    webdb = cardb_webdb(10_000)
+    model = build_model(webdb, sample_size=2_500)
+    engine = model.engine(webdb)
+    answers = engine.answer(
+        ImpreciseQuery.like("CarDB", Model="Camry", Price=10_000), k=10
+    )
+    print(answers.describe(webdb.schema))
+
+Subpackages: :mod:`repro.db` (relational substrate), :mod:`repro.afd`
+(dependency miner), :mod:`repro.sampling` (data collector),
+:mod:`repro.simmining` (similarity miner), :mod:`repro.core` (AIMQ
+itself), :mod:`repro.rock` (the ROCK comparator), :mod:`repro.datasets`
+(synthetic CarDB/CensusDB) and :mod:`repro.evalx` (experiments).
+"""
+
+from repro.core import (
+    AIMQEngine,
+    AIMQModel,
+    AIMQSettings,
+    AnswerSet,
+    AttributeOrdering,
+    GuidedRelax,
+    ImpreciseQuery,
+    RandomRelax,
+    RankedAnswer,
+    build_model,
+    build_model_from_sample,
+    compute_attribute_ordering,
+)
+from repro.db import (
+    AttributeKind,
+    AutonomousWebDatabase,
+    RelationSchema,
+    SelectionQuery,
+    Table,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AIMQEngine",
+    "AIMQModel",
+    "AIMQSettings",
+    "AnswerSet",
+    "AttributeKind",
+    "AttributeOrdering",
+    "AutonomousWebDatabase",
+    "GuidedRelax",
+    "ImpreciseQuery",
+    "RandomRelax",
+    "RankedAnswer",
+    "RelationSchema",
+    "SelectionQuery",
+    "Table",
+    "__version__",
+    "build_model",
+    "build_model_from_sample",
+    "compute_attribute_ordering",
+]

@@ -1,0 +1,70 @@
+"""The g3 approximation measure (Kivinen & Mannila, 1995).
+
+``g3(X → A)`` is the minimum fraction of tuples that must be removed
+from the relation for the functional dependency to hold exactly; the
+paper (§4) adopts it for both approximate dependencies and approximate
+keys, and it is the measure TANE computes natively from stripped
+partitions.
+
+Dependency error
+    For each class ``c`` of π_X, keep the largest sub-class of
+    π_{X∪A} inside ``c`` and delete the rest:
+    ``g3 = Σ_c (|c| − max_subclass(c)) / n``.
+    Classes that are singletons in π_X contribute nothing.
+
+Key error
+    A set ``X`` is a key when every π_X class is a singleton, so the
+    cheapest repair keeps one tuple per class:
+    ``g3(X) = (n − |π_X|) / n`` with |π_X| counting singleton classes.
+"""
+
+from __future__ import annotations
+
+from repro.afd.partition import StrippedPartition
+
+__all__ = ["dependency_error", "key_error"]
+
+
+def dependency_error(
+    lhs: StrippedPartition, combined: StrippedPartition
+) -> float:
+    """g3 error of ``X → A`` given π_X (``lhs``) and π_{X∪A} (``combined``).
+
+    Both partitions must range over the same tuple ids.  The caller is
+    responsible for ``combined`` actually being the product of the lhs
+    partition with the consequent's partition.
+    """
+    if lhs.n_rows != combined.n_rows:
+        raise ValueError(
+            f"partition sizes differ: {lhs.n_rows} vs {combined.n_rows}"
+        )
+    if lhs.n_rows == 0:
+        return 0.0
+
+    removed = 0
+    for members in lhs.classes:
+        # Count how members distribute over combined's stripped classes;
+        # tuples absent from every stripped class are singletons there.
+        counts: dict[int, int] = {}
+        singleton_best = 0
+        for row_id in members:
+            class_id = combined.class_of(row_id)
+            if class_id is None:
+                singleton_best = 1
+            else:
+                counts[class_id] = counts.get(class_id, 0) + 1
+        largest = max(counts.values()) if counts else 0
+        largest = max(largest, singleton_best)
+        removed += len(members) - largest
+    return removed / lhs.n_rows
+
+
+def key_error(partition: StrippedPartition) -> float:
+    """g3 error of ``X`` as a key, from π_X.
+
+    Zero when X is an exact key (all classes singletons).
+    """
+    if partition.n_rows == 0:
+        return 0.0
+    duplicates = partition.stripped_size - partition.num_stripped_classes
+    return duplicates / partition.n_rows

@@ -1,0 +1,206 @@
+"""Mined-dependency model: AFDs, approximate keys and their store.
+
+These objects are what the Dependency Miner hands to the rest of AIMQ.
+The *support* of a dependency or key is ``1 − g3`` (the fraction of
+tuples consistent with it); the *quality* of a key is ``support/size``
+(paper §6.2, Figure 4), designed to prefer short keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["AFD", "ApproximateKey", "DependencyModel"]
+
+
+@dataclass(frozen=True, order=True)
+class AFD:
+    """An approximate functional dependency ``lhs → rhs``."""
+
+    lhs: tuple[str, ...]
+    rhs: str
+    error: float
+    minimal: bool = field(default=True, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.lhs:
+            raise ValueError("AFD needs a non-empty determinant")
+        if self.rhs in self.lhs:
+            raise ValueError(f"trivial AFD: {self.rhs!r} determines itself")
+        if not 0.0 <= self.error <= 1.0:
+            raise ValueError(f"g3 error must be in [0, 1], got {self.error}")
+
+    @property
+    def support(self) -> float:
+        """Fraction of tuples consistent with the dependency (1 − g3)."""
+        return 1.0 - self.error
+
+    @property
+    def size(self) -> int:
+        """Number of determinant attributes (``size(A)`` in Algorithm 2)."""
+        return len(self.lhs)
+
+    def describe(self) -> str:
+        lhs = ", ".join(self.lhs)
+        return f"{{{lhs}}} -> {self.rhs} (support={self.support:.3f})"
+
+
+@dataclass(frozen=True, order=True)
+class ApproximateKey:
+    """An approximate key: attribute set nearly unique over the relation."""
+
+    attributes: tuple[str, ...]
+    error: float
+    minimal: bool = field(default=True, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ValueError("a key needs at least one attribute")
+        if not 0.0 <= self.error <= 1.0:
+            raise ValueError(f"g3 error must be in [0, 1], got {self.error}")
+
+    @property
+    def support(self) -> float:
+        return 1.0 - self.error
+
+    @property
+    def size(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def quality(self) -> float:
+        """Paper §6.2: support over size, preferring shorter keys."""
+        return self.support / self.size
+
+    def describe(self) -> str:
+        attrs = ", ".join(self.attributes)
+        return (
+            f"key{{{attrs}}} (support={self.support:.3f}, "
+            f"quality={self.quality:.3f})"
+        )
+
+
+class DependencyModel:
+    """Queryable store of the AFDs and keys mined from one sample.
+
+    Attribute-order computation (Algorithm 2) needs three access paths:
+    AFDs whose determinant contains an attribute, AFDs whose consequent
+    is an attribute, and the best key.  The model indexes all three.
+    """
+
+    def __init__(
+        self,
+        attributes: Iterable[str],
+        afds: Iterable[AFD] = (),
+        keys: Iterable[ApproximateKey] = (),
+        sample_size: int = 0,
+    ) -> None:
+        self.attributes = tuple(attributes)
+        self.sample_size = sample_size
+        self._afds: list[AFD] = []
+        self._keys: list[ApproximateKey] = []
+        self._by_rhs: dict[str, list[AFD]] = {name: [] for name in self.attributes}
+        self._by_lhs_member: dict[str, list[AFD]] = {
+            name: [] for name in self.attributes
+        }
+        for afd in afds:
+            self.add_afd(afd)
+        for key in keys:
+            self.add_key(key)
+
+    # -- population ---------------------------------------------------------
+
+    def add_afd(self, afd: AFD) -> None:
+        unknown = (set(afd.lhs) | {afd.rhs}) - set(self.attributes)
+        if unknown:
+            raise ValueError(f"AFD mentions unknown attributes {sorted(unknown)}")
+        self._afds.append(afd)
+        self._by_rhs[afd.rhs].append(afd)
+        for attribute in afd.lhs:
+            self._by_lhs_member[attribute].append(afd)
+
+    def add_key(self, key: ApproximateKey) -> None:
+        unknown = set(key.attributes) - set(self.attributes)
+        if unknown:
+            raise ValueError(f"key mentions unknown attributes {sorted(unknown)}")
+        self._keys.append(key)
+
+    # -- access paths ---------------------------------------------------------
+
+    @property
+    def afds(self) -> tuple[AFD, ...]:
+        return tuple(self._afds)
+
+    @property
+    def keys(self) -> tuple[ApproximateKey, ...]:
+        return tuple(self._keys)
+
+    def __iter__(self) -> Iterator[AFD]:
+        return iter(self._afds)
+
+    def afds_determining(self, attribute: str) -> tuple[AFD, ...]:
+        """AFDs with ``attribute`` as the consequent (X → attribute)."""
+        return tuple(self._by_rhs.get(attribute, ()))
+
+    def afds_with_determinant(self, attribute: str) -> tuple[AFD, ...]:
+        """AFDs whose determinant set contains ``attribute``."""
+        return tuple(self._by_lhs_member.get(attribute, ()))
+
+    def best_key(self, by: str = "support") -> ApproximateKey | None:
+        """The best approximate key, or None if no key was mined.
+
+        ``by`` is ``"support"`` (Algorithm 2's choice) or ``"quality"``
+        (the §6.2 metric).  Ties break toward fewer attributes, then by
+        name, so the choice is deterministic across runs.
+        """
+        if not self._keys:
+            return None
+        if by == "support":
+            score = lambda key: key.support  # noqa: E731 - local sort key
+        elif by == "quality":
+            score = lambda key: key.quality  # noqa: E731 - local sort key
+        else:
+            raise ValueError(f"unknown key criterion {by!r}")
+        return max(
+            self._keys,
+            key=lambda k: (score(k), -k.size, tuple(reversed(k.attributes))),
+        )
+
+    def keys_sorted_by_quality(self) -> list[ApproximateKey]:
+        """Keys in ascending quality (the Figure 4 presentation order)."""
+        return sorted(self._keys, key=lambda k: (k.quality, k.attributes))
+
+    def dependence_weight(self, attribute: str, minimal_only: bool = True) -> float:
+        """Wt_depends(j) = Σ support(A→j)/|A| over mined AFDs (Alg. 2).
+
+        TANE reports minimal dependencies, so the weight sums default to
+        minimal AFDs; pass ``minimal_only=False`` to include the flagged
+        non-minimal ones as an ablation.
+        """
+        return sum(
+            afd.support / afd.size
+            for afd in self.afds_determining(attribute)
+            if afd.minimal or not minimal_only
+        )
+
+    def decides_weight(self, attribute: str, minimal_only: bool = True) -> float:
+        """Wt_decides(k) = Σ support(A→·)/|A| over AFDs with k ∈ A (Alg. 2)."""
+        return sum(
+            afd.support / afd.size
+            for afd in self.afds_with_determinant(attribute)
+            if afd.minimal or not minimal_only
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"DependencyModel over {len(self.attributes)} attributes "
+            f"(sample={self.sample_size}): "
+            f"{len(self._afds)} AFDs, {len(self._keys)} keys"
+        ]
+        for afd in sorted(self._afds, key=lambda a: -a.support)[:10]:
+            lines.append("  " + afd.describe())
+        best = self.best_key()
+        if best is not None:
+            lines.append("  best " + best.describe())
+        return "\n".join(lines)

@@ -1,0 +1,333 @@
+"""Levelwise TANE-style miner for AFDs and approximate keys.
+
+The paper (§4) mines, from a probed sample, every approximate
+functional dependency and approximate key whose ``g3`` error is below a
+threshold ``T_err``, using the TANE algorithm of Huhtala et al.  This
+module implements that search:
+
+* single-attribute stripped partitions are computed from the columns;
+* higher levels of the attribute-set lattice are reached via stripped
+  partition products (π_X = π_{X∖a} · π_a);
+* at each set ``X`` (|X| ≥ 2) the candidate dependencies
+  ``X∖{A} → A`` for every ``A ∈ X`` are scored with the g3 measure;
+* every set up to ``max_key_size`` is scored as an approximate key.
+
+Minimality is tracked for both artifacts: a dependency is minimal when
+no proper subset of its determinant already determines the consequent
+within the threshold, and a key is minimal when no proper subset is
+itself a valid approximate key.  Non-minimal artifacts are kept (the
+paper's CarDB run reports 26 keys, clearly counting non-minimal ones)
+but flagged, so callers can filter.
+
+Numeric attributes participate with their raw values by default, which
+mirrors the paper; an optional equal-width binning preprocessor is
+available because it is a natural ablation (binned numerics produce
+denser dependency structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Hashable, Mapping, Sequence
+
+from repro.afd.g3 import dependency_error, key_error
+from repro.afd.model import AFD, ApproximateKey, DependencyModel
+from repro.afd.partition import (
+    StrippedPartition,
+    partition_product,
+    partition_single,
+)
+from repro.db.schema import RelationSchema
+from repro.db.table import Table
+
+__all__ = ["TaneConfig", "TaneMiner", "mine_dependencies", "bin_numeric_column"]
+
+
+@dataclass(frozen=True)
+class TaneConfig:
+    """Knobs of the dependency miner.
+
+    Parameters
+    ----------
+    error_threshold:
+        ``T_err``: keep AFDs with g3 error at or below this value.
+    key_error_threshold:
+        Separate ``T_err`` for approximate keys (defaults to
+        ``error_threshold`` when None).  A key's g3 error counts every
+        duplicate tuple, so it grows with sample size even when the
+        key's *relative* standing is rock-stable (paper Fig. 4); keys
+        therefore usually want a looser threshold than dependencies.
+    max_lhs_size:
+        Largest determinant size considered for AFDs.
+    max_key_size:
+        Largest attribute-set size considered for keys.
+    keep_non_minimal:
+        Record non-minimal AFDs/keys (flagged ``minimal=False``).
+    numeric_bins:
+        When positive, numeric columns are equal-width binned into this
+        many buckets before partitioning (default 0 = raw values).
+    filter_trivial_consequents:
+        Drop AFDs ``X → A`` when ``A`` is near-constant — when always
+        predicting A's majority value already violates at most
+        ``error_threshold`` of the tuples, *anything* "determines" A
+        and the dependency carries no information (an attribute that
+        is 96% zeros, like Census capital-loss, would otherwise absorb
+        all of Algorithm 2's dependence weight).
+    filter_key_determinants:
+        Drop AFDs ``X → A`` when ``X`` is itself an approximate key at
+        the threshold — near-unique determinants (raw prices, census
+        fnlwgt) trivially determine every attribute, which again says
+        nothing about semantic dependence.
+    """
+
+    error_threshold: float = 0.15
+    key_error_threshold: float | None = None
+    max_lhs_size: int = 2
+    max_key_size: int = 3
+    keep_non_minimal: bool = True
+    numeric_bins: int = 0
+    filter_trivial_consequents: bool = True
+    filter_key_determinants: bool = True
+
+    @property
+    def effective_key_threshold(self) -> float:
+        if self.key_error_threshold is None:
+            return self.error_threshold
+        return self.key_error_threshold
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_threshold < 1.0:
+            raise ValueError("error_threshold must be in [0, 1)")
+        if self.key_error_threshold is not None and not (
+            0.0 <= self.key_error_threshold < 1.0
+        ):
+            raise ValueError("key_error_threshold must be in [0, 1)")
+        if self.max_lhs_size < 1:
+            raise ValueError("max_lhs_size must be at least 1")
+        if self.max_key_size < 1:
+            raise ValueError("max_key_size must be at least 1")
+        if self.numeric_bins < 0:
+            raise ValueError("numeric_bins cannot be negative")
+
+
+def bin_numeric_column(
+    values: Sequence[object], n_bins: int
+) -> list[object]:
+    """Equal-width bin a numeric column; nulls stay null.
+
+    Returns bin labels (ints); a constant column maps to a single bin.
+    """
+    if n_bins <= 0:
+        raise ValueError("n_bins must be positive")
+    present = [v for v in values if v is not None]
+    if not present:
+        return list(values)
+    low = min(present)  # type: ignore[type-var]
+    high = max(present)  # type: ignore[type-var]
+    if low == high:
+        return [None if v is None else 0 for v in values]
+    width = (high - low) / n_bins  # type: ignore[operator]
+    binned: list[object] = []
+    for value in values:
+        if value is None:
+            binned.append(None)
+            continue
+        index = int((value - low) / width)  # type: ignore[operator]
+        binned.append(min(index, n_bins - 1))
+    return binned
+
+
+def _null_error(partition: StrippedPartition) -> float:
+    """g3 error of the majority-value predictor ∅ → A, from π_A."""
+    if partition.n_rows == 0:
+        return 0.0
+    largest = max(
+        (len(members) for members in partition.classes), default=1
+    )
+    return (partition.n_rows - largest) / partition.n_rows
+
+
+class TaneMiner:
+    """Mines a :class:`DependencyModel` from one table (probed sample)."""
+
+    def __init__(self, config: TaneConfig | None = None) -> None:
+        self.config = config or TaneConfig()
+        self._trivial_rhs: set[int] = set()
+
+    # -- public API -----------------------------------------------------------
+
+    def mine(self, table: Table) -> DependencyModel:
+        """Run the levelwise search over ``table`` and return the model."""
+        schema = table.schema
+        columns = {
+            attribute.name: table.column(attribute.name) for attribute in schema
+        }
+        return self.mine_columns(schema, columns, n_rows=len(table))
+
+    def mine_columns(
+        self,
+        schema: RelationSchema,
+        columns: Mapping[str, Sequence[Hashable]],
+        n_rows: int,
+    ) -> DependencyModel:
+        """Mine from raw columns (lets tests drive the miner directly)."""
+        config = self.config
+        names = schema.attribute_names
+        prepared = self._prepare_columns(schema, columns)
+
+        model = DependencyModel(names, sample_size=n_rows)
+        if n_rows == 0:
+            return model
+
+        cache: dict[tuple[int, ...], StrippedPartition] = {}
+        for index, name in enumerate(names):
+            cache[(index,)] = partition_single(prepared[name], n_rows)
+
+        # Consequents for which the majority-value predictor is already
+        # within the threshold (see filter_trivial_consequents).
+        self._trivial_rhs = set()
+        if config.filter_trivial_consequents:
+            for index in range(len(names)):
+                if _null_error(cache[(index,)]) <= config.error_threshold:
+                    self._trivial_rhs.add(index)
+
+        max_level = max(config.max_lhs_size + 1, config.max_key_size)
+        max_level = min(max_level, len(names))
+
+        # Valid determinant sets per consequent, for minimality checks.
+        valid_lhs: dict[int, list[frozenset[int]]] = {
+            index: [] for index in range(len(names))
+        }
+        valid_keys: list[frozenset[int]] = []
+
+        self._mine_keys_at_level_one(names, cache, model, valid_keys)
+
+        for level in range(2, max_level + 1):
+            for subset in combinations(range(len(names)), level):
+                partition = self._partition_for(subset, cache)
+                if level <= config.max_key_size:
+                    self._consider_key(
+                        subset, partition, names, model, valid_keys
+                    )
+                if level <= config.max_lhs_size + 1:
+                    self._consider_afds(
+                        subset, partition, names, cache, model, valid_lhs
+                    )
+        return model
+
+    # -- internals ------------------------------------------------------------
+
+    def _prepare_columns(
+        self,
+        schema: RelationSchema,
+        columns: Mapping[str, Sequence[Hashable]],
+    ) -> dict[str, Sequence[Hashable]]:
+        prepared: dict[str, Sequence[Hashable]] = {}
+        for attribute in schema:
+            column = columns[attribute.name]
+            if attribute.is_numeric and self.config.numeric_bins:
+                prepared[attribute.name] = bin_numeric_column(
+                    column, self.config.numeric_bins
+                )
+            else:
+                prepared[attribute.name] = column
+        return prepared
+
+    @staticmethod
+    def _partition_for(
+        subset: tuple[int, ...],
+        cache: dict[tuple[int, ...], StrippedPartition],
+    ) -> StrippedPartition:
+        """π_subset via product of the (cached) prefix and last attribute."""
+        cached = cache.get(subset)
+        if cached is not None:
+            return cached
+        prefix, last = subset[:-1], subset[-1]
+        partition = partition_product(
+            TaneMiner._partition_for(prefix, cache), cache[(last,)]
+        )
+        cache[subset] = partition
+        return partition
+
+    def _mine_keys_at_level_one(
+        self,
+        names: tuple[str, ...],
+        cache: dict[tuple[int, ...], StrippedPartition],
+        model: DependencyModel,
+        valid_keys: list[frozenset[int]],
+    ) -> None:
+        for index, name in enumerate(names):
+            error = key_error(cache[(index,)])
+            if error <= self.config.effective_key_threshold:
+                model.add_key(
+                    ApproximateKey(
+                        attributes=(name,), error=error, minimal=True
+                    )
+                )
+                valid_keys.append(frozenset((index,)))
+
+    def _consider_key(
+        self,
+        subset: tuple[int, ...],
+        partition: StrippedPartition,
+        names: tuple[str, ...],
+        model: DependencyModel,
+        valid_keys: list[frozenset[int]],
+    ) -> None:
+        error = key_error(partition)
+        if error > self.config.effective_key_threshold:
+            return
+        as_set = frozenset(subset)
+        minimal = not any(known < as_set for known in valid_keys)
+        valid_keys.append(as_set)
+        if minimal or self.config.keep_non_minimal:
+            model.add_key(
+                ApproximateKey(
+                    attributes=tuple(names[i] for i in subset),
+                    error=error,
+                    minimal=minimal,
+                )
+            )
+
+    def _consider_afds(
+        self,
+        subset: tuple[int, ...],
+        partition: StrippedPartition,
+        names: tuple[str, ...],
+        cache: dict[tuple[int, ...], StrippedPartition],
+        model: DependencyModel,
+        valid_lhs: dict[int, list[frozenset[int]]],
+    ) -> None:
+        for rhs in subset:
+            if rhs in self._trivial_rhs:
+                continue
+            lhs = tuple(i for i in subset if i != rhs)
+            lhs_partition = self._partition_for(lhs, cache)
+            if (
+                self.config.filter_key_determinants
+                and key_error(lhs_partition) <= self.config.error_threshold
+            ):
+                continue
+            error = dependency_error(lhs_partition, partition)
+            if error > self.config.error_threshold:
+                continue
+            lhs_set = frozenset(lhs)
+            minimal = not any(known < lhs_set for known in valid_lhs[rhs])
+            valid_lhs[rhs].append(lhs_set)
+            if minimal or self.config.keep_non_minimal:
+                model.add_afd(
+                    AFD(
+                        lhs=tuple(names[i] for i in lhs),
+                        rhs=names[rhs],
+                        error=error,
+                        minimal=minimal,
+                    )
+                )
+
+
+def mine_dependencies(
+    table: Table, config: TaneConfig | None = None
+) -> DependencyModel:
+    """One-call convenience: mine a dependency model from ``table``."""
+    return TaneMiner(config).mine(table)

@@ -1,0 +1,277 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the life cycle a downstream user walks through:
+
+* ``generate`` — synthesise a CarDB/CensusDB instance to CSV;
+* ``mine``     — run the offline pipeline and (optionally) persist the
+  mined model as JSON;
+* ``query``    — answer an imprecise query, optionally from a stored
+  model;
+* ``experiment`` — rerun one of the paper's tables/figures.
+
+Examples::
+
+    python -m repro generate cardb --rows 10000 --out /tmp/cars.csv
+    python -m repro mine cardb --rows 8000 --sample 2000 --save /tmp/model.json
+    python -m repro query cardb --rows 8000 --sample 2000 -k 5 \\
+        Model=Camry Price=10000
+    python -m repro experiment fig5
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Sequence
+
+from repro.core.config import AIMQSettings
+from repro.core.pipeline import AIMQModel, build_model
+from repro.core.parser import parse_query
+from repro.core.query import ImpreciseQuery
+from repro.core.store import StoreError, load_model, save_model
+from repro.datasets.cardb import cardb_webdb, generate_cardb
+from repro.datasets.census import census_webdb, generate_censusdb
+from repro.db.csvio import write_csv
+from repro.db.errors import DatabaseError
+from repro.db.webdb import AutonomousWebDatabase
+from repro.evalx import (
+    census_settings,
+    format_efficiency,
+    format_fig3,
+    format_fig4,
+    format_fig5,
+    format_fig8,
+    format_fig9,
+    format_table2,
+    format_table3,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig8_multi,
+    run_fig9,
+    run_relaxation_efficiency,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _dataset_webdb(name: str, rows: int, seed: int) -> AutonomousWebDatabase:
+    if name == "cardb":
+        return cardb_webdb(rows, seed=seed)
+    if name == "censusdb":
+        return census_webdb(rows, seed=seed)[0]
+    raise ValueError(f"unknown dataset {name!r}")
+
+
+def _dataset_settings(name: str) -> AIMQSettings:
+    if name == "censusdb":
+        return census_settings(error_threshold=0.3)
+    return AIMQSettings(max_relaxation_level=3)
+
+
+def _parse_binding(text: str) -> tuple[str, object]:
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"constraint {text!r} must look like Attribute=Value"
+        )
+    attribute, _, raw = text.partition("=")
+    value: object = raw
+    try:
+        value = int(raw)
+    except ValueError:
+        try:
+            value = float(raw)
+        except ValueError:
+            pass
+    return attribute, value
+
+
+# -- commands ---------------------------------------------------------------
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "cardb":
+        table = generate_cardb(args.rows, seed=args.seed)
+        labels = None
+    else:
+        table, labels = generate_censusdb(args.rows, seed=args.seed)
+    written = write_csv(table, args.out)
+    print(f"wrote {written} rows to {args.out}")
+    if labels is not None and args.labels_out:
+        with open(args.labels_out, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(labels) + "\n")
+        print(f"wrote {len(labels)} labels to {args.labels_out}")
+    return 0
+
+
+def _mine_model(args: argparse.Namespace) -> tuple[AutonomousWebDatabase, AIMQModel]:
+    webdb = _dataset_webdb(args.dataset, args.rows, args.seed)
+    if getattr(args, "model", None):
+        return webdb, load_model(args.model, webdb.schema)
+    model = build_model(
+        webdb,
+        sample_size=args.sample,
+        rng=random.Random(args.seed + 1),
+        settings=_dataset_settings(args.dataset),
+    )
+    return webdb, model
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    webdb, model = _mine_model(args)
+    print(model.ordering.describe())
+    print()
+    print(model.dependencies.summary())
+    print()
+    for attribute in webdb.schema.categorical_names[:3]:
+        values = sorted(model.value_similarity.known_values(attribute))
+        if not values:
+            continue
+        probe = values[0]
+        ranked = model.value_similarity.top_similar(attribute, probe, n=3)
+        rendered = ", ".join(f"{v} ({s:.2f})" for v, s in ranked)
+        print(f"{attribute}={probe} ~ {rendered}")
+    if args.save:
+        path = save_model(model, args.save)
+        print(f"\nmodel saved to {path}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    webdb, model = _mine_model(args)
+    if args.text:
+        if args.constraints:
+            raise ValueError("use either --text or Attr=Value pairs, not both")
+        query = parse_query(args.text, relation=webdb.schema.name)
+    elif args.constraints:
+        bindings = dict(_parse_binding(text) for text in args.constraints)
+        query = ImpreciseQuery.like(webdb.schema.name, **bindings)
+    else:
+        raise ValueError("provide --text or at least one Attr=Value pair")
+    engine = model.engine(webdb)
+    answers = engine.answer(query, k=args.k)
+    print(answers.describe(webdb.schema))
+    trace = answers.trace
+    print(
+        f"\n{trace.queries_issued} probes, {trace.tuples_extracted} extracted, "
+        f"{trace.tuples_relevant} relevant"
+    )
+    return 0
+
+
+_EXPERIMENTS = {
+    "table1": lambda: print(run_table1()),
+    "table2": lambda: print(format_table2(run_table2())),
+    "table3": lambda: print(format_table3(run_table3())),
+    "fig3": lambda: print(format_fig3(run_fig3())),
+    "fig4": lambda: print(format_fig4(run_fig4())),
+    "fig5": lambda: print(format_fig5(run_fig5())),
+    "fig6": lambda: print(
+        format_efficiency(run_relaxation_efficiency("guided"))
+    ),
+    "fig7": lambda: print(
+        format_efficiency(run_relaxation_efficiency("random"))
+    ),
+    "fig8": lambda: print(format_fig8(run_fig8_multi())),
+    "fig9": lambda: print(format_fig9(run_fig9())),
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    _EXPERIMENTS[args.name]()
+    return 0
+
+
+# -- parser -------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AIMQ (ICDE 2006) reproduction command line",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="synthesise a dataset to CSV"
+    )
+    generate.add_argument("dataset", choices=("cardb", "censusdb"))
+    generate.add_argument("--rows", type=int, default=10_000)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", required=True)
+    generate.add_argument(
+        "--labels-out", help="censusdb only: income labels output path"
+    )
+    generate.set_defaults(handler=_cmd_generate)
+
+    def add_mining_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("dataset", choices=("cardb", "censusdb"))
+        sub.add_argument("--rows", type=int, default=8_000)
+        sub.add_argument("--sample", type=int, default=2_000)
+        sub.add_argument("--seed", type=int, default=7)
+        sub.add_argument(
+            "--model", help="load a stored model instead of mining"
+        )
+
+    mine = subparsers.add_parser(
+        "mine", help="probe + mine and print the learned artifacts"
+    )
+    add_mining_args(mine)
+    mine.add_argument("--save", help="persist the mined model as JSON")
+    mine.set_defaults(handler=_cmd_mine)
+
+    query = subparsers.add_parser("query", help="answer an imprecise query")
+    add_mining_args(query)
+    query.add_argument("-k", type=int, default=10)
+    query.add_argument(
+        "--text",
+        help="paper-style query text, e.g. "
+        "\"Model like Camry AND Price < 10000\"",
+    )
+    query.add_argument(
+        "constraints",
+        nargs="*",
+        metavar="Attr=Value",
+        help="likeness constraints, e.g. Model=Camry Price=10000",
+    )
+    query.set_defaults(handler=_cmd_query)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="rerun one of the paper's tables/figures"
+    )
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    # argparse's single-pass positional matching cannot see trailing
+    # Attr=Value pairs behind optionals; collect them as extras.
+    args, extras = parser.parse_known_args(argv)
+    if extras:
+        if getattr(args, "command", None) != "query":
+            print(f"error: unrecognized arguments: {extras}", file=sys.stderr)
+            return 2
+        malformed = [text for text in extras if "=" not in text]
+        if malformed:
+            print(
+                f"error: constraints must look like Attr=Value: {malformed}",
+                file=sys.stderr,
+            )
+            return 2
+        args.constraints = list(args.constraints) + extras
+    try:
+        return args.handler(args)
+    except (ValueError, OSError, DatabaseError, StoreError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    sys.exit(main())

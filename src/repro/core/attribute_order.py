@@ -1,0 +1,234 @@
+"""Attribute relaxation order and importance weights (paper Algorithm 2).
+
+The insight of §4: the tuples most similar to a base tuple differ in
+the *least important* attribute — the one whose value, when changed,
+least affects the other attributes.  AFDs quantify exactly that, so the
+algorithm:
+
+1. picks the approximate key AK with the highest support and splits the
+   attribute set into the *deciding* group (members of AK) and the
+   *dependent* group (the rest);
+2. scores deciding attributes by ``Wt_decides(k) = Σ support(A→·)/|A|``
+   over AFDs whose determinant contains ``k``, and dependent attributes
+   by ``Wt_depends(j) = Σ support(A→j)/|A|`` over AFDs with consequent
+   ``j``;
+3. sorts each group ascending and relaxes the whole dependent group
+   before the deciding group.
+
+Importance weights follow the paper's formula
+
+    W_imp(k) = RelaxOrder(k)/|R| · Wt(k)/ΣWt_group
+
+and are finally normalised to sum to one (the Sim definition in §5
+requires ΣW_imp = 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.afd.model import ApproximateKey, DependencyModel
+from repro.db.schema import RelationSchema
+
+__all__ = [
+    "AttributeOrdering",
+    "compute_attribute_ordering",
+    "uniform_ordering",
+]
+
+
+@dataclass(frozen=True)
+class AttributeOrdering:
+    """The mined ordering: who relaxes first and who matters most."""
+
+    relaxation_order: tuple[str, ...]
+    importance: dict[str, float]
+    deciding: tuple[str, ...]
+    dependent: tuple[str, ...]
+    best_key: ApproximateKey | None
+    decides_weight: dict[str, float]
+    depends_weight: dict[str, float]
+
+    def __post_init__(self) -> None:
+        if set(self.relaxation_order) != set(self.importance):
+            raise ValueError("relaxation order and importance must cover "
+                             "the same attributes")
+
+    def relax_position(self, attribute: str) -> int:
+        """1-based relaxation position (1 = least important, first out)."""
+        return self.relaxation_order.index(attribute) + 1
+
+    def weight(self, attribute: str) -> float:
+        """Normalised importance W_imp of ``attribute`` (0 if unknown)."""
+        return self.importance.get(attribute, 0.0)
+
+    def weights_over(self, attributes: tuple[str, ...]) -> dict[str, float]:
+        """Importance restricted to ``attributes`` and renormalised.
+
+        Sim(Q, t) sums only over the query's bound attributes, so the
+        weights must be rescaled to sum to one over that subset.  When
+        every requested attribute has zero mined weight the fallback is
+        uniform — the query still deserves a ranking.
+        """
+        raw = {name: self.importance.get(name, 0.0) for name in attributes}
+        total = sum(raw.values())
+        if total <= 0.0:
+            if not attributes:
+                return {}
+            uniform = 1.0 / len(attributes)
+            return {name: uniform for name in attributes}
+        return {name: value / total for name, value in raw.items()}
+
+    def smoothed(self, smoothing: float) -> "AttributeOrdering":
+        """Blend the importance weights with the uniform distribution.
+
+        ``W'(k) = (1−λ)·W(k) + λ/n``.  Sparse samples can mine so few
+        dependencies that several attributes end up with exactly zero
+        importance; the similarity function then ignores those columns
+        entirely, which is never what a ranking over real tuples wants.
+        Smoothing keeps the mined *ordering* (including relaxation
+        order) while guaranteeing every attribute a floor of weight.
+        """
+        if not 0.0 <= smoothing <= 1.0:
+            raise ValueError("smoothing must be in [0, 1]")
+        if smoothing == 0.0:
+            return self
+        uniform = 1.0 / len(self.relaxation_order)
+        blended = {
+            name: (1.0 - smoothing) * weight + smoothing * uniform
+            for name, weight in self.importance.items()
+        }
+        return AttributeOrdering(
+            relaxation_order=self.relaxation_order,
+            importance=blended,
+            deciding=self.deciding,
+            dependent=self.dependent,
+            best_key=self.best_key,
+            decides_weight=self.decides_weight,
+            depends_weight=self.depends_weight,
+        )
+
+    def describe(self) -> str:
+        lines = ["Attribute ordering (least → most important):"]
+        for name in self.relaxation_order:
+            group = "deciding" if name in self.deciding else "dependent"
+            lines.append(
+                f"  {self.relax_position(name)}. {name:<14} "
+                f"W_imp={self.importance[name]:.4f} ({group})"
+            )
+        if self.best_key is not None:
+            lines.append("  partitioned by " + self.best_key.describe())
+        return "\n".join(lines)
+
+
+def compute_attribute_ordering(
+    schema: RelationSchema,
+    model: DependencyModel,
+    key_criterion: str = "support",
+) -> AttributeOrdering:
+    """Run Algorithm 2 over a mined dependency model.
+
+    ``key_criterion`` selects the best approximate key by ``"support"``
+    (the algorithm as written) or ``"quality"`` (the §6.2 metric that
+    normalises by key size); both are deterministic.
+
+    When no approximate key was mined, every attribute falls into the
+    dependent group — the ordering then reduces to ascending
+    ``Wt_depends``, which is the best information available.
+    """
+    names = schema.attribute_names
+    best_key = model.best_key(by=key_criterion)
+    deciding_set = set(best_key.attributes) if best_key else set()
+
+    deciding = tuple(name for name in names if name in deciding_set)
+    dependent = tuple(name for name in names if name not in deciding_set)
+
+    decides_weight = {name: model.decides_weight(name) for name in deciding}
+    depends_weight = {name: model.dependence_weight(name) for name in names}
+
+    position = {name: index for index, name in enumerate(names)}
+
+    def ascending(group: tuple[str, ...], weights: dict[str, float]) -> list[str]:
+        return sorted(group, key=lambda name: (weights[name], position[name]))
+
+    dependent_sorted = ascending(
+        dependent, {name: depends_weight[name] for name in dependent}
+    )
+    deciding_sorted = ascending(deciding, decides_weight)
+    relaxation_order = tuple(dependent_sorted + deciding_sorted)
+
+    importance = _importance_weights(
+        relaxation_order,
+        deciding_set,
+        decides_weight,
+        depends_weight,
+        n_attributes=len(names),
+    )
+
+    return AttributeOrdering(
+        relaxation_order=relaxation_order,
+        importance=importance,
+        deciding=deciding,
+        dependent=dependent,
+        best_key=best_key,
+        decides_weight=decides_weight,
+        depends_weight={name: depends_weight[name] for name in dependent},
+    )
+
+
+def uniform_ordering(schema: RelationSchema) -> AttributeOrdering:
+    """An ordering that knows nothing: schema order, equal importance.
+
+    This models the paper's strawman systems — §6.4 notes that
+    "RandomRelax and ROCK give equal importance to all the attributes".
+    Pairing this ordering with :class:`~repro.core.relaxation.RandomRelax`
+    (which ignores the order anyway) yields the uniform-weight baseline.
+    """
+    names = schema.attribute_names
+    uniform = 1.0 / len(names)
+    return AttributeOrdering(
+        relaxation_order=names,
+        importance={name: uniform for name in names},
+        deciding=(),
+        dependent=names,
+        best_key=None,
+        decides_weight={},
+        depends_weight={name: 0.0 for name in names},
+    )
+
+
+def _importance_weights(
+    relaxation_order: tuple[str, ...],
+    deciding_set: set[str],
+    decides_weight: dict[str, float],
+    depends_weight: dict[str, float],
+    n_attributes: int,
+) -> dict[str, float]:
+    """W_imp per the paper's formula, then normalised to sum to one.
+
+    Attributes whose group carries zero total weight (no AFDs touch
+    them) fall back to their positional factor alone so the final
+    normalisation never divides by zero and later relaxation positions
+    still dominate earlier ones.
+    """
+    deciding_total = sum(decides_weight.get(n, 0.0) for n in deciding_set)
+    dependent_total = sum(
+        weight
+        for name, weight in depends_weight.items()
+        if name not in deciding_set
+    )
+
+    raw: dict[str, float] = {}
+    for index, name in enumerate(relaxation_order, start=1):
+        positional = index / n_attributes
+        if name in deciding_set:
+            weight, total = decides_weight.get(name, 0.0), deciding_total
+        else:
+            weight, total = depends_weight.get(name, 0.0), dependent_total
+        raw[name] = positional * (weight / total) if total > 0 else positional
+
+    grand_total = sum(raw.values())
+    if grand_total <= 0:
+        uniform = 1.0 / len(relaxation_order)
+        return {name: uniform for name in relaxation_order}
+    return {name: value / grand_total for name, value in raw.items()}

@@ -1,0 +1,236 @@
+"""The AIMQ Query Engine: paper Algorithm 1, end to end.
+
+Given an imprecise query Q the engine
+
+1. maps Q to a precise base query Q_pr and fetches the *base set*
+   (generalising per footnote 2 when Q_pr is empty);
+2. treats each base tuple as a fully bound selection query and issues
+   its relaxations — in mined attribute order for
+   :class:`~repro.core.relaxation.GuidedRelax`, arbitrarily for
+   :class:`~repro.core.relaxation.RandomRelax` — collecting extracted
+   tuples whose similarity *to the base tuple* clears ``T_sim``;
+3. ranks the extended set by similarity *to the query* and returns the
+   top-k.
+
+The engine only talks to the source through the
+:class:`AutonomousWebDatabase` facade and keeps a
+:class:`~repro.core.results.RelaxationTrace` of the work done, which the
+efficiency experiments (Figs 6–7) read off directly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.attribute_order import AttributeOrdering
+from repro.core.config import AIMQSettings
+from repro.core.query import BaseQueryMapper, ImpreciseQuery
+from repro.core.relaxation import GuidedRelax, _RelaxerBase, tuple_as_query
+from repro.core.results import AnswerSet, RankedAnswer, RelaxationTrace
+from repro.core.similarity import TupleSimilarity
+from repro.db.webdb import AutonomousWebDatabase
+from repro.simmining.estimator import SimilarityModel
+
+__all__ = ["AIMQEngine"]
+
+
+class AIMQEngine:
+    """Online half of AIMQ: answers imprecise queries with mined models."""
+
+    def __init__(
+        self,
+        webdb: AutonomousWebDatabase,
+        ordering: AttributeOrdering,
+        value_similarity: SimilarityModel,
+        settings: AIMQSettings | None = None,
+        strategy: _RelaxerBase | None = None,
+        numeric_extents: dict[str, tuple[float, float]] | None = None,
+    ) -> None:
+        self.webdb = webdb
+        self.ordering = ordering
+        self.settings = settings or AIMQSettings()
+        self.strategy = strategy if strategy is not None else GuidedRelax(ordering)
+        self.similarity = TupleSimilarity(
+            webdb.schema,
+            ordering,
+            value_similarity,
+            numeric_mode=self.settings.numeric_similarity_mode,
+            numeric_extents=numeric_extents,
+        )
+        self.mapper = BaseQueryMapper(
+            webdb,
+            relaxation_order=ordering.relaxation_order,
+            numeric_band_fraction=self.settings.numeric_band_fraction,
+        )
+
+    # -- public API -----------------------------------------------------------
+
+    def answer(
+        self,
+        query: ImpreciseQuery,
+        k: int | None = None,
+        similarity_threshold: float | None = None,
+    ) -> AnswerSet:
+        """Run Algorithm 1 and return the top-k ranked answer set."""
+        settings = self.settings
+        threshold = (
+            settings.similarity_threshold
+            if similarity_threshold is None
+            else similarity_threshold
+        )
+        top_k = settings.top_k if k is None else k
+
+        trace = RelaxationTrace()
+        base = self.mapper.map(query)
+        trace.generalisation_steps = base.generalisation_steps
+        base_rows = list(zip(base.result.row_ids, base.result.rows))
+        base_rows = base_rows[: settings.base_set_cap]
+        trace.base_set_size = len(base_rows)
+
+        # Extended set, deduplicated by row id; base tuples are answers
+        # by construction (they satisfy a specialisation of Q).
+        extended: dict[int, RankedAnswer] = {}
+        for base_row_id, base_row in base_rows:
+            extended[base_row_id] = RankedAnswer(
+                row_id=base_row_id,
+                row=base_row,
+                similarity=self.similarity.sim_to_query(query, base_row),
+                base_similarity=1.0,
+                source_base_row_id=base_row_id,
+                relaxation_level=0,
+            )
+
+        for base_row_id, base_row in base_rows:
+            self._expand_base_tuple(
+                base_row_id, base_row, query, threshold, extended, trace
+            )
+
+        answers = sorted(
+            extended.values(),
+            key=lambda a: (-a.similarity, -a.base_similarity, a.row_id),
+        )[:top_k]
+        return AnswerSet(query=query, answers=answers, trace=trace)
+
+    def answer_by_example(
+        self,
+        example: Mapping[str, object],
+        k: int | None = None,
+        similarity_threshold: float | None = None,
+    ) -> AnswerSet:
+        """Likeness query built from an example tuple's bindings."""
+        query = ImpreciseQuery.like(self.webdb.schema.name, **dict(example))
+        return self.answer(query, k=k, similarity_threshold=similarity_threshold)
+
+    def explain(self, query: ImpreciseQuery, answer: "RankedAnswer"):
+        """Decompose one answer's score (see :mod:`repro.core.explain`)."""
+        from repro.core.explain import explain_answer
+
+        return explain_answer(self.similarity, query, answer)
+
+    def gather_similar(
+        self,
+        row: tuple,
+        similarity_threshold: float | None = None,
+        target: int | None = None,
+        row_id: int | None = None,
+    ) -> tuple[list[RankedAnswer], RelaxationTrace]:
+        """Expand one tuple-as-query and gather its similar tuples.
+
+        This is the §6.3 experiment primitive: given a database tuple,
+        extract ``target`` tuples whose similarity to it exceeds
+        ``T_sim``, reporting the work done in the trace.  Answers are
+        ranked by similarity to the seed tuple.
+        """
+        settings = self.settings
+        threshold = (
+            settings.similarity_threshold
+            if similarity_threshold is None
+            else similarity_threshold
+        )
+        trace = RelaxationTrace(base_set_size=1)
+        extended: dict[int, RankedAnswer] = {}
+        seed_id = row_id if row_id is not None else -1
+        self._expand_base_tuple(
+            seed_id,
+            row,
+            None,
+            threshold,
+            extended,
+            trace,
+            target=target,
+        )
+        answers = sorted(
+            extended.values(),
+            key=lambda a: (-a.base_similarity, a.row_id),
+        )
+        return answers, trace
+
+    # -- internals --------------------------------------------------------
+
+    def _expand_base_tuple(
+        self,
+        base_row_id: int,
+        base_row: tuple,
+        query: ImpreciseQuery | None,
+        threshold: float,
+        extended: dict[int, RankedAnswer],
+        trace: RelaxationTrace,
+        target: int | None = None,
+    ) -> None:
+        """Relax one base tuple until its quota of similar tuples is met.
+
+        With ``query=None`` (tuple-query mode) the answer's query
+        similarity equals its base similarity.
+        """
+        settings = self.settings
+        schema = self.webdb.schema
+        bound_query = tuple_as_query(
+            base_row, schema, numeric_band=settings.tuple_query_numeric_band
+        )
+        quota = target if target is not None else settings.target_per_base_tuple
+        relevant_found = 0
+        extracted = 0
+
+        for step in self.strategy.relaxation_steps(
+            bound_query, settings.max_relaxation_level
+        ):
+            if relevant_found >= quota:
+                break
+            if extracted >= settings.max_extracted_per_base_tuple:
+                break
+            result = self.webdb.query(step.query)
+            trace.queries_issued += 1
+            trace.deepest_level = max(trace.deepest_level, step.level)
+            for row_id, row in zip(result.row_ids, result.rows):
+                if row_id == base_row_id:
+                    continue
+                extracted += 1
+                trace.tuples_extracted += 1
+                base_similarity = self.similarity.sim_between_rows(base_row, row)
+                if base_similarity <= threshold:
+                    continue
+                existing = extended.get(row_id)
+                if existing is None:
+                    # Only distinct relevant tuples count toward the
+                    # quota; re-fetching a known answer is not progress.
+                    relevant_found += 1
+                    trace.tuples_relevant += 1
+                elif existing.base_similarity >= base_similarity:
+                    continue
+                query_similarity = (
+                    base_similarity
+                    if query is None
+                    else self.similarity.sim_to_query(query, row)
+                )
+                extended[row_id] = RankedAnswer(
+                    row_id=row_id,
+                    row=row,
+                    similarity=query_similarity,
+                    base_similarity=base_similarity,
+                    source_base_row_id=base_row_id,
+                    relaxation_level=step.level,
+                )
+                if relevant_found >= quota:
+                    break
+                if extracted >= settings.max_extracted_per_base_tuple:
+                    break

@@ -1,0 +1,152 @@
+"""Offline build pipeline: probe → mine dependencies → mine similarities.
+
+Mirrors the AIMQ architecture (paper Figure 1): the Data Collector
+probes the autonomous source, the Dependency Miner derives the attribute
+ordering, and the Similarity Miner — reusing the importance weights —
+estimates categorical value similarities.  The resulting
+:class:`AIMQModel` bundles everything the online engine needs, plus the
+wall-clock timing breakdown that Table 2 reports.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.afd.model import DependencyModel
+from repro.afd.tane import TaneMiner
+from repro.core.attribute_order import AttributeOrdering, compute_attribute_ordering
+from repro.core.config import AIMQSettings
+from repro.core.engine import AIMQEngine
+from repro.core.relaxation import RandomRelax, _RelaxerBase
+from repro.db.table import Table
+from repro.db.webdb import AutonomousWebDatabase
+from repro.sampling.collector import CollectionReport, collect_sample
+from repro.simmining.estimator import SimilarityModel, ValueSimilarityMiner
+
+__all__ = ["BuildTimings", "AIMQModel", "build_model", "build_model_from_sample"]
+
+
+@dataclass
+class BuildTimings:
+    """Seconds spent in each offline phase (Table 2's AIMQ rows)."""
+
+    probing_seconds: float = 0.0
+    dependency_mining_seconds: float = 0.0
+    supertuple_seconds: float = 0.0
+    similarity_estimation_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.probing_seconds
+            + self.dependency_mining_seconds
+            + self.supertuple_seconds
+            + self.similarity_estimation_seconds
+        )
+
+
+@dataclass
+class AIMQModel:
+    """Everything the online engine needs, mined from one sample."""
+
+    sample: Table
+    dependencies: DependencyModel
+    ordering: AttributeOrdering
+    value_similarity: SimilarityModel
+    settings: AIMQSettings
+    timings: BuildTimings = field(default_factory=BuildTimings)
+    collection_report: CollectionReport | None = None
+    numeric_extents: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    def engine(
+        self,
+        webdb: AutonomousWebDatabase,
+        strategy: _RelaxerBase | None = None,
+    ) -> AIMQEngine:
+        """Online engine over ``webdb`` (GuidedRelax unless overridden)."""
+        return AIMQEngine(
+            webdb=webdb,
+            ordering=self.ordering,
+            value_similarity=self.value_similarity,
+            settings=self.settings,
+            strategy=strategy,
+            numeric_extents=self.numeric_extents,
+        )
+
+    def random_engine(
+        self, webdb: AutonomousWebDatabase, seed: int = 0
+    ) -> AIMQEngine:
+        """Baseline engine using RandomRelax (paper §6.1)."""
+        return self.engine(webdb, strategy=RandomRelax(seed=seed))
+
+
+def build_model_from_sample(
+    sample: Table,
+    settings: AIMQSettings | None = None,
+    key_criterion: str = "support",
+) -> AIMQModel:
+    """Mine all models from an already collected sample table."""
+    settings = settings or AIMQSettings()
+    timings = BuildTimings()
+
+    start = time.perf_counter()
+    dependencies = TaneMiner(settings.tane).mine(sample)
+    timings.dependency_mining_seconds = time.perf_counter() - start
+
+    ordering = compute_attribute_ordering(
+        sample.schema, dependencies, key_criterion=key_criterion
+    ).smoothed(settings.importance_smoothing)
+
+    miner = ValueSimilarityMiner(
+        config=settings.simmining,
+        importance_weights=ordering.importance,
+    )
+    value_similarity = miner.mine(sample)
+    timings.supertuple_seconds = miner.timings.supertuple_seconds
+    timings.similarity_estimation_seconds = miner.timings.estimation_seconds
+
+    extents: dict[str, tuple[float, float]] = {}
+    for name in sample.schema.numeric_names:
+        extent = sample.numeric_extent(name)
+        if extent is not None:
+            extents[name] = (float(extent[0]), float(extent[1]))
+
+    return AIMQModel(
+        sample=sample,
+        dependencies=dependencies,
+        ordering=ordering,
+        value_similarity=value_similarity,
+        settings=settings,
+        timings=timings,
+        numeric_extents=extents,
+    )
+
+
+def build_model(
+    webdb: AutonomousWebDatabase,
+    sample_size: int,
+    rng: random.Random | None = None,
+    settings: AIMQSettings | None = None,
+    spanning_attribute: str | None = None,
+    key_criterion: str = "support",
+) -> AIMQModel:
+    """Full offline pipeline against an autonomous source.
+
+    Probes the source for a ``sample_size`` random sample, then mines
+    dependencies, the attribute ordering and value similarities.
+    """
+    rng = rng or random.Random(0)
+    start = time.perf_counter()
+    sample, report = collect_sample(
+        webdb, sample_size, rng, spanning_attribute=spanning_attribute
+    )
+    probing_seconds = time.perf_counter() - start
+
+    model = build_model_from_sample(
+        sample, settings=settings, key_criterion=key_criterion
+    )
+    model.timings.probing_seconds = probing_seconds
+    model.collection_report = report
+    return model

@@ -1,0 +1,216 @@
+"""Query relaxation strategies: GuidedRelax and RandomRelax (paper §6.1).
+
+Every tuple of the base set is treated as a fully bound selection query;
+relaxing it means dropping the bindings of some attribute subset and
+asking the source for the matching tuples.  The order in which subsets
+are dropped is the whole game:
+
+* :class:`GuidedRelax` follows the AFD-derived attribute ordering
+  (Algorithm 2): least-important attribute first, and multi-attribute
+  subsets in the greedy order the paper illustrates —
+  for 1-attribute order ``{a1, a3, a4, a2}`` the 2-attribute order is
+  ``{a1a3, a1a4, a1a2, a3a4, a3a2, a4a2}`` (combinations enumerated
+  lexicographically by single-attribute position).
+* :class:`RandomRelax` "mimics the random process by which users would
+  relax queries": a seeded random permutation plays the role of the
+  mined order, and subsets at each level are shuffled.
+
+Both yield :class:`RelaxationStep` objects lazily, so the engine can
+stop as soon as it has gathered enough similar tuples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterator, Mapping, Sequence
+
+from repro.core.attribute_order import AttributeOrdering
+from repro.db.predicates import Between, Eq, Predicate
+from repro.db.query import SelectionQuery
+from repro.db.schema import RelationSchema
+
+__all__ = [
+    "RelaxationStep",
+    "tuple_as_query",
+    "ordered_subsets",
+    "GuidedRelax",
+    "RandomRelax",
+]
+
+
+@dataclass(frozen=True)
+class RelaxationStep:
+    """One relaxed query: which attributes were un-bound, at which level."""
+
+    query: SelectionQuery
+    relaxed_attributes: tuple[str, ...]
+    level: int
+
+    def describe(self) -> str:
+        dropped = ", ".join(self.relaxed_attributes)
+        return f"level {self.level}: drop {{{dropped}}} → {self.query.describe()}"
+
+
+def tuple_as_query(
+    row: Sequence[object],
+    schema: RelationSchema,
+    numeric_band: float = 0.0,
+) -> SelectionQuery:
+    """Turn a base-set tuple into a fully bound selection query.
+
+    Null values produce no predicate (a form cannot ask for them), so
+    the query binds every non-null attribute of the tuple.
+
+    ``numeric_band`` > 0 binds numeric attributes with a ``between``
+    window of ± that fraction of the tuple's value instead of exact
+    equality.  Continuous attributes make exact re-matches vanishingly
+    rare, so a small band is what lets relaxation find *similar* —
+    rather than byte-identical — numeric neighbours; the ranking step
+    still scores the real distances.
+    """
+    if numeric_band < 0:
+        raise ValueError("numeric_band cannot be negative")
+    predicates: list[Predicate] = []
+    for attribute, value in zip(schema.attributes, row):
+        if value is None:
+            continue
+        if (
+            numeric_band > 0
+            and attribute.is_numeric
+            and isinstance(value, (int, float))
+            and not isinstance(value, bool)
+        ):
+            width = abs(value) * numeric_band or numeric_band
+            predicates.append(
+                Between(attribute.name, value - width, value + width)
+            )
+        else:
+            predicates.append(Eq(attribute.name, value))
+    return SelectionQuery(tuple(predicates))
+
+
+def ordered_subsets(
+    order: Sequence[str], level: int
+) -> Iterator[tuple[str, ...]]:
+    """Size-``level`` subsets of ``order`` in the paper's greedy order.
+
+    Combinations are enumerated lexicographically over positions in the
+    single-attribute order, which reproduces the worked example in §4.
+    """
+    yield from combinations(order, level)
+
+
+class _RelaxerBase:
+    """Shared machinery: expand a bound query level by level."""
+
+    def _single_attribute_order(
+        self, bound_attributes: tuple[str, ...]
+    ) -> list[str]:
+        raise NotImplementedError
+
+    def _level_subsets(
+        self, order: list[str], level: int
+    ) -> Iterator[tuple[str, ...]]:
+        return ordered_subsets(order, level)
+
+    def relaxation_steps(
+        self, query: SelectionQuery, max_level: int
+    ) -> Iterator[RelaxationStep]:
+        """Lazily yield relaxations of ``query``, shallowest level first.
+
+        At least one attribute always stays bound — dropping everything
+        would degenerate into a full-table fetch, which no relaxation
+        strategy should ever issue.
+        """
+        bound = query.bound_attributes
+        if len(bound) <= 1:
+            return
+        order = self._single_attribute_order(bound)
+        deepest = min(max_level, len(bound) - 1)
+        for level in range(1, deepest + 1):
+            for subset in self._level_subsets(order, level):
+                yield RelaxationStep(
+                    query=query.without_attributes(subset),
+                    relaxed_attributes=subset,
+                    level=level,
+                )
+
+
+class GuidedRelax(_RelaxerBase):
+    """AFD-guided relaxation (the paper's contribution)."""
+
+    def __init__(self, ordering: AttributeOrdering) -> None:
+        self.ordering = ordering
+
+    def _single_attribute_order(
+        self, bound_attributes: tuple[str, ...]
+    ) -> list[str]:
+        """Mined relaxation order restricted to the bound attributes.
+
+        Attributes the miner never saw (not in the ordering) are deemed
+        least important and relax first, in query order.
+        """
+        bound = set(bound_attributes)
+        known = [
+            name for name in self.ordering.relaxation_order if name in bound
+        ]
+        unknown = [
+            name for name in bound_attributes
+            if name not in self.ordering.relaxation_order
+        ]
+        return unknown + known
+
+
+class RandomRelax(_RelaxerBase):
+    """Arbitrary-order relaxation baseline.
+
+    Models a user "arbitrarily picking attributes to relax" (§6.1):
+    the candidate attribute subsets — all sizes up to the level cap —
+    are tried in one globally shuffled order.  Unlike GuidedRelax the
+    baseline has no reason to prefer narrow relaxations over broad
+    ones, which is precisely why it extracts "a large number of tuples
+    with low relevance" (§1).  A seeded RNG keeps runs reproducible.
+    """
+
+    def __init__(self, rng: random.Random | None = None, seed: int = 0) -> None:
+        self._rng = rng if rng is not None else random.Random(seed)
+
+    def _single_attribute_order(
+        self, bound_attributes: tuple[str, ...]
+    ) -> list[str]:
+        order = list(bound_attributes)
+        self._rng.shuffle(order)
+        return order
+
+    def relaxation_steps(
+        self, query: SelectionQuery, max_level: int
+    ) -> Iterator[RelaxationStep]:
+        bound = query.bound_attributes
+        if len(bound) <= 1:
+            return
+        order = self._single_attribute_order(bound)
+        deepest = min(max_level, len(bound) - 1)
+        subsets: list[tuple[str, ...]] = []
+        for level in range(1, deepest + 1):
+            subsets.extend(ordered_subsets(order, level))
+        self._rng.shuffle(subsets)
+        for subset in subsets:
+            yield RelaxationStep(
+                query=query.without_attributes(subset),
+                relaxed_attributes=subset,
+                level=len(subset),
+            )
+
+
+def importance_of_subset(
+    ordering: AttributeOrdering, subset: Mapping[str, object] | Sequence[str]
+) -> float:
+    """Total mined importance of an attribute subset.
+
+    Convenience for experiments that sanity-check GuidedRelax: the
+    importance dropped at each successive step should be non-decreasing.
+    """
+    names = subset.keys() if isinstance(subset, Mapping) else subset
+    return sum(ordering.weight(name) for name in names)

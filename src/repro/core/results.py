@@ -1,0 +1,81 @@
+"""Ranked answers returned by the AIMQ engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.query import ImpreciseQuery
+from repro.db.schema import RelationSchema
+
+__all__ = ["RankedAnswer", "AnswerSet", "RelaxationTrace"]
+
+
+@dataclass(frozen=True)
+class RankedAnswer:
+    """One tuple of the extended set with its similarity scores."""
+
+    row_id: int
+    row: tuple
+    similarity: float
+    base_similarity: float
+    source_base_row_id: int
+    relaxation_level: int
+
+    def as_mapping(self, schema: RelationSchema) -> dict[str, object]:
+        return schema.row_to_mapping(self.row)
+
+
+@dataclass
+class RelaxationTrace:
+    """Work accounting for one answered query (drives Figs 6–7)."""
+
+    base_set_size: int = 0
+    queries_issued: int = 0
+    tuples_extracted: int = 0
+    tuples_relevant: int = 0
+    deepest_level: int = 0
+    generalisation_steps: tuple[str, ...] = ()
+
+    @property
+    def work_per_relevant_tuple(self) -> float:
+        """|T_extracted| / |T_relevant| (paper §6.3); inf when none found."""
+        if self.tuples_relevant == 0:
+            return float("inf")
+        return self.tuples_extracted / self.tuples_relevant
+
+
+@dataclass
+class AnswerSet:
+    """Top-k ranked answers plus provenance for one imprecise query."""
+
+    query: ImpreciseQuery
+    answers: list[RankedAnswer] = field(default_factory=list)
+    trace: RelaxationTrace = field(default_factory=RelaxationTrace)
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def __iter__(self) -> Iterator[RankedAnswer]:
+        return iter(self.answers)
+
+    def __getitem__(self, index: int) -> RankedAnswer:
+        return self.answers[index]
+
+    @property
+    def rows(self) -> list[tuple]:
+        return [answer.row for answer in self.answers]
+
+    @property
+    def row_ids(self) -> list[int]:
+        return [answer.row_id for answer in self.answers]
+
+    def describe(self, schema: RelationSchema, top: int | None = None) -> str:
+        lines = [f"Answers for {self.query.describe()}:"]
+        shown = self.answers if top is None else self.answers[:top]
+        for rank, answer in enumerate(shown, start=1):
+            rendered = ", ".join(
+                f"{k}={v}" for k, v in answer.as_mapping(schema).items()
+            )
+            lines.append(f"  {rank:>2}. sim={answer.similarity:.3f}  {rendered}")
+        return "\n".join(lines)

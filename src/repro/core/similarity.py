@@ -1,0 +1,159 @@
+"""Query–tuple similarity estimation (paper §5).
+
+    Sim(Q, t) = Σ_i W_imp(A_i) · sim_i    over Q's bound attributes,
+
+where ``sim_i`` is the mined VSim for categorical attributes and the
+relative numeric closeness ``1 − |Q.A_i − t.A_i| / |Q.A_i|`` (floored at
+zero) for numeric ones.  Importance weights are renormalised over the
+bound attributes so they sum to one regardless of how many attributes
+the query binds.
+
+The same machinery scores tuple-to-tuple similarity (Algorithm 1 step 7
+compares extracted tuples to *base-set tuples*, not to the query), by
+treating one tuple's values as the reference bindings.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.attribute_order import AttributeOrdering
+from repro.core.query import ImpreciseQuery
+from repro.db.schema import RelationSchema
+from repro.simmining.estimator import SimilarityModel
+
+__all__ = ["numeric_similarity", "range_scaled_similarity", "TupleSimilarity"]
+
+
+def numeric_similarity(reference: float, candidate: float) -> float:
+    """Relative closeness of two numbers, clamped to [0, 1].
+
+    Implements the paper's ``1 − (Q.A − t.A)/Q.A`` with the stated
+    lower-bound guard ("if the distance > 1 we assume the distance to be
+    1").  A zero reference cannot scale distances, so it matches only
+    itself — the conservative reading.
+    """
+    if reference == 0:
+        return 1.0 if candidate == 0 else 0.0
+    distance = abs(reference - candidate) / abs(reference)
+    return max(0.0, 1.0 - min(distance, 1.0))
+
+
+def range_scaled_similarity(
+    reference: float, candidate: float, low: float, high: float
+) -> float:
+    """L1 closeness scaled by the attribute's observed extent.
+
+    The Lp-metric alternative the paper alludes to in §5 ("we can by
+    default use a Lp distance metric such as Euclidean distance"):
+    ``1 − |q − t| / (high − low)``.  Unlike the relative measure this
+    is symmetric in absolute terms — a $500 gap costs the same at
+    $5,000 as at $50,000 — which suits attributes whose meaning is
+    additive (years, hours) better than multiplicative ones (prices).
+    """
+    if high <= low:
+        return 1.0 if reference == candidate else 0.0
+    distance = abs(reference - candidate) / (high - low)
+    return max(0.0, 1.0 - min(distance, 1.0))
+
+
+class TupleSimilarity:
+    """Scores rows against reference bindings with mined models.
+
+    ``numeric_mode`` selects the numeric closeness function:
+    ``"relative"`` (the paper's formula, default) or ``"range"``
+    (extent-scaled L1; requires ``numeric_extents`` with per-attribute
+    ``(low, high)`` pairs, falling back to relative when an attribute's
+    extent is unknown).
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        ordering: AttributeOrdering,
+        value_similarity: SimilarityModel,
+        numeric_mode: str = "relative",
+        numeric_extents: Mapping[str, tuple[float, float]] | None = None,
+    ) -> None:
+        if numeric_mode not in ("relative", "range"):
+            raise ValueError("numeric_mode must be 'relative' or 'range'")
+        self.schema = schema
+        self.ordering = ordering
+        self.value_similarity = value_similarity
+        self.numeric_mode = numeric_mode
+        self.numeric_extents = dict(numeric_extents or {})
+
+    # -- scoring -----------------------------------------------------------
+
+    def sim_to_bindings(
+        self, bindings: Mapping[str, object], row: Sequence[object]
+    ) -> float:
+        """Sim(reference bindings, row) with weights over the bindings."""
+        attributes = tuple(bindings)
+        if not attributes:
+            return 0.0
+        weights = self.ordering.weights_over(attributes)
+        total = 0.0
+        for attribute, reference in bindings.items():
+            weight = weights[attribute]
+            if weight == 0.0:
+                continue
+            candidate = row[self.schema.position(attribute)]
+            total += weight * self._attribute_similarity(
+                attribute, reference, candidate
+            )
+        return total
+
+    def sim_to_query(
+        self, query: ImpreciseQuery, row: Sequence[object]
+    ) -> float:
+        """Sim(Q, t) over the query's *like* constraints.
+
+        Precise constraints were already enforced by the boolean engine
+        when the tuple was fetched; only likeness constraints carry
+        graded similarity.
+        """
+        bindings = {
+            constraint.attribute: constraint.value
+            for constraint in query.like_constraints
+        }
+        if not bindings:
+            return 0.0
+        return self.sim_to_bindings(bindings, row)
+
+    def sim_between_rows(
+        self,
+        reference_row: Sequence[object],
+        candidate_row: Sequence[object],
+        attributes: tuple[str, ...] | None = None,
+    ) -> float:
+        """Sim with a base-set tuple as the reference (Alg. 1 step 7)."""
+        names = attributes if attributes is not None else self.schema.attribute_names
+        bindings = {
+            name: reference_row[self.schema.position(name)]
+            for name in names
+            if reference_row[self.schema.position(name)] is not None
+        }
+        return self.sim_to_bindings(bindings, candidate_row)
+
+    # -- internals -----------------------------------------------------------
+
+    def _attribute_similarity(
+        self, attribute: str, reference: object, candidate: object
+    ) -> float:
+        if candidate is None or reference is None:
+            return 0.0
+        if self.schema.attribute(attribute).is_numeric:
+            extent = (
+                self.numeric_extents.get(attribute)
+                if self.numeric_mode == "range"
+                else None
+            )
+            if extent is not None:
+                return range_scaled_similarity(
+                    float(reference), float(candidate), extent[0], extent[1]  # type: ignore[arg-type]
+                )
+            return numeric_similarity(float(reference), float(candidate))  # type: ignore[arg-type]
+        return self.value_similarity.similarity(
+            attribute, str(reference), str(candidate)
+        )

@@ -1,0 +1,49 @@
+"""Synthetic datasets standing in for Yahoo Autos and UCI Census.
+
+See DESIGN.md for why each substitution preserves the behaviour the
+paper's experiments measure.
+"""
+
+from repro.datasets.cardb import (
+    CARDB_SCHEMA,
+    YEAR_RANGE,
+    cardb_webdb,
+    generate_cardb,
+)
+from repro.datasets.catalog import (
+    CATALOG,
+    COLORS,
+    LOCATIONS,
+    MAKES,
+    MODELS_BY_MAKE,
+    ModelSpec,
+    ground_truth_model_affinity,
+    model_spec,
+)
+from repro.datasets.census import (
+    CENSUS_SCHEMA,
+    INCOME_HIGH,
+    INCOME_LOW,
+    census_webdb,
+    generate_censusdb,
+)
+
+__all__ = [
+    "CARDB_SCHEMA",
+    "CATALOG",
+    "CENSUS_SCHEMA",
+    "COLORS",
+    "INCOME_HIGH",
+    "INCOME_LOW",
+    "LOCATIONS",
+    "MAKES",
+    "MODELS_BY_MAKE",
+    "ModelSpec",
+    "YEAR_RANGE",
+    "cardb_webdb",
+    "census_webdb",
+    "generate_cardb",
+    "generate_censusdb",
+    "ground_truth_model_affinity",
+    "model_spec",
+]

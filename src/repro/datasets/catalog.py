@@ -1,0 +1,230 @@
+"""The used-car catalogue behind the synthetic CarDB.
+
+Yahoo Autos is long gone, so the generator draws from a hand-built
+catalogue of makes, models, segments and era-appropriate new prices.
+The catalogue deliberately contains the values the paper's tables and
+figures mention — Camry/Accord, Ford's Bronco/Aerostar/F-350/Econoline
+Van/ZX2/Focus/F-150, the Kia/Hyundai/Isuzu/Subaru economy cluster, and
+the Figure 5 makes (Ford, Chevrolet, Toyota, Honda, Dodge, Nissan, BMW)
+— so the reproduced experiments can be read side by side with the
+paper's.
+
+The catalogue also serves as the *hidden ground truth* for the simulated
+user study: users judge cars similar when their models share segment and
+market tier, which is information AIMQ never sees (it only mines
+co-occurrence statistics), keeping the evaluation non-circular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Segment",
+    "ModelSpec",
+    "CATALOG",
+    "MAKES",
+    "MODELS_BY_MAKE",
+    "model_spec",
+    "LOCATIONS",
+    "COLORS",
+    "ground_truth_model_affinity",
+]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A market segment with its price band and usage profile."""
+
+    name: str
+    miles_per_year: int
+
+
+SEGMENTS = {
+    "economy": Segment("economy", 13000),
+    "midsize": Segment("midsize", 12000),
+    "fullsize": Segment("fullsize", 12000),
+    "luxury": Segment("luxury", 9000),
+    "sports": Segment("sports", 8000),
+    "suv": Segment("suv", 14000),
+    "truck": Segment("truck", 15000),
+    "van": Segment("van", 15000),
+}
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One model line: who makes it, what it is, what it cost new."""
+
+    make: str
+    model: str
+    segment: str
+    base_price: int
+    # Relative sales volume: popular models dominate a used-car site.
+    popularity: float = 1.0
+
+    @property
+    def tier(self) -> str:
+        """Market tier implied by the new price (ground-truth feature)."""
+        if self.base_price >= 35000:
+            return "premium"
+        if self.base_price >= 22000:
+            return "mid"
+        return "budget"
+
+
+CATALOG: tuple[ModelSpec, ...] = (
+    # Toyota
+    ModelSpec("Toyota", "Camry", "midsize", 21000, 3.0),
+    ModelSpec("Toyota", "Corolla", "economy", 15000, 2.6),
+    ModelSpec("Toyota", "Celica", "sports", 22000, 0.8),
+    ModelSpec("Toyota", "Sienna", "van", 24000, 1.0),
+    ModelSpec("Toyota", "Tacoma", "truck", 19000, 1.4),
+    ModelSpec("Toyota", "4Runner", "suv", 27000, 1.2),
+    # Honda
+    ModelSpec("Honda", "Accord", "midsize", 21500, 2.9),
+    ModelSpec("Honda", "Civic", "economy", 15500, 2.7),
+    ModelSpec("Honda", "Odyssey", "van", 25000, 1.0),
+    ModelSpec("Honda", "CR-V", "suv", 21000, 1.3),
+    ModelSpec("Honda", "Prelude", "sports", 24000, 0.6),
+    # Ford
+    ModelSpec("Ford", "Focus", "economy", 14500, 2.2),
+    ModelSpec("Ford", "Escort", "economy", 12500, 1.8),
+    ModelSpec("Ford", "ZX2", "economy", 13500, 0.9),
+    ModelSpec("Ford", "Taurus", "midsize", 19500, 2.4),
+    ModelSpec("Ford", "Mustang", "sports", 23000, 1.5),
+    ModelSpec("Ford", "Explorer", "suv", 26000, 1.9),
+    ModelSpec("Ford", "Bronco", "suv", 24000, 0.9),
+    ModelSpec("Ford", "F-150", "truck", 21000, 2.5),
+    ModelSpec("Ford", "F-350", "truck", 28000, 0.8),
+    ModelSpec("Ford", "Ranger", "truck", 16000, 1.4),
+    ModelSpec("Ford", "Aerostar", "van", 20000, 0.8),
+    ModelSpec("Ford", "Econoline Van", "van", 23000, 0.9),
+    # Chevrolet — deliberately mirrors Ford's segment mix (Figure 5's
+    # strongest edge is Ford–Chevrolet).
+    ModelSpec("Chevrolet", "Cavalier", "economy", 13500, 2.0),
+    ModelSpec("Chevrolet", "Malibu", "midsize", 18500, 1.9),
+    ModelSpec("Chevrolet", "Impala", "fullsize", 22000, 1.5),
+    ModelSpec("Chevrolet", "Camaro", "sports", 23500, 1.2),
+    ModelSpec("Chevrolet", "Blazer", "suv", 24500, 1.3),
+    ModelSpec("Chevrolet", "Suburban", "suv", 32000, 1.0),
+    ModelSpec("Chevrolet", "Silverado", "truck", 21500, 2.3),
+    ModelSpec("Chevrolet", "Astro", "van", 21000, 0.9),
+    # Dodge
+    ModelSpec("Dodge", "Neon", "economy", 13000, 1.6),
+    ModelSpec("Dodge", "Intrepid", "fullsize", 20500, 1.2),
+    ModelSpec("Dodge", "Ram", "truck", 21500, 1.9),
+    ModelSpec("Dodge", "Dakota", "truck", 17500, 1.1),
+    ModelSpec("Dodge", "Caravan", "van", 21000, 1.7),
+    # Nissan
+    ModelSpec("Nissan", "Sentra", "economy", 14500, 1.7),
+    ModelSpec("Nissan", "Altima", "midsize", 19500, 1.8),
+    ModelSpec("Nissan", "Maxima", "fullsize", 24500, 1.1),
+    ModelSpec("Nissan", "Frontier", "truck", 17000, 1.0),
+    ModelSpec("Nissan", "Quest", "van", 23500, 0.7),
+    # BMW — luxury-only profile, so it shares almost no feature mass
+    # with the volume makes (disconnected from Ford in Figure 5).
+    ModelSpec("BMW", "325i", "luxury", 35000, 1.0),
+    ModelSpec("BMW", "328i", "luxury", 37000, 0.8),
+    ModelSpec("BMW", "530i", "luxury", 45000, 0.7),
+    ModelSpec("BMW", "540i", "luxury", 52000, 0.5),
+    ModelSpec("BMW", "M3", "sports", 48000, 0.4),
+    ModelSpec("BMW", "X5", "suv", 50000, 0.6),
+    # The Kia / Hyundai / Isuzu / Subaru cluster (Table 3's
+    # Make=Kia row) — overlapping budget profiles.
+    ModelSpec("Kia", "Sephia", "economy", 11500, 0.9),
+    ModelSpec("Kia", "Rio", "economy", 10500, 1.0),
+    ModelSpec("Kia", "Optima", "midsize", 16500, 0.7),
+    ModelSpec("Kia", "Sportage", "suv", 16000, 0.8),
+    ModelSpec("Hyundai", "Accent", "economy", 10500, 1.1),
+    ModelSpec("Hyundai", "Elantra", "economy", 12500, 1.2),
+    ModelSpec("Hyundai", "Sonata", "midsize", 16500, 0.9),
+    ModelSpec("Hyundai", "Tiburon", "sports", 17500, 0.5),
+    ModelSpec("Isuzu", "Rodeo", "suv", 19500, 0.8),
+    ModelSpec("Isuzu", "Trooper", "suv", 23500, 0.6),
+    ModelSpec("Isuzu", "Amigo", "suv", 16500, 0.4),
+    ModelSpec("Isuzu", "Hombre", "truck", 15000, 0.3),
+    ModelSpec("Subaru", "Impreza", "economy", 16500, 1.0),
+    ModelSpec("Subaru", "Legacy", "midsize", 19000, 1.0),
+    ModelSpec("Subaru", "Outback", "suv", 22500, 1.1),
+    ModelSpec("Subaru", "Forester", "suv", 20500, 0.9),
+    # Volkswagen & Mercury broaden the mid-market
+    ModelSpec("Volkswagen", "Jetta", "economy", 17000, 1.4),
+    ModelSpec("Volkswagen", "Passat", "midsize", 22500, 1.0),
+    ModelSpec("Volkswagen", "Golf", "economy", 15500, 0.9),
+    ModelSpec("Mercury", "Sable", "midsize", 19500, 0.8),
+    ModelSpec("Mercury", "Grand Marquis", "fullsize", 23500, 0.7),
+    ModelSpec("Mercury", "Villager", "van", 22000, 0.5),
+)
+
+MAKES: tuple[str, ...] = tuple(
+    dict.fromkeys(spec.make for spec in CATALOG)
+)
+
+MODELS_BY_MAKE: dict[str, tuple[ModelSpec, ...]] = {
+    make: tuple(spec for spec in CATALOG if spec.make == make)
+    for make in MAKES
+}
+
+_SPEC_BY_MODEL: dict[str, ModelSpec] = {spec.model: spec for spec in CATALOG}
+
+
+def model_spec(model: str) -> ModelSpec:
+    """Catalogue entry for a model name (raises KeyError if unknown)."""
+    return _SPEC_BY_MODEL[model]
+
+
+LOCATIONS: tuple[str, ...] = (
+    "Phoenix",
+    "Tucson",
+    "Los Angeles",
+    "San Diego",
+    "Dallas",
+    "Houston",
+    "Chicago",
+    "Detroit",
+    "Atlanta",
+    "Miami",
+    "Seattle",
+    "Denver",
+)
+
+COLORS: tuple[str, ...] = (
+    "White",
+    "Black",
+    "Silver",
+    "Blue",
+    "Red",
+    "Green",
+    "Gold",
+    "Grey",
+)
+
+
+def ground_truth_model_affinity(model_a: str, model_b: str) -> float:
+    """Hidden, catalogue-derived similarity between two models.
+
+    Used only by the simulated user panel (never by AIMQ).  Two model
+    lines are alike when they compete in the same segment and market
+    tier, and brand loyalty adds real affinity between siblings of one
+    make (shoppers who like a Camry consider the Corolla):
+
+    * same model → 1.0
+    * same segment: 0.8 same tier / 0.6 otherwise, +0.1 if same make
+    * different segment: same make 0.45, same tier 0.35, else 0.1
+
+    Unknown models score 0.
+    """
+    if model_a == model_b:
+        return 1.0
+    spec_a = _SPEC_BY_MODEL.get(model_a)
+    spec_b = _SPEC_BY_MODEL.get(model_b)
+    if spec_a is None or spec_b is None:
+        return 0.0
+    same_make_bonus = 0.1 if spec_a.make == spec_b.make else 0.0
+    if spec_a.segment == spec_b.segment:
+        base = 0.8 if spec_a.tier == spec_b.tier else 0.6
+        return min(1.0, base + same_make_bonus)
+    if spec_a.make == spec_b.make:
+        return 0.45
+    return 0.35 if spec_a.tier == spec_b.tier else 0.1

@@ -1,0 +1,53 @@
+"""Relational substrate: the "autonomous Web database" AIMQ runs against.
+
+This package implements everything the paper assumes on the database
+side: typed relation schemas, an in-memory boolean query engine with
+hash and sorted indexes, conjunctive selection queries, CSV persistence,
+and the :class:`AutonomousWebDatabase` facade that restricts access to a
+Web-form-style probing interface.
+"""
+
+from repro.db.errors import (
+    DatabaseError,
+    ProbeLimitExceededError,
+    QueryError,
+    SchemaError,
+    TypeMismatchError,
+    UnknownAttributeError,
+    UnsupportedPredicateError,
+)
+from repro.db.executor import ExecutionStats, Executor, QueryResult
+from repro.db.predicates import Between, Eq, Ge, Gt, IsIn, Le, Lt, Ne, Predicate
+from repro.db.query import SelectionQuery
+from repro.db.schema import Attribute, AttributeKind, RelationSchema
+from repro.db.table import Table
+from repro.db.webdb import AutonomousWebDatabase, ProbeLog
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "AutonomousWebDatabase",
+    "Between",
+    "DatabaseError",
+    "Eq",
+    "ExecutionStats",
+    "Executor",
+    "Ge",
+    "Gt",
+    "IsIn",
+    "Le",
+    "Lt",
+    "Ne",
+    "Predicate",
+    "ProbeLimitExceededError",
+    "ProbeLog",
+    "QueryError",
+    "QueryResult",
+    "RelationSchema",
+    "SchemaError",
+    "SelectionQuery",
+    "Table",
+    "TypeMismatchError",
+    "UnknownAttributeError",
+    "UnsupportedPredicateError",
+]

@@ -1,0 +1,102 @@
+"""CSV round-trip for tables.
+
+Lets experiments persist generated datasets and reload them later so
+benchmarks do not need to re-synthesise data on every run.  The format
+is a plain CSV with a header row; typing is recovered from the schema
+(numeric columns are parsed as int when the text has no decimal point,
+float otherwise; empty cells become null).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from repro.db.errors import SchemaError
+from repro.db.schema import RelationSchema
+from repro.db.table import Table
+
+__all__ = ["write_csv", "read_csv"]
+
+
+def write_csv(table: Table, path: str | Path) -> int:
+    """Write ``table`` to ``path``; return the number of data rows."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.schema.attribute_names)
+        count = 0
+        for row in table:
+            writer.writerow(["" if v is None else v for v in row])
+            count += 1
+    return count
+
+
+def _parse_numeric(text: str) -> object:
+    if text == "":
+        return None
+    try:
+        if "." in text or "e" in text or "E" in text:
+            return float(text)
+        return int(text)
+    except ValueError as exc:
+        raise SchemaError(f"cannot parse numeric cell {text!r}") from exc
+
+
+def _parse_categorical(text: str) -> object:
+    return None if text == "" else text
+
+
+def read_csv(schema: RelationSchema, path: str | Path) -> Table:
+    """Load a table previously written by :func:`write_csv`.
+
+    The header must list exactly the schema's attributes, though column
+    order in the file may differ from schema order.
+    """
+    path = Path(path)
+    table = Table(schema)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty; expected a header row")
+        if sorted(header) != sorted(schema.attribute_names):
+            raise SchemaError(
+                f"{path} header {header!r} does not match schema "
+                f"{schema.attribute_names!r}"
+            )
+        parsers = []
+        for name in header:
+            if schema.attribute(name).is_numeric:
+                parsers.append(_parse_numeric)
+            else:
+                parsers.append(_parse_categorical)
+        reorder = [header.index(name) for name in schema.attribute_names]
+        for line_number, cells in enumerate(reader, start=2):
+            if len(cells) != len(header):
+                raise SchemaError(
+                    f"{path}:{line_number}: expected {len(header)} cells, "
+                    f"got {len(cells)}"
+                )
+            parsed = [parsers[i](cells[i]) for i in range(len(cells))]
+            table.insert([parsed[i] for i in reorder])
+    return table
+
+
+def write_rows_csv(
+    schema: RelationSchema, rows: Iterable[tuple], path: str | Path
+) -> int:
+    """Write raw rows (already schema-ordered) without building a Table."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(schema.attribute_names)
+        count = 0
+        for row in rows:
+            writer.writerow(["" if v is None else v for v in row])
+            count += 1
+    return count

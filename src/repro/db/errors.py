@@ -1,0 +1,63 @@
+"""Exception hierarchy for the relational substrate.
+
+Every error raised by :mod:`repro.db` derives from :class:`DatabaseError`
+so callers can catch substrate failures with a single ``except`` clause
+while still being able to distinguish schema problems from query
+problems when they need to.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DatabaseError",
+    "SchemaError",
+    "UnknownAttributeError",
+    "TypeMismatchError",
+    "QueryError",
+    "UnsupportedPredicateError",
+    "ProbeLimitExceededError",
+]
+
+
+class DatabaseError(Exception):
+    """Base class for every error raised by the relational substrate."""
+
+
+class SchemaError(DatabaseError):
+    """A relation schema is malformed (duplicate names, empty, ...)."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute name does not exist in the relation schema."""
+
+    def __init__(self, attribute: str, relation: str) -> None:
+        self.attribute = attribute
+        self.relation = relation
+        super().__init__(
+            f"attribute {attribute!r} is not part of relation {relation!r}"
+        )
+
+
+class TypeMismatchError(SchemaError):
+    """A value's type is incompatible with the attribute's declared kind."""
+
+
+class QueryError(DatabaseError):
+    """A selection query is malformed or cannot be executed."""
+
+
+class UnsupportedPredicateError(QueryError):
+    """The boolean engine was handed a predicate it cannot evaluate.
+
+    The autonomous web database only supports the boolean query model;
+    imprecise (``like``) constraints must be rewritten by the AIMQ layer
+    before they reach the substrate.
+    """
+
+
+class ProbeLimitExceededError(DatabaseError):
+    """The probing budget of an autonomous source has been exhausted."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        super().__init__(f"probe limit of {limit} queries exceeded")

@@ -1,0 +1,172 @@
+"""Boolean query execution with simple index selection.
+
+The executor answers conjunctive selection queries over a
+:class:`~repro.db.table.Table`.  Planning is deliberately simple and
+fully deterministic:
+
+1. among the query's predicates, find those an existing index can serve;
+2. pick the one whose candidate set is (estimated) smallest as the
+   *driver*;
+3. verify every remaining predicate against the driver's candidates.
+
+When no predicate is indexable the executor falls back to a full scan.
+An :class:`ExecutionStats` record reports how much work each query did —
+the efficiency experiments (paper Figs 6–7) count extracted tuples
+through this channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.predicates import Eq, IsIn, Predicate
+from repro.db.query import SelectionQuery
+from repro.db.table import Table
+
+__all__ = ["ExecutionStats", "QueryResult", "Executor"]
+
+
+@dataclass
+class ExecutionStats:
+    """Cumulative work counters for one executor."""
+
+    queries_executed: int = 0
+    rows_examined: int = 0
+    rows_returned: int = 0
+    full_scans: int = 0
+    index_lookups: int = 0
+
+    def merge(self, other: "ExecutionStats") -> None:
+        self.queries_executed += other.queries_executed
+        self.rows_examined += other.rows_examined
+        self.rows_returned += other.rows_returned
+        self.full_scans += other.full_scans
+        self.index_lookups += other.index_lookups
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Result of one selection query: matching row ids and rows."""
+
+    query: SelectionQuery
+    row_ids: tuple[int, ...]
+    rows: tuple[tuple, ...]
+    truncated: bool = False
+
+    def __len__(self) -> int:
+        return len(self.row_ids)
+
+    def __bool__(self) -> bool:
+        return bool(self.row_ids)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+@dataclass
+class _Plan:
+    driver: Predicate | None
+    candidates: list[int] | None
+    residual: tuple[Predicate, ...] = field(default_factory=tuple)
+
+
+class Executor:
+    """Executes selection queries over a single table."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self.stats = ExecutionStats()
+
+    # -- planning -------------------------------------------------------------
+
+    def _plan(self, query: SelectionQuery) -> _Plan:
+        """Choose the cheapest indexable predicate as the driver."""
+        best: tuple[int, Predicate, list[int]] | None = None
+        for predicate in query.predicates:
+            candidates = self._index_candidates(predicate)
+            if candidates is None:
+                continue
+            if best is None or len(candidates) < best[0]:
+                best = (len(candidates), predicate, candidates)
+        if best is None:
+            return _Plan(driver=None, candidates=None, residual=query.predicates)
+        _, driver, candidates = best
+        residual = tuple(p for p in query.predicates if p is not driver)
+        return _Plan(driver=driver, candidates=candidates, residual=residual)
+
+    def _index_candidates(self, predicate: Predicate) -> list[int] | None:
+        """Exact candidate row ids from an index, or None if unservable."""
+        if isinstance(predicate, (Eq, IsIn)):
+            hash_index = self.table.hash_index(predicate.attribute)
+            if hash_index is not None:
+                return hash_index.candidates(predicate)
+        sorted_index = self.table.sorted_index(predicate.attribute)
+        if sorted_index is not None and sorted_index.serves(predicate):
+            return sorted_index.candidates(predicate)
+        return None
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(
+        self,
+        query: SelectionQuery,
+        limit: int | None = None,
+        offset: int = 0,
+    ) -> QueryResult:
+        """Run ``query`` and return matching rows (optionally paged).
+
+        ``limit``/``offset`` model a Web form's result pages: skip the
+        first ``offset`` matches, return at most ``limit``.  The result
+        is flagged ``truncated`` when further matches exist beyond the
+        returned window.
+        """
+        if offset < 0:
+            raise ValueError("offset cannot be negative")
+        query.validate_against(self.table.schema)
+        self.stats.queries_executed += 1
+        plan = self._plan(query)
+
+        matched_ids: list[int] = []
+        skipped = 0
+        truncated = False
+        schema = self.table.schema
+
+        def consume(row_id: int, row: tuple) -> bool:
+            """Track one match; returns True when the window is full."""
+            nonlocal skipped, truncated
+            if skipped < offset:
+                skipped += 1
+                return False
+            if limit is not None and len(matched_ids) >= limit:
+                truncated = True
+                return True
+            matched_ids.append(row_id)
+            return False
+
+        if plan.candidates is None:
+            self.stats.full_scans += 1
+            for row_id, row in enumerate(self.table):
+                self.stats.rows_examined += 1
+                if query.matches(row, schema) and consume(row_id, row):
+                    break
+        else:
+            self.stats.index_lookups += 1
+            residual = SelectionQuery(plan.residual)
+            for row_id in plan.candidates:
+                self.stats.rows_examined += 1
+                row = self.table.row(row_id)
+                if residual.matches(row, schema) and consume(row_id, row):
+                    break
+
+        rows = tuple(self.table.row(row_id) for row_id in matched_ids)
+        self.stats.rows_returned += len(rows)
+        return QueryResult(
+            query=query,
+            row_ids=tuple(matched_ids),
+            rows=rows,
+            truncated=truncated,
+        )
+
+    def count(self, query: SelectionQuery) -> int:
+        """Number of tuples matching ``query`` (no row materialisation)."""
+        return len(self.execute(query))

@@ -1,0 +1,169 @@
+"""Secondary indexes for the in-memory relational engine.
+
+Two index families cover the predicate classes the substrate supports:
+
+* :class:`HashIndex` — value → row ids, serving equality and IN
+  predicates in O(1) per value.
+* :class:`SortedIndex` — bisectable ``(value, row_id)`` pairs, serving
+  range predicates (``<, <=, >, >=, between``) in O(log n + answer).
+
+Both indexes map a single attribute.  They are maintained eagerly by
+:class:`repro.db.table.Table` on insert.  Null values are excluded from
+indexes (no predicate matches null), matching SQL semantics.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+from repro.db.predicates import (
+    Between,
+    Eq,
+    Ge,
+    Gt,
+    IsIn,
+    Le,
+    Lt,
+    Predicate,
+)
+
+__all__ = ["HashIndex", "SortedIndex"]
+
+
+class HashIndex:
+    """Exact-match index: attribute value → sorted list of row ids."""
+
+    def __init__(self, attribute: str) -> None:
+        self.attribute = attribute
+        self._buckets: dict[object, list[int]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def add(self, value: object, row_id: int) -> None:
+        if value is None:
+            return
+        self._buckets.setdefault(value, []).append(row_id)
+
+    def lookup(self, value: object) -> list[int]:
+        """Row ids whose attribute equals ``value`` (insertion order)."""
+        return list(self._buckets.get(value, ()))
+
+    def lookup_many(self, values: Iterable[object]) -> list[int]:
+        """Union of lookups, deduplicated, in ascending row-id order."""
+        merged: set[int] = set()
+        for value in values:
+            merged.update(self._buckets.get(value, ()))
+        return sorted(merged)
+
+    def distinct_values(self) -> list[object]:
+        """All indexed values (arbitrary but deterministic order)."""
+        return list(self._buckets)
+
+    def value_counts(self) -> dict[object, int]:
+        """Histogram of indexed values; used by form-option discovery."""
+        return {value: len(rows) for value, rows in self._buckets.items()}
+
+    def serves(self, predicate: Predicate) -> bool:
+        return predicate.attribute == self.attribute and isinstance(
+            predicate, (Eq, IsIn)
+        )
+
+    def candidates(self, predicate: Predicate) -> list[int]:
+        """Row ids possibly matching ``predicate`` (exact for Eq/IsIn)."""
+        if isinstance(predicate, Eq):
+            return self.lookup(predicate.value)
+        if isinstance(predicate, IsIn):
+            return self.lookup_many(predicate.values)
+        raise TypeError(f"HashIndex cannot serve {predicate!r}")
+
+
+class SortedIndex:
+    """Order index: bisect over ``(value, row_id)`` pairs.
+
+    The index is built lazily on first read and invalidated on writes,
+    so bulk loading stays O(n) and the sort cost is paid once.
+    """
+
+    def __init__(self, attribute: str) -> None:
+        self.attribute = attribute
+        self._pending: list[tuple[object, int]] = []
+        self._keys: list[object] = []
+        self._row_ids: list[int] = []
+        self._dirty = False
+
+    def __len__(self) -> int:
+        self._rebuild_if_needed()
+        return len(self._keys)
+
+    def add(self, value: object, row_id: int) -> None:
+        if value is None:
+            return
+        self._pending.append((value, row_id))
+        self._dirty = True
+
+    def _rebuild_if_needed(self) -> None:
+        if not self._dirty:
+            return
+        pairs = sorted(
+            zip(self._keys, self._row_ids), key=lambda pair: pair[0]
+        )
+        pairs.extend(sorted(self._pending, key=lambda pair: pair[0]))
+        pairs.sort(key=lambda pair: pair[0])
+        self._keys = [key for key, _ in pairs]
+        self._row_ids = [row_id for _, row_id in pairs]
+        self._pending.clear()
+        self._dirty = False
+
+    def range(
+        self,
+        low: object = None,
+        high: object = None,
+        inclusive_low: bool = True,
+        inclusive_high: bool = True,
+    ) -> Iterator[int]:
+        """Row ids with values inside the given (optionally open) range."""
+        self._rebuild_if_needed()
+        if low is None:
+            start = 0
+        elif inclusive_low:
+            start = bisect.bisect_left(self._keys, low)
+        else:
+            start = bisect.bisect_right(self._keys, low)
+        if high is None:
+            stop = len(self._keys)
+        elif inclusive_high:
+            stop = bisect.bisect_right(self._keys, high)
+        else:
+            stop = bisect.bisect_left(self._keys, high)
+        return iter(self._row_ids[start:stop])
+
+    def min_value(self) -> object | None:
+        self._rebuild_if_needed()
+        return self._keys[0] if self._keys else None
+
+    def max_value(self) -> object | None:
+        self._rebuild_if_needed()
+        return self._keys[-1] if self._keys else None
+
+    def serves(self, predicate: Predicate) -> bool:
+        return predicate.attribute == self.attribute and isinstance(
+            predicate, (Eq, Lt, Le, Gt, Ge, Between)
+        )
+
+    def candidates(self, predicate: Predicate) -> list[int]:
+        """Row ids matching a range (or equality) predicate exactly."""
+        if isinstance(predicate, Eq):
+            return list(self.range(predicate.value, predicate.value))
+        if isinstance(predicate, Lt):
+            return list(self.range(high=predicate.bound, inclusive_high=False))
+        if isinstance(predicate, Le):
+            return list(self.range(high=predicate.bound))
+        if isinstance(predicate, Gt):
+            return list(self.range(low=predicate.bound, inclusive_low=False))
+        if isinstance(predicate, Ge):
+            return list(self.range(low=predicate.bound))
+        if isinstance(predicate, Between):
+            return list(self.range(predicate.low, predicate.high))
+        raise TypeError(f"SortedIndex cannot serve {predicate!r}")

@@ -1,0 +1,156 @@
+"""Autonomous Web database facade.
+
+The paper's setting (§1, footnote 1) is a *non-local autonomous database
+accessible only via a Web form interface*.  This facade enforces that
+access model on top of the local engine:
+
+* only conjunctive selection queries may be issued (the boolean model);
+* the caller never touches rows, indexes or statistics directly;
+* the only metadata exposed is what a real form exposes — the schema
+  behind the form and, for categorical attributes, the drop-down
+  *form options* (distinct values);
+* every probe is accounted, and an optional probe budget and per-query
+  result cap mimic rate limits and "first N results" pages.
+
+The Data Collector (:mod:`repro.sampling`) and the online Query Engine
+(:mod:`repro.core.engine`) both operate exclusively through this facade,
+so nothing in AIMQ accidentally depends on local-database privileges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.errors import ProbeLimitExceededError
+from repro.db.executor import ExecutionStats, Executor, QueryResult
+from repro.db.query import SelectionQuery
+from repro.db.schema import RelationSchema
+from repro.db.table import Table
+
+__all__ = ["ProbeLog", "AutonomousWebDatabase"]
+
+
+@dataclass
+class ProbeLog:
+    """Account of the probing traffic an autonomous source has seen."""
+
+    probes_issued: int = 0
+    tuples_returned: int = 0
+    empty_results: int = 0
+
+    def record(self, result: QueryResult) -> None:
+        self.probes_issued += 1
+        self.tuples_returned += len(result)
+        if not result:
+            self.empty_results += 1
+
+    def reset(self) -> None:
+        self.probes_issued = 0
+        self.tuples_returned = 0
+        self.empty_results = 0
+
+
+class AutonomousWebDatabase:
+    """Form-interface view of a relation hosted by an autonomous source.
+
+    Parameters
+    ----------
+    table:
+        The backing relation instance (hidden from callers).
+    result_cap:
+        When set, every query returns at most this many tuples — the
+        "first N results" page a Web form would serve.
+    probe_budget:
+        When set, raise :class:`ProbeLimitExceededError` once this many
+        probes have been issued (rate limiting).
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        result_cap: int | None = None,
+        probe_budget: int | None = None,
+    ) -> None:
+        self._table = table
+        self._executor = Executor(table)
+        self.result_cap = result_cap
+        self.probe_budget = probe_budget
+        self.log = ProbeLog()
+
+    # -- metadata a Web form exposes -------------------------------------------
+
+    @property
+    def schema(self) -> RelationSchema:
+        """The relation schema projected by the form."""
+        return self._table.schema
+
+    @property
+    def name(self) -> str:
+        return self._table.schema.name
+
+    def form_options(self, attribute: str) -> list[object]:
+        """Drop-down options for a categorical attribute.
+
+        Web search forms routinely enumerate categorical domains in
+        ``<select>`` elements; this is the hook the spanning-query
+        prober uses.  Numeric attributes have free-text inputs, so the
+        facade refuses to enumerate them.
+        """
+        if not self.schema.attribute(attribute).is_categorical:
+            raise ValueError(
+                f"attribute {attribute!r} is numeric; forms expose no option "
+                "list for free-text inputs"
+            )
+        return sorted(self._table.distinct_values(attribute), key=str)
+
+    def cardinality_hint(self) -> int:
+        """Advertised result-count of the unconstrained search.
+
+        Many Web sources display "N listings found"; probers use it to
+        size samples.  This is the only total the facade reveals.
+        """
+        return len(self._table)
+
+    # -- the boolean query interface -------------------------------------------
+
+    def query(
+        self,
+        query: SelectionQuery,
+        limit: int | None = None,
+        offset: int = 0,
+    ) -> QueryResult:
+        """Issue one selection probe.
+
+        ``limit`` may further reduce (never exceed) the facade's
+        ``result_cap``; ``offset`` requests a later result page, the
+        way a Web form's "next page" link does.
+        """
+        if (
+            self.probe_budget is not None
+            and self.log.probes_issued >= self.probe_budget
+        ):
+            raise ProbeLimitExceededError(self.probe_budget)
+        effective_limit = self.result_cap
+        if limit is not None:
+            effective_limit = (
+                limit if effective_limit is None else min(limit, effective_limit)
+            )
+        result = self._executor.execute(query, limit=effective_limit, offset=offset)
+        self.log.record(result)
+        return result
+
+    def count(self, query: SelectionQuery) -> int:
+        """Result-count probe (forms report counts without listing)."""
+        return len(self.query(query))
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    @property
+    def execution_stats(self) -> ExecutionStats:
+        """Engine-side work counters (for experiments, not for AIMQ)."""
+        return self._executor.stats
+
+    def reset_accounting(self) -> None:
+        """Zero the probe log and engine counters between experiments."""
+        self.log.reset()
+        self._executor.stats = ExecutionStats()

@@ -1,0 +1,85 @@
+"""Evaluation metrics used by the paper's experiments.
+
+* **Work/RelevantTuple** (§6.3): average tuples a user must look at per
+  relevant tuple, ``|T_extracted| / |T_relevant|``.
+* **MRR as redefined in §6.4**: TREC's reciprocal rank assumes one
+  correct answer; the paper instead treats each of the top-10 answers
+  as having its own correct position and scores rank agreement:
+
+      MRR(Q) = Avg_i ( 1 / (|UserRank(t_i) − SystemRank(t_i)| + 1) )
+
+  with completely irrelevant tuples given user rank zero.
+* **Top-k classification accuracy** (§6.5): fraction of the k best
+  answers sharing the query tuple's class label.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "rank_agreement",
+    "paper_mrr",
+    "average_mrr",
+    "top_k_accuracy",
+    "work_per_relevant",
+]
+
+
+def rank_agreement(user_rank: int, system_rank: int) -> float:
+    """1 / (|UserRank − SystemRank| + 1), the per-answer MRR term."""
+    if system_rank < 1:
+        raise ValueError("system ranks are 1-based")
+    if user_rank < 0:
+        raise ValueError("user rank cannot be negative (0 = irrelevant)")
+    return 1.0 / (abs(user_rank - system_rank) + 1)
+
+
+def paper_mrr(user_ranks: Sequence[int]) -> float:
+    """MRR of one query given user ranks in system order.
+
+    ``user_ranks[i]`` is the rank the user gave to the system's
+    ``(i+1)``-th answer; zero marks an irrelevant tuple (the paper's
+    instruction to its study subjects) and, per the formula, drags the
+    agreement down the higher the system placed that tuple.
+    """
+    if not user_ranks:
+        return 0.0
+    total = sum(
+        rank_agreement(user_rank, system_rank)
+        for system_rank, user_rank in enumerate(user_ranks, start=1)
+    )
+    return total / len(user_ranks)
+
+
+def average_mrr(per_query_mrrs: Sequence[float]) -> float:
+    """Mean MRR over a query set (the Figure 8 bar heights)."""
+    if not per_query_mrrs:
+        return 0.0
+    return sum(per_query_mrrs) / len(per_query_mrrs)
+
+
+def top_k_accuracy(
+    answer_labels: Sequence[str], query_label: str, k: int
+) -> float:
+    """Fraction of the first ``k`` answers whose label matches the query.
+
+    Fewer than ``k`` answers is scored against ``k`` — an empty slot is
+    a miss, matching how the paper's accuracy would punish a system
+    that cannot fill its top-k.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    matches = sum(
+        1 for label in list(answer_labels)[:k] if label == query_label
+    )
+    return matches / k
+
+
+def work_per_relevant(extracted: int, relevant: int) -> float:
+    """§6.3's efficiency measure; infinite when nothing relevant."""
+    if extracted < 0 or relevant < 0:
+        raise ValueError("counts cannot be negative")
+    if relevant == 0:
+        return float("inf")
+    return extracted / relevant

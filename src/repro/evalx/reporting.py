@@ -1,0 +1,175 @@
+"""Plain-text rendering of experiment results in the paper's layouts.
+
+Benchmarks print these tables so a run can be read side by side with
+the paper's Tables 2–3 and Figures 3–9.
+"""
+
+from __future__ import annotations
+
+from repro.evalx.experiments import (
+    EfficiencyResult,
+    Fig3Result,
+    Fig4Result,
+    Fig5Result,
+    Fig9Result,
+    Table2Result,
+    Table3Result,
+)
+from repro.evalx.userstudy import StudyOutcome
+
+__all__ = [
+    "format_table2",
+    "format_table3",
+    "format_fig3",
+    "format_fig4",
+    "format_fig5",
+    "format_efficiency",
+    "format_fig8",
+    "format_fig9",
+]
+
+
+def _seconds(value: float) -> str:
+    if value < 1:
+        return f"{value * 1000:.0f} ms"
+    if value < 120:
+        return f"{value:.2f} s"
+    return f"{value / 60:.1f} min"
+
+
+def format_table2(result: Table2Result) -> str:
+    datasets = list(result.dataset_sizes)
+    header = "".join(
+        f"{name} ({result.dataset_sizes[name]}) ".rjust(22) for name in datasets
+    )
+    lines = [
+        "Table 2 — Offline Computation Time",
+        f"{'':32}{header}",
+        "AIMQ",
+    ]
+    rows = [
+        ("  SuperTuple Generation", result.aimq_supertuple),
+        ("  Similarity Estimation", result.aimq_estimation),
+    ]
+    for label, series in rows:
+        cells = "".join(_seconds(series[name]).rjust(22) for name in datasets)
+        lines.append(f"{label:<32}{cells}")
+    lines.append(
+        "ROCK (sample "
+        + ", ".join(str(result.rock_sample_sizes[name]) for name in datasets)
+        + ")"
+    )
+    rows = [
+        ("  Link Computation", result.rock_links),
+        ("  Initial Clustering", result.rock_clustering),
+        ("  Data Labeling", result.rock_labeling),
+    ]
+    for label, series in rows:
+        cells = "".join(_seconds(series[name]).rjust(22) for name in datasets)
+        lines.append(f"{label:<32}{cells}")
+    for name in datasets:
+        lines.append(
+            f"  total {name}: AIMQ {_seconds(result.aimq_total(name))}"
+            f" vs ROCK {_seconds(result.rock_total(name))}"
+        )
+    return "\n".join(lines)
+
+
+def format_table3(result: Table3Result) -> str:
+    lines = [
+        "Table 3 — Robust Similarity Estimation "
+        f"({result.small_size} vs {result.large_size} tuples)",
+        f"{'Value':<18}{'Similar Values':<20}{result.small_size:>10}"
+        f"{result.large_size:>10}",
+    ]
+    for attribute, value in result.probes:
+        first = True
+        for other, sim_small, sim_large in result.rows[(attribute, value)]:
+            label = f"{attribute}={value}" if first else ""
+            lines.append(
+                f"{label:<18}{other:<20}{sim_small:>10.3f}{sim_large:>10.3f}"
+            )
+            first = False
+    return "\n".join(lines)
+
+
+def format_fig3(result: Fig3Result) -> str:
+    lines = ["Figure 3 — Robustness of Attribute Ordering (Wt_depends)"]
+    names = result.dependent_attributes
+    header = "".join(f"{size:>10}" for size in result.sizes)
+    lines.append(f"{'Attribute':<14}{header}")
+    for name in names:
+        cells = "".join(
+            f"{result.weights[size][name]:>10.3f}" for size in result.sizes
+        )
+        lines.append(f"{name:<14}{cells}")
+    lines.append(
+        "relative ordering consistent across samples: "
+        + ("YES" if result.orderings_consistent() else "NO")
+    )
+    return "\n".join(lines)
+
+
+def format_fig4(result: Fig4Result, top: int = 8) -> str:
+    lines = ["Figure 4 — Robustness in Mining Keys (quality = support/size)"]
+    for size in result.sizes:
+        ranked = result.key_quality[size]
+        best = ranked[-1] if ranked else ((), 0.0)
+        lines.append(
+            f"  sample {size}: {len(ranked)} keys; best "
+            f"{{{', '.join(best[0])}}} quality={best[1]:.3f}"
+        )
+    lines.append(
+        "highest-quality key stable across samples: "
+        + ("YES" if result.best_key_stable() else "NO")
+    )
+    return "\n".join(lines)
+
+
+def format_fig5(result: Fig5Result) -> str:
+    lines = [
+        f"Figure 5 — Similarity Graph for Make (threshold {result.threshold})",
+        "Ford's neighbourhood:",
+    ]
+    for name, weight in result.ford_neighbors:
+        lines.append(f"  Ford -- {name:<12} {weight:.3f}")
+    lines.append(
+        "not connected to Ford: " + ", ".join(result.disconnected_from_ford)
+    )
+    return "\n".join(lines)
+
+
+def format_efficiency(result: EfficiencyResult) -> str:
+    lines = [
+        f"Figure {'6' if result.strategy == 'guided' else '7'} — Efficiency of "
+        f"{'GuidedRelax' if result.strategy == 'guided' else 'RandomRelax'}",
+        f"{'T_sim':>8}{'mean Work/Relevant':>22}{'median':>12}",
+    ]
+    for threshold in result.thresholds:
+        median = result.median_work.get(threshold, result.work[threshold])
+        lines.append(
+            f"{threshold:>8.2f}{result.work[threshold]:>22.2f}{median:>12.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_fig8(outcome: StudyOutcome) -> str:
+    lines = ["Figure 8 — Average MRR over CarDB (simulated user panel)"]
+    for name in sorted(
+        outcome.system_mrr, key=lambda n: -outcome.system_mrr[n]
+    ):
+        lines.append(f"  {name:<14}{outcome.system_mrr[name]:.3f}")
+    return "\n".join(lines)
+
+
+def format_fig9(result: Fig9Result) -> str:
+    lines = [
+        f"Figure 9 — Classification Accuracy over CensusDB "
+        f"({result.n_queries} queries)",
+        f"{'k':>4}{'AIMQ':>10}{'ROCK':>10}",
+    ]
+    for k in result.ks:
+        lines.append(
+            f"{k:>4}{result.aimq_accuracy[k]:>10.3f}{result.rock_accuracy[k]:>10.3f}"
+        )
+    return "\n".join(lines)

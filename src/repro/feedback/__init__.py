@@ -1,0 +1,25 @@
+"""Relevance feedback and query-driven importance (paper §7 extensions).
+
+The paper closes with two proposed extensions: tuning the mined
+importance weights and value similarities from user relevance feedback,
+and complementing the data-driven importance with query-workload-driven
+estimates.  This package implements both.
+"""
+
+from repro.feedback.events import FeedbackEvent, FeedbackLog
+from repro.feedback.tuning import (
+    ImportanceTuner,
+    ValueSimilarityTuner,
+    retune_ordering,
+)
+from repro.feedback.workload import QueryWorkload, blend_importance
+
+__all__ = [
+    "FeedbackEvent",
+    "FeedbackLog",
+    "ImportanceTuner",
+    "QueryWorkload",
+    "ValueSimilarityTuner",
+    "blend_importance",
+    "retune_ordering",
+]

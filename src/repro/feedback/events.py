@@ -1,0 +1,86 @@
+"""Relevance-feedback events.
+
+The paper's conclusion (§7) proposes "us[ing] relevance feedback to
+tune the importance weights assigned to an attribute" and "to tune the
+distance between values binding an attribute".  A feedback event is the
+atom of that loop: the user looked at one answer for one imprecise
+query and pronounced it relevant or not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.query import ImpreciseQuery
+from repro.db.schema import RelationSchema
+
+__all__ = ["FeedbackEvent", "FeedbackLog"]
+
+
+@dataclass(frozen=True)
+class FeedbackEvent:
+    """One user judgement over one answer tuple."""
+
+    query: ImpreciseQuery
+    answer_row: tuple
+    relevant: bool
+
+    def bindings(self) -> dict[str, object]:
+        """The query's likeness bindings this answer was judged against."""
+        return {
+            constraint.attribute: constraint.value
+            for constraint in self.query.like_constraints
+        }
+
+
+class FeedbackLog:
+    """An append-only collection of feedback events with summaries."""
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self.schema = schema
+        self._events: list[FeedbackEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def record(
+        self,
+        query: ImpreciseQuery,
+        answer_row: Sequence[object],
+        relevant: bool,
+    ) -> FeedbackEvent:
+        query.validate_against(self.schema)
+        event = FeedbackEvent(
+            query=query, answer_row=tuple(answer_row), relevant=relevant
+        )
+        self._events.append(event)
+        return event
+
+    def record_many(
+        self,
+        query: ImpreciseQuery,
+        judged: Iterable[tuple[Sequence[object], bool]],
+    ) -> int:
+        count = 0
+        for row, relevant in judged:
+            self.record(query, row, relevant)
+            count += 1
+        return count
+
+    @property
+    def relevant_events(self) -> list[FeedbackEvent]:
+        return [event for event in self._events if event.relevant]
+
+    @property
+    def irrelevant_events(self) -> list[FeedbackEvent]:
+        return [event for event in self._events if not event.relevant]
+
+    def precision(self) -> float:
+        """Fraction of judged answers marked relevant (0 when empty)."""
+        if not self._events:
+            return 0.0
+        return len(self.relevant_events) / len(self._events)

@@ -1,0 +1,169 @@
+"""Tuning mined models from relevance feedback (paper §7 future work).
+
+Two tuners mirror the two mined artifacts:
+
+* :class:`ImportanceTuner` adjusts the attribute importance weights.
+  The contrastive rule per judged answer: compute each bound
+  attribute's agreement with the query, compare it to the answer's
+  mean agreement, and move weight toward the attributes that *explain*
+  the judgement — in a relevant answer, the attributes that agreed
+  more than average get boosted; in an irrelevant answer they get
+  penalised (they matched, yet the user was unhappy) while the
+  disagreeing attributes — the likely cause of irrelevance — gain.
+* :class:`ValueSimilarityTuner` nudges categorical VSim entries: a
+  relevant answer whose value differs from the query's pulls that pair
+  closer (``s ← s + η(1−s)``), an irrelevant one pushes it away
+  (``s ← s(1−η)``).
+
+Both tuners are pure: they return new model objects and never mutate
+the mined ones, so a deployment can keep the data-driven baseline and
+per-user tuned variants side by side.
+"""
+
+from __future__ import annotations
+
+from repro.core.attribute_order import AttributeOrdering
+from repro.core.similarity import numeric_similarity
+from repro.db.schema import RelationSchema
+from repro.feedback.events import FeedbackLog
+from repro.simmining.estimator import SimilarityModel
+
+__all__ = ["ImportanceTuner", "ValueSimilarityTuner", "retune_ordering"]
+
+
+def _clone_similarity(model: SimilarityModel) -> SimilarityModel:
+    clone = SimilarityModel(model.attributes)
+    for attribute in model.attributes:
+        for value in model.known_values(attribute):
+            clone.register_value(attribute, value)
+        for (a, b), sim in model.pairs(attribute).items():
+            clone.record(attribute, a, b, sim)
+    return clone
+
+
+def retune_ordering(
+    ordering: AttributeOrdering, new_importance: dict[str, float]
+) -> AttributeOrdering:
+    """Rebuild an ordering around updated importance weights.
+
+    The relaxation order is re-sorted ascending by the new weights so
+    the invariant "least important relaxes first" survives tuning; the
+    deciding/dependent split and mined key are carried over unchanged
+    (they describe the data, not the user).
+    """
+    total = sum(new_importance.values())
+    if total <= 0:
+        raise ValueError("importance weights must have positive mass")
+    normalised = {name: w / total for name, w in new_importance.items()}
+    position = {name: i for i, name in enumerate(ordering.relaxation_order)}
+    new_order = tuple(
+        sorted(normalised, key=lambda name: (normalised[name], position[name]))
+    )
+    return AttributeOrdering(
+        relaxation_order=new_order,
+        importance=normalised,
+        deciding=ordering.deciding,
+        dependent=ordering.dependent,
+        best_key=ordering.best_key,
+        decides_weight=ordering.decides_weight,
+        depends_weight=ordering.depends_weight,
+    )
+
+
+class ImportanceTuner:
+    """Contrastive multiplicative updates on W_imp from feedback."""
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        learning_rate: float = 0.1,
+        weight_floor: float = 0.01,
+    ) -> None:
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if weight_floor < 0:
+            raise ValueError("weight_floor cannot be negative")
+        self.schema = schema
+        self.learning_rate = learning_rate
+        self.weight_floor = weight_floor
+
+    def _agreement(
+        self,
+        attribute: str,
+        expected: object,
+        actual: object,
+        similarity: SimilarityModel | None,
+    ) -> float:
+        if expected is None or actual is None:
+            return 0.0
+        if self.schema.attribute(attribute).is_numeric:
+            return numeric_similarity(float(expected), float(actual))  # type: ignore[arg-type]
+        if similarity is not None:
+            return similarity.similarity(attribute, str(expected), str(actual))
+        return 1.0 if expected == actual else 0.0
+
+    def tune(
+        self,
+        ordering: AttributeOrdering,
+        log: FeedbackLog,
+        value_similarity: SimilarityModel | None = None,
+    ) -> AttributeOrdering:
+        """Return a new ordering with feedback-adjusted weights."""
+        weights = dict(ordering.importance)
+        eta = self.learning_rate
+        for event in log:
+            bindings = event.bindings()
+            if not bindings:
+                continue
+            agreements = {
+                attribute: self._agreement(
+                    attribute,
+                    expected,
+                    event.answer_row[self.schema.position(attribute)],
+                    value_similarity,
+                )
+                for attribute, expected in bindings.items()
+            }
+            mean_agreement = sum(agreements.values()) / len(agreements)
+            direction = 1.0 if event.relevant else -1.0
+            for attribute, agreement in agreements.items():
+                delta = direction * eta * (agreement - mean_agreement)
+                weights[attribute] = max(
+                    self.weight_floor, weights.get(attribute, 0.0) * (1.0 + delta)
+                )
+        return retune_ordering(ordering, weights)
+
+
+class ValueSimilarityTuner:
+    """Per-pair VSim nudges from feedback."""
+
+    def __init__(
+        self, schema: RelationSchema, learning_rate: float = 0.1
+    ) -> None:
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        self.schema = schema
+        self.learning_rate = learning_rate
+
+    def tune(
+        self, model: SimilarityModel, log: FeedbackLog
+    ) -> SimilarityModel:
+        """Return a new similarity model with feedback-adjusted pairs."""
+        tuned = _clone_similarity(model)
+        eta = self.learning_rate
+        for event in log:
+            for attribute, expected in event.bindings().items():
+                if self.schema.attribute(attribute).is_numeric:
+                    continue
+                actual = event.answer_row[self.schema.position(attribute)]
+                if actual is None or expected == actual:
+                    continue
+                if attribute not in tuned.attributes:
+                    continue
+                current = tuned.similarity(attribute, str(expected), str(actual))
+                if event.relevant:
+                    updated = current + eta * (1.0 - current)
+                else:
+                    updated = current * (1.0 - eta)
+                tuned.record(attribute, str(expected), str(actual), updated)
+        return tuned

@@ -1,0 +1,34 @@
+"""ROCK clustering (Guha et al., ICDE 1999) and the cluster-based
+imprecise-query answering system the paper compares AIMQ against."""
+
+from repro.rock.answering import RockAnswer, RockQueryAnswerer
+from repro.rock.clustering import (
+    RockClustering,
+    RockConfig,
+    RockTimings,
+    cluster_rock,
+)
+from repro.rock.labeling import label_points
+from repro.rock.links import LinkMatrix, compute_links
+from repro.rock.neighbors import (
+    itemize_table,
+    neighbor_lists,
+    rock_similarity,
+    tuple_items,
+)
+
+__all__ = [
+    "LinkMatrix",
+    "RockAnswer",
+    "RockClustering",
+    "RockConfig",
+    "RockQueryAnswerer",
+    "RockTimings",
+    "cluster_rock",
+    "compute_links",
+    "itemize_table",
+    "label_points",
+    "neighbor_lists",
+    "rock_similarity",
+    "tuple_items",
+]

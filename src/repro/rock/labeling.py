@@ -1,0 +1,62 @@
+"""ROCK's data-labelling phase.
+
+ROCK clusters a random sample, then assigns every remaining (disk-
+resident) point to the cluster where it has the most neighbours,
+normalised by the cluster's expected neighbour count: point ``p`` joins
+the cluster ``C`` maximising
+
+    N_C(p) / (|C| + 1)^f(θ)
+
+where ``N_C(p)`` counts members of C whose similarity to p reaches θ.
+Points with no neighbour in any cluster are outliers (label −1).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.rock.clustering import RockClustering, RockTimings
+from repro.rock.neighbors import rock_similarity
+
+__all__ = ["label_points"]
+
+
+def label_points(
+    clustering: RockClustering,
+    sample_items: list[frozenset[str]],
+    all_items: list[frozenset[str]],
+    timings: RockTimings | None = None,
+) -> list[int]:
+    """Cluster id per point of ``all_items`` (−1 for outliers).
+
+    ``sample_items`` are the points that were clustered;
+    ``clustering.clusters`` indexes into that list.
+    """
+    start = time.perf_counter()
+    config = clustering.config
+    theta = config.theta
+    f_theta = config.f_theta
+
+    normalisers = [
+        (len(members) + 1) ** f_theta for members in clustering.clusters
+    ]
+
+    labels: list[int] = []
+    for point_items in all_items:
+        best_cluster = -1
+        best_score = 0.0
+        for cluster_id, cluster_members in enumerate(clustering.clusters):
+            neighbor_count = 0
+            for member in cluster_members:
+                if rock_similarity(point_items, sample_items[member]) >= theta:
+                    neighbor_count += 1
+            if neighbor_count == 0:
+                continue
+            score = neighbor_count / normalisers[cluster_id]
+            if score > best_score:
+                best_score = score
+                best_cluster = cluster_id
+        labels.append(best_cluster)
+    if timings is not None:
+        timings.labeling_seconds += time.perf_counter() - start
+    return labels

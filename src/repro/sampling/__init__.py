@@ -1,0 +1,26 @@
+"""Data Collector: probing an autonomous source to build local samples."""
+
+from repro.sampling.collector import (
+    CollectionReport,
+    collect_sample,
+    nested_samples,
+    probe_all,
+)
+from repro.sampling.spanning import (
+    categorical_spanning_queries,
+    choose_spanning_attribute,
+    numeric_spanning_queries,
+)
+from repro.sampling.workload_probes import WorkloadProbeReport, probe_from_workload
+
+__all__ = [
+    "CollectionReport",
+    "WorkloadProbeReport",
+    "probe_from_workload",
+    "categorical_spanning_queries",
+    "choose_spanning_attribute",
+    "collect_sample",
+    "nested_samples",
+    "numeric_spanning_queries",
+    "probe_all",
+]

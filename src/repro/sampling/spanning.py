@@ -1,0 +1,83 @@
+"""Spanning query generation.
+
+The paper (§6.2) selects probing queries "from a set of spanning
+queries, i.e. queries which together cover all the tuples stored in the
+data sources".  Against a Web form, the natural spanning family is one
+equality probe per drop-down option of a categorical attribute: every
+tuple carries some value for the attribute, so the probes jointly cover
+the relation (tuples with a *null* in the chosen attribute are invisible
+to a form and are documented as uncoverable).
+
+For numeric attributes, forms take free-text bounds, so a spanning
+family is a sequence of adjoining ``between`` ranges; we derive those
+from a coarse low/high discovery probe pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.db.predicates import Between, Eq
+from repro.db.query import SelectionQuery
+from repro.db.webdb import AutonomousWebDatabase
+
+__all__ = [
+    "categorical_spanning_queries",
+    "numeric_spanning_queries",
+    "choose_spanning_attribute",
+]
+
+
+def categorical_spanning_queries(
+    webdb: AutonomousWebDatabase, attribute: str
+) -> Iterator[SelectionQuery]:
+    """One equality probe per form option of ``attribute``."""
+    for value in webdb.form_options(attribute):
+        yield SelectionQuery((Eq(attribute, value),))
+
+
+def numeric_spanning_queries(
+    attribute: str,
+    low: float,
+    high: float,
+    n_ranges: int,
+) -> Iterator[SelectionQuery]:
+    """Adjoining ``between`` probes covering ``[low, high]``.
+
+    Ranges are half-open on the top except the last, so no tuple is
+    double-covered: [low, b1), [b1, b2), ..., [b_{k-1}, high].
+    """
+    if n_ranges < 1:
+        raise ValueError("n_ranges must be at least 1")
+    if low > high:
+        raise ValueError(f"inverted range {low!r}..{high!r}")
+    width = (high - low) / n_ranges
+    if width == 0:
+        # Degenerate extent: a single probe covers the only value.
+        yield SelectionQuery((Between(attribute, low, high),))
+        return
+    epsilon = width * 1e-9
+    for i in range(n_ranges):
+        range_low = low + i * width
+        range_high = high if i == n_ranges - 1 else low + (i + 1) * width - epsilon
+        yield SelectionQuery((Between(attribute, range_low, range_high),))
+
+
+def choose_spanning_attribute(webdb: AutonomousWebDatabase) -> str:
+    """Pick the categorical attribute whose option list is largest.
+
+    More options mean smaller per-probe result pages, which matters when
+    the source caps result sizes: a spanning family over a fine-grained
+    attribute loses fewer tuples to truncation.
+    """
+    best_name: str | None = None
+    best_fanout = -1
+    for name in webdb.schema.categorical_names:
+        fanout = len(webdb.form_options(name))
+        if fanout > best_fanout:
+            best_name, best_fanout = name, fanout
+    if best_name is None:
+        raise ValueError(
+            f"relation {webdb.name!r} has no categorical attribute to span"
+        )
+    return best_name

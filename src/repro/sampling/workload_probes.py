@@ -1,0 +1,121 @@
+"""Workload-driven probing (the paper's alternative sampling strategy).
+
+§6.2: "An alternate approach is to pick the set of probe queries from a
+set of actual queries that were directed at the system over a period of
+time.  Although more sensitive to the actual queries, such an approach
+has a chicken-and-egg problem as no statistics can be learned until the
+system has processed a sufficient number of user queries."
+
+This module implements that second approach for systems that *do* have
+a workload: each recorded imprecise query is tightened to its base
+query, numeric bindings are widened into bands (a point probe on a
+continuous attribute returns almost nothing), and the union of the
+probe results becomes the sample — biased toward the region of the
+database users actually ask about, which is exactly the sensitivity the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.query import ImpreciseQuery
+from repro.db.predicates import Between, Eq, Predicate
+from repro.db.query import SelectionQuery
+from repro.db.table import Table
+from repro.db.webdb import AutonomousWebDatabase
+
+__all__ = ["WorkloadProbeReport", "probe_from_workload"]
+
+
+@dataclass
+class WorkloadProbeReport:
+    """Accounting for one workload-driven collection run."""
+
+    queries_probed: int = 0
+    probes_issued: int = 0
+    tuples_collected: int = 0
+    duplicate_hits: int = 0
+    empty_probes: int = 0
+    notes: list[str] = field(default_factory=list)
+
+
+def _probe_query(
+    query: ImpreciseQuery, webdb: AutonomousWebDatabase, band: float
+) -> SelectionQuery:
+    """Tighten likeness to equality, then widen numeric points to bands."""
+    schema = webdb.schema
+    predicates: list[Predicate] = []
+    for predicate in query.to_base_query().predicates:
+        if (
+            isinstance(predicate, Eq)
+            and schema.attribute(predicate.attribute).is_numeric
+            and isinstance(predicate.value, (int, float))
+            and not isinstance(predicate.value, bool)
+        ):
+            center = predicate.value
+            width = abs(center) * band or band
+            predicates.append(
+                Between(predicate.attribute, center - width, center + width)
+            )
+        else:
+            predicates.append(predicate)
+    return SelectionQuery(tuple(predicates))
+
+
+def probe_from_workload(
+    webdb: AutonomousWebDatabase,
+    queries: list[ImpreciseQuery],
+    numeric_band: float = 0.25,
+    max_tuples: int | None = None,
+    paginate: bool = True,
+    max_pages_per_probe: int = 100,
+) -> tuple[Table, WorkloadProbeReport]:
+    """Collect a sample by replaying a query workload as probes.
+
+    Returns the deduplicated union of all probe results.  ``max_tuples``
+    bounds the sample; collection stops once it is reached.  The sample
+    over-represents popular query regions by construction — callers who
+    need coverage guarantees should mix in spanning probes
+    (:func:`repro.sampling.collector.probe_all`).
+    """
+    if numeric_band <= 0:
+        raise ValueError("numeric_band must be positive")
+    report = WorkloadProbeReport()
+    local = Table(webdb.schema)
+    seen_ids: set[int] = set()
+
+    for query in queries:
+        query.validate_against(webdb.schema)
+        report.queries_probed += 1
+        probe = _probe_query(query, webdb, numeric_band)
+        offset = 0
+        pages = 0
+        while True:
+            result = webdb.query(probe, offset=offset)
+            report.probes_issued += 1
+            if not result:
+                report.empty_probes += 1
+            for row_id, row in zip(result.row_ids, result.rows):
+                if row_id in seen_ids:
+                    report.duplicate_hits += 1
+                    continue
+                seen_ids.add(row_id)
+                local.insert(row)
+                if max_tuples is not None and len(local) >= max_tuples:
+                    report.tuples_collected = len(local)
+                    report.notes.append(
+                        f"stopped at the {max_tuples}-tuple cap"
+                    )
+                    return local, report
+            offset += len(result)
+            pages += 1
+            if not result.truncated or not paginate or pages >= max_pages_per_probe:
+                break
+
+    report.tuples_collected = len(local)
+    if not local:
+        report.notes.append(
+            "workload probes returned nothing; fall back to spanning probes"
+        )
+    return local, report

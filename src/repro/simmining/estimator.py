@@ -1,0 +1,270 @@
+"""Similarity Miner: estimating VSim between categorical values.
+
+For every categorical attribute, every distinct value's answer set is
+summarised as a supertuple, and the similarity between two values is the
+importance-weighted sum of bag-Jaccard similarities of their supertuples
+(paper §5.2):
+
+    VSim(C1, C2) = Σ_i  W_imp(A_i) · SimJ(C1.A_i, C2.A_i)
+
+The pairwise pass over the ``k`` distinct values of each of ``m``
+categorical attributes is the O(m·k²) cost the paper contrasts with
+ROCK's O(n³) (§6.1): it depends on the number of AV-pairs, not on the
+number of tuples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.db.schema import RelationSchema
+from repro.db.table import Table
+from repro.simmining.avpair import AVPair
+from repro.simmining.bag import jaccard_bags, jaccard_sets
+from repro.simmining.supertuple import (
+    SuperTuple,
+    build_binners,
+    build_supertuple,
+)
+
+__all__ = [
+    "SimilarityMinerConfig",
+    "SimilarityModel",
+    "ValueSimilarityMiner",
+    "MiningTimings",
+]
+
+
+@dataclass(frozen=True)
+class SimilarityMinerConfig:
+    """Knobs of the value-similarity estimation pass.
+
+    Parameters
+    ----------
+    numeric_bins:
+        Bins used to discretise numeric attributes inside supertuples.
+    min_value_count:
+        Values rarer than this in the sample get no supertuple (their
+        statistics would be noise); they fall back to similarity 0.
+    store_threshold:
+        Pairs scoring below this are not stored (lookup returns 0.0);
+        keeps the model small without changing rankings near the top.
+    bag_semantics:
+        True (paper) = multiset Jaccard; False = set Jaccard ablation.
+    """
+
+    numeric_bins: int = 10
+    min_value_count: int = 2
+    store_threshold: float = 0.0
+    bag_semantics: bool = True
+
+    def __post_init__(self) -> None:
+        if self.numeric_bins < 1:
+            raise ValueError("numeric_bins must be at least 1")
+        if self.min_value_count < 1:
+            raise ValueError("min_value_count must be at least 1")
+        if not 0.0 <= self.store_threshold < 1.0:
+            raise ValueError("store_threshold must be in [0, 1)")
+
+
+@dataclass
+class MiningTimings:
+    """Wall-clock accounting for Table 2."""
+
+    supertuple_seconds: float = 0.0
+    estimation_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.supertuple_seconds + self.estimation_seconds
+
+
+class SimilarityModel:
+    """Mined value-similarity lookup for categorical attributes."""
+
+    def __init__(self, attributes: Iterable[str]) -> None:
+        self._pairs: dict[str, dict[tuple[str, str], float]] = {
+            name: {} for name in attributes
+        }
+        self._values: dict[str, set[str]] = {name: set() for name in attributes}
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(self._pairs)
+
+    def known_values(self, attribute: str) -> frozenset[str]:
+        return frozenset(self._values.get(attribute, ()))
+
+    def record(
+        self, attribute: str, value_a: str, value_b: str, similarity: float
+    ) -> None:
+        if attribute not in self._pairs:
+            raise KeyError(f"unknown categorical attribute {attribute!r}")
+        if not 0.0 <= similarity <= 1.0:
+            raise ValueError(f"similarity {similarity} out of [0, 1]")
+        key = (value_a, value_b) if value_a <= value_b else (value_b, value_a)
+        self._pairs[attribute][key] = similarity
+        self._values[attribute].update((value_a, value_b))
+
+    def register_value(self, attribute: str, value: str) -> None:
+        """Mark a value as seen even if it stores no pairs."""
+        self._values[attribute].add(value)
+
+    def similarity(self, attribute: str, value_a: str, value_b: str) -> float:
+        """VSim lookup: 1 for identical values, 0 for unknown pairs."""
+        if value_a == value_b:
+            return 1.0
+        pairs = self._pairs.get(attribute)
+        if pairs is None:
+            return 0.0
+        key = (value_a, value_b) if value_a <= value_b else (value_b, value_a)
+        return pairs.get(key, 0.0)
+
+    def top_similar(
+        self, attribute: str, value: str, n: int = 3
+    ) -> list[tuple[str, float]]:
+        """The ``n`` most similar other values (paper Table 3 rows)."""
+        scored = [
+            (other, self.similarity(attribute, value, other))
+            for other in self._values.get(attribute, ())
+            if other != value
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:n]
+
+    def pairs(self, attribute: str) -> dict[tuple[str, str], float]:
+        """Copy of the stored pair scores for one attribute."""
+        return dict(self._pairs.get(attribute, {}))
+
+    def pair_count(self) -> int:
+        return sum(len(pairs) for pairs in self._pairs.values())
+
+
+class ValueSimilarityMiner:
+    """Builds a :class:`SimilarityModel` from a local sample table."""
+
+    def __init__(
+        self,
+        config: SimilarityMinerConfig | None = None,
+        importance_weights: Mapping[str, float] | None = None,
+    ) -> None:
+        self.config = config or SimilarityMinerConfig()
+        self.importance_weights = dict(importance_weights or {})
+        self.timings = MiningTimings()
+        self._supertuples: dict[AVPair, SuperTuple] = {}
+
+    # -- supertuple generation --------------------------------------------
+
+    def build_supertuples(
+        self, table: Table, attributes: Iterable[str] | None = None
+    ) -> dict[AVPair, SuperTuple]:
+        """Phase 1 (Table 2's "SuperTuple Generation").
+
+        Builds one supertuple per sufficiently frequent AV-pair over the
+        given categorical attributes (default: all of them).
+        """
+        start = time.perf_counter()
+        schema = table.schema
+        names = tuple(attributes) if attributes is not None else schema.categorical_names
+        for name in names:
+            if not schema.attribute(name).is_categorical:
+                raise ValueError(f"attribute {name!r} is not categorical")
+        binners = build_binners(table, self.config.numeric_bins)
+        supertuples: dict[AVPair, SuperTuple] = {}
+        for name in names:
+            index = table.hash_index(name) or table.create_hash_index(name)
+            for value in index.distinct_values():
+                row_ids = index.lookup(value)
+                if len(row_ids) < self.config.min_value_count:
+                    continue
+                avpair = AVPair(name, value)
+                supertuples[avpair] = build_supertuple(
+                    avpair, table.rows(row_ids), schema, binners
+                )
+        self._supertuples = supertuples
+        self.timings.supertuple_seconds += time.perf_counter() - start
+        return supertuples
+
+    # -- pairwise estimation ------------------------------------------------
+
+    def estimate(
+        self, table: Table, attributes: Iterable[str] | None = None
+    ) -> SimilarityModel:
+        """Phase 2 (Table 2's "Similarity Estimation"): full VSim model."""
+        schema = table.schema
+        names = tuple(attributes) if attributes is not None else schema.categorical_names
+        if not self._supertuples:
+            self.build_supertuples(table, names)
+        start = time.perf_counter()
+        model = SimilarityModel(names)
+        by_attribute: dict[str, list[SuperTuple]] = {name: [] for name in names}
+        for avpair, supertuple in self._supertuples.items():
+            if avpair.attribute in by_attribute:
+                by_attribute[avpair.attribute].append(supertuple)
+        for name in names:
+            supertuples = sorted(
+                by_attribute[name], key=lambda st: st.avpair.value
+            )
+            for supertuple in supertuples:
+                model.register_value(name, supertuple.avpair.value)
+            weights = self._attribute_weights(schema, bound=name)
+            for i, left in enumerate(supertuples):
+                for right in supertuples[i + 1 :]:
+                    score = self._vsim(left, right, weights)
+                    if score >= self.config.store_threshold and score > 0.0:
+                        model.record(
+                            name,
+                            left.avpair.value,
+                            right.avpair.value,
+                            score,
+                        )
+        self.timings.estimation_seconds += time.perf_counter() - start
+        return model
+
+    def mine(
+        self, table: Table, attributes: Iterable[str] | None = None
+    ) -> SimilarityModel:
+        """Both phases in one call."""
+        self.build_supertuples(table, attributes)
+        return self.estimate(table, attributes)
+
+    # -- internals ---------------------------------------------------------
+
+    def _attribute_weights(
+        self, schema: RelationSchema, bound: str
+    ) -> dict[str, float]:
+        """Importance weights over the supertuple attributes (≠ bound).
+
+        Uses the caller-supplied W_imp when given (renormalised over the
+        unbound attributes), else uniform weights.
+        """
+        names = [n for n in schema.attribute_names if n != bound]
+        if self.importance_weights:
+            raw = {n: max(self.importance_weights.get(n, 0.0), 0.0) for n in names}
+            total = sum(raw.values())
+            if total > 0:
+                return {n: w / total for n, w in raw.items()}
+        uniform = 1.0 / len(names) if names else 0.0
+        return {n: uniform for n in names}
+
+    def _vsim(
+        self,
+        left: SuperTuple,
+        right: SuperTuple,
+        weights: Mapping[str, float],
+    ) -> float:
+        score = 0.0
+        for attribute, weight in weights.items():
+            if weight == 0.0:
+                continue
+            left_bag = left.bag(attribute)
+            right_bag = right.bag(attribute)
+            if self.config.bag_semantics:
+                score += weight * jaccard_bags(left_bag, right_bag)
+            else:
+                score += weight * jaccard_sets(
+                    left_bag.as_set(), right_bag.as_set()
+                )
+        return min(score, 1.0)

@@ -1,0 +1,61 @@
+"""Similarity graphs over categorical values (paper Figure 5).
+
+Figure 5 visualises the mined similarities for ``Make``: values are
+nodes, and an edge appears when the similarity clears a threshold (BMW
+ends up disconnected from Ford).  We materialise the same structure as a
+:mod:`networkx` graph so experiments can check connectivity, strongest
+edges and neighbourhoods.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.simmining.estimator import SimilarityModel
+
+__all__ = ["similarity_graph", "strongest_edges", "neighbors_above"]
+
+
+def similarity_graph(
+    model: SimilarityModel, attribute: str, threshold: float = 0.1
+) -> "nx.Graph":
+    """Graph of values of ``attribute`` with edges at/above ``threshold``.
+
+    Every known value appears as a node even when isolated, so
+    disconnection (the BMW case) is observable.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError("threshold must be in [0, 1]")
+    graph = nx.Graph(attribute=attribute, threshold=threshold)
+    graph.add_nodes_from(sorted(model.known_values(attribute)))
+    for (value_a, value_b), similarity in model.pairs(attribute).items():
+        if similarity >= threshold:
+            graph.add_edge(value_a, value_b, weight=similarity)
+    return graph
+
+
+def strongest_edges(
+    graph: "nx.Graph", n: int = 10
+) -> list[tuple[str, str, float]]:
+    """Top-n edges by weight, deterministic order."""
+    edges = [
+        (min(a, b), max(a, b), data["weight"])
+        for a, b, data in graph.edges(data=True)
+    ]
+    edges.sort(key=lambda edge: (-edge[2], edge[0], edge[1]))
+    return edges[:n]
+
+
+def neighbors_above(
+    graph: "nx.Graph", value: str, threshold: float = 0.0
+) -> list[tuple[str, float]]:
+    """Neighbours of ``value`` with edge weight above ``threshold``."""
+    if value not in graph:
+        return []
+    scored = [
+        (other, graph[value][other]["weight"])
+        for other in graph.neighbors(value)
+        if graph[value][other]["weight"] > threshold
+    ]
+    scored.sort(key=lambda pair: (-pair[1], pair[0]))
+    return scored

@@ -1,0 +1,121 @@
+"""Unit tests for AFD/key model objects and the dependency store."""
+
+import pytest
+
+from repro.afd.model import AFD, ApproximateKey, DependencyModel
+
+
+class TestAFD:
+    def test_support_is_one_minus_error(self):
+        afd = AFD(lhs=("Model",), rhs="Make", error=0.1)
+        assert afd.support == pytest.approx(0.9)
+        assert afd.size == 1
+
+    def test_trivial_rejected(self):
+        with pytest.raises(ValueError):
+            AFD(lhs=("Make",), rhs="Make", error=0.0)
+
+    def test_empty_lhs_rejected(self):
+        with pytest.raises(ValueError):
+            AFD(lhs=(), rhs="Make", error=0.0)
+
+    def test_error_bounds(self):
+        with pytest.raises(ValueError):
+            AFD(lhs=("A",), rhs="B", error=1.5)
+
+    def test_describe(self):
+        text = AFD(lhs=("Model", "Year"), rhs="Make", error=0.05).describe()
+        assert "Model, Year" in text and "Make" in text
+
+
+class TestApproximateKey:
+    def test_quality_prefers_short_keys(self):
+        short = ApproximateKey(attributes=("A",), error=0.1)
+        long = ApproximateKey(attributes=("A", "B", "C"), error=0.1)
+        assert short.quality > long.quality
+        assert short.quality == pytest.approx(0.9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ApproximateKey(attributes=(), error=0.0)
+
+    def test_describe(self):
+        assert "quality" in ApproximateKey(("A", "B"), 0.2).describe()
+
+
+def build_model() -> DependencyModel:
+    model = DependencyModel(("Make", "Model", "Price", "Year"))
+    model.add_afd(AFD(lhs=("Model",), rhs="Make", error=0.05))
+    model.add_afd(AFD(lhs=("Model", "Year"), rhs="Price", error=0.1))
+    model.add_afd(AFD(lhs=("Price",), rhs="Year", error=0.2, minimal=False))
+    model.add_key(ApproximateKey(attributes=("Price", "Year"), error=0.1))
+    model.add_key(ApproximateKey(attributes=("Model", "Price"), error=0.05))
+    return model
+
+
+class TestDependencyModel:
+    def test_afds_determining(self):
+        model = build_model()
+        assert [a.lhs for a in model.afds_determining("Make")] == [("Model",)]
+        assert model.afds_determining("Model") == ()
+
+    def test_afds_with_determinant(self):
+        model = build_model()
+        assert len(model.afds_with_determinant("Model")) == 2
+
+    def test_unknown_attribute_rejected(self):
+        model = build_model()
+        with pytest.raises(ValueError):
+            model.add_afd(AFD(lhs=("Nope",), rhs="Make", error=0.0))
+        with pytest.raises(ValueError):
+            model.add_key(ApproximateKey(attributes=("Nope",), error=0.0))
+
+    def test_best_key_by_support(self):
+        best = build_model().best_key(by="support")
+        assert best.attributes == ("Model", "Price")
+
+    def test_best_key_by_quality(self):
+        best = build_model().best_key(by="quality")
+        assert best.attributes == ("Model", "Price")
+
+    def test_best_key_unknown_criterion(self):
+        with pytest.raises(ValueError):
+            build_model().best_key(by="magic")
+
+    def test_best_key_empty_model(self):
+        model = DependencyModel(("A",))
+        assert model.best_key() is None
+
+    def test_keys_sorted_by_quality_ascending(self):
+        ranked = build_model().keys_sorted_by_quality()
+        qualities = [key.quality for key in ranked]
+        assert qualities == sorted(qualities)
+
+    def test_dependence_weight(self):
+        model = build_model()
+        # Make <- Model (support .95 / size 1)
+        assert model.dependence_weight("Make") == pytest.approx(0.95)
+        # Price <- (Model, Year): support .9 / 2
+        assert model.dependence_weight("Price") == pytest.approx(0.45)
+
+    def test_dependence_weight_minimal_only_default(self):
+        model = build_model()
+        # Year <- Price is flagged non-minimal; excluded by default.
+        assert model.dependence_weight("Year") == 0.0
+        assert model.dependence_weight("Year", minimal_only=False) == pytest.approx(
+            0.8
+        )
+
+    def test_decides_weight(self):
+        model = build_model()
+        # Model appears in lhs of two minimal AFDs: .95/1 + .9/2
+        assert model.decides_weight("Model") == pytest.approx(0.95 + 0.45)
+
+    def test_iteration_and_properties(self):
+        model = build_model()
+        assert len(list(model)) == 3
+        assert len(model.afds) == 3
+        assert len(model.keys) == 2
+
+    def test_summary_mentions_best_key(self):
+        assert "best key{" in build_model().summary()

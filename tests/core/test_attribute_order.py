@@ -1,0 +1,178 @@
+"""Unit tests for Algorithm 2: attribute ordering and importance."""
+
+import pytest
+
+from repro.afd.model import AFD, ApproximateKey, DependencyModel
+from repro.core.attribute_order import (
+    AttributeOrdering,
+    compute_attribute_ordering,
+    uniform_ordering,
+)
+from repro.db.schema import RelationSchema
+
+
+@pytest.fixture()
+def schema() -> RelationSchema:
+    return RelationSchema.build(
+        "R",
+        categorical=("Make", "Model", "Color"),
+        numeric=("Price", "Mileage"),
+        order=("Make", "Model", "Price", "Mileage", "Color"),
+    )
+
+
+@pytest.fixture()
+def model(schema) -> DependencyModel:
+    m = DependencyModel(schema.attribute_names)
+    # Model strongly determines Make; Price weakly determines Mileage.
+    m.add_afd(AFD(lhs=("Model",), rhs="Make", error=0.0))
+    m.add_afd(AFD(lhs=("Model", "Price"), rhs="Mileage", error=0.1))
+    m.add_afd(AFD(lhs=("Price",), rhs="Mileage", error=0.12))
+    m.add_key(ApproximateKey(attributes=("Model", "Price"), error=0.05))
+    m.add_key(ApproximateKey(attributes=("Color",), error=0.4))
+    return m
+
+
+class TestComputeOrdering:
+    def test_groups_follow_best_key(self, schema, model):
+        ordering = compute_attribute_ordering(schema, model)
+        assert set(ordering.deciding) == {"Model", "Price"}
+        assert set(ordering.dependent) == {"Make", "Mileage", "Color"}
+        assert ordering.best_key.attributes == ("Model", "Price")
+
+    def test_dependent_relaxed_before_deciding(self, schema, model):
+        ordering = compute_attribute_ordering(schema, model)
+        order = ordering.relaxation_order
+        deciding_positions = [order.index(a) for a in ordering.deciding]
+        dependent_positions = [order.index(a) for a in ordering.dependent]
+        assert max(dependent_positions) < min(deciding_positions)
+
+    def test_dependent_sorted_ascending_by_depends_weight(self, schema, model):
+        ordering = compute_attribute_ordering(schema, model)
+        # Color has zero dependence; Mileage 0.1/2 support + ...; Make 1.0.
+        dependent_in_order = [
+            a for a in ordering.relaxation_order if a in ordering.dependent
+        ]
+        weights = [model.dependence_weight(a) for a in dependent_in_order]
+        assert weights == sorted(weights)
+
+    def test_importance_sums_to_one(self, schema, model):
+        ordering = compute_attribute_ordering(schema, model)
+        assert sum(ordering.importance.values()) == pytest.approx(1.0)
+
+    def test_relax_position_one_based(self, schema, model):
+        ordering = compute_attribute_ordering(schema, model)
+        first = ordering.relaxation_order[0]
+        assert ordering.relax_position(first) == 1
+
+    def test_no_keys_all_dependent(self, schema):
+        model = DependencyModel(schema.attribute_names)
+        model.add_afd(AFD(lhs=("Model",), rhs="Make", error=0.0))
+        ordering = compute_attribute_ordering(schema, model)
+        assert ordering.deciding == ()
+        assert set(ordering.dependent) == set(schema.attribute_names)
+        assert ordering.best_key is None
+
+    def test_empty_model_positional_fallback(self, schema):
+        model = DependencyModel(schema.attribute_names)
+        ordering = compute_attribute_ordering(schema, model)
+        # With nothing mined, importance degrades to the positional
+        # factor: later relaxation positions weigh strictly more.
+        ordered_weights = [
+            ordering.importance[name] for name in ordering.relaxation_order
+        ]
+        assert ordered_weights == sorted(ordered_weights)
+        assert len(set(ordered_weights)) == len(ordered_weights)
+        assert sum(ordered_weights) == pytest.approx(1.0)
+
+    def test_key_criterion_quality(self, schema, model):
+        by_quality = compute_attribute_ordering(schema, model, key_criterion="quality")
+        # quality: {Model,Price}=0.95/2=0.475 vs {Color}=0.6/1=0.6.
+        assert by_quality.best_key.attributes == ("Color",)
+
+    def test_deterministic(self, schema, model):
+        a = compute_attribute_ordering(schema, model)
+        b = compute_attribute_ordering(schema, model)
+        assert a.relaxation_order == b.relaxation_order
+        assert a.importance == b.importance
+
+
+class TestWeightsOver:
+    def test_renormalises_over_subset(self, schema, model):
+        ordering = compute_attribute_ordering(schema, model)
+        weights = ordering.weights_over(("Model", "Price"))
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_zero_subset_falls_back_to_uniform(self, schema, model):
+        ordering = compute_attribute_ordering(schema, model)
+        zero_attrs = tuple(
+            name for name, w in ordering.importance.items() if w == 0.0
+        )
+        if zero_attrs:
+            weights = ordering.weights_over(zero_attrs)
+            assert all(
+                w == pytest.approx(1.0 / len(zero_attrs)) for w in weights.values()
+            )
+
+    def test_empty_subset(self, schema, model):
+        ordering = compute_attribute_ordering(schema, model)
+        assert ordering.weights_over(()) == {}
+
+
+class TestSmoothing:
+    def test_zero_smoothing_identity(self, schema, model):
+        ordering = compute_attribute_ordering(schema, model)
+        assert ordering.smoothed(0.0) is ordering
+
+    def test_full_smoothing_uniform(self, schema, model):
+        ordering = compute_attribute_ordering(schema, model).smoothed(1.0)
+        n = len(schema)
+        assert all(
+            w == pytest.approx(1 / n) for w in ordering.importance.values()
+        )
+
+    def test_partial_smoothing_keeps_sum(self, schema, model):
+        ordering = compute_attribute_ordering(schema, model).smoothed(0.3)
+        assert sum(ordering.importance.values()) == pytest.approx(1.0)
+
+    def test_partial_smoothing_preserves_order(self, schema, model):
+        raw = compute_attribute_ordering(schema, model)
+        smooth = raw.smoothed(0.3)
+        assert smooth.relaxation_order == raw.relaxation_order
+        raw_rank = sorted(raw.importance, key=raw.importance.get)
+        smooth_rank = sorted(smooth.importance, key=smooth.importance.get)
+        assert raw_rank == smooth_rank
+
+    def test_invalid_smoothing(self, schema, model):
+        ordering = compute_attribute_ordering(schema, model)
+        with pytest.raises(ValueError):
+            ordering.smoothed(-0.1)
+
+
+class TestUniformOrdering:
+    def test_uniform(self, schema):
+        ordering = uniform_ordering(schema)
+        assert ordering.relaxation_order == schema.attribute_names
+        assert all(
+            w == pytest.approx(1 / len(schema))
+            for w in ordering.importance.values()
+        )
+        assert ordering.best_key is None
+
+
+class TestValidation:
+    def test_mismatched_importance_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeOrdering(
+                relaxation_order=("A", "B"),
+                importance={"A": 1.0},
+                deciding=(),
+                dependent=("A", "B"),
+                best_key=None,
+                decides_weight={},
+                depends_weight={},
+            )
+
+    def test_describe_lists_positions(self, schema, model):
+        text = compute_attribute_ordering(schema, model).describe()
+        assert "1." in text and "Model" in text

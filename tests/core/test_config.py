@@ -1,0 +1,45 @@
+"""Unit tests for AIMQ settings validation."""
+
+import pytest
+
+from repro.core.config import AIMQSettings
+
+
+class TestDefaults:
+    def test_defaults_valid(self):
+        settings = AIMQSettings()
+        assert 0 < settings.similarity_threshold < 1
+        assert settings.tane.numeric_bins == 8
+        assert settings.tane.key_error_threshold == 0.45
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            AIMQSettings().top_k = 5  # type: ignore[misc]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"similarity_threshold": 0.0},
+            {"similarity_threshold": 1.0},
+            {"top_k": 0},
+            {"base_set_cap": 0},
+            {"target_per_base_tuple": 0},
+            {"max_relaxation_level": 0},
+            {"max_extracted_per_base_tuple": 0},
+            {"numeric_band_fraction": 0.0},
+            {"numeric_band_fraction": 1.5},
+            {"tuple_query_numeric_band": -0.1},
+            {"importance_smoothing": 1.5},
+        ],
+    )
+    def test_rejects_out_of_range(self, kwargs):
+        with pytest.raises(ValueError):
+            AIMQSettings(**kwargs)
+
+    def test_zero_band_allowed(self):
+        assert AIMQSettings(tuple_query_numeric_band=0.0).tuple_query_numeric_band == 0.0
+
+    def test_zero_smoothing_allowed(self):
+        assert AIMQSettings(importance_smoothing=0.0).importance_smoothing == 0.0

@@ -1,0 +1,129 @@
+"""Unit tests for the textual query language."""
+
+import pytest
+
+from repro.core.parser import ParseError, parse_query
+from repro.core.query import LikeConstraint, PreciseConstraint
+from repro.db.predicates import Ge, Lt, Ne
+
+
+class TestRelationForm:
+    def test_paper_example(self):
+        q = parse_query("CarDB(Model like Camry, Price < 10000)")
+        assert q.relation == "CarDB"
+        assert q.bound_attributes == ("Model", "Price")
+        assert isinstance(q.constraints[0], LikeConstraint)
+        assert q.constraints[0].value == "Camry"
+        precise = q.constraints[1]
+        assert isinstance(precise, PreciseConstraint)
+        assert isinstance(precise.predicate, Lt)
+        assert precise.predicate.bound == 10000
+
+    def test_relation_argument_must_agree(self):
+        with pytest.raises(ParseError):
+            parse_query("CarDB(Model like Camry)", relation="CensusDB")
+
+    def test_relation_argument_may_match(self):
+        q = parse_query("CarDB(Model like Camry)", relation="CarDB")
+        assert q.relation == "CarDB"
+
+
+class TestBareConjunction:
+    def test_requires_relation(self):
+        with pytest.raises(ParseError):
+            parse_query("Model like Camry")
+
+    def test_and_separator(self):
+        q = parse_query(
+            "Model like Camry AND Price < 10000", relation="CarDB"
+        )
+        assert q.bound_attributes == ("Model", "Price")
+
+    def test_case_insensitive_and(self):
+        q = parse_query("Model like Camry and Make like Toyota", relation="CarDB")
+        assert len(q.constraints) == 2
+
+    def test_comma_separator(self):
+        q = parse_query("Model like Camry, Make like Toyota", relation="CarDB")
+        assert len(q.constraints) == 2
+
+
+class TestValues:
+    def test_quoted_string_preserves_spaces(self):
+        q = parse_query("Model like 'Econoline Van'", relation="CarDB")
+        assert q.constraints[0].value == "Econoline Van"
+
+    def test_quoted_number_stays_string(self):
+        q = parse_query("Year like '1985'", relation="CarDB")
+        assert q.constraints[0].value == "1985"
+
+    def test_bare_int(self):
+        q = parse_query("Price like 10000", relation="CarDB")
+        assert q.constraints[0].value == 10000
+
+    def test_bare_float(self):
+        q = parse_query("Price like 99.5", relation="CarDB")
+        assert q.constraints[0].value == 99.5
+
+    def test_double_quotes(self):
+        q = parse_query('Location like "Los Angeles"', relation="CarDB")
+        assert q.constraints[0].value == "Los Angeles"
+
+    def test_quoted_value_containing_and(self):
+        q = parse_query(
+            "Model like 'Sand and Sun' AND Price < 9000", relation="CarDB"
+        )
+        assert q.constraints[0].value == "Sand and Sun"
+        assert len(q.constraints) == 2
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,cls",
+        [
+            ("Price < 1", Lt),
+            ("Price >= 1", Ge),
+            ("Price != 1", Ne),
+        ],
+    )
+    def test_precise_operators(self, text, cls):
+        q = parse_query(text, relation="CarDB")
+        assert isinstance(q.constraints[0].predicate, cls)
+
+    def test_like_is_case_insensitive(self):
+        q = parse_query("Model LIKE Camry", relation="CarDB")
+        assert isinstance(q.constraints[0], LikeConstraint)
+
+    def test_equals_is_precise(self):
+        q = parse_query("Model = Camry", relation="CarDB")
+        assert isinstance(q.constraints[0], PreciseConstraint)
+
+
+class TestErrors:
+    def test_empty_text(self):
+        with pytest.raises(ParseError):
+            parse_query("")
+
+    def test_gibberish(self):
+        with pytest.raises(ParseError):
+            parse_query("@@@@", relation="CarDB")
+
+    def test_empty_parens(self):
+        with pytest.raises(ParseError):
+            parse_query("CarDB()")
+
+    def test_double_binding_rejected(self):
+        with pytest.raises(Exception):
+            parse_query("Model like A, Model like B", relation="CarDB")
+
+
+class TestRoundTripWithEngine:
+    def test_parsed_query_answers(self, car_webdb, car_table):
+        from repro.core.pipeline import build_model_from_sample
+
+        sample = car_table.sample(range(0, len(car_table), 4))
+        model = build_model_from_sample(sample)
+        engine = model.engine(car_webdb)
+        q = parse_query("CarDB(Model like Camry, Price like 9000)")
+        answers = engine.answer(q, k=5)
+        assert len(answers) >= 1

@@ -1,0 +1,135 @@
+"""Unit tests for imprecise queries and base-query mapping."""
+
+import pytest
+
+from repro.core.query import (
+    BaseQueryMapper,
+    ImpreciseQuery,
+    LikeConstraint,
+    PreciseConstraint,
+)
+from repro.db.errors import QueryError
+from repro.db.predicates import Between, Lt
+from repro.db.webdb import AutonomousWebDatabase
+
+
+class TestImpreciseQuery:
+    def test_like_shorthand(self):
+        q = ImpreciseQuery.like("Cars", Model="Camry", Price=10000)
+        assert q.relation == "Cars"
+        assert q.bound_attributes == ("Model", "Price")
+        assert len(q.like_constraints) == 2
+
+    def test_mixed_constraints(self):
+        q = ImpreciseQuery(
+            "Cars",
+            (
+                LikeConstraint("Model", "Camry"),
+                PreciseConstraint(Lt("Price", 10000)),
+            ),
+        )
+        assert q.like_binding("Model") == "Camry"
+        assert q.like_binding("Price") is None
+
+    def test_to_base_query_tightens_like_to_equality(self):
+        q = ImpreciseQuery.like("Cars", Model="Camry", Price=10000)
+        base = q.to_base_query()
+        assert base.equality_binding("Model") == "Camry"
+        assert base.equality_binding("Price") == 10000
+
+    def test_precise_predicates_pass_through(self):
+        q = ImpreciseQuery(
+            "Cars",
+            (LikeConstraint("Model", "Camry"), PreciseConstraint(Lt("Price", 9000))),
+        )
+        base = q.to_base_query()
+        assert any(isinstance(p, Lt) for p in base)
+
+    def test_no_constraints_rejected(self):
+        with pytest.raises(QueryError):
+            ImpreciseQuery("Cars", ())
+
+    def test_double_binding_rejected(self):
+        with pytest.raises(QueryError):
+            ImpreciseQuery(
+                "Cars",
+                (LikeConstraint("Model", "a"), LikeConstraint("Model", "b")),
+            )
+
+    def test_validate_against_wrong_relation(self, toy_schema):
+        q = ImpreciseQuery.like("Other", Model="Camry")
+        with pytest.raises(QueryError):
+            q.validate_against(toy_schema)
+
+    def test_describe(self):
+        text = ImpreciseQuery.like("Cars", Model="Camry").describe()
+        assert "Model like 'Camry'" in text
+
+
+class TestBaseQueryMapper:
+    def mapper(self, webdb, order=("Year", "Price", "Model", "Make")):
+        return BaseQueryMapper(webdb, relaxation_order=order)
+
+    def test_direct_hit(self, toy_webdb):
+        q = ImpreciseQuery.like("Cars", Model="Camry", Price=10000)
+        base = self.mapper(toy_webdb).map(q)
+        assert len(base) == 1
+        assert base.generalisation_steps == ()
+
+    def test_numeric_widening(self, toy_webdb):
+        # No car costs exactly 10100, but 10000 and 10500 are within 10%.
+        q = ImpreciseQuery.like("Cars", Model="Camry", Price=10100)
+        base = self.mapper(toy_webdb).map(q)
+        assert len(base) >= 1
+        assert "widened numeric equalities into bands" in base.generalisation_steps
+
+    def test_attribute_dropping_least_important_first(self, toy_webdb):
+        # No Honda Camry exists; Make is least important in the supplied
+        # order, so it is dropped first and the Camrys survive.
+        mapper = BaseQueryMapper(
+            toy_webdb, relaxation_order=("Make", "Model", "Price", "Year")
+        )
+        q = ImpreciseQuery.like("Cars", Model="Camry", Make="Honda")
+        base = mapper.map(q)
+        assert any("Make" in step for step in base.generalisation_steps)
+        assert all(row[1] == "Camry" for row in base.rows)
+
+    def test_unmapped_attribute_drops_first(self, toy_webdb):
+        mapper = BaseQueryMapper(toy_webdb, relaxation_order=("Model",))
+        q = ImpreciseQuery.like("Cars", Model="Camry", Make="Honda")
+        base = mapper.map(q)
+        # Make is not in the order: treated as least important.
+        assert any("Make" in step for step in base.generalisation_steps)
+
+    def test_unsatisfiable_query_raises(self, toy_webdb):
+        q = ImpreciseQuery.like("Cars", Model="Edsel")
+        with pytest.raises(QueryError):
+            self.mapper(toy_webdb).map(q)
+
+    def test_band_fraction_validation(self, toy_webdb):
+        with pytest.raises(ValueError):
+            BaseQueryMapper(toy_webdb, numeric_band_fraction=0.0)
+
+    def test_widen_numeric_produces_between(self, toy_webdb):
+        mapper = self.mapper(toy_webdb)
+        base_query = ImpreciseQuery.like("Cars", Price=10100).to_base_query()
+        widened = mapper._widen_numeric(base_query)
+        predicates = widened.predicates_on("Price")
+        assert len(predicates) == 1 and isinstance(predicates[0], Between)
+
+    def test_zero_value_widening(self, toy_schema):
+        from repro.db.table import Table
+
+        table = Table(toy_schema)
+        table.insert(("Ford", "Focus", 0, 2001))
+        webdb = AutonomousWebDatabase(table)
+        mapper = BaseQueryMapper(webdb)
+        base_query = ImpreciseQuery.like("Cars", Price=0).to_base_query()
+        widened = mapper._widen_numeric(base_query)
+        predicate = widened.predicates_on("Price")[0]
+        assert predicate.matches(0)
+
+    def test_categorical_not_widened(self, toy_webdb):
+        mapper = self.mapper(toy_webdb)
+        base_query = ImpreciseQuery.like("Cars", Model="Camry").to_base_query()
+        assert mapper._widen_numeric(base_query) is base_query

@@ -1,0 +1,193 @@
+"""Unit tests for relaxation strategies and tuple-as-query building."""
+
+import pytest
+
+from repro.core.attribute_order import uniform_ordering
+from repro.core.relaxation import (
+    GuidedRelax,
+    RandomRelax,
+    ordered_subsets,
+    tuple_as_query,
+)
+from repro.db.predicates import Between, Eq
+
+
+def make_ordering(schema, order):
+    base = uniform_ordering(schema)
+    uniform = 1.0 / len(order)
+    return type(base)(
+        relaxation_order=tuple(order),
+        importance={name: uniform for name in order},
+        deciding=(),
+        dependent=tuple(order),
+        best_key=None,
+        decides_weight={},
+        depends_weight={name: 0.0 for name in order},
+    )
+
+
+class TestTupleAsQuery:
+    def test_binds_all_non_null(self, toy_schema):
+        query = tuple_as_query(("Ford", "Focus", 7000, 2001), toy_schema)
+        assert query.bound_attributes == ("Make", "Model", "Price", "Year")
+        assert all(isinstance(p, Eq) for p in query)
+
+    def test_null_skipped(self, toy_schema):
+        query = tuple_as_query(("Ford", None, 7000, 2001), toy_schema)
+        assert "Model" not in query.bound_attributes
+
+    def test_numeric_band(self, toy_schema):
+        query = tuple_as_query(
+            ("Ford", "Focus", 7000, 2001), toy_schema, numeric_band=0.1
+        )
+        price_predicates = query.predicates_on("Price")
+        assert isinstance(price_predicates[0], Between)
+        assert price_predicates[0].low == pytest.approx(6300)
+        assert price_predicates[0].high == pytest.approx(7700)
+        # Categorical bindings stay equalities.
+        assert isinstance(query.predicates_on("Make")[0], Eq)
+
+    def test_zero_value_band(self, toy_schema):
+        query = tuple_as_query(("Ford", "Focus", 0, 2001), toy_schema, 0.1)
+        predicate = query.predicates_on("Price")[0]
+        assert predicate.matches(0)
+
+    def test_negative_band_rejected(self, toy_schema):
+        with pytest.raises(ValueError):
+            tuple_as_query(("Ford", "Focus", 1, 2), toy_schema, numeric_band=-1)
+
+
+class TestOrderedSubsets:
+    def test_paper_worked_example(self):
+        order = ["a1", "a3", "a4", "a2"]
+        pairs = list(ordered_subsets(order, 2))
+        assert pairs == [
+            ("a1", "a3"),
+            ("a1", "a4"),
+            ("a1", "a2"),
+            ("a3", "a4"),
+            ("a3", "a2"),
+            ("a4", "a2"),
+        ]
+
+    def test_level_one(self):
+        assert list(ordered_subsets(["x", "y"], 1)) == [("x",), ("y",)]
+
+
+class TestGuidedRelax:
+    def test_least_important_relaxed_first(self, toy_schema):
+        ordering = make_ordering(toy_schema, ["Year", "Price", "Model", "Make"])
+        strategy = GuidedRelax(ordering)
+        query = tuple_as_query(("Ford", "Focus", 7000, 2001), toy_schema)
+        steps = list(strategy.relaxation_steps(query, max_level=1))
+        assert steps[0].relaxed_attributes == ("Year",)
+        assert steps[-1].relaxed_attributes == ("Make",)
+
+    def test_levels_ascend(self, toy_schema):
+        ordering = make_ordering(toy_schema, ["Year", "Price", "Model", "Make"])
+        strategy = GuidedRelax(ordering)
+        query = tuple_as_query(("Ford", "Focus", 7000, 2001), toy_schema)
+        levels = [s.level for s in strategy.relaxation_steps(query, max_level=3)]
+        assert levels == sorted(levels)
+        assert max(levels) == 3
+
+    def test_never_relaxes_everything(self, toy_schema):
+        ordering = make_ordering(toy_schema, ["Year", "Price", "Model", "Make"])
+        strategy = GuidedRelax(ordering)
+        query = tuple_as_query(("Ford", "Focus", 7000, 2001), toy_schema)
+        for step in strategy.relaxation_steps(query, max_level=10):
+            assert len(step.query) >= 1
+
+    def test_single_bound_attribute_yields_nothing(self, toy_schema):
+        ordering = make_ordering(toy_schema, ["Year", "Price", "Model", "Make"])
+        strategy = GuidedRelax(ordering)
+        query = tuple_as_query(("Ford", None, None, None), toy_schema)
+        assert list(strategy.relaxation_steps(query, max_level=3)) == []
+
+    def test_unknown_attributes_relax_first(self, toy_schema):
+        # Ordering only knows Model and Make; Price/Year relax first.
+        ordering = make_ordering(toy_schema, ["Model", "Make"])
+        strategy = GuidedRelax(ordering)
+        query = tuple_as_query(("Ford", "Focus", 7000, 2001), toy_schema)
+        first = next(iter(strategy.relaxation_steps(query, max_level=1)))
+        assert first.relaxed_attributes[0] in ("Price", "Year")
+
+    def test_relaxed_query_drops_bindings(self, toy_schema):
+        ordering = make_ordering(toy_schema, ["Year", "Price", "Model", "Make"])
+        strategy = GuidedRelax(ordering)
+        query = tuple_as_query(("Ford", "Focus", 7000, 2001), toy_schema)
+        step = next(iter(strategy.relaxation_steps(query, max_level=1)))
+        assert "Year" not in step.query.bound_attributes
+        assert set(step.query.bound_attributes) == {"Make", "Model", "Price"}
+
+    def test_describe(self, toy_schema):
+        ordering = make_ordering(toy_schema, ["Year", "Price", "Model", "Make"])
+        step = next(
+            iter(
+                GuidedRelax(ordering).relaxation_steps(
+                    tuple_as_query(("Ford", "Focus", 1, 2), toy_schema), 1
+                )
+            )
+        )
+        assert "level 1" in step.describe()
+
+
+class TestRandomRelax:
+    def test_deterministic_for_seed(self, toy_schema):
+        query = tuple_as_query(("Ford", "Focus", 7000, 2001), toy_schema)
+        a = [
+            s.relaxed_attributes
+            for s in RandomRelax(seed=3).relaxation_steps(query, 3)
+        ]
+        b = [
+            s.relaxed_attributes
+            for s in RandomRelax(seed=3).relaxation_steps(query, 3)
+        ]
+        assert a == b
+
+    def test_different_seeds_differ(self, toy_schema):
+        query = tuple_as_query(("Ford", "Focus", 7000, 2001), toy_schema)
+        a = [
+            s.relaxed_attributes
+            for s in RandomRelax(seed=1).relaxation_steps(query, 3)
+        ]
+        b = [
+            s.relaxed_attributes
+            for s in RandomRelax(seed=2).relaxation_steps(query, 3)
+        ]
+        assert a != b
+
+    def test_covers_same_subsets_as_guided(self, toy_schema):
+        ordering = make_ordering(toy_schema, ["Year", "Price", "Model", "Make"])
+        query = tuple_as_query(("Ford", "Focus", 7000, 2001), toy_schema)
+        guided = {
+            frozenset(s.relaxed_attributes)
+            for s in GuidedRelax(ordering).relaxation_steps(query, 2)
+        }
+        randomised = {
+            frozenset(s.relaxed_attributes)
+            for s in RandomRelax(seed=0).relaxation_steps(query, 2)
+        }
+        assert guided == randomised
+
+    def test_not_level_ordered(self, toy_schema):
+        """The arbitrary user mixes subset sizes (global shuffle)."""
+        query = tuple_as_query(("Ford", "Focus", 7000, 2001), toy_schema)
+        differs = False
+        for seed in range(5):
+            levels = [
+                s.level for s in RandomRelax(seed=seed).relaxation_steps(query, 3)
+            ]
+            if levels != sorted(levels):
+                differs = True
+                break
+        assert differs
+
+    def test_never_relaxes_everything(self, toy_schema):
+        query = tuple_as_query(("Ford", "Focus", 7000, 2001), toy_schema)
+        for step in RandomRelax(seed=0).relaxation_steps(query, 10):
+            assert len(step.query) >= 1
+
+    def test_single_bound_attribute_yields_nothing(self, toy_schema):
+        query = tuple_as_query(("Ford", None, None, None), toy_schema)
+        assert list(RandomRelax(seed=0).relaxation_steps(query, 3)) == []

@@ -1,0 +1,61 @@
+"""Unit tests for answer containers."""
+
+import pytest
+
+from repro.core.query import ImpreciseQuery
+from repro.core.results import AnswerSet, RankedAnswer, RelaxationTrace
+
+
+def make_answer(row_id=0, similarity=0.9) -> RankedAnswer:
+    return RankedAnswer(
+        row_id=row_id,
+        row=("Toyota", "Camry", 10000, 2000),
+        similarity=similarity,
+        base_similarity=similarity,
+        source_base_row_id=0,
+        relaxation_level=1,
+    )
+
+
+class TestRankedAnswer:
+    def test_as_mapping(self, toy_schema):
+        mapping = make_answer().as_mapping(toy_schema)
+        assert mapping["Model"] == "Camry"
+
+
+class TestAnswerSet:
+    def make(self) -> AnswerSet:
+        query = ImpreciseQuery.like("Cars", Model="Camry")
+        return AnswerSet(
+            query=query,
+            answers=[make_answer(0, 0.9), make_answer(1, 0.8)],
+        )
+
+    def test_container_protocol(self):
+        answers = self.make()
+        assert len(answers) == 2
+        assert answers[0].similarity == 0.9
+        assert [a.row_id for a in answers] == [0, 1]
+
+    def test_rows_and_ids(self):
+        answers = self.make()
+        assert answers.row_ids == [0, 1]
+        assert len(answers.rows) == 2
+
+    def test_describe(self, toy_schema):
+        text = self.make().describe(toy_schema)
+        assert "Camry" in text and "sim=0.900" in text
+
+    def test_describe_top(self, toy_schema):
+        text = self.make().describe(toy_schema, top=1)
+        assert text.count("sim=") == 1
+
+
+class TestRelaxationTrace:
+    def test_defaults(self):
+        trace = RelaxationTrace()
+        assert trace.work_per_relevant_tuple == float("inf")
+
+    def test_ratio(self):
+        trace = RelaxationTrace(tuples_extracted=9, tuples_relevant=3)
+        assert trace.work_per_relevant_tuple == pytest.approx(3.0)

@@ -1,0 +1,99 @@
+"""Unit tests for the synthetic CarDB generator."""
+
+import pytest
+
+from repro.datasets.cardb import CARDB_SCHEMA, YEAR_RANGE, cardb_webdb, generate_cardb
+from repro.datasets.catalog import model_spec
+
+
+class TestSchema:
+    def test_paper_schema(self):
+        assert CARDB_SCHEMA.name == "CarDB"
+        assert CARDB_SCHEMA.attribute_names == (
+            "Make", "Model", "Year", "Price", "Mileage", "Location", "Color",
+        )
+        # Paper §6.1 typing: Year is categorical, Price/Mileage numeric.
+        assert CARDB_SCHEMA.attribute("Year").is_categorical
+        assert CARDB_SCHEMA.attribute("Price").is_numeric
+        assert CARDB_SCHEMA.attribute("Mileage").is_numeric
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return generate_cardb(2000, seed=3)
+
+    def test_row_count(self, table):
+        assert len(table) == 2000
+
+    def test_deterministic(self):
+        a = generate_cardb(100, seed=5)
+        b = generate_cardb(100, seed=5)
+        assert a.rows() == b.rows()
+
+    def test_different_seeds_differ(self):
+        a = generate_cardb(100, seed=5)
+        b = generate_cardb(100, seed=6)
+        assert a.rows() != b.rows()
+
+    def test_model_determines_make(self, table):
+        for row in table:
+            make, model = row[0], row[1]
+            assert model_spec(model).make == make
+
+    def test_years_in_range(self, table):
+        years = {int(y) for y in table.distinct_values("Year")}
+        assert min(years) >= YEAR_RANGE[0]
+        assert max(years) <= YEAR_RANGE[1]
+
+    def test_prices_quoted_to_hundreds(self, table):
+        assert all(row[3] % 100 == 0 for row in table)
+        assert all(row[3] >= 500 for row in table)
+
+    def test_mileage_quoted_to_five_hundreds(self, table):
+        assert all(row[4] % 500 == 0 for row in table)
+        assert all(row[4] >= 0 for row in table)
+
+    def test_price_falls_with_age(self, table):
+        """Depreciation: average Camry price must decrease with age."""
+        position_year = CARDB_SCHEMA.position("Year")
+        position_price = CARDB_SCHEMA.position("Price")
+        old = [
+            row[position_price]
+            for row in table
+            if row[1] == "Camry" and int(row[position_year]) <= 1995
+        ]
+        new = [
+            row[position_price]
+            for row in table
+            if row[1] == "Camry" and int(row[position_year]) >= 2003
+        ]
+        if old and new:
+            assert sum(new) / len(new) > sum(old) / len(old)
+
+    def test_mileage_grows_with_age(self, table):
+        position_year = CARDB_SCHEMA.position("Year")
+        old = [row[4] for row in table if int(row[position_year]) <= 1995]
+        new = [row[4] for row in table if int(row[position_year]) >= 2003]
+        assert sum(old) / len(old) > sum(new) / len(new)
+
+    def test_zero_rows(self):
+        assert len(generate_cardb(0)) == 0
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            generate_cardb(-1)
+
+
+class TestWebDBWrapper:
+    def test_wraps_as_autonomous_source(self):
+        webdb = cardb_webdb(200, seed=4)
+        assert webdb.cardinality_hint() == 200
+        assert "Camry" in webdb.form_options("Model") or webdb.form_options("Model")
+
+    def test_result_cap_passthrough(self):
+        webdb = cardb_webdb(200, seed=4, result_cap=3)
+        from repro.db.query import SelectionQuery
+
+        result = webdb.query(SelectionQuery.match_all())
+        assert len(result) == 3

@@ -1,0 +1,68 @@
+"""Unit tests for the car catalogue."""
+
+from repro.datasets.catalog import (
+    CATALOG,
+    MAKES,
+    MODELS_BY_MAKE,
+    ground_truth_model_affinity,
+    model_spec,
+)
+
+
+class TestCatalogStructure:
+    def test_models_unique(self):
+        models = [spec.model for spec in CATALOG]
+        assert len(models) == len(set(models))
+
+    def test_every_make_has_models(self):
+        for make in MAKES:
+            assert MODELS_BY_MAKE[make]
+
+    def test_paper_values_present(self):
+        """Values the paper's tables/figures mention must exist."""
+        models = {spec.model for spec in CATALOG}
+        for required in ("Camry", "Accord", "Bronco", "Aerostar", "F-350",
+                         "Econoline Van", "Focus", "ZX2", "F-150"):
+            assert required in models, required
+        for make in ("Ford", "Chevrolet", "Toyota", "Honda", "Dodge",
+                     "Nissan", "BMW", "Kia", "Hyundai", "Isuzu", "Subaru"):
+            assert make in MAKES, make
+
+    def test_model_spec_lookup(self):
+        spec = model_spec("Camry")
+        assert spec.make == "Toyota"
+        assert spec.segment == "midsize"
+
+    def test_tiers_cover_catalog(self):
+        assert {spec.tier for spec in CATALOG} == {"budget", "mid", "premium"}
+
+    def test_bmw_is_premium(self):
+        for spec in MODELS_BY_MAKE["BMW"]:
+            assert spec.tier == "premium"
+
+    def test_positive_prices_and_popularity(self):
+        for spec in CATALOG:
+            assert spec.base_price > 0
+            assert spec.popularity > 0
+
+
+class TestGroundTruthAffinity:
+    def test_identity(self):
+        assert ground_truth_model_affinity("Camry", "Camry") == 1.0
+
+    def test_same_segment_same_tier(self):
+        # Camry and Accord: midsize, budget tier (both < 22000).
+        assert ground_truth_model_affinity("Camry", "Accord") == 0.8
+
+    def test_unrelated_models_low(self):
+        assert ground_truth_model_affinity("Camry", "540i") <= 0.35
+
+    def test_symmetry(self):
+        pairs = [("Camry", "F-150"), ("Civic", "Rio"), ("325i", "M3")]
+        for a, b in pairs:
+            assert ground_truth_model_affinity(a, b) == ground_truth_model_affinity(
+                b, a
+            )
+
+    def test_unknown_model_scores_zero(self):
+        assert ground_truth_model_affinity("Camry", "Batmobile") == 0.0

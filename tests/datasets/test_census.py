@@ -1,0 +1,115 @@
+"""Unit tests for the synthetic CensusDB generator."""
+
+import pytest
+
+from repro.datasets.census import (
+    CENSUS_SCHEMA,
+    INCOME_HIGH,
+    INCOME_LOW,
+    census_webdb,
+    generate_censusdb,
+)
+
+
+class TestSchema:
+    def test_paper_schema(self):
+        assert CENSUS_SCHEMA.name == "CensusDB"
+        assert len(CENSUS_SCHEMA) == 13
+        # §6.1 typing: 5 numeric, 8 categorical.
+        assert set(CENSUS_SCHEMA.numeric_names) == {
+            "Age",
+            "Demographic-weight",
+            "Capital-gain",
+            "Capital-loss",
+            "Hours-per-week",
+        }
+        assert len(CENSUS_SCHEMA.categorical_names) == 8
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate_censusdb(3000, seed=2)
+
+    def test_row_count_and_labels_align(self, data):
+        table, labels = data
+        assert len(table) == len(labels) == 3000
+
+    def test_labels_are_the_two_classes(self, data):
+        _, labels = data
+        assert set(labels) == {INCOME_HIGH, INCOME_LOW}
+
+    def test_class_skew_roughly_adult_like(self, data):
+        _, labels = data
+        high_fraction = labels.count(INCOME_HIGH) / len(labels)
+        assert 0.15 <= high_fraction <= 0.40
+
+    def test_deterministic(self):
+        a_table, a_labels = generate_censusdb(200, seed=5)
+        b_table, b_labels = generate_censusdb(200, seed=5)
+        assert a_table.rows() == b_table.rows()
+        assert a_labels == b_labels
+
+    def test_age_bounds(self, data):
+        table, _ = data
+        ages = table.column("Age")
+        assert min(ages) >= 17 and max(ages) <= 90
+
+    def test_hours_bounds(self, data):
+        table, _ = data
+        hours = table.column("Hours-per-week")
+        assert min(hours) >= 5 and max(hours) <= 99
+
+    def test_married_relationship_consistency(self, data):
+        table, _ = data
+        position_marital = CENSUS_SCHEMA.position("Marital-Status")
+        position_rel = CENSUS_SCHEMA.position("Relationship")
+        position_sex = CENSUS_SCHEMA.position("Sex")
+        for row in table:
+            if row[position_marital] == "Married-civ-spouse":
+                expected = "Husband" if row[position_sex] == "Male" else "Wife"
+                assert row[position_rel] == expected
+            else:
+                assert row[position_rel] not in ("Husband", "Wife")
+
+    def test_education_correlates_with_income(self, data):
+        table, labels = data
+        position = CENSUS_SCHEMA.position("Education")
+        high_ed = {"Masters", "Prof-school", "Doctorate"}
+        rates = {}
+        for bucket in (True, False):
+            rows = [
+                label
+                for row, label in zip(table, labels)
+                if (row[position] in high_ed) == bucket
+            ]
+            rates[bucket] = rows.count(INCOME_HIGH) / max(1, len(rows))
+        assert rates[True] > rates[False]
+
+    def test_married_correlates_with_income(self, data):
+        table, labels = data
+        position = CENSUS_SCHEMA.position("Marital-Status")
+        married = [
+            label
+            for row, label in zip(table, labels)
+            if row[position] == "Married-civ-spouse"
+        ]
+        unmarried = [
+            label
+            for row, label in zip(table, labels)
+            if row[position] != "Married-civ-spouse"
+        ]
+        assert married.count(INCOME_HIGH) / len(married) > unmarried.count(
+            INCOME_HIGH
+        ) / len(unmarried)
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            generate_censusdb(-5)
+
+
+class TestWebDBWrapper:
+    def test_wraps_with_labels(self):
+        webdb, labels = census_webdb(100, seed=3)
+        assert webdb.cardinality_hint() == 100
+        assert len(labels) == 100

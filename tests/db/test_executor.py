@@ -1,0 +1,134 @@
+"""Unit tests for the boolean query executor and its planning."""
+
+from repro.db.executor import Executor
+from repro.db.predicates import Between, Eq, Ge, IsIn, Lt, Ne
+from repro.db.query import SelectionQuery
+
+
+class TestExecution:
+    def test_equality_via_hash_index(self, toy_table):
+        executor = Executor(toy_table)
+        result = executor.execute(SelectionQuery((Eq("Make", "Toyota"),)))
+        assert len(result) == 3
+        assert executor.stats.index_lookups == 1
+        assert executor.stats.full_scans == 0
+
+    def test_conjunction_verifies_residual(self, toy_table):
+        executor = Executor(toy_table)
+        result = executor.execute(
+            SelectionQuery((Eq("Make", "Toyota"), Lt("Price", 9000)))
+        )
+        assert [row[1] for row in result] == ["Corolla"]
+
+    def test_range_via_sorted_index(self, toy_table):
+        executor = Executor(toy_table)
+        result = executor.execute(
+            SelectionQuery((Between("Price", 7000, 8000),))
+        )
+        assert {row[1] for row in result} == {"Corolla", "Civic", "Focus"}
+        assert executor.stats.index_lookups == 1
+
+    def test_unindexable_predicate_full_scans(self, toy_table):
+        executor = Executor(toy_table)
+        result = executor.execute(SelectionQuery((Ne("Make", "Toyota"),)))
+        assert len(result) == 5
+        assert executor.stats.full_scans == 1
+
+    def test_match_all_returns_everything(self, toy_table):
+        executor = Executor(toy_table)
+        assert len(executor.execute(SelectionQuery.match_all())) == len(toy_table)
+
+    def test_planner_picks_smallest_candidate_set(self, toy_table):
+        executor = Executor(toy_table)
+        # Make=Ford has 2 candidates, Price>=0 has 8; driver must be Make.
+        executor.execute(SelectionQuery((Ge("Price", 0), Eq("Make", "Ford"))))
+        assert executor.stats.rows_examined == 2
+
+    def test_isin_served_by_hash_index(self, toy_table):
+        executor = Executor(toy_table)
+        result = executor.execute(
+            SelectionQuery((IsIn("Make", ["Ford", "Honda"]),))
+        )
+        assert len(result) == 5
+
+    def test_empty_result(self, toy_table):
+        executor = Executor(toy_table)
+        result = executor.execute(SelectionQuery((Eq("Make", "BMW"),)))
+        assert len(result) == 0 and not result
+
+    def test_result_rows_align_with_ids(self, toy_table):
+        executor = Executor(toy_table)
+        result = executor.execute(SelectionQuery((Eq("Make", "Honda"),)))
+        for row_id, row in zip(result.row_ids, result.rows):
+            assert toy_table.row(row_id) == row
+
+
+class TestLimits:
+    def test_limit_truncates(self, toy_table):
+        executor = Executor(toy_table)
+        result = executor.execute(SelectionQuery((Eq("Make", "Toyota"),)), limit=2)
+        assert len(result) == 2
+        assert result.truncated
+
+    def test_limit_equal_to_result_not_truncated(self, toy_table):
+        executor = Executor(toy_table)
+        result = executor.execute(SelectionQuery((Eq("Make", "Ford"),)), limit=2)
+        assert len(result) == 2
+        assert not result.truncated
+
+    def test_limit_on_full_scan(self, toy_table):
+        executor = Executor(toy_table)
+        result = executor.execute(SelectionQuery((Ne("Make", "Nothing"),)), limit=3)
+        assert len(result) == 3
+        assert result.truncated
+
+    def test_offset_pages_through_results(self, toy_table):
+        executor = Executor(toy_table)
+        query = SelectionQuery((Eq("Make", "Toyota"),))
+        first = executor.execute(query, limit=2, offset=0)
+        second = executor.execute(query, limit=2, offset=2)
+        assert len(first) == 2 and first.truncated
+        assert len(second) == 1 and not second.truncated
+        assert not set(first.row_ids) & set(second.row_ids)
+        combined = sorted(first.row_ids + second.row_ids)
+        assert combined == sorted(executor.execute(query).row_ids)
+
+    def test_offset_beyond_matches_is_empty(self, toy_table):
+        executor = Executor(toy_table)
+        result = executor.execute(
+            SelectionQuery((Eq("Make", "Ford"),)), limit=5, offset=10
+        )
+        assert len(result) == 0 and not result.truncated
+
+    def test_negative_offset_rejected(self, toy_table):
+        import pytest
+
+        executor = Executor(toy_table)
+        with pytest.raises(ValueError):
+            executor.execute(SelectionQuery.match_all(), offset=-1)
+
+    def test_offset_without_limit(self, toy_table):
+        executor = Executor(toy_table)
+        result = executor.execute(SelectionQuery.match_all(), offset=5)
+        assert len(result) == len(toy_table) - 5
+
+
+class TestStats:
+    def test_counters_accumulate(self, toy_table):
+        executor = Executor(toy_table)
+        executor.execute(SelectionQuery((Eq("Make", "Toyota"),)))
+        executor.execute(SelectionQuery((Eq("Make", "Honda"),)))
+        assert executor.stats.queries_executed == 2
+        assert executor.stats.rows_returned == 6
+
+    def test_count_helper(self, toy_table):
+        executor = Executor(toy_table)
+        assert executor.count(SelectionQuery((Eq("Make", "Ford"),))) == 2
+
+    def test_stats_merge(self, toy_table):
+        a = Executor(toy_table)
+        b = Executor(toy_table)
+        a.execute(SelectionQuery.match_all())
+        b.execute(SelectionQuery.match_all())
+        a.stats.merge(b.stats)
+        assert a.stats.queries_executed == 2

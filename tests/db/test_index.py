@@ -1,0 +1,115 @@
+"""Unit tests for hash and sorted indexes."""
+
+import pytest
+
+from repro.db.index import HashIndex, SortedIndex
+from repro.db.predicates import Between, Eq, Ge, Gt, IsIn, Le, Lt
+
+
+class TestHashIndex:
+    def make(self) -> HashIndex:
+        index = HashIndex("Make")
+        for row_id, value in enumerate(["Ford", "Toyota", "Ford", "Honda"]):
+            index.add(value, row_id)
+        return index
+
+    def test_lookup(self):
+        index = self.make()
+        assert index.lookup("Ford") == [0, 2]
+        assert index.lookup("BMW") == []
+
+    def test_nulls_not_indexed(self):
+        index = HashIndex("A")
+        index.add(None, 0)
+        assert len(index) == 0
+
+    def test_lookup_many_sorted_dedup(self):
+        index = self.make()
+        assert index.lookup_many(["Toyota", "Ford", "Ford"]) == [0, 1, 2]
+
+    def test_distinct_values_and_counts(self):
+        index = self.make()
+        assert set(index.distinct_values()) == {"Ford", "Toyota", "Honda"}
+        assert index.value_counts() == {"Ford": 2, "Toyota": 1, "Honda": 1}
+
+    def test_serves(self):
+        index = self.make()
+        assert index.serves(Eq("Make", "Ford"))
+        assert index.serves(IsIn("Make", ["Ford"]))
+        assert not index.serves(Eq("Model", "x"))
+        assert not index.serves(Lt("Make", "M"))
+
+    def test_candidates(self):
+        index = self.make()
+        assert index.candidates(Eq("Make", "Ford")) == [0, 2]
+        assert index.candidates(IsIn("Make", ["Honda", "Toyota"])) == [1, 3]
+
+    def test_candidates_wrong_predicate_type(self):
+        with pytest.raises(TypeError):
+            self.make().candidates(Lt("Make", "M"))
+
+
+class TestSortedIndex:
+    def make(self) -> SortedIndex:
+        index = SortedIndex("Price")
+        for row_id, value in enumerate([50, 10, 30, 20, 40]):
+            index.add(value, row_id)
+        return index
+
+    def test_len(self):
+        assert len(self.make()) == 5
+
+    def test_nulls_not_indexed(self):
+        index = SortedIndex("P")
+        index.add(None, 0)
+        assert len(index) == 0
+
+    def test_range_inclusive(self):
+        index = self.make()
+        assert sorted(index.range(20, 40)) == [2, 3, 4]
+
+    def test_range_exclusive(self):
+        index = self.make()
+        assert sorted(index.range(20, 40, False, False)) == [2]
+
+    def test_open_ended(self):
+        index = self.make()
+        assert sorted(index.range(low=30)) == [0, 2, 4]
+        assert sorted(index.range(high=20)) == [1, 3]
+
+    def test_min_max(self):
+        index = self.make()
+        assert index.min_value() == 10
+        assert index.max_value() == 50
+        empty = SortedIndex("P")
+        assert empty.min_value() is None
+
+    def test_incremental_adds_resort(self):
+        index = self.make()
+        assert len(index) == 5  # force build
+        index.add(25, 9)
+        assert sorted(index.range(20, 30)) == [2, 3, 9]
+
+    @pytest.mark.parametrize(
+        "predicate,expected",
+        [
+            (Eq("Price", 30), [2]),
+            (Lt("Price", 30), [1, 3]),
+            (Le("Price", 30), [1, 2, 3]),
+            (Gt("Price", 30), [0, 4]),
+            (Ge("Price", 30), [0, 2, 4]),
+            (Between("Price", 15, 35), [2, 3]),
+        ],
+    )
+    def test_candidates(self, predicate, expected):
+        assert sorted(self.make().candidates(predicate)) == expected
+
+    def test_serves(self):
+        index = self.make()
+        assert index.serves(Between("Price", 1, 2))
+        assert not index.serves(Between("Other", 1, 2))
+        assert not index.serves(IsIn("Price", [1]))
+
+    def test_candidates_wrong_predicate_type(self):
+        with pytest.raises(TypeError):
+            self.make().candidates(IsIn("Price", [1]))

@@ -1,0 +1,117 @@
+"""Unit tests for the boolean predicate atoms."""
+
+import pytest
+
+from repro.db.errors import QueryError
+from repro.db.predicates import (
+    Between,
+    Eq,
+    Ge,
+    Gt,
+    IsIn,
+    Le,
+    Lt,
+    Ne,
+    parse_op,
+)
+
+
+class TestEq:
+    def test_matches(self):
+        p = Eq("A", "x")
+        assert p.matches("x")
+        assert not p.matches("y")
+        assert not p.matches(None)
+
+    def test_flags(self):
+        p = Eq("A", "x")
+        assert p.is_equality and not p.is_range
+
+    def test_describe(self):
+        assert Eq("A", "x").describe() == "A = 'x'"
+
+
+class TestNe:
+    def test_matches(self):
+        p = Ne("A", "x")
+        assert p.matches("y")
+        assert not p.matches("x")
+
+    def test_null_never_matches(self):
+        assert not Ne("A", "x").matches(None)
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "predicate,hit,miss",
+        [
+            (Lt("N", 5), 4, 5),
+            (Le("N", 5), 5, 6),
+            (Gt("N", 5), 6, 5),
+            (Ge("N", 5), 5, 4),
+        ],
+    )
+    def test_boundaries(self, predicate, hit, miss):
+        assert predicate.matches(hit)
+        assert not predicate.matches(miss)
+
+    @pytest.mark.parametrize(
+        "predicate", [Lt("N", 5), Le("N", 5), Gt("N", 5), Ge("N", 5)]
+    )
+    def test_null_never_matches(self, predicate):
+        assert not predicate.matches(None)
+
+    @pytest.mark.parametrize(
+        "predicate", [Lt("N", 5), Le("N", 5), Gt("N", 5), Ge("N", 5)]
+    )
+    def test_is_range(self, predicate):
+        assert predicate.is_range
+
+
+class TestBetween:
+    def test_inclusive_both_ends(self):
+        p = Between("N", 2, 5)
+        assert p.matches(2) and p.matches(5) and p.matches(3)
+        assert not p.matches(1) and not p.matches(6)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(QueryError):
+            Between("N", 5, 2)
+
+    def test_incomparable_bounds_rejected(self):
+        with pytest.raises(QueryError):
+            Between("N", "a", 3)
+
+    def test_degenerate_range_is_equality_like(self):
+        p = Between("N", 3, 3)
+        assert p.matches(3) and not p.matches(4)
+
+
+class TestIsIn:
+    def test_matches_any_member(self):
+        p = IsIn("A", ["x", "y"])
+        assert p.matches("x") and p.matches("y")
+        assert not p.matches("z")
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            IsIn("A", [])
+
+    def test_values_deduplicated(self):
+        assert len(IsIn("A", ["x", "x", "y"]).values) == 2
+
+    def test_describe_deterministic(self):
+        assert IsIn("A", ["b", "a"]).describe() == "A in ('a', 'b')"
+
+
+class TestParseOp:
+    @pytest.mark.parametrize(
+        "op,cls",
+        [("=", Eq), ("==", Eq), ("!=", Ne), ("<", Lt), ("<=", Le), (">", Gt), (">=", Ge)],
+    )
+    def test_known_operators(self, op, cls):
+        assert isinstance(parse_op("A", op, 1), cls)
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            parse_op("A", "~", 1)

@@ -1,0 +1,103 @@
+"""Unit tests for conjunctive selection queries."""
+
+import pytest
+
+from repro.db.errors import QueryError, UnknownAttributeError
+from repro.db.predicates import Eq, Gt, Lt
+from repro.db.query import SelectionQuery
+
+
+def camry_query() -> SelectionQuery:
+    return SelectionQuery((Eq("Model", "Camry"), Lt("Price", 10000)))
+
+
+class TestConstruction:
+    def test_from_pairs(self):
+        q = SelectionQuery.from_pairs(
+            [("Model", "=", "Camry"), ("Price", "<", 10000)]
+        )
+        assert q == camry_query()
+
+    def test_equalities(self):
+        q = SelectionQuery.equalities({"Make": "Ford", "Model": "Focus"})
+        assert q.bound_attributes == ("Make", "Model")
+        assert all(isinstance(p, Eq) for p in q)
+
+    def test_match_all(self):
+        q = SelectionQuery.match_all()
+        assert len(q) == 0
+        assert q.describe() == "<match-all>"
+
+
+class TestInspection:
+    def test_bound_attributes_order_and_dedup(self):
+        q = SelectionQuery((Gt("Price", 1), Eq("Model", "Camry"), Lt("Price", 9)))
+        assert q.bound_attributes == ("Price", "Model")
+
+    def test_predicates_on(self):
+        q = camry_query()
+        assert len(q.predicates_on("Price")) == 1
+        assert q.predicates_on("Nope") == ()
+
+    def test_equality_binding(self):
+        q = camry_query()
+        assert q.equality_binding("Model") == "Camry"
+        assert q.equality_binding("Price") is None
+
+    def test_validate_against(self, toy_schema):
+        camry_query().validate_against(toy_schema)
+        bad = SelectionQuery((Eq("Nope", 1),))
+        with pytest.raises(UnknownAttributeError):
+            bad.validate_against(toy_schema)
+
+
+class TestEvaluation:
+    def test_matches_full_conjunction(self, toy_schema):
+        q = camry_query()
+        row = ("Toyota", "Camry", 9000, 2000)
+        assert q.matches(row, toy_schema)
+
+    def test_one_failed_conjunct_fails(self, toy_schema):
+        q = camry_query()
+        assert not q.matches(("Toyota", "Camry", 12000, 2000), toy_schema)
+        assert not q.matches(("Toyota", "Corolla", 9000, 2000), toy_schema)
+
+    def test_match_all_matches_everything(self, toy_schema):
+        assert SelectionQuery.match_all().matches(
+            ("Toyota", "Camry", 1, 1), toy_schema
+        )
+
+
+class TestRewriting:
+    def test_without_attributes(self):
+        q = camry_query()
+        relaxed = q.without_attributes(["Price"])
+        assert relaxed.bound_attributes == ("Model",)
+        # original untouched
+        assert q.bound_attributes == ("Model", "Price")
+
+    def test_without_all(self):
+        assert len(camry_query().without_attributes(["Model", "Price"])) == 0
+
+    def test_replacing(self):
+        q = camry_query()
+        replaced = q.replacing("Price", [Eq("Price", 5000)])
+        assert replaced.equality_binding("Price") == 5000
+        assert replaced.equality_binding("Model") == "Camry"
+
+    def test_replacing_wrong_attribute_raises(self):
+        with pytest.raises(QueryError):
+            camry_query().replacing("Price", [Eq("Model", "Civic")])
+
+    def test_and_also(self):
+        q = camry_query().and_also(Eq("Make", "Toyota"))
+        assert q.bound_attributes == ("Model", "Price", "Make")
+
+
+class TestRendering:
+    def test_describe_joins_with_and(self):
+        assert " AND " in camry_query().describe()
+
+    def test_str_delegates(self):
+        q = camry_query()
+        assert str(q) == q.describe()

@@ -1,0 +1,133 @@
+"""Unit tests for relation schemas and attribute typing."""
+
+import pytest
+
+from repro.db.errors import SchemaError, TypeMismatchError, UnknownAttributeError
+from repro.db.schema import Attribute, AttributeKind, RelationSchema
+
+
+def make_schema() -> RelationSchema:
+    return RelationSchema.build(
+        "R", categorical=("A", "B"), numeric=("N",), order=("A", "N", "B")
+    )
+
+
+class TestAttribute:
+    def test_kinds(self):
+        a = Attribute("A", AttributeKind.CATEGORICAL)
+        n = Attribute("N", AttributeKind.NUMERIC)
+        assert a.is_categorical and not a.is_numeric
+        assert n.is_numeric and not n.is_categorical
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", AttributeKind.CATEGORICAL)
+
+    def test_validate_none_allowed_for_both_kinds(self):
+        Attribute("A", AttributeKind.CATEGORICAL).validate_value(None)
+        Attribute("N", AttributeKind.NUMERIC).validate_value(None)
+
+    def test_numeric_accepts_int_and_float(self):
+        n = Attribute("N", AttributeKind.NUMERIC)
+        n.validate_value(3)
+        n.validate_value(3.5)
+
+    def test_numeric_rejects_strings_and_bools(self):
+        n = Attribute("N", AttributeKind.NUMERIC)
+        with pytest.raises(TypeMismatchError):
+            n.validate_value("3")
+        with pytest.raises(TypeMismatchError):
+            n.validate_value(True)
+
+    def test_categorical_rejects_numbers(self):
+        a = Attribute("A", AttributeKind.CATEGORICAL)
+        with pytest.raises(TypeMismatchError):
+            a.validate_value(3)
+
+
+class TestRelationSchema:
+    def test_positions_follow_order(self):
+        schema = make_schema()
+        assert schema.position("A") == 0
+        assert schema.position("N") == 1
+        assert schema.position("B") == 2
+        assert schema.positions(("B", "A")) == (2, 0)
+
+    def test_attribute_names(self):
+        assert make_schema().attribute_names == ("A", "N", "B")
+
+    def test_kind_partition(self):
+        schema = make_schema()
+        assert schema.categorical_names == ("A", "B")
+        assert schema.numeric_names == ("N",)
+
+    def test_contains_and_iter(self):
+        schema = make_schema()
+        assert "A" in schema and "Z" not in schema
+        assert [a.name for a in schema] == ["A", "N", "B"]
+        assert len(schema) == 3
+
+    def test_unknown_attribute_raises(self):
+        schema = make_schema()
+        with pytest.raises(UnknownAttributeError):
+            schema.position("Z")
+        with pytest.raises(UnknownAttributeError):
+            schema.attribute("Z")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(
+                "R",
+                (
+                    Attribute("A", AttributeKind.CATEGORICAL),
+                    Attribute("A", AttributeKind.NUMERIC),
+                ),
+            )
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ())
+        with pytest.raises(SchemaError):
+            RelationSchema("", (Attribute("A", AttributeKind.CATEGORICAL),))
+
+    def test_build_rejects_double_listing(self):
+        with pytest.raises(SchemaError):
+            RelationSchema.build("R", categorical=("A",), numeric=("A",))
+
+    def test_build_rejects_bad_order(self):
+        with pytest.raises(SchemaError):
+            RelationSchema.build(
+                "R", categorical=("A",), numeric=("N",), order=("A",)
+            )
+
+    def test_validate_row_arity(self):
+        schema = make_schema()
+        with pytest.raises(TypeMismatchError):
+            schema.validate_row(("x", 1))
+
+    def test_validate_row_types(self):
+        schema = make_schema()
+        assert schema.validate_row(("x", 1, "y")) == ("x", 1, "y")
+        with pytest.raises(TypeMismatchError):
+            schema.validate_row(("x", "not-a-number", "y"))
+
+    def test_row_mapping_roundtrip(self):
+        schema = make_schema()
+        row = schema.row_from_mapping({"A": "x", "N": 2, "B": "y"})
+        assert row == ("x", 2, "y")
+        assert schema.row_to_mapping(row) == {"A": "x", "N": 2, "B": "y"}
+
+    def test_row_from_mapping_missing_fills_none(self):
+        schema = make_schema()
+        assert schema.row_from_mapping({"A": "x"}) == ("x", None, None)
+
+    def test_row_from_mapping_extra_key_raises(self):
+        schema = make_schema()
+        with pytest.raises(UnknownAttributeError):
+            schema.row_from_mapping({"A": "x", "Z": 1})
+
+    def test_project(self):
+        schema = make_schema()
+        projected = schema.project(("B", "N"))
+        assert projected.attribute_names == ("B", "N")
+        assert projected.attribute("N").is_numeric

@@ -1,0 +1,88 @@
+"""Unit tests for the autonomous Web database facade."""
+
+import pytest
+
+from repro.db.errors import ProbeLimitExceededError
+from repro.db.predicates import Eq
+from repro.db.query import SelectionQuery
+from repro.db.webdb import AutonomousWebDatabase
+
+
+class TestMetadata:
+    def test_schema_and_name(self, toy_webdb):
+        assert toy_webdb.name == "Cars"
+        assert "Make" in toy_webdb.schema
+
+    def test_form_options_categorical(self, toy_webdb):
+        assert toy_webdb.form_options("Make") == ["Ford", "Honda", "Toyota"]
+
+    def test_form_options_numeric_refused(self, toy_webdb):
+        with pytest.raises(ValueError):
+            toy_webdb.form_options("Price")
+
+    def test_cardinality_hint(self, toy_webdb, toy_table):
+        assert toy_webdb.cardinality_hint() == len(toy_table)
+
+
+class TestQuerying:
+    def test_query_and_log(self, toy_webdb):
+        result = toy_webdb.query(SelectionQuery((Eq("Make", "Toyota"),)))
+        assert len(result) == 3
+        assert toy_webdb.log.probes_issued == 1
+        assert toy_webdb.log.tuples_returned == 3
+
+    def test_empty_results_counted(self, toy_webdb):
+        toy_webdb.query(SelectionQuery((Eq("Make", "BMW"),)))
+        assert toy_webdb.log.empty_results == 1
+
+    def test_count(self, toy_webdb):
+        assert toy_webdb.count(SelectionQuery((Eq("Make", "Honda"),))) == 3
+
+    def test_reset_accounting(self, toy_webdb):
+        toy_webdb.query(SelectionQuery.match_all())
+        toy_webdb.reset_accounting()
+        assert toy_webdb.log.probes_issued == 0
+        assert toy_webdb.execution_stats.queries_executed == 0
+
+
+class TestResultCap:
+    def test_cap_applies(self, toy_table):
+        capped = AutonomousWebDatabase(toy_table, result_cap=2)
+        result = capped.query(SelectionQuery((Eq("Make", "Toyota"),)))
+        assert len(result) == 2 and result.truncated
+
+    def test_caller_limit_cannot_exceed_cap(self, toy_table):
+        capped = AutonomousWebDatabase(toy_table, result_cap=2)
+        result = capped.query(SelectionQuery.match_all(), limit=5)
+        assert len(result) == 2
+
+    def test_caller_limit_below_cap(self, toy_table):
+        capped = AutonomousWebDatabase(toy_table, result_cap=5)
+        result = capped.query(SelectionQuery.match_all(), limit=1)
+        assert len(result) == 1
+
+    def test_offset_pages(self, toy_table):
+        capped = AutonomousWebDatabase(toy_table, result_cap=3)
+        first = capped.query(SelectionQuery.match_all())
+        second = capped.query(SelectionQuery.match_all(), offset=3)
+        third = capped.query(SelectionQuery.match_all(), offset=6)
+        assert len(first) == 3 and first.truncated
+        assert len(second) == 3 and second.truncated
+        assert len(third) == len(toy_table) - 6 and not third.truncated
+        seen = set(first.row_ids) | set(second.row_ids) | set(third.row_ids)
+        assert seen == set(range(len(toy_table)))
+
+
+class TestProbeBudget:
+    def test_budget_enforced(self, toy_table):
+        limited = AutonomousWebDatabase(toy_table, probe_budget=2)
+        limited.query(SelectionQuery.match_all())
+        limited.query(SelectionQuery.match_all())
+        with pytest.raises(ProbeLimitExceededError):
+            limited.query(SelectionQuery.match_all())
+
+    def test_error_carries_limit(self, toy_table):
+        limited = AutonomousWebDatabase(toy_table, probe_budget=0)
+        with pytest.raises(ProbeLimitExceededError) as excinfo:
+            limited.query(SelectionQuery.match_all())
+        assert excinfo.value.limit == 0

@@ -1,0 +1,219 @@
+"""Smoke/shape tests for the experiment runners (tiny scales).
+
+The benchmarks run these at near-paper scale; here we verify the
+plumbing: result shapes, invariants that must hold at any scale, and
+reporting round-trips.
+"""
+
+import pytest
+
+from repro.evalx.experiments import (
+    census_settings,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig8,
+    run_fig9,
+    run_relaxation_efficiency,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.evalx.reporting import (
+    format_efficiency,
+    format_fig3,
+    format_fig4,
+    format_fig5,
+    format_fig8,
+    format_fig9,
+    format_table2,
+    format_table3,
+)
+
+
+class TestTable1:
+    def test_supertuple_rendering(self):
+        text = run_table1(car_rows=800)
+        assert "Make=Ford" in text
+        assert "Model" in text and "Price" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2(car_rows=600, census_rows=800, rock_sample=80)
+
+    def test_all_phases_timed(self, result):
+        for dataset in ("CarDB", "CensusDB"):
+            assert result.aimq_supertuple[dataset] > 0
+            assert result.aimq_estimation[dataset] >= 0
+            assert result.rock_links[dataset] >= 0
+            assert result.rock_labeling[dataset] > 0
+
+    def test_totals(self, result):
+        assert result.aimq_total("CarDB") > 0
+        assert result.rock_total("CarDB") > 0
+
+    def test_formatting(self, result):
+        text = format_table2(result)
+        assert "SuperTuple Generation" in text
+        assert "Data Labeling" in text
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table3(car_rows=2500, small_fraction=0.4)
+
+    def test_probes_present(self, result):
+        assert ("Make", "Kia") in result.rows
+        assert ("Model", "Bronco") in result.rows
+        assert ("Year", "1985") in result.rows
+
+    def test_rows_carry_both_scales(self, result):
+        for ranked in result.rows.values():
+            assert ranked, "each probe needs at least one similar value"
+            for _, sim_small, sim_large in ranked:
+                assert 0.0 <= sim_small <= 1.0
+                assert 0.0 <= sim_large <= 1.0
+
+    def test_large_scores_descending(self, result):
+        for ranked in result.rows.values():
+            larges = [sim for _, _, sim in ranked]
+            assert larges == sorted(larges, reverse=True)
+
+    def test_formatting(self, result):
+        assert "Kia" in format_table3(result)
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3(car_rows=3000, fractions=(0.5, 1.0))
+
+    def test_weights_per_size(self, result):
+        assert set(result.weights) == set(result.sizes)
+        for weights in result.weights.values():
+            assert all(w >= 0 for w in weights.values())
+
+    def test_ordering_helpers(self, result):
+        for size in result.sizes:
+            ordering = result.ordering_at(size)
+            assert set(ordering) == set(result.dependent_attributes)
+
+    def test_orderings_consistent_at_reasonable_scale(self, result):
+        assert result.orderings_consistent()
+
+    def test_formatting(self, result):
+        assert "Wt_depends" in format_fig3(result)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(car_rows=3000, fractions=(0.5, 1.0))
+
+    def test_qualities_ascending(self, result):
+        for ranked in result.key_quality.values():
+            qualities = [q for _, q in ranked]
+            assert qualities == sorted(qualities)
+
+    def test_best_key_stable(self, result):
+        assert result.best_key_stable()
+
+    def test_formatting(self, result):
+        assert "quality" in format_fig4(result)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5(car_rows=3000, threshold=0.2)
+
+    def test_ford_has_neighbors(self, result):
+        assert result.ford_neighbors
+        names = [n for n, _ in result.ford_neighbors]
+        assert "Chevrolet" in names
+
+    def test_chevrolet_strongest(self, result):
+        assert result.ford_neighbors[0][0] == "Chevrolet"
+
+    def test_bmw_weaker_than_chevrolet(self, result):
+        weights = dict(result.ford_neighbors)
+        if "BMW" in weights:
+            assert weights["BMW"] < weights["Chevrolet"]
+        else:
+            assert "BMW" in result.disconnected_from_ford
+
+    def test_formatting(self, result):
+        assert "Ford" in format_fig5(result)
+
+
+class TestEfficiency:
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            run_relaxation_efficiency("clever")
+
+    @pytest.fixture(scope="class")
+    def guided(self):
+        return run_relaxation_efficiency(
+            "guided", car_rows=2000, sample_rows=600, n_queries=3,
+            thresholds=(0.5, 0.8),
+        )
+
+    def test_shape(self, guided):
+        assert set(guided.work) == {0.5, 0.8}
+        assert all(len(v) == 3 for v in guided.per_query.values())
+
+    def test_work_grows_with_threshold(self, guided):
+        assert guided.work[0.8] >= guided.work[0.5]
+
+    def test_formatting(self, guided):
+        assert "GuidedRelax" in format_efficiency(guided)
+
+
+class TestFig8:
+    def test_study_runs_and_reports(self):
+        outcome = run_fig8(
+            car_rows=1500, sample_rows=500, n_queries=3, rock_sample=100,
+            n_users=3,
+        )
+        assert set(outcome.system_mrr) == {"GuidedRelax", "RandomRelax", "ROCK"}
+        assert all(0 <= v <= 1 for v in outcome.system_mrr.values())
+        assert "MRR" in format_fig8(outcome)
+
+    def test_multi_seed_pools_queries(self):
+        from repro.evalx.experiments import run_fig8_multi
+
+        outcome = run_fig8_multi(
+            seeds=(3, 5),
+            car_rows=1200,
+            sample_rows=400,
+            n_queries=2,
+            rock_sample=80,
+            n_users=2,
+        )
+        # 2 seeds x 2 queries pooled per system.
+        assert all(len(v) == 4 for v in outcome.per_query.values())
+        assert set(outcome.system_mrr) == {"GuidedRelax", "RandomRelax", "ROCK"}
+
+
+class TestFig9:
+    def test_accuracy_shapes(self):
+        result = run_fig9(
+            census_rows=1200, sample_rows=400, n_queries=12, rock_sample=100,
+            ks=(5, 1),
+            settings=census_settings(error_threshold=0.3),
+        )
+        assert set(result.aimq_accuracy) == {5, 1}
+        assert all(0 <= v <= 1 for v in result.aimq_accuracy.values())
+        assert all(0 <= v <= 1 for v in result.rock_accuracy.values())
+        assert "AIMQ" in format_fig9(result)
+
+
+class TestCensusSettings:
+    def test_defaults(self):
+        settings = census_settings()
+        assert settings.tane.max_lhs_size == 2
+        assert settings.max_relaxation_level == 6
+        assert settings.tane.numeric_bins == 8

@@ -1,0 +1,92 @@
+"""Unit tests for evaluation metrics."""
+
+import pytest
+
+from repro.evalx.metrics import (
+    average_mrr,
+    paper_mrr,
+    rank_agreement,
+    top_k_accuracy,
+    work_per_relevant,
+)
+
+
+class TestRankAgreement:
+    def test_perfect_agreement(self):
+        assert rank_agreement(1, 1) == 1.0
+        assert rank_agreement(7, 7) == 1.0
+
+    def test_off_by_one(self):
+        assert rank_agreement(2, 1) == pytest.approx(0.5)
+
+    def test_symmetric_in_distance(self):
+        assert rank_agreement(1, 4) == rank_agreement(7, 4)
+
+    def test_irrelevant_rank_zero(self):
+        # The paper's subjects mark irrelevant tuples with rank 0; the
+        # formula then punishes high system placement hardest.
+        assert rank_agreement(0, 1) == pytest.approx(0.5)
+        assert rank_agreement(0, 10) == pytest.approx(1 / 11)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rank_agreement(1, 0)
+        with pytest.raises(ValueError):
+            rank_agreement(-1, 1)
+
+
+class TestPaperMRR:
+    def test_perfect_ranking(self):
+        assert paper_mrr([1, 2, 3, 4]) == 1.0
+
+    def test_reversed_ranking(self):
+        mrr = paper_mrr([3, 2, 1])
+        assert mrr == pytest.approx((1 / 3 + 1 + 1 / 3) / 3)
+
+    def test_all_irrelevant(self):
+        mrr = paper_mrr([0, 0])
+        assert mrr == pytest.approx((1 / 2 + 1 / 3) / 2)
+
+    def test_empty(self):
+        assert paper_mrr([]) == 0.0
+
+    def test_better_agreement_scores_higher(self):
+        assert paper_mrr([1, 2, 3]) > paper_mrr([2, 3, 1])
+
+
+class TestAverageMRR:
+    def test_mean(self):
+        assert average_mrr([1.0, 0.5]) == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert average_mrr([]) == 0.0
+
+
+class TestTopKAccuracy:
+    def test_all_match(self):
+        assert top_k_accuracy(["a", "a", "a"], "a", 3) == 1.0
+
+    def test_partial(self):
+        assert top_k_accuracy(["a", "b", "a", "b"], "a", 4) == 0.5
+
+    def test_k_smaller_than_answers(self):
+        assert top_k_accuracy(["a", "b", "b", "b"], "a", 1) == 1.0
+
+    def test_missing_answers_count_as_misses(self):
+        assert top_k_accuracy(["a"], "a", 4) == 0.25
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(["a"], "a", 0)
+
+
+class TestWorkPerRelevant:
+    def test_ratio(self):
+        assert work_per_relevant(100, 20) == 5.0
+
+    def test_none_relevant_is_infinite(self):
+        assert work_per_relevant(100, 0) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            work_per_relevant(-1, 1)

@@ -1,0 +1,72 @@
+"""Unit tests for report formatting helpers."""
+
+from repro.evalx.experiments import EfficiencyResult, Fig5Result, Fig9Result
+from repro.evalx.reporting import (
+    _seconds,
+    format_efficiency,
+    format_fig5,
+    format_fig9,
+)
+
+
+class TestSecondsFormatting:
+    def test_milliseconds(self):
+        assert _seconds(0.123) == "123 ms"
+
+    def test_seconds(self):
+        assert _seconds(2.5) == "2.50 s"
+
+    def test_minutes(self):
+        assert _seconds(180) == "3.0 min"
+
+    def test_boundaries(self):
+        assert _seconds(0.9994).endswith("ms")
+        assert _seconds(1.0).endswith("s")
+        assert _seconds(119.9).endswith("s")
+        assert _seconds(120).endswith("min")
+
+
+class TestEfficiencyFormatting:
+    def test_includes_median_column(self):
+        result = EfficiencyResult(
+            strategy="guided",
+            thresholds=[0.5, 0.9],
+            work={0.5: 1.5, 0.9: 10.0},
+            median_work={0.5: 1.2, 0.9: 4.0},
+        )
+        text = format_efficiency(result)
+        assert "median" in text
+        assert "4.00" in text and "10.00" in text
+
+    def test_falls_back_to_mean_without_median(self):
+        result = EfficiencyResult(
+            strategy="random", thresholds=[0.5], work={0.5: 2.0}
+        )
+        text = format_efficiency(result)
+        assert "RandomRelax" in text
+        assert text.count("2.00") == 2
+
+
+class TestFig5Formatting:
+    def test_lists_neighbors_and_isolates(self):
+        result = Fig5Result(
+            threshold=0.2,
+            ford_neighbors=[("Chevrolet", 0.25)],
+            edges=[("Chevrolet", "Ford", 0.25)],
+            disconnected_from_ford=["BMW"],
+        )
+        text = format_fig5(result)
+        assert "Chevrolet" in text and "BMW" in text and "0.250" in text
+
+
+class TestFig9Formatting:
+    def test_rows_per_k(self):
+        result = Fig9Result(
+            ks=[5, 1],
+            aimq_accuracy={5: 0.7, 1: 0.8},
+            rock_accuracy={5: 0.6, 1: 0.65},
+            n_queries=10,
+        )
+        text = format_fig9(result)
+        assert "0.700" in text and "0.650" in text
+        assert "10 queries" in text

@@ -1,0 +1,130 @@
+"""Unit tests for the simulated user panel."""
+
+import pytest
+
+from repro.datasets.cardb import CARDB_SCHEMA
+from repro.evalx.userstudy import (
+    CarGroundTruth,
+    SimulatedUser,
+    SimulatedUserPanel,
+)
+
+
+def car(make="Toyota", model="Camry", year="2000", price=10000,
+        mileage=60000, location="Phoenix", color="White"):
+    return (make, model, year, price, mileage, location, color)
+
+
+@pytest.fixture()
+def ground_truth():
+    return CarGroundTruth(CARDB_SCHEMA)
+
+
+class TestCarGroundTruth:
+    def test_identical_car_scores_one(self, ground_truth):
+        reference = CARDB_SCHEMA.row_to_mapping(car())
+        assert ground_truth.score(reference, car()) == pytest.approx(1.0)
+
+    def test_same_model_beats_different_model(self, ground_truth):
+        reference = CARDB_SCHEMA.row_to_mapping(car())
+        same = ground_truth.score(reference, car(color="Red"))
+        different = ground_truth.score(
+            reference, car(make="Ford", model="F-150", color="Red")
+        )
+        assert same > different
+
+    def test_price_closeness_matters(self, ground_truth):
+        reference = CARDB_SCHEMA.row_to_mapping(car())
+        close = ground_truth.score(reference, car(price=10500))
+        far = ground_truth.score(reference, car(price=25000))
+        assert close > far
+
+    def test_year_closeness(self, ground_truth):
+        reference = CARDB_SCHEMA.row_to_mapping(car())
+        assert ground_truth.score(reference, car(year="2001")) > ground_truth.score(
+            reference, car(year="1990")
+        )
+
+    def test_range(self, ground_truth):
+        reference = CARDB_SCHEMA.row_to_mapping(car())
+        weird = car(make="BMW", model="540i", year="1985", price=99999,
+                    mileage=250000, location="Miami", color="Gold")
+        assert 0.0 <= ground_truth.score(reference, weird) <= 1.0
+
+    def test_empty_reference(self, ground_truth):
+        assert ground_truth.score({}, car()) == 0.0
+
+
+class TestSimulatedUser:
+    def test_ranks_cover_relevant_answers(self, ground_truth):
+        user = SimulatedUser(seed=0, noise_sigma=0.0)
+        reference = CARDB_SCHEMA.row_to_mapping(car())
+        rows = [car(), car(price=11000), car(make="BMW", model="540i",
+                price=45000, year="2005")]
+        ranks = user.rank_answers(ground_truth, reference, rows)
+        assert ranks[0] == 1  # identical car ranked first
+        positive = [r for r in ranks if r > 0]
+        assert sorted(positive) == list(range(1, len(positive) + 1))
+
+    def test_irrelevant_get_zero(self, ground_truth):
+        user = SimulatedUser(seed=0, noise_sigma=0.0, relevance_floor=0.9)
+        reference = CARDB_SCHEMA.row_to_mapping(car())
+        rows = [car(make="BMW", model="540i", price=45000)]
+        assert user.rank_answers(ground_truth, reference, rows) == [0]
+
+    def test_noise_changes_ranks_sometimes(self, ground_truth):
+        reference = CARDB_SCHEMA.row_to_mapping(car())
+        rows = [car(price=10000 + delta) for delta in (0, 200, 400, 600)]
+        outcomes = set()
+        for seed in range(10):
+            user = SimulatedUser(seed=seed, noise_sigma=0.5)
+            outcomes.add(tuple(user.rank_answers(ground_truth, reference, rows)))
+        assert len(outcomes) > 1
+
+    def test_per_tuple_noise_is_stable(self, ground_truth):
+        """A user judges the same car identically across calls."""
+        user = SimulatedUser(seed=4, noise_sigma=0.3)
+        reference = CARDB_SCHEMA.row_to_mapping(car())
+        rows = [car(price=10000 + d) for d in (0, 300, 600)]
+        first = user.rank_answers(ground_truth, reference, rows)
+        second = user.rank_answers(ground_truth, reference, rows)
+        assert first == second
+
+
+class TestPanel:
+    def test_panel_size_validated(self):
+        with pytest.raises(ValueError):
+            SimulatedUserPanel(CARDB_SCHEMA, n_users=0)
+
+    def test_mrr_perfect_system(self):
+        panel = SimulatedUserPanel(CARDB_SCHEMA, n_users=4, seed=1,
+                                   noise_sigma=0.0)
+        reference = CARDB_SCHEMA.row_to_mapping(car())
+        rows = [car(), car(price=10500), car(price=12000)]
+        mrr = panel.mrr_for_answers(reference, rows)
+        assert mrr == pytest.approx(1.0)
+
+    def test_mrr_empty_answers(self):
+        panel = SimulatedUserPanel(CARDB_SCHEMA, n_users=2, seed=1)
+        assert panel.mrr_for_answers({}, []) == 0.0
+
+    def test_run_study_shapes(self):
+        panel = SimulatedUserPanel(CARDB_SCHEMA, n_users=3, seed=1,
+                                   noise_sigma=0.0)
+        queries = [CARDB_SCHEMA.row_to_mapping(car())]
+        answers = {"sysA": [[car(), car(price=10500)]],
+                   "sysB": [[car(make="BMW", model="540i", price=45000)]]}
+        outcome = panel.run_study(queries, answers)
+        assert set(outcome.system_mrr) == {"sysA", "sysB"}
+        assert len(outcome.per_query["sysA"]) == 1
+        assert outcome.best_system() == "sysA"
+
+    def test_deterministic_for_seed(self):
+        reference = CARDB_SCHEMA.row_to_mapping(car())
+        rows = [car(), car(price=11000), car(year="1995")]
+
+        def run():
+            panel = SimulatedUserPanel(CARDB_SCHEMA, n_users=4, seed=9)
+            return panel.mrr_for_answers(reference, rows)
+
+        assert run() == run()

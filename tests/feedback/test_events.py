@@ -1,0 +1,59 @@
+"""Unit tests for feedback events and the log."""
+
+import pytest
+
+from repro.core.query import ImpreciseQuery
+from repro.db.errors import QueryError
+from repro.feedback.events import FeedbackLog
+
+
+@pytest.fixture()
+def log(toy_schema):
+    return FeedbackLog(toy_schema)
+
+
+def camry_query():
+    return ImpreciseQuery.like("Cars", Model="Camry", Price=10000)
+
+
+class TestFeedbackLog:
+    def test_record(self, log):
+        event = log.record(camry_query(), ("Toyota", "Camry", 10500, 2001), True)
+        assert event.relevant
+        assert len(log) == 1
+
+    def test_bindings_only_like_constraints(self, log):
+        event = log.record(camry_query(), ("Toyota", "Camry", 10500, 2001), True)
+        assert event.bindings() == {"Model": "Camry", "Price": 10000}
+
+    def test_record_validates_query(self, log):
+        bad = ImpreciseQuery.like("Cars", Nope="x")
+        with pytest.raises(Exception):
+            log.record(bad, ("Toyota", "Camry", 1, 2), True)
+
+    def test_record_wrong_relation(self, log):
+        bad = ImpreciseQuery.like("Other", Model="Camry")
+        with pytest.raises(QueryError):
+            log.record(bad, ("Toyota", "Camry", 1, 2), True)
+
+    def test_record_many(self, log):
+        n = log.record_many(
+            camry_query(),
+            [
+                (("Toyota", "Camry", 10500, 2001), True),
+                (("Ford", "F-150", 21000, 2004), False),
+            ],
+        )
+        assert n == 2
+        assert len(log.relevant_events) == 1
+        assert len(log.irrelevant_events) == 1
+
+    def test_precision(self, log):
+        assert log.precision() == 0.0
+        log.record(camry_query(), ("Toyota", "Camry", 1, 2), True)
+        log.record(camry_query(), ("Ford", "F-150", 1, 2), False)
+        assert log.precision() == 0.5
+
+    def test_iteration(self, log):
+        log.record(camry_query(), ("Toyota", "Camry", 1, 2), True)
+        assert len(list(log)) == 1

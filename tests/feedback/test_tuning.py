@@ -1,0 +1,154 @@
+"""Unit tests for feedback-driven tuning of weights and similarities."""
+
+import pytest
+
+from repro.core.attribute_order import uniform_ordering
+from repro.core.query import ImpreciseQuery
+from repro.feedback.events import FeedbackLog
+from repro.feedback.tuning import (
+    ImportanceTuner,
+    ValueSimilarityTuner,
+    retune_ordering,
+)
+from repro.simmining.estimator import SimilarityModel
+
+
+def camry_query():
+    return ImpreciseQuery.like("Cars", Model="Camry", Price=10000)
+
+
+class TestRetuneOrdering:
+    def test_normalises_and_resorts(self, toy_schema):
+        ordering = uniform_ordering(toy_schema)
+        retuned = retune_ordering(
+            ordering, {"Make": 4.0, "Model": 2.0, "Price": 1.0, "Year": 1.0}
+        )
+        assert sum(retuned.importance.values()) == pytest.approx(1.0)
+        assert retuned.relaxation_order[-1] == "Make"
+        assert retuned.importance["Make"] == pytest.approx(0.5)
+
+    def test_zero_mass_rejected(self, toy_schema):
+        ordering = uniform_ordering(toy_schema)
+        with pytest.raises(ValueError):
+            retune_ordering(ordering, {name: 0.0 for name in ordering.importance})
+
+    def test_ties_keep_original_positions(self, toy_schema):
+        ordering = uniform_ordering(toy_schema)
+        retuned = retune_ordering(
+            ordering, dict.fromkeys(ordering.importance, 1.0)
+        )
+        assert retuned.relaxation_order == ordering.relaxation_order
+
+
+class TestImportanceTuner:
+    def test_validation(self, toy_schema):
+        with pytest.raises(ValueError):
+            ImportanceTuner(toy_schema, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            ImportanceTuner(toy_schema, weight_floor=-1)
+
+    def test_relevant_mismatch_lowers_weight(self, toy_schema):
+        """User accepts answers with the wrong Model: Model importance
+        should fall relative to Price."""
+        log = FeedbackLog(toy_schema)
+        for _ in range(10):
+            log.record(camry_query(), ("Honda", "Accord", 10000, 2001), True)
+        tuner = ImportanceTuner(toy_schema, learning_rate=0.2)
+        ordering = uniform_ordering(toy_schema)
+        tuned = tuner.tune(ordering, log)
+        assert tuned.importance["Model"] < tuned.importance["Price"]
+
+    def test_irrelevant_match_lowers_weight(self, toy_schema):
+        """User rejects answers that match Model but miss on Price:
+        Price gains importance over Model."""
+        log = FeedbackLog(toy_schema)
+        for _ in range(10):
+            log.record(camry_query(), ("Toyota", "Camry", 25000, 2004), False)
+        tuner = ImportanceTuner(toy_schema, learning_rate=0.2)
+        tuned = tuner.tune(uniform_ordering(toy_schema), log)
+        assert tuned.importance["Price"] > tuned.importance["Model"]
+
+    def test_empty_log_is_identity_up_to_normalisation(self, toy_schema):
+        ordering = uniform_ordering(toy_schema)
+        tuned = ImportanceTuner(toy_schema).tune(ordering, FeedbackLog(toy_schema))
+        assert tuned.importance == pytest.approx(ordering.importance)
+
+    def test_weights_stay_positive(self, toy_schema):
+        log = FeedbackLog(toy_schema)
+        for _ in range(200):
+            log.record(camry_query(), ("Honda", "Accord", 10000, 2001), True)
+        tuned = ImportanceTuner(toy_schema, learning_rate=0.5).tune(
+            uniform_ordering(toy_schema), log
+        )
+        assert all(w > 0 for w in tuned.importance.values())
+        assert sum(tuned.importance.values()) == pytest.approx(1.0)
+
+    def test_uses_vsim_for_agreement_when_given(self, toy_schema):
+        similarity = SimilarityModel(["Make", "Model"])
+        similarity.record("Model", "Camry", "Accord", 0.9)
+        log = FeedbackLog(toy_schema)
+        log.record(camry_query(), ("Honda", "Accord", 25000, 2001), False)
+        tuner = ImportanceTuner(toy_schema, learning_rate=0.2)
+        with_vsim = tuner.tune(
+            uniform_ordering(toy_schema), log, value_similarity=similarity
+        )
+        without = tuner.tune(uniform_ordering(toy_schema), log)
+        # With VSim, Accord nearly agrees with Camry, so the blame for
+        # irrelevance shifts harder onto Price than without VSim.
+        assert with_vsim.importance["Price"] > without.importance["Price"]
+
+
+class TestValueSimilarityTuner:
+    def make_model(self) -> SimilarityModel:
+        model = SimilarityModel(["Make", "Model"])
+        model.record("Model", "Camry", "Accord", 0.5)
+        model.register_value("Model", "F-150")
+        return model
+
+    def test_validation(self, toy_schema):
+        with pytest.raises(ValueError):
+            ValueSimilarityTuner(toy_schema, learning_rate=2.0)
+
+    def test_relevant_pulls_pair_closer(self, toy_schema):
+        log = FeedbackLog(toy_schema)
+        log.record(camry_query(), ("Honda", "Accord", 10000, 2001), True)
+        tuned = ValueSimilarityTuner(toy_schema, learning_rate=0.2).tune(
+            self.make_model(), log
+        )
+        assert tuned.similarity("Model", "Camry", "Accord") == pytest.approx(0.6)
+
+    def test_irrelevant_pushes_pair_apart(self, toy_schema):
+        log = FeedbackLog(toy_schema)
+        log.record(camry_query(), ("Honda", "Accord", 10000, 2001), False)
+        tuned = ValueSimilarityTuner(toy_schema, learning_rate=0.2).tune(
+            self.make_model(), log
+        )
+        assert tuned.similarity("Model", "Camry", "Accord") == pytest.approx(0.4)
+
+    def test_original_model_untouched(self, toy_schema):
+        model = self.make_model()
+        log = FeedbackLog(toy_schema)
+        log.record(camry_query(), ("Honda", "Accord", 10000, 2001), True)
+        ValueSimilarityTuner(toy_schema).tune(model, log)
+        assert model.similarity("Model", "Camry", "Accord") == pytest.approx(0.5)
+
+    def test_exact_match_not_tuned(self, toy_schema):
+        log = FeedbackLog(toy_schema)
+        log.record(camry_query(), ("Toyota", "Camry", 10000, 2001), True)
+        tuned = ValueSimilarityTuner(toy_schema).tune(self.make_model(), log)
+        assert tuned.pairs("Model") == self.make_model().pairs("Model")
+
+    def test_numeric_attributes_ignored(self, toy_schema):
+        log = FeedbackLog(toy_schema)
+        log.record(camry_query(), ("Honda", "Accord", 99999, 2001), True)
+        tuned = ValueSimilarityTuner(toy_schema).tune(self.make_model(), log)
+        # Only the Model pair moved; no numeric "pair" was invented.
+        assert set(tuned.attributes) == {"Make", "Model"}
+
+    def test_unseen_pair_learns_from_zero(self, toy_schema):
+        log = FeedbackLog(toy_schema)
+        log.record(camry_query(), ("Ford", "F-150", 10000, 2001), True)
+        tuned = ValueSimilarityTuner(toy_schema, learning_rate=0.3).tune(
+            self.make_model(), log
+        )
+        assert tuned.similarity("Model", "Camry", "F-150") == pytest.approx(0.3)

@@ -1,0 +1,95 @@
+"""Unit tests for query-driven importance from workloads."""
+
+import pytest
+
+from repro.core.attribute_order import uniform_ordering
+from repro.core.query import ImpreciseQuery
+from repro.feedback.workload import QueryWorkload, blend_importance
+
+
+@pytest.fixture()
+def workload(toy_schema):
+    return QueryWorkload(toy_schema)
+
+
+class TestQueryWorkload:
+    def test_record_and_count(self, workload):
+        workload.record(ImpreciseQuery.like("Cars", Model="Camry"))
+        workload.record(ImpreciseQuery.like("Cars", Model="Civic", Price=8000))
+        assert len(workload) == 2
+        assert workload.attribute_frequency("Model") == 2
+        assert workload.attribute_frequency("Price") == 1
+        assert workload.attribute_frequency("Year") == 0
+
+    def test_record_many(self, workload):
+        n = workload.record_many(
+            [
+                ImpreciseQuery.like("Cars", Make="Ford"),
+                ImpreciseQuery.like("Cars", Make="Honda"),
+            ]
+        )
+        assert n == 2
+
+    def test_record_validates(self, workload):
+        with pytest.raises(Exception):
+            workload.record(ImpreciseQuery.like("Cars", Nope="x"))
+
+    def test_unknown_attribute_frequency_raises(self, workload):
+        from repro.db.errors import UnknownAttributeError
+
+        with pytest.raises(UnknownAttributeError):
+            workload.attribute_frequency("Nope")
+
+    def test_empty_workload_uniform(self, workload, toy_schema):
+        importance = workload.importance()
+        assert all(
+            v == pytest.approx(1 / len(toy_schema)) for v in importance.values()
+        )
+
+    def test_importance_tracks_frequency(self, workload):
+        for _ in range(8):
+            workload.record(ImpreciseQuery.like("Cars", Model="Camry"))
+        workload.record(ImpreciseQuery.like("Cars", Price=9000))
+        importance = workload.importance()
+        assert importance["Model"] > importance["Price"] > importance["Year"]
+        assert sum(importance.values()) == pytest.approx(1.0)
+
+    def test_smoothing_validation(self, workload):
+        with pytest.raises(ValueError):
+            workload.importance(smoothing=-1)
+
+
+class TestBlendImportance:
+    def test_alpha_zero_identity(self, workload, toy_schema):
+        ordering = uniform_ordering(toy_schema)
+        assert blend_importance(ordering, workload, alpha=0.0) is ordering
+
+    def test_alpha_one_pure_workload(self, workload, toy_schema):
+        for _ in range(20):
+            workload.record(ImpreciseQuery.like("Cars", Model="Camry"))
+        ordering = uniform_ordering(toy_schema)
+        blended = blend_importance(ordering, workload, alpha=1.0)
+        assert blended.importance == pytest.approx(workload.importance())
+
+    def test_blend_moves_toward_workload(self, workload, toy_schema):
+        for _ in range(20):
+            workload.record(ImpreciseQuery.like("Cars", Model="Camry"))
+        ordering = uniform_ordering(toy_schema)
+        blended = blend_importance(ordering, workload, alpha=0.5)
+        assert (
+            ordering.importance["Model"]
+            < blended.importance["Model"]
+            < workload.importance()["Model"]
+        )
+
+    def test_relaxation_order_reflects_blend(self, workload, toy_schema):
+        for _ in range(20):
+            workload.record(ImpreciseQuery.like("Cars", Model="Camry"))
+        blended = blend_importance(
+            uniform_ordering(toy_schema), workload, alpha=0.8
+        )
+        assert blended.relaxation_order[-1] == "Model"
+
+    def test_alpha_validation(self, workload, toy_schema):
+        with pytest.raises(ValueError):
+            blend_importance(uniform_ordering(toy_schema), workload, alpha=1.5)

@@ -1,0 +1,90 @@
+"""Unit tests for the ROCK-based query answering system."""
+
+import pytest
+
+from repro.rock.answering import RockQueryAnswerer
+from repro.rock.clustering import RockConfig
+
+
+@pytest.fixture(scope="module")
+def fitted(car_table):
+    answerer = RockQueryAnswerer(
+        car_table,
+        config=RockConfig(theta=0.5, n_clusters=10),
+        sample_size=150,
+        seed=0,
+    )
+    return answerer.fit()
+
+
+class TestFitting:
+    def test_requires_fit(self, car_table):
+        answerer = RockQueryAnswerer(car_table, sample_size=50)
+        with pytest.raises(RuntimeError):
+            answerer.answer_row_id(0)
+
+    def test_labels_cover_table(self, fitted, car_table):
+        assert len(fitted.labels) == len(car_table)
+
+    def test_clustering_available(self, fitted):
+        assert fitted.clustering.n_clusters >= 1
+
+    def test_rank_mode_validation(self, car_table):
+        with pytest.raises(ValueError):
+            RockQueryAnswerer(car_table, rank_mode="magic")
+
+
+class TestAnswering:
+    def test_answer_row_id_excludes_self(self, fitted):
+        answers = fitted.answer_row_id(5, k=10)
+        assert 5 not in [a.row_id for a in answers]
+
+    def test_k_respected(self, fitted):
+        assert len(fitted.answer_row_id(5, k=3)) <= 3
+
+    def test_answers_share_items_with_query(self, fitted, car_table):
+        answers = fitted.answer_row_id(5, k=5)
+        assert all(a.similarity > 0 for a in answers)
+
+    def test_answer_example(self, fitted, car_table):
+        answers = fitted.answer_example(car_table.row(7), k=5)
+        assert len(answers) >= 1
+
+    def test_answer_bindings(self, fitted):
+        answers = fitted.answer_bindings({"Make": "Ford", "Color": "White"}, k=5)
+        assert len(answers) >= 1
+
+    def test_cluster_mode_scores_binary(self, fitted):
+        answers = fitted.answer_row_id(5, k=10)
+        assert all(a.similarity in (0.0, 1.0) for a in answers)
+
+    def test_jaccard_mode_scores_graded(self, car_table):
+        answerer = RockQueryAnswerer(
+            car_table,
+            config=RockConfig(theta=0.5, n_clusters=10),
+            sample_size=150,
+            seed=0,
+            rank_mode="jaccard",
+        ).fit()
+        answers = answerer.answer_row_id(5, k=10)
+        assert any(0.0 < a.similarity < 1.0 for a in answers)
+
+    def test_deterministic(self, car_table):
+        def run():
+            return [
+                a.row_id
+                for a in RockQueryAnswerer(
+                    car_table,
+                    config=RockConfig(theta=0.5, n_clusters=10),
+                    sample_size=150,
+                    seed=0,
+                )
+                .fit()
+                .answer_row_id(5, k=10)
+            ]
+
+        assert run() == run()
+
+    def test_timings_recorded(self, fitted):
+        assert fitted.timings.link_seconds > 0
+        assert fitted.timings.labeling_seconds > 0

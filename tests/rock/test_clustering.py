@@ -1,0 +1,95 @@
+"""Unit tests for ROCK agglomerative clustering."""
+
+import pytest
+
+from repro.rock.clustering import RockConfig, RockTimings, cluster_rock
+
+
+def two_group_items() -> list[frozenset]:
+    """Two obvious groups sharing no items across groups."""
+    group_a = [
+        frozenset({"Make=Ford", "Color=Red", "Year=2000"}),
+        frozenset({"Make=Ford", "Color=Red", "Year=2001"}),
+        frozenset({"Make=Ford", "Color=Blue", "Year=2000"}),
+    ]
+    group_b = [
+        frozenset({"Make=BMW", "Color=Black", "Year=2005"}),
+        frozenset({"Make=BMW", "Color=Black", "Year=2004"}),
+        frozenset({"Make=BMW", "Color=Silver", "Year=2005"}),
+    ]
+    return group_a + group_b
+
+
+class TestRockConfig:
+    def test_f_theta(self):
+        config = RockConfig(theta=0.5)
+        assert config.f_theta == pytest.approx(1 / 3)
+        assert config.exponent == pytest.approx(1 + 2 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RockConfig(theta=1.0)
+        with pytest.raises(ValueError):
+            RockConfig(n_clusters=0)
+        with pytest.raises(ValueError):
+            RockConfig(numeric_bins=0)
+
+
+class TestClusterRock:
+    def test_separates_obvious_groups(self):
+        items = two_group_items()
+        clustering = cluster_rock(items, RockConfig(theta=0.3, n_clusters=2))
+        assert clustering.n_clusters == 2
+        for members in clustering.clusters:
+            makes = {
+                next(i for i in items[m] if i.startswith("Make=")) for m in members
+            }
+            assert len(makes) == 1, "clusters must not mix groups"
+
+    def test_every_point_assigned_once(self):
+        items = two_group_items()
+        clustering = cluster_rock(items, RockConfig(theta=0.3, n_clusters=2))
+        assigned = sorted(p for members in clustering.clusters for p in members)
+        assert assigned == list(range(len(items)))
+
+    def test_cluster_of_mapping(self):
+        items = two_group_items()
+        clustering = cluster_rock(items, RockConfig(theta=0.3, n_clusters=2))
+        for cluster_id, members in enumerate(clustering.clusters):
+            for point in members:
+                assert clustering.cluster_of[point] == cluster_id
+
+    def test_stops_when_no_links(self):
+        # Disjoint singleton items can never merge.
+        items = [frozenset({f"v={i}"}) for i in range(5)]
+        clustering = cluster_rock(items, RockConfig(theta=0.5, n_clusters=1))
+        assert clustering.n_clusters == 5
+
+    def test_empty_input(self):
+        clustering = cluster_rock([], RockConfig())
+        assert clustering.clusters == []
+
+    def test_single_point(self):
+        clustering = cluster_rock([frozenset({"a"})], RockConfig())
+        assert clustering.clusters == [[0]]
+
+    def test_timings_populated(self):
+        timings = RockTimings()
+        cluster_rock(two_group_items(), RockConfig(theta=0.3, n_clusters=2), timings)
+        assert timings.link_seconds > 0
+        assert timings.clustering_seconds >= 0
+        assert timings.total_seconds >= timings.link_seconds
+
+    def test_deterministic(self):
+        items = two_group_items()
+        a = cluster_rock(items, RockConfig(theta=0.3, n_clusters=2))
+        b = cluster_rock(items, RockConfig(theta=0.3, n_clusters=2))
+        assert a.clusters == b.clusters
+
+    def test_members_copy(self):
+        clustering = cluster_rock(
+            two_group_items(), RockConfig(theta=0.3, n_clusters=2)
+        )
+        members = clustering.members(0)
+        members.append(999)
+        assert 999 not in clustering.clusters[0]

@@ -1,0 +1,50 @@
+"""Unit tests for ROCK's data-labelling phase."""
+
+from repro.rock.clustering import RockConfig, cluster_rock
+from repro.rock.labeling import label_points
+
+
+def make_clustering():
+    sample = [
+        frozenset({"Make=Ford", "Color=Red"}),
+        frozenset({"Make=Ford", "Color=Blue"}),
+        frozenset({"Make=BMW", "Color=Black"}),
+        frozenset({"Make=BMW", "Color=Silver"}),
+    ]
+    clustering = cluster_rock(sample, RockConfig(theta=0.3, n_clusters=2))
+    return clustering, sample
+
+
+class TestLabelPoints:
+    def test_sample_points_label_to_own_cluster(self):
+        clustering, sample = make_clustering()
+        labels = label_points(clustering, sample, sample)
+        for point, label in enumerate(labels):
+            assert label == clustering.cluster_of[point]
+
+    def test_new_points_route_to_similar_cluster(self):
+        clustering, sample = make_clustering()
+        new_points = [
+            frozenset({"Make=Ford", "Color=Green"}),
+            frozenset({"Make=BMW", "Color=Red"}),
+        ]
+        labels = label_points(clustering, sample, new_points)
+        ford_cluster = clustering.cluster_of[0]
+        bmw_cluster = clustering.cluster_of[2]
+        assert labels[0] == ford_cluster
+        assert labels[1] == bmw_cluster
+
+    def test_outlier_gets_minus_one(self):
+        clustering, sample = make_clustering()
+        labels = label_points(
+            clustering, sample, [frozenset({"Make=Lada", "Color=Beige"})]
+        )
+        assert labels == [-1]
+
+    def test_timings(self):
+        from repro.rock.clustering import RockTimings
+
+        clustering, sample = make_clustering()
+        timings = RockTimings()
+        label_points(clustering, sample, sample, timings=timings)
+        assert timings.labeling_seconds > 0

@@ -1,0 +1,58 @@
+"""Unit tests for ROCK link computation."""
+
+from repro.rock.links import LinkMatrix, compute_links
+
+
+class TestLinkMatrix:
+    def test_symmetric(self):
+        matrix = LinkMatrix(3)
+        matrix.increment(0, 1)
+        assert matrix.link(0, 1) == 1
+        assert matrix.link(1, 0) == 1
+
+    def test_default_zero(self):
+        assert LinkMatrix(3).link(0, 2) == 0
+
+    def test_pairs_deterministic(self):
+        matrix = LinkMatrix(3)
+        matrix.increment(2, 0)
+        matrix.increment(0, 1, amount=3)
+        assert matrix.pairs() == [(0, 1, 3), (0, 2, 1)]
+
+    def test_len_counts_linked_pairs(self):
+        matrix = LinkMatrix(3)
+        matrix.increment(0, 1)
+        matrix.increment(1, 2)
+        assert len(matrix) == 2
+
+
+class TestComputeLinks:
+    def test_common_neighbor_counting(self):
+        # All three points are mutual neighbours (self included), so
+        # each pair shares all 3 points as common neighbours.
+        neighbors = [[0, 1, 2], [0, 1, 2], [0, 1, 2]]
+        matrix = compute_links(neighbors)
+        assert matrix.link(0, 1) == 3
+        assert matrix.link(0, 2) == 3
+        assert matrix.link(1, 2) == 3
+
+    def test_isolated_points_have_no_links(self):
+        neighbors = [[0], [1], [2]]
+        matrix = compute_links(neighbors)
+        assert len(matrix) == 0
+
+    def test_clique_links_equal_clique_size(self):
+        neighbors = [[0, 1, 2, 3]] * 4
+        matrix = compute_links(neighbors)
+        assert matrix.link(0, 1) == 4
+
+    def test_matches_definition(self):
+        """link(a, b) must equal |N(a) ∩ N(b)| exactly."""
+        import itertools
+
+        neighbors = [[0, 1, 2], [0, 1, 3], [0, 2, 3], [1, 2, 3]]
+        matrix = compute_links(neighbors)
+        neighbor_sets = [set(n) for n in neighbors]
+        for a, b in itertools.combinations(range(4), 2):
+            expected = len(neighbor_sets[a] & neighbor_sets[b])
+            assert matrix.link(a, b) == expected, (a, b)

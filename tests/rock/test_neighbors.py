@@ -1,0 +1,74 @@
+"""Unit tests for ROCK point representation and neighbours."""
+
+import pytest
+
+from repro.rock.neighbors import (
+    itemize_table,
+    neighbor_lists,
+    rock_similarity,
+    tuple_items,
+)
+from repro.simmining.supertuple import NumericBinner
+
+
+class TestTupleItems:
+    def test_categorical_items(self, toy_schema):
+        items = tuple_items(("Ford", "Focus", 7000, 2001), toy_schema)
+        assert "Make=Ford" in items and "Model=Focus" in items
+
+    def test_numeric_skipped_without_binner(self, toy_schema):
+        items = tuple_items(("Ford", "Focus", 7000, 2001), toy_schema)
+        assert not any(item.startswith("Price=") for item in items)
+
+    def test_numeric_binned_with_binner(self, toy_schema):
+        binners = {"Price": NumericBinner("Price", 0, 10000, 2)}
+        items = tuple_items(("Ford", "Focus", 7000, 2001), toy_schema, binners)
+        assert "Price=5000-10000" in items
+
+    def test_nulls_skipped(self, toy_schema):
+        items = tuple_items(("Ford", None, None, None), toy_schema)
+        assert items == frozenset({"Make=Ford"})
+
+
+class TestItemizeTable:
+    def test_items_per_row(self, toy_table):
+        items, binners = itemize_table(toy_table, numeric_bins=4)
+        assert len(items) == len(toy_table)
+        assert set(binners) == {"Price", "Year"}
+        # Every row has all four attributes non-null.
+        assert all(len(itemset) == 4 for itemset in items)
+
+
+class TestRockSimilarity:
+    def test_jaccard_semantics(self):
+        a = frozenset({"x", "y"})
+        b = frozenset({"y", "z"})
+        assert rock_similarity(a, b) == pytest.approx(1 / 3)
+
+
+class TestNeighborLists:
+    def test_self_is_neighbor(self):
+        items = [frozenset({"a"}), frozenset({"b"})]
+        neighbors = neighbor_lists(items, theta=0.5)
+        assert 0 in neighbors[0] and 1 in neighbors[1]
+
+    def test_threshold(self):
+        items = [
+            frozenset({"a", "b"}),
+            frozenset({"a", "b"}),
+            frozenset({"z", "w"}),
+        ]
+        neighbors = neighbor_lists(items, theta=0.9)
+        assert set(neighbors[0]) == {0, 1}
+        assert set(neighbors[2]) == {2}
+
+    def test_symmetry(self):
+        items = [frozenset({"a", "b"}), frozenset({"a", "c"}), frozenset({"a"})]
+        neighbors = neighbor_lists(items, theta=0.3)
+        for i, lst in enumerate(neighbors):
+            for j in lst:
+                assert i in neighbors[j]
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            neighbor_lists([], theta=1.5)

@@ -1,0 +1,100 @@
+"""Unit tests for the probing data collector."""
+
+import random
+
+import pytest
+
+from repro.db.webdb import AutonomousWebDatabase
+from repro.sampling.collector import collect_sample, nested_samples, probe_all
+
+
+class TestProbeAll:
+    def test_collects_every_tuple(self, toy_webdb, toy_table):
+        local, report = probe_all(toy_webdb)
+        assert len(local) == len(toy_table)
+        assert report.complete
+        assert report.tuples_collected == len(toy_table)
+
+    def test_uses_named_attribute(self, toy_webdb):
+        local, report = probe_all(toy_webdb, spanning_attribute="Make")
+        assert report.spanning_attribute == "Make"
+        assert report.probes_issued == 3
+
+    def test_result_cap_without_pagination_undercovers(self, toy_table):
+        capped = AutonomousWebDatabase(toy_table, result_cap=1)
+        local, report = probe_all(
+            capped, spanning_attribute="Make", paginate=False
+        )
+        assert len(local) == 3  # one page per make
+        assert not report.complete
+        assert report.notes
+
+    def test_pagination_recovers_capped_source(self, toy_table):
+        capped = AutonomousWebDatabase(toy_table, result_cap=2)
+        local, report = probe_all(capped, spanning_attribute="Make")
+        assert len(local) == len(toy_table)
+        assert report.complete
+        assert report.pages_followed > 0
+
+    def test_max_pages_limit(self, toy_table):
+        capped = AutonomousWebDatabase(toy_table, result_cap=1)
+        local, report = probe_all(
+            capped, spanning_attribute="Make", max_pages_per_probe=2
+        )
+        # Toyota and Honda have 3 rows each: 2 pages deliver only 2.
+        assert len(local) < len(toy_table)
+        assert not report.complete
+
+
+class TestCollectSample:
+    def test_sample_size_respected(self, toy_webdb, rng):
+        sample, report = collect_sample(toy_webdb, 4, rng)
+        assert len(sample) == 4
+        assert report.tuples_collected == 4
+
+    def test_oversized_request_returns_all(self, toy_webdb, toy_table, rng):
+        sample, _ = collect_sample(toy_webdb, 100, rng)
+        assert len(sample) == len(toy_table)
+
+    def test_invalid_size(self, toy_webdb, rng):
+        with pytest.raises(ValueError):
+            collect_sample(toy_webdb, 0, rng)
+
+    def test_sample_rows_come_from_source(self, toy_webdb, toy_table, rng):
+        sample, _ = collect_sample(toy_webdb, 5, rng)
+        source_rows = set(toy_table.rows())
+        assert all(row in source_rows for row in sample)
+
+    def test_deterministic_with_seeded_rng(self, toy_webdb):
+        a, _ = collect_sample(toy_webdb, 4, random.Random(5))
+        toy_webdb.reset_accounting()
+        b, _ = collect_sample(toy_webdb, 4, random.Random(5))
+        assert a.rows() == b.rows()
+
+
+class TestNestedSamples:
+    def test_nesting_property(self, toy_table, rng):
+        samples = nested_samples(toy_table, [2, 4, 8], rng)
+        small = set(samples[2].rows())
+        medium = set(samples[4].rows())
+        large = set(samples[8].rows())
+        assert small <= medium <= large
+
+    def test_sizes(self, toy_table, rng):
+        samples = nested_samples(toy_table, [3, 5], rng)
+        assert len(samples[3]) == 3 and len(samples[5]) == 5
+
+    def test_oversized_clamped(self, toy_table, rng):
+        samples = nested_samples(toy_table, [100], rng)
+        assert len(samples[100]) == len(toy_table)
+
+    def test_empty_request(self, toy_table, rng):
+        assert nested_samples(toy_table, [], rng) == {}
+
+    def test_invalid_sizes(self, toy_table, rng):
+        with pytest.raises(ValueError):
+            nested_samples(toy_table, [0], rng)
+
+    def test_duplicates_collapse(self, toy_table, rng):
+        samples = nested_samples(toy_table, [2, 2, 4], rng)
+        assert set(samples) == {2, 4}

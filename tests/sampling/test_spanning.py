@@ -1,0 +1,74 @@
+"""Unit tests for spanning-query generation."""
+
+import pytest
+
+from repro.db.predicates import Between
+from repro.sampling.spanning import (
+    categorical_spanning_queries,
+    choose_spanning_attribute,
+    numeric_spanning_queries,
+)
+
+
+class TestCategoricalSpanning:
+    def test_one_query_per_option(self, toy_webdb):
+        queries = list(categorical_spanning_queries(toy_webdb, "Make"))
+        assert len(queries) == 3
+        values = {q.predicates[0].value for q in queries}
+        assert values == {"Ford", "Honda", "Toyota"}
+
+    def test_queries_jointly_cover_relation(self, toy_webdb, toy_table):
+        covered = set()
+        for query in categorical_spanning_queries(toy_webdb, "Make"):
+            covered.update(toy_webdb.query(query).row_ids)
+        assert covered == set(range(len(toy_table)))
+
+    def test_queries_are_disjoint(self, toy_webdb):
+        seen = set()
+        for query in categorical_spanning_queries(toy_webdb, "Model"):
+            ids = set(toy_webdb.query(query).row_ids)
+            assert not (seen & ids)
+            seen |= ids
+
+
+class TestNumericSpanning:
+    def test_ranges_cover_and_do_not_overlap(self):
+        queries = list(numeric_spanning_queries("Price", 0, 100, 4))
+        assert len(queries) == 4
+        predicates = [q.predicates[0] for q in queries]
+        assert all(isinstance(p, Between) for p in predicates)
+        assert predicates[0].low == 0
+        assert predicates[-1].high == 100
+        for left, right in zip(predicates, predicates[1:]):
+            assert left.high < right.low
+
+    def test_single_range(self):
+        queries = list(numeric_spanning_queries("Price", 5, 10, 1))
+        assert len(queries) == 1
+        assert queries[0].predicates[0].low == 5
+
+    def test_degenerate_extent(self):
+        queries = list(numeric_spanning_queries("Price", 5, 5, 3))
+        assert any(q.predicates[0].matches(5) for q in queries)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            list(numeric_spanning_queries("Price", 0, 10, 0))
+        with pytest.raises(ValueError):
+            list(numeric_spanning_queries("Price", 10, 0, 2))
+
+
+class TestChooseSpanningAttribute:
+    def test_picks_largest_fanout(self, toy_webdb):
+        # Model has 6 distinct values vs Make's 3.
+        assert choose_spanning_attribute(toy_webdb) == "Model"
+
+    def test_no_categorical_attribute(self):
+        from repro.db.schema import RelationSchema
+        from repro.db.table import Table
+        from repro.db.webdb import AutonomousWebDatabase
+
+        schema = RelationSchema.build("Nums", numeric=("X",))
+        webdb = AutonomousWebDatabase(Table(schema))
+        with pytest.raises(ValueError):
+            choose_spanning_attribute(webdb)

@@ -1,0 +1,71 @@
+"""Unit tests for workload-driven probing."""
+
+import pytest
+
+from repro.core.query import ImpreciseQuery
+from repro.db.webdb import AutonomousWebDatabase
+from repro.sampling.workload_probes import probe_from_workload
+
+
+def q(**bindings):
+    return ImpreciseQuery.like("Cars", **bindings)
+
+
+class TestProbeFromWorkload:
+    def test_collects_matching_tuples(self, toy_webdb):
+        sample, report = probe_from_workload(toy_webdb, [q(Make="Toyota")])
+        assert len(sample) == 3
+        assert all(row[0] == "Toyota" for row in sample)
+        assert report.queries_probed == 1
+        assert report.tuples_collected == 3
+
+    def test_numeric_bindings_widened(self, toy_webdb):
+        # No car costs exactly 10100; the ±25% band catches several.
+        sample, report = probe_from_workload(toy_webdb, [q(Price=10100)])
+        assert len(sample) >= 2
+        assert report.empty_probes == 0
+
+    def test_deduplicates_across_queries(self, toy_webdb):
+        sample, report = probe_from_workload(
+            toy_webdb, [q(Make="Toyota"), q(Make="Toyota")]
+        )
+        assert len(sample) == 3
+        assert report.duplicate_hits == 3
+
+    def test_max_tuples_cap(self, toy_webdb):
+        sample, report = probe_from_workload(
+            toy_webdb, [q(Make="Toyota"), q(Make="Honda")], max_tuples=4
+        )
+        assert len(sample) == 4
+        assert any("cap" in note for note in report.notes)
+
+    def test_empty_workload(self, toy_webdb):
+        sample, report = probe_from_workload(toy_webdb, [])
+        assert len(sample) == 0
+        assert report.notes
+
+    def test_unmatchable_query_counts_empty_probe(self, toy_webdb):
+        sample, report = probe_from_workload(toy_webdb, [q(Make="Lada")])
+        assert len(sample) == 0
+        assert report.empty_probes == 1
+
+    def test_pagination_through_result_caps(self, toy_table):
+        capped = AutonomousWebDatabase(toy_table, result_cap=1)
+        sample, report = probe_from_workload(capped, [q(Make="Toyota")])
+        assert len(sample) == 3
+        assert report.probes_issued > 1
+
+    def test_invalid_band(self, toy_webdb):
+        with pytest.raises(ValueError):
+            probe_from_workload(toy_webdb, [q(Make="Toyota")], numeric_band=0)
+
+    def test_query_validated(self, toy_webdb):
+        with pytest.raises(Exception):
+            probe_from_workload(toy_webdb, [q(Nope="x")])
+
+    def test_bias_toward_workload_region(self, car_webdb):
+        """The sample over-represents the asked-about makes."""
+        queries = [ImpreciseQuery.like("CarDB", Make="Ford")]
+        sample, _ = probe_from_workload(car_webdb, queries)
+        assert len(sample) > 0
+        assert all(row[0] == "Ford" for row in sample)

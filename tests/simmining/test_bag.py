@@ -1,0 +1,95 @@
+"""Unit tests for keyword bags and Jaccard semantics."""
+
+import pytest
+
+from repro.simmining.bag import Bag, jaccard_bags, jaccard_sets
+
+
+class TestBagBasics:
+    def test_counts_and_len(self):
+        bag = Bag(["a", "b", "a"])
+        assert len(bag) == 3
+        assert bag.count("a") == 2 and bag.count("z") == 0
+        assert bag.support == 2
+
+    def test_from_counts(self):
+        bag = Bag.from_counts({"a": 2, "b": 1, "z": 0})
+        assert bag.count("a") == 2
+        assert "z" not in bag
+
+    def test_from_counts_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Bag.from_counts({"a": -1})
+
+    def test_membership_iteration(self):
+        bag = Bag(["x", "y", "x"])
+        assert "x" in bag and "z" not in bag
+        assert set(bag) == {"x", "y"}
+
+    def test_equality(self):
+        assert Bag(["a", "a", "b"]) == Bag.from_counts({"a": 2, "b": 1})
+        assert Bag(["a"]) != Bag(["b"])
+
+    def test_most_common(self):
+        bag = Bag(["a", "a", "b"])
+        assert bag.most_common(1) == [("a", 2)]
+
+    def test_as_set(self):
+        assert Bag(["a", "a", "b"]).as_set() == frozenset({"a", "b"})
+
+    def test_counts_copy_is_detached(self):
+        bag = Bag(["a"])
+        counts = bag.counts()
+        counts["a"] = 99
+        assert bag.count("a") == 1
+
+
+class TestBagJaccard:
+    def test_identical_bags(self):
+        bag = Bag(["a", "a", "b"])
+        assert bag.jaccard(bag) == 1.0
+
+    def test_disjoint_bags(self):
+        assert Bag(["a"]).jaccard(Bag(["b"])) == 0.0
+
+    def test_empty_bags_are_identical(self):
+        assert Bag().jaccard(Bag()) == 1.0
+
+    def test_empty_vs_nonempty(self):
+        assert Bag().jaccard(Bag(["a"])) == 0.0
+
+    def test_multiplicity_matters(self):
+        # {a:2} vs {a:1}: min 1, max 2 -> 0.5 under bag semantics.
+        assert Bag(["a", "a"]).jaccard(Bag(["a"])) == pytest.approx(0.5)
+        # Set semantics would say 1.0.
+        assert jaccard_sets(frozenset({"a"}), frozenset({"a"})) == 1.0
+
+    def test_known_value(self):
+        a = Bag(["x", "x", "y"])
+        b = Bag(["x", "y", "y", "z"])
+        # min: x1+y1=2; max: x2+y2+z1=5
+        assert a.jaccard(b) == pytest.approx(2 / 5)
+
+    def test_symmetry(self):
+        a = Bag(["x", "x", "y"])
+        b = Bag(["y", "z"])
+        assert a.jaccard(b) == pytest.approx(b.jaccard(a))
+
+    def test_intersection_union_sizes(self):
+        a = Bag(["x", "x", "y"])
+        b = Bag(["x", "z"])
+        assert a.intersection_size(b) == 1
+        assert a.union_size(b) == 4
+
+    def test_module_alias(self):
+        a, b = Bag(["x"]), Bag(["x"])
+        assert jaccard_bags(a, b) == a.jaccard(b)
+
+
+class TestSetJaccard:
+    def test_basic(self):
+        assert jaccard_sets(frozenset("ab"), frozenset("bc")) == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        assert jaccard_sets(frozenset(), frozenset()) == 1.0
+        assert jaccard_sets(frozenset("a"), frozenset()) == 0.0

@@ -1,0 +1,58 @@
+"""Unit tests for the value-similarity graph (Figure 5 machinery)."""
+
+from repro.simmining.estimator import SimilarityModel
+from repro.simmining.graph import neighbors_above, similarity_graph, strongest_edges
+
+
+def make_model() -> SimilarityModel:
+    model = SimilarityModel(["Make"])
+    for value in ("Ford", "Chevrolet", "Toyota", "BMW"):
+        model.register_value("Make", value)
+    model.record("Make", "Ford", "Chevrolet", 0.25)
+    model.record("Make", "Ford", "Toyota", 0.16)
+    model.record("Make", "Ford", "BMW", 0.05)
+    model.record("Make", "Chevrolet", "Toyota", 0.12)
+    return model
+
+
+class TestSimilarityGraph:
+    def test_threshold_prunes_edges(self):
+        graph = similarity_graph(make_model(), "Make", threshold=0.1)
+        assert graph.has_edge("Ford", "Chevrolet")
+        assert not graph.has_edge("Ford", "BMW")
+
+    def test_isolated_nodes_kept(self):
+        graph = similarity_graph(make_model(), "Make", threshold=0.1)
+        assert "BMW" in graph.nodes
+        assert graph.degree("BMW") == 0
+
+    def test_edge_weights(self):
+        graph = similarity_graph(make_model(), "Make", threshold=0.1)
+        assert graph["Ford"]["Chevrolet"]["weight"] == 0.25
+
+    def test_threshold_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            similarity_graph(make_model(), "Make", threshold=1.5)
+
+    def test_zero_threshold_includes_all_recorded(self):
+        graph = similarity_graph(make_model(), "Make", threshold=0.0)
+        assert graph.number_of_edges() == 4
+
+
+class TestGraphQueries:
+    def test_strongest_edges_sorted(self):
+        graph = similarity_graph(make_model(), "Make", threshold=0.0)
+        edges = strongest_edges(graph, n=2)
+        assert edges[0][2] == 0.25
+        assert edges[0][:2] == ("Chevrolet", "Ford")
+
+    def test_neighbors_above(self):
+        graph = similarity_graph(make_model(), "Make", threshold=0.1)
+        neighbors = neighbors_above(graph, "Ford")
+        assert neighbors == [("Chevrolet", 0.25), ("Toyota", 0.16)]
+
+    def test_neighbors_of_absent_node(self):
+        graph = similarity_graph(make_model(), "Make", threshold=0.1)
+        assert neighbors_above(graph, "Nope") == []

@@ -1,0 +1,108 @@
+"""Unit tests for supertuples, AV-pairs and numeric binners."""
+
+import pytest
+
+from repro.simmining.avpair import AVPair
+from repro.simmining.supertuple import (
+    NumericBinner,
+    build_binners,
+    build_supertuple,
+)
+
+
+class TestAVPair:
+    def test_as_query(self):
+        query = AVPair("Make", "Ford").as_query()
+        assert query.bound_attributes == ("Make",)
+        assert query.equality_binding("Make") == "Ford"
+
+    def test_describe(self):
+        assert str(AVPair("Make", "Ford")) == "Make=Ford"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AVPair("", "Ford")
+        with pytest.raises(ValueError):
+            AVPair("Make", "")
+
+    def test_ordering_and_hash(self):
+        pairs = {AVPair("Make", "Ford"), AVPair("Make", "Ford")}
+        assert len(pairs) == 1
+        assert AVPair("Make", "A") < AVPair("Make", "B")
+
+
+class TestNumericBinner:
+    def test_bin_index_clamps(self):
+        binner = NumericBinner("Price", 0, 100, 4)
+        assert binner.bin_index(-5) == 0
+        assert binner.bin_index(500) == 3
+        assert binner.bin_index(30) == 1
+
+    def test_labels(self):
+        binner = NumericBinner("Price", 0, 100, 4)
+        assert binner.label(10) == "0-25"
+        assert binner.label(99) == "75-100"
+
+    def test_degenerate_extent(self):
+        binner = NumericBinner("Price", 5, 5, 3)
+        assert binner.bin_index(5) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NumericBinner("P", 0, 1, 0)
+        with pytest.raises(ValueError):
+            NumericBinner("P", 2, 1, 3)
+
+    def test_build_binners(self, toy_table):
+        binners = build_binners(toy_table, n_bins=5)
+        assert set(binners) == {"Price", "Year"}
+        assert binners["Price"].low == 7000
+        assert binners["Price"].high == 17000
+
+
+class TestBuildSupertuple:
+    def test_excludes_bound_attribute(self, toy_table):
+        avpair = AVPair("Make", "Toyota")
+        rows = toy_table.rows(toy_table.hash_index("Make").lookup("Toyota"))
+        supertuple = build_supertuple(avpair, rows, toy_table.schema)
+        assert "Make" not in supertuple
+        assert set(supertuple.attributes) == {"Model", "Price", "Year"}
+
+    def test_bags_count_cooccurrences(self, toy_table):
+        avpair = AVPair("Make", "Toyota")
+        rows = toy_table.rows(toy_table.hash_index("Make").lookup("Toyota"))
+        supertuple = build_supertuple(avpair, rows, toy_table.schema)
+        assert supertuple.bag("Model").count("Camry") == 2
+        assert supertuple.bag("Model").count("Corolla") == 1
+        assert supertuple.answerset_size == 3
+
+    def test_numeric_values_binned_when_binner_given(self, toy_table):
+        binners = build_binners(toy_table, n_bins=2)
+        avpair = AVPair("Make", "Ford")
+        rows = toy_table.rows(toy_table.hash_index("Make").lookup("Ford"))
+        supertuple = build_supertuple(avpair, rows, toy_table.schema, binners)
+        price_keywords = set(supertuple.bag("Price"))
+        assert all(isinstance(k, str) and "-" in k for k in price_keywords)
+
+    def test_numeric_values_raw_without_binner(self, toy_table):
+        avpair = AVPair("Make", "Ford")
+        rows = toy_table.rows(toy_table.hash_index("Make").lookup("Ford"))
+        supertuple = build_supertuple(avpair, rows, toy_table.schema)
+        assert supertuple.bag("Price").count(7000) == 1
+
+    def test_nulls_skipped(self, toy_schema):
+        from repro.db.table import Table
+
+        table = Table(toy_schema)
+        table.insert(("Ford", None, None, 2001))
+        supertuple = build_supertuple(
+            AVPair("Make", "Ford"), table.rows(), toy_schema
+        )
+        assert len(supertuple.bag("Model")) == 0
+        assert len(supertuple.bag("Year")) == 1
+
+    def test_describe_mentions_bound_pair(self, toy_table):
+        avpair = AVPair("Make", "Toyota")
+        rows = toy_table.rows(toy_table.hash_index("Make").lookup("Toyota"))
+        text = build_supertuple(avpair, rows, toy_table.schema).describe()
+        assert "Make=Toyota" in text and "Model" in text

@@ -1,0 +1,194 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_binding, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "cardb", "--rows", "50", "--out", "x.csv"]
+        )
+        assert args.dataset == "cardb" and args.rows == 50
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "nope", "--out", "x.csv"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig5"])
+        assert args.name == "fig5"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestParseBinding:
+    def test_string_value(self):
+        assert _parse_binding("Model=Camry") == ("Model", "Camry")
+
+    def test_int_value(self):
+        assert _parse_binding("Price=10000") == ("Price", 10000)
+
+    def test_float_value(self):
+        assert _parse_binding("Price=99.5") == ("Price", 99.5)
+
+    def test_missing_equals(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_binding("Model")
+
+
+class TestCommands:
+    def test_generate_cardb(self, tmp_path, capsys):
+        out = tmp_path / "cars.csv"
+        code = main(
+            ["generate", "cardb", "--rows", "40", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "wrote 40 rows" in capsys.readouterr().out
+
+    def test_generate_censusdb_with_labels(self, tmp_path, capsys):
+        out = tmp_path / "census.csv"
+        labels = tmp_path / "labels.txt"
+        code = main(
+            [
+                "generate",
+                "censusdb",
+                "--rows",
+                "30",
+                "--out",
+                str(out),
+                "--labels-out",
+                str(labels),
+            ]
+        )
+        assert code == 0
+        assert len(labels.read_text().splitlines()) == 30
+
+    def test_mine_prints_ordering(self, capsys):
+        code = main(
+            ["mine", "cardb", "--rows", "1200", "--sample", "500"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Attribute ordering" in output
+        assert "DependencyModel" in output
+
+    def test_mine_save_and_query_from_model(self, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        assert (
+            main(
+                [
+                    "mine",
+                    "cardb",
+                    "--rows",
+                    "1500",
+                    "--sample",
+                    "600",
+                    "--save",
+                    str(model_path),
+                ]
+            )
+            == 0
+        )
+        assert model_path.exists()
+        capsys.readouterr()
+        code = main(
+            [
+                "query",
+                "cardb",
+                "--rows",
+                "1500",
+                "--model",
+                str(model_path),
+                "-k",
+                "3",
+                "Model=Camry",
+                "Price=9000",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Camry" in output and "sim=" in output
+
+    def test_query_without_model(self, capsys):
+        code = main(
+            [
+                "query",
+                "cardb",
+                "--rows",
+                "1500",
+                "--sample",
+                "600",
+                "-k",
+                "3",
+                "Make=Honda",
+            ]
+        )
+        assert code == 0
+        assert "Answers for" in capsys.readouterr().out
+
+    def test_query_unknown_attribute_fails_cleanly(self, capsys):
+        code = main(
+            [
+                "query",
+                "cardb",
+                "--rows",
+                "1200",
+                "--sample",
+                "500",
+                "Nope=1",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_text_form(self, capsys):
+        code = main(
+            [
+                "query",
+                "cardb",
+                "--rows",
+                "1500",
+                "--sample",
+                "600",
+                "-k",
+                "3",
+                "--text",
+                "Model like Camry AND Price < 12000",
+            ]
+        )
+        assert code == 0
+        assert "Camry" in capsys.readouterr().out
+
+    def test_query_text_and_pairs_conflict(self, capsys):
+        code = main(
+            [
+                "query",
+                "cardb",
+                "--rows",
+                "1200",
+                "--sample",
+                "500",
+                "--text",
+                "Model like Camry",
+                "Price=9000",
+            ]
+        )
+        assert code == 2
+
+    def test_query_without_any_constraint(self, capsys):
+        code = main(["query", "cardb", "--rows", "1200", "--sample", "500"])
+        assert code == 2
+
+    def test_experiment_table1(self, capsys):
+        code = main(["experiment", "table1"])
+        assert code == 0
+        assert "Make=Ford" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""Failure injection: budget exhaustion, capped sources, hostile inputs.
+
+A production system meets rate limits, truncated pages and malformed
+inputs; these tests pin how the stack degrades.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import AIMQSettings
+from repro.core.pipeline import build_model, build_model_from_sample
+from repro.core.query import ImpreciseQuery
+from repro.datasets.cardb import generate_cardb
+from repro.db.errors import ProbeLimitExceededError, QueryError
+from repro.db.schema import RelationSchema
+from repro.db.table import Table
+from repro.db.webdb import AutonomousWebDatabase
+from repro.sampling.collector import collect_sample, probe_all
+
+
+class TestProbeBudgetExhaustion:
+    def test_collector_surfaces_budget_error(self, car_table):
+        limited = AutonomousWebDatabase(car_table, probe_budget=3)
+        with pytest.raises(ProbeLimitExceededError):
+            probe_all(limited, spanning_attribute="Model")
+
+    def test_engine_surfaces_budget_error_mid_answer(self, car_table):
+        sample = car_table.sample(range(0, len(car_table), 4))
+        model = build_model_from_sample(sample)
+        limited = AutonomousWebDatabase(car_table, probe_budget=2)
+        engine = model.engine(limited)
+        with pytest.raises(ProbeLimitExceededError):
+            engine.answer(ImpreciseQuery.like("CarDB", Model="Camry", Price=9000))
+
+    def test_budget_large_enough_succeeds(self, car_table):
+        sample = car_table.sample(range(0, len(car_table), 4))
+        model = build_model_from_sample(
+            sample, settings=AIMQSettings(max_relaxation_level=2)
+        )
+        generous = AutonomousWebDatabase(car_table, probe_budget=10_000)
+        answers = model.engine(generous).answer(
+            ImpreciseQuery.like("CarDB", Model="Camry", Price=9000), k=5
+        )
+        assert len(answers) >= 1
+
+
+class TestCappedSourceDegradation:
+    def test_build_model_against_capped_source(self):
+        """Pagination keeps mining possible behind small result pages."""
+        table = generate_cardb(800, seed=5)
+        capped = AutonomousWebDatabase(table, result_cap=25)
+        model = build_model(capped, sample_size=400, rng=random.Random(1))
+        assert len(model.sample) == 400
+        assert model.collection_report.complete
+
+    def test_engine_works_against_capped_source(self, car_table):
+        sample = car_table.sample(range(0, len(car_table), 4))
+        model = build_model_from_sample(sample)
+        capped = AutonomousWebDatabase(car_table, result_cap=5)
+        answers = model.engine(capped).answer(
+            ImpreciseQuery.like("CarDB", Model="Camry", Price=9000), k=5
+        )
+        assert len(answers) >= 1
+
+
+class TestHostileInputs:
+    def test_empty_relation_mining(self):
+        schema = RelationSchema.build(
+            "Empty", categorical=("A",), numeric=("N",)
+        )
+        model = build_model_from_sample(Table(schema))
+        assert model.dependencies.afds == ()
+        assert model.ordering.relaxation_order == ("A", "N")
+
+    def test_single_row_relation(self):
+        schema = RelationSchema.build(
+            "One", categorical=("A", "B"), numeric=("N",)
+        )
+        table = Table(schema)
+        table.insert(("x", "y", 1))
+        model = build_model_from_sample(table)
+        webdb = AutonomousWebDatabase(table)
+        answers = model.engine(webdb).answer(
+            ImpreciseQuery.like("One", A="x"), k=5
+        )
+        assert len(answers) == 1
+
+    def test_all_null_column(self):
+        schema = RelationSchema.build("N", categorical=("A", "B"))
+        table = Table(schema)
+        table.extend([("x", None), ("y", None), ("x", None)])
+        model = build_model_from_sample(table)
+        assert "B" in model.ordering.relaxation_order
+
+    def test_constant_relation(self):
+        schema = RelationSchema.build("C", categorical=("A", "B"))
+        table = Table(schema)
+        table.extend([("x", "y")] * 10)
+        model = build_model_from_sample(table)
+        webdb = AutonomousWebDatabase(table)
+        answers = model.engine(webdb).answer(
+            ImpreciseQuery.like("C", A="x"), k=3
+        )
+        assert len(answers) == 3
+
+    def test_query_for_unknown_value_fails_cleanly(self, car_table):
+        sample = car_table.sample(range(0, len(car_table), 4))
+        model = build_model_from_sample(sample)
+        webdb = AutonomousWebDatabase(car_table)
+        with pytest.raises(QueryError):
+            model.engine(webdb).answer(
+                ImpreciseQuery.like("CarDB", Model="Batmobile")
+            )
+
+    def test_sample_larger_than_source(self):
+        table = generate_cardb(50, seed=3)
+        webdb = AutonomousWebDatabase(table)
+        model = build_model(webdb, sample_size=500, rng=random.Random(1))
+        assert len(model.sample) == 50
+
+    def test_collect_sample_budget_failure(self, car_table):
+        limited = AutonomousWebDatabase(car_table, probe_budget=1)
+        with pytest.raises(ProbeLimitExceededError):
+            collect_sample(limited, 100, random.Random(0))

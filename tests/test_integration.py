@@ -1,0 +1,182 @@
+"""End-to-end integration tests: the full AIMQ story on both datasets."""
+
+import random
+
+import pytest
+
+from repro import (
+    AIMQSettings,
+    ImpreciseQuery,
+    build_model,
+    build_model_from_sample,
+)
+from repro.core.relaxation import GuidedRelax, RandomRelax
+from repro.datasets.cardb import generate_cardb
+from repro.datasets.census import generate_censusdb
+from repro.db.webdb import AutonomousWebDatabase
+from repro.evalx.experiments import census_settings
+from repro.rock.answering import RockQueryAnswerer
+from repro.rock.clustering import RockConfig
+from repro.sampling.collector import nested_samples
+
+
+@pytest.fixture(scope="module")
+def car_setup():
+    table = generate_cardb(4000, seed=21)
+    webdb = AutonomousWebDatabase(table)
+    model = build_model(
+        webdb,
+        sample_size=1200,
+        rng=random.Random(2),
+        settings=AIMQSettings(max_relaxation_level=3),
+    )
+    return table, webdb, model
+
+
+class TestCarDBEndToEnd:
+    def test_motivating_example(self, car_setup):
+        """The paper's §1 example: Camrys around $10000, plus lookalikes."""
+        table, webdb, model = car_setup
+        engine = model.engine(webdb)
+        answers = engine.answer(
+            ImpreciseQuery.like("CarDB", Model="Camry", Price=10000), k=10
+        )
+        assert len(answers) >= 3
+        models = {answer.row[1] for answer in answers}
+        assert "Camry" in models
+        # Every answer is at least somewhat similar to the query.
+        assert all(answer.similarity > 0.3 for answer in answers)
+
+    def test_answers_ranked_and_scored(self, car_setup):
+        table, webdb, model = car_setup
+        engine = model.engine(webdb)
+        answers = engine.answer(
+            ImpreciseQuery.like("CarDB", Make="Ford", Year="2000"), k=10
+        )
+        sims = [a.similarity for a in answers]
+        assert sims == sorted(sims, reverse=True)
+        assert all(0.0 <= s <= 1.0 for s in sims)
+
+    def test_offline_models_are_sane(self, car_setup):
+        _, _, model = car_setup
+        # Model must be a top-importance attribute on CarDB.
+        importance = model.ordering.importance
+        assert importance["Model"] == max(importance.values())
+        # Camry's closest model neighbours should share its segment.
+        top = model.value_similarity.top_similar("Model", "Camry", 5)
+        assert top, "Camry must have similar models"
+
+    def test_probing_only_access(self, car_setup):
+        """The engine never bypasses the web facade."""
+        table, webdb, model = car_setup
+        webdb.reset_accounting()
+        engine = model.engine(webdb)
+        engine.answer(ImpreciseQuery.like("CarDB", Model="Civic", Price=8000))
+        assert webdb.log.probes_issued > 0
+
+    def test_guided_cheaper_than_random_at_high_threshold(self, car_setup):
+        table, webdb, model = car_setup
+        rng = random.Random(5)
+        query_ids = rng.sample(range(len(table)), 6)
+        settings = AIMQSettings(
+            max_relaxation_level=6, max_extracted_per_base_tuple=50000
+        )
+
+        def total_work(strategy_factory):
+            extracted = 0
+            for query_id in query_ids:
+                engine = model.engine(webdb, strategy=strategy_factory(query_id))
+                engine.settings = settings
+                _, trace = engine.gather_similar(
+                    table.row(query_id),
+                    similarity_threshold=0.85,
+                    target=15,
+                    row_id=query_id,
+                )
+                extracted += trace.tuples_extracted
+            return extracted
+
+        guided = total_work(lambda _: GuidedRelax(model.ordering))
+        randomised = total_work(lambda qid: RandomRelax(seed=qid))
+        assert guided <= randomised
+
+
+class TestCensusEndToEnd:
+    @pytest.fixture(scope="class")
+    def census_setup(self):
+        table, labels = generate_censusdb(2500, seed=31)
+        webdb = AutonomousWebDatabase(table)
+        sample = nested_samples(table, [900], random.Random(3))[900]
+        model = build_model_from_sample(
+            sample, settings=census_settings(error_threshold=0.3)
+        )
+        return table, labels, webdb, model
+
+    def test_census_query_answering(self, census_setup):
+        """The paper's Q': Education like Bachelors, Hours like 40."""
+        table, labels, webdb, model = census_setup
+        engine = model.engine(webdb)
+        answers = engine.answer(
+            ImpreciseQuery.like(
+                "CensusDB", **{"Education": "Bachelors", "Hours-per-week": 40}
+            ),
+            k=10,
+        )
+        assert len(answers) >= 1
+        for answer in answers:
+            education = answer.row[table.schema.position("Education")]
+            hours = answer.row[table.schema.position("Hours-per-week")]
+            # Graded relevance: either same education or close hours.
+            assert education == "Bachelors" or abs(hours - 40) <= 20
+
+    def test_same_class_neighbors_beat_chance(self, census_setup):
+        """AIMQ's top answers match the query's income class more often
+        than the population base rate — the §6.5 premise."""
+        table, labels, webdb, model = census_setup
+        engine = model.engine(webdb)
+        rng = random.Random(7)
+        query_ids = rng.sample(range(len(table)), 25)
+        hits = total = 0
+        for query_id in query_ids:
+            answers, _ = engine.gather_similar(
+                table.row(query_id),
+                similarity_threshold=0.4,
+                target=5,
+                row_id=query_id,
+            )
+            for answer in answers[:5]:
+                total += 1
+                hits += labels[answer.row_id] == labels[query_id]
+        base_rate = max(
+            labels.count("<=50K"), labels.count(">50K")
+        ) / len(labels)
+        assert total > 0
+        assert hits / total >= base_rate - 0.05
+
+
+class TestRockComparatorIntegration:
+    def test_rock_pipeline_on_cardb(self, car_setup):
+        table, _, _ = car_setup
+        rock = RockQueryAnswerer(
+            table,
+            config=RockConfig(theta=0.5, n_clusters=8),
+            sample_size=200,
+            seed=1,
+        ).fit()
+        answers = rock.answer_row_id(11, k=10)
+        assert 1 <= len(answers) <= 10
+        assert rock.timings.total_seconds > 0
+
+
+class TestRobustnessIntegration:
+    def test_ordering_stable_across_nested_samples(self):
+        """Fig 3's claim at integration scale: the mined relaxation
+        order of the well-separated attributes survives subsampling."""
+        table = generate_cardb(4000, seed=33)
+        samples = nested_samples(table, [1000, 4000], random.Random(4))
+        orders = {}
+        for size, sample in samples.items():
+            model = build_model_from_sample(sample)
+            orders[size] = model.ordering.relaxation_order
+        # Model must be most important (last to relax) in both.
+        assert orders[1000][-1] == orders[4000][-1] == "Model"
