@@ -13,14 +13,24 @@ from pathlib import Path
 
 import pytest
 
+from repro.evalx.reporting import format_metrics_appendix
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
 @pytest.fixture()
 def record_result():
-    """Print a rendered experiment and persist it under results/."""
+    """Print a rendered experiment and persist it under results/.
+
+    When observability is enabled during a benchmark, the metrics
+    snapshot is appended to the artefact so the work accounting lands
+    next to the rendered table.
+    """
 
     def _record(name: str, text: str) -> None:
+        appendix = format_metrics_appendix()
+        if appendix:
+            text = text + "\n\n" + appendix
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")

@@ -40,6 +40,7 @@ from repro.afd.partition import (
 )
 from repro.db.schema import RelationSchema
 from repro.db.table import Table
+from repro.obs.runtime import OBS
 
 __all__ = ["TaneConfig", "TaneMiner", "mine_dependencies", "bin_numeric_column"]
 
@@ -154,6 +155,10 @@ class TaneMiner:
     def __init__(self, config: TaneConfig | None = None) -> None:
         self.config = config or TaneConfig()
         self._trivial_rhs: set[int] = set()
+        self._pruned: dict[str, int] = {}
+
+    def _prune(self, reason: str) -> None:
+        self._pruned[reason] = self._pruned.get(reason, 0) + 1
 
     # -- public API -----------------------------------------------------------
 
@@ -180,40 +185,51 @@ class TaneMiner:
         if n_rows == 0:
             return model
 
-        cache: dict[tuple[int, ...], StrippedPartition] = {}
-        for index, name in enumerate(names):
-            cache[(index,)] = partition_single(prepared[name], n_rows)
+        with OBS.span(
+            "afd.tane.mine", n_rows=n_rows, n_attributes=len(names)
+        ) as span:
+            self._pruned = {}
+            cache: dict[tuple[int, ...], StrippedPartition] = {}
+            for index, name in enumerate(names):
+                cache[(index,)] = partition_single(prepared[name], n_rows)
 
-        # Consequents for which the majority-value predictor is already
-        # within the threshold (see filter_trivial_consequents).
-        self._trivial_rhs = set()
-        if config.filter_trivial_consequents:
-            for index in range(len(names)):
-                if _null_error(cache[(index,)]) <= config.error_threshold:
-                    self._trivial_rhs.add(index)
+            # Consequents for which the majority-value predictor is already
+            # within the threshold (see filter_trivial_consequents).
+            self._trivial_rhs = set()
+            if config.filter_trivial_consequents:
+                for index in range(len(names)):
+                    if _null_error(cache[(index,)]) <= config.error_threshold:
+                        self._trivial_rhs.add(index)
 
-        max_level = max(config.max_lhs_size + 1, config.max_key_size)
-        max_level = min(max_level, len(names))
+            max_level = max(config.max_lhs_size + 1, config.max_key_size)
+            max_level = min(max_level, len(names))
 
-        # Valid determinant sets per consequent, for minimality checks.
-        valid_lhs: dict[int, list[frozenset[int]]] = {
-            index: [] for index in range(len(names))
-        }
-        valid_keys: list[frozenset[int]] = []
+            # Valid determinant sets per consequent, for minimality checks.
+            valid_lhs: dict[int, list[frozenset[int]]] = {
+                index: [] for index in range(len(names))
+            }
+            valid_keys: list[frozenset[int]] = []
 
-        self._mine_keys_at_level_one(names, cache, model, valid_keys)
+            self._mine_keys_at_level_one(names, cache, model, valid_keys)
 
-        for level in range(2, max_level + 1):
-            for subset in combinations(range(len(names)), level):
-                partition = self._partition_for(subset, cache)
-                if level <= config.max_key_size:
-                    self._consider_key(
-                        subset, partition, names, model, valid_keys
-                    )
-                if level <= config.max_lhs_size + 1:
-                    self._consider_afds(
-                        subset, partition, names, cache, model, valid_lhs
-                    )
+            level_sizes: dict[int, int] = {1: len(names)}
+            for level in range(2, max_level + 1):
+                level_sizes[level] = 0
+                for subset in combinations(range(len(names)), level):
+                    level_sizes[level] += 1
+                    partition = self._partition_for(subset, cache)
+                    if level <= config.max_key_size:
+                        self._consider_key(
+                            subset, partition, names, model, valid_keys
+                        )
+                    if level <= config.max_lhs_size + 1:
+                        self._consider_afds(
+                            subset, partition, names, cache, model, valid_lhs
+                        )
+            if OBS.enabled:
+                self._record_metrics(
+                    span, level_sizes, partitions=len(cache), model=model
+                )
         return model
 
     # -- internals ------------------------------------------------------------
@@ -267,6 +283,44 @@ class TaneMiner:
                 )
                 valid_keys.append(frozenset((index,)))
 
+    def _record_metrics(
+        self,
+        span,
+        level_sizes: dict[int, int],
+        partitions: int,
+        model: DependencyModel,
+    ) -> None:
+        """Publish one mining run's lattice statistics."""
+        registry = OBS.registry
+        sizes = registry.gauge(
+            "repro_afd_lattice_level_size",
+            "Attribute-set lattice nodes visited at each level.",
+            labels=("level",),
+        )
+        for level, size in level_sizes.items():
+            sizes.labels(level=level).set(size)
+        registry.counter(
+            "repro_afd_partitions_computed_total",
+            "Stripped partitions materialised (singles + products).",
+        ).inc(partitions)
+        pruned = registry.counter(
+            "repro_afd_candidates_pruned_total",
+            "Candidate dependencies rejected, by reason.",
+            labels=("reason",),
+        )
+        for reason, count in self._pruned.items():
+            pruned.labels(reason=reason).inc(count)
+        artifacts = registry.counter(
+            "repro_afd_artifacts_mined_total",
+            "AFDs and approximate keys admitted to the model.",
+            labels=("kind",),
+        )
+        artifacts.labels(kind="afd").inc(len(model.afds))
+        artifacts.labels(kind="key").inc(len(model.keys))
+        span.set_attribute("afds", len(model.afds))
+        span.set_attribute("keys", len(model.keys))
+        span.set_attribute("partitions", partitions)
+
     def _consider_key(
         self,
         subset: tuple[int, ...],
@@ -301,6 +355,7 @@ class TaneMiner:
     ) -> None:
         for rhs in subset:
             if rhs in self._trivial_rhs:
+                self._prune("trivial_consequent")
                 continue
             lhs = tuple(i for i in subset if i != rhs)
             lhs_partition = self._partition_for(lhs, cache)
@@ -308,9 +363,11 @@ class TaneMiner:
                 self.config.filter_key_determinants
                 and key_error(lhs_partition) <= self.config.error_threshold
             ):
+                self._prune("key_determinant")
                 continue
             error = dependency_error(lhs_partition, partition)
             if error > self.config.error_threshold:
+                self._prune("error_threshold")
                 continue
             lhs_set = frozenset(lhs)
             minimal = not any(known < lhs_set for known in valid_lhs[rhs])

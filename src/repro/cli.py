@@ -7,7 +7,14 @@ Four commands cover the life cycle a downstream user walks through:
   mined model as JSON;
 * ``query``    — answer an imprecise query, optionally from a stored
   model;
-* ``experiment`` — rerun one of the paper's tables/figures.
+* ``experiment`` — rerun one of the paper's tables/figures;
+* ``stats``    — exercise the full pipeline once with observability on
+  and dump the metrics snapshot.
+
+Every command also accepts ``--trace`` (print the recorded span trees
+afterwards) and ``--metrics-out PATH`` (write a metrics snapshot, JSON
+or Prometheus text per ``--metrics-format``); either flag switches the
+observability runtime on for the run.
 
 Examples::
 
@@ -15,7 +22,9 @@ Examples::
     python -m repro mine cardb --rows 8000 --sample 2000 --save /tmp/model.json
     python -m repro query cardb --rows 8000 --sample 2000 -k 5 \\
         Model=Camry Price=10000
+    python -m repro --trace query cardb --rows 2000 --sample 500 Make=Ford
     python -m repro experiment fig5
+    python -m repro stats cardb --rows 2000 --sample 500 --format prom
 """
 
 from __future__ import annotations
@@ -43,6 +52,7 @@ from repro.evalx import (
     format_fig5,
     format_fig8,
     format_fig9,
+    format_metrics_appendix,
     format_table2,
     format_table3,
     run_fig3,
@@ -55,6 +65,7 @@ from repro.evalx import (
     run_table2,
     run_table3,
 )
+from repro.obs import OBS, render_span_tree, to_json, to_prometheus
 
 __all__ = ["main", "build_parser"]
 
@@ -183,6 +194,52 @@ _EXPERIMENTS = {
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     _EXPERIMENTS[args.name]()
+    appendix = format_metrics_appendix()
+    if appendix:
+        print()
+        print(appendix)
+    return 0
+
+
+def _demo_query(
+    webdb: AutonomousWebDatabase, model: AIMQModel
+) -> ImpreciseQuery:
+    """A small likeness query built from the sample's first row."""
+    schema = webdb.schema
+    row = model.sample.row(0)
+    bindings: dict[str, object] = {}
+    for name in schema.categorical_names + schema.numeric_names:
+        value = row[schema.position(name)]
+        if value is None:
+            continue
+        bindings[name] = value
+        if len(bindings) >= 3:
+            break
+    if not bindings:
+        raise ValueError("sample row has no usable bindings for a demo query")
+    return ImpreciseQuery.like(schema.name, **bindings)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run build + one query with observability on; dump the snapshot."""
+    OBS.reset()
+    OBS.enable()
+    webdb, model = _mine_model(args)
+    engine = model.engine(webdb)
+    engine.answer(_demo_query(webdb, model), k=args.k)
+    snapshot = OBS.registry.snapshot()
+    sections = []
+    if args.format in ("json", "both"):
+        sections.append(to_json(snapshot))
+    if args.format in ("prom", "both"):
+        sections.append(to_prometheus(snapshot))
+    output = "\n\n".join(sections)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(output + "\n")
+        print(f"metrics snapshot written to {args.out}")
+    else:
+        print(output)
     return 0
 
 
@@ -193,6 +250,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="AIMQ (ICDE 2006) reproduction command line",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable observability and print the recorded span trees",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="enable observability and write a metrics snapshot to PATH",
+    )
+    parser.add_argument(
+        "--metrics-format",
+        choices=("json", "prom"),
+        default="json",
+        help="format for --metrics-out (default: json)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -246,6 +319,21 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
     experiment.set_defaults(handler=_cmd_experiment)
 
+    stats = subparsers.add_parser(
+        "stats",
+        help="run the pipeline once with observability on and dump metrics",
+    )
+    add_mining_args(stats)
+    stats.add_argument("-k", type=int, default=10)
+    stats.add_argument(
+        "--format",
+        choices=("json", "prom", "both"),
+        default="both",
+        help="snapshot rendering(s) to emit (default: both)",
+    )
+    stats.add_argument("--out", help="write the snapshot here, not stdout")
+    stats.set_defaults(handler=_cmd_stats)
+
     return parser
 
 
@@ -266,8 +354,21 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             return 2
         args.constraints = list(args.constraints) + extras
+    if getattr(args, "trace", False) or getattr(args, "metrics_out", None):
+        OBS.enable()
     try:
-        return args.handler(args)
+        code = args.handler(args)
+        if getattr(args, "trace", False):
+            for root in OBS.tracer.traces():
+                print(render_span_tree(root))
+        if getattr(args, "metrics_out", None):
+            render = (
+                to_json if args.metrics_format == "json" else to_prometheus
+            )
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(render(OBS.registry.snapshot()) + "\n")
+            print(f"metrics snapshot written to {args.metrics_out}")
+        return code
     except (ValueError, OSError, DatabaseError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

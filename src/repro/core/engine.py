@@ -29,6 +29,7 @@ from repro.core.relaxation import GuidedRelax, _RelaxerBase, tuple_as_query
 from repro.core.results import AnswerSet, RankedAnswer, RelaxationTrace
 from repro.core.similarity import TupleSimilarity
 from repro.db.webdb import AutonomousWebDatabase
+from repro.obs.runtime import OBS
 from repro.simmining.estimator import SimilarityModel
 
 __all__ = ["AIMQEngine"]
@@ -81,34 +82,49 @@ class AIMQEngine:
         top_k = settings.top_k if k is None else k
 
         trace = RelaxationTrace()
-        base = self.mapper.map(query)
-        trace.generalisation_steps = base.generalisation_steps
-        base_rows = list(zip(base.result.row_ids, base.result.rows))
-        base_rows = base_rows[: settings.base_set_cap]
-        trace.base_set_size = len(base_rows)
+        with OBS.span(
+            "engine.answer", query=query.describe(), k=top_k
+        ) as root:
+            with OBS.span("engine.base_query_mapping") as mapping_span:
+                base = self.mapper.map(query)
+                mapping_span.set_attribute("base_set_size", len(base))
+                mapping_span.set_attribute(
+                    "generalisation_steps", len(base.generalisation_steps)
+                )
+            trace.generalisation_steps = base.generalisation_steps
+            base_rows = list(zip(base.result.row_ids, base.result.rows))
+            base_rows = base_rows[: settings.base_set_cap]
+            trace.base_set_size = len(base_rows)
 
-        # Extended set, deduplicated by row id; base tuples are answers
-        # by construction (they satisfy a specialisation of Q).
-        extended: dict[int, RankedAnswer] = {}
-        for base_row_id, base_row in base_rows:
-            extended[base_row_id] = RankedAnswer(
-                row_id=base_row_id,
-                row=base_row,
-                similarity=self.similarity.sim_to_query(query, base_row),
-                base_similarity=1.0,
-                source_base_row_id=base_row_id,
-                relaxation_level=0,
-            )
+            # Extended set, deduplicated by row id; base tuples are answers
+            # by construction (they satisfy a specialisation of Q).
+            extended: dict[int, RankedAnswer] = {}
+            for base_row_id, base_row in base_rows:
+                extended[base_row_id] = RankedAnswer(
+                    row_id=base_row_id,
+                    row=base_row,
+                    similarity=self.similarity.sim_to_query(query, base_row),
+                    base_similarity=1.0,
+                    source_base_row_id=base_row_id,
+                    relaxation_level=0,
+                )
 
-        for base_row_id, base_row in base_rows:
-            self._expand_base_tuple(
-                base_row_id, base_row, query, threshold, extended, trace
-            )
+            for base_row_id, base_row in base_rows:
+                self._expand_base_tuple(
+                    base_row_id, base_row, query, threshold, extended, trace
+                )
 
-        answers = sorted(
-            extended.values(),
-            key=lambda a: (-a.similarity, -a.base_similarity, a.row_id),
-        )[:top_k]
+            with OBS.span(
+                "engine.ranking", candidates=len(extended)
+            ):
+                answers = sorted(
+                    extended.values(),
+                    key=lambda a: (-a.similarity, -a.base_similarity, a.row_id),
+                )[:top_k]
+            root.set_attribute("answers", len(answers))
+            root.set_attribute("probes", trace.queries_issued)
+        if OBS.enabled:
+            self._record_query_metrics("answer", trace)
         return AnswerSet(query=query, answers=answers, trace=trace)
 
     def answer_by_example(
@@ -150,19 +166,27 @@ class AIMQEngine:
         trace = RelaxationTrace(base_set_size=1)
         extended: dict[int, RankedAnswer] = {}
         seed_id = row_id if row_id is not None else -1
-        self._expand_base_tuple(
-            seed_id,
-            row,
-            None,
-            threshold,
-            extended,
-            trace,
-            target=target,
-        )
-        answers = sorted(
-            extended.values(),
-            key=lambda a: (-a.base_similarity, a.row_id),
-        )
+        with OBS.span(
+            "engine.gather_similar", row_id=seed_id, threshold=threshold
+        ) as root:
+            self._expand_base_tuple(
+                seed_id,
+                row,
+                None,
+                threshold,
+                extended,
+                trace,
+                target=target,
+            )
+            with OBS.span("engine.ranking", candidates=len(extended)):
+                answers = sorted(
+                    extended.values(),
+                    key=lambda a: (-a.base_similarity, a.row_id),
+                )
+            root.set_attribute("answers", len(answers))
+            root.set_attribute("probes", trace.queries_issued)
+        if OBS.enabled:
+            self._record_query_metrics("gather_similar", trace)
         return answers, trace
 
     # -- internals --------------------------------------------------------
@@ -190,47 +214,100 @@ class AIMQEngine:
         quota = target if target is not None else settings.target_per_base_tuple
         relevant_found = 0
         extracted = 0
+        observing = OBS.enabled
+        score_histogram = (
+            OBS.registry.histogram(
+                "repro_core_similarity_score",
+                "Base-tuple similarity of every extracted tuple.",
+                buckets=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+            )
+            if observing
+            else None
+        )
 
-        for step in self.strategy.relaxation_steps(
-            bound_query, settings.max_relaxation_level
-        ):
-            if relevant_found >= quota:
-                break
-            if extracted >= settings.max_extracted_per_base_tuple:
-                break
-            result = self.webdb.query(step.query)
-            trace.queries_issued += 1
-            trace.deepest_level = max(trace.deepest_level, step.level)
-            for row_id, row in zip(result.row_ids, result.rows):
-                if row_id == base_row_id:
-                    continue
-                extracted += 1
-                trace.tuples_extracted += 1
-                base_similarity = self.similarity.sim_between_rows(base_row, row)
-                if base_similarity <= threshold:
-                    continue
-                existing = extended.get(row_id)
-                if existing is None:
-                    # Only distinct relevant tuples count toward the
-                    # quota; re-fetching a known answer is not progress.
-                    relevant_found += 1
-                    trace.tuples_relevant += 1
-                elif existing.base_similarity >= base_similarity:
-                    continue
-                query_similarity = (
-                    base_similarity
-                    if query is None
-                    else self.similarity.sim_to_query(query, row)
-                )
-                extended[row_id] = RankedAnswer(
-                    row_id=row_id,
-                    row=row,
-                    similarity=query_similarity,
-                    base_similarity=base_similarity,
-                    source_base_row_id=base_row_id,
-                    relaxation_level=step.level,
-                )
+        with OBS.span(
+            "engine.expand_base_tuple", base_row_id=base_row_id
+        ) as expand_span:
+            for step in self.strategy.relaxation_steps(
+                bound_query, settings.max_relaxation_level
+            ):
                 if relevant_found >= quota:
                     break
                 if extracted >= settings.max_extracted_per_base_tuple:
                     break
+                with OBS.span(
+                    "engine.relaxation_level",
+                    level=step.level,
+                    relaxed=",".join(step.relaxed_attributes),
+                ) as step_span:
+                    result = self.webdb.query(step.query)
+                    step_span.set_attribute("result_size", len(result))
+                if observing:
+                    OBS.registry.counter(
+                        "repro_core_relaxation_probes_total",
+                        "Relaxation probes issued, by relaxation level.",
+                        labels=("level",),
+                    ).labels(level=step.level).inc()
+                trace.queries_issued += 1
+                trace.deepest_level = max(trace.deepest_level, step.level)
+                for row_id, row in zip(result.row_ids, result.rows):
+                    if row_id == base_row_id:
+                        continue
+                    extracted += 1
+                    trace.tuples_extracted += 1
+                    base_similarity = self.similarity.sim_between_rows(
+                        base_row, row
+                    )
+                    if score_histogram is not None:
+                        score_histogram.observe(base_similarity)
+                    if base_similarity <= threshold:
+                        continue
+                    existing = extended.get(row_id)
+                    if existing is None:
+                        # Only distinct relevant tuples count toward the
+                        # quota; re-fetching a known answer is not progress.
+                        relevant_found += 1
+                        trace.tuples_relevant += 1
+                    elif existing.base_similarity >= base_similarity:
+                        continue
+                    query_similarity = (
+                        base_similarity
+                        if query is None
+                        else self.similarity.sim_to_query(query, row)
+                    )
+                    extended[row_id] = RankedAnswer(
+                        row_id=row_id,
+                        row=row,
+                        similarity=query_similarity,
+                        base_similarity=base_similarity,
+                        source_base_row_id=base_row_id,
+                        relaxation_level=step.level,
+                    )
+                    if relevant_found >= quota:
+                        break
+                    if extracted >= settings.max_extracted_per_base_tuple:
+                        break
+            expand_span.set_attribute("extracted", extracted)
+            expand_span.set_attribute("relevant", relevant_found)
+
+    def _record_query_metrics(self, mode: str, trace: RelaxationTrace) -> None:
+        """Publish one answered query's work accounting."""
+        registry = OBS.registry
+        registry.counter(
+            "repro_core_queries_answered_total",
+            "Imprecise queries answered, by entry point.",
+            labels=("mode",),
+        ).labels(mode=mode).inc()
+        registry.histogram(
+            "repro_core_base_set_size",
+            "Base-set sizes after mapping/generalisation.",
+            buckets=(0, 1, 2, 5, 10, 20, 50, 100, 200),
+        ).observe(trace.base_set_size)
+        registry.counter(
+            "repro_core_tuples_extracted_total",
+            "Tuples pulled from the source during relaxation.",
+        ).inc(trace.tuples_extracted)
+        registry.counter(
+            "repro_core_tuples_relevant_total",
+            "Extracted tuples clearing the similarity threshold.",
+        ).inc(trace.tuples_relevant)

@@ -11,7 +11,6 @@ wall-clock timing breakdown that Table 2 reports.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 
 from repro.afd.model import DependencyModel
@@ -22,6 +21,7 @@ from repro.core.engine import AIMQEngine
 from repro.core.relaxation import RandomRelax, _RelaxerBase
 from repro.db.table import Table
 from repro.db.webdb import AutonomousWebDatabase
+from repro.obs.runtime import OBS, timed_phase
 from repro.sampling.collector import CollectionReport, collect_sample
 from repro.simmining.estimator import SimilarityModel, ValueSimilarityMiner
 
@@ -91,9 +91,18 @@ def build_model_from_sample(
     settings = settings or AIMQSettings()
     timings = BuildTimings()
 
-    start = time.perf_counter()
-    dependencies = TaneMiner(settings.tane).mine(sample)
-    timings.dependency_mining_seconds = time.perf_counter() - start
+    # Phase durations come from span-backed timers: when observability
+    # is enabled each phase is also a span (and a sample in the
+    # ``repro_core_pipeline_phase_seconds`` histogram), so BuildTimings
+    # and the trace report the same numbers by construction.
+    with timed_phase(
+        "pipeline.dependency_mining",
+        histogram="repro_core_pipeline_phase_seconds",
+        help_text="Wall-clock seconds per offline pipeline phase.",
+        labels={"phase": "dependency_mining"},
+    ) as mining_phase:
+        dependencies = TaneMiner(settings.tane).mine(sample)
+    timings.dependency_mining_seconds = mining_phase.elapsed_seconds
 
     ordering = compute_attribute_ordering(
         sample.schema, dependencies, key_criterion=key_criterion
@@ -106,6 +115,16 @@ def build_model_from_sample(
     value_similarity = miner.mine(sample)
     timings.supertuple_seconds = miner.timings.supertuple_seconds
     timings.similarity_estimation_seconds = miner.timings.estimation_seconds
+    if OBS.enabled:
+        phases = OBS.registry.histogram(
+            "repro_core_pipeline_phase_seconds",
+            "Wall-clock seconds per offline pipeline phase.",
+            labels=("phase",),
+        )
+        phases.labels(phase="supertuple").observe(timings.supertuple_seconds)
+        phases.labels(phase="similarity_estimation").observe(
+            timings.similarity_estimation_seconds
+        )
 
     extents: dict[str, tuple[float, float]] = {}
     for name in sample.schema.numeric_names:
@@ -138,15 +157,20 @@ def build_model(
     dependencies, the attribute ordering and value similarities.
     """
     rng = rng or random.Random(0)
-    start = time.perf_counter()
-    sample, report = collect_sample(
-        webdb, sample_size, rng, spanning_attribute=spanning_attribute
-    )
-    probing_seconds = time.perf_counter() - start
+    with OBS.span("pipeline.build_model", sample_size=sample_size):
+        with timed_phase(
+            "pipeline.probing",
+            histogram="repro_core_pipeline_phase_seconds",
+            help_text="Wall-clock seconds per offline pipeline phase.",
+            labels={"phase": "probing"},
+        ) as probing_phase:
+            sample, report = collect_sample(
+                webdb, sample_size, rng, spanning_attribute=spanning_attribute
+            )
 
-    model = build_model_from_sample(
-        sample, settings=settings, key_criterion=key_criterion
-    )
-    model.timings.probing_seconds = probing_seconds
+        model = build_model_from_sample(
+            sample, settings=settings, key_criterion=key_criterion
+        )
+    model.timings.probing_seconds = probing_phase.elapsed_seconds
     model.collection_report = report
     return model

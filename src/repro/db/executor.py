@@ -12,16 +12,20 @@ fully deterministic:
 When no predicate is indexable the executor falls back to a full scan.
 An :class:`ExecutionStats` record reports how much work each query did —
 the efficiency experiments (paper Figs 6–7) count extracted tuples
-through this channel.
+through this channel — and, when observability is enabled, the same
+work lands in the shared metrics registry (probe latency histogram,
+rows scanned vs returned, truncations).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 
 from repro.db.predicates import Eq, IsIn, Predicate
 from repro.db.query import SelectionQuery
 from repro.db.table import Table
+from repro.obs.runtime import OBS
 
 __all__ = ["ExecutionStats", "QueryResult", "Executor"]
 
@@ -42,6 +46,20 @@ class ExecutionStats:
         self.rows_returned += other.rows_returned
         self.full_scans += other.full_scans
         self.index_lookups += other.index_lookups
+
+    def snapshot(self) -> "ExecutionStats":
+        """An independent copy of the current counters."""
+        return replace(self)
+
+    def delta(self, since: "ExecutionStats") -> "ExecutionStats":
+        """Counters accumulated after the ``since`` snapshot was taken."""
+        return ExecutionStats(
+            queries_executed=self.queries_executed - since.queries_executed,
+            rows_examined=self.rows_examined - since.rows_examined,
+            rows_returned=self.rows_returned - since.rows_returned,
+            full_scans=self.full_scans - since.full_scans,
+            index_lookups=self.index_lookups - since.index_lookups,
+        )
 
 
 @dataclass(frozen=True)
@@ -123,12 +141,15 @@ class Executor:
         if offset < 0:
             raise ValueError("offset cannot be negative")
         query.validate_against(self.table.schema)
+        observing = OBS.enabled
+        started = time.perf_counter() if observing else 0.0
         self.stats.queries_executed += 1
         plan = self._plan(query)
 
         matched_ids: list[int] = []
         skipped = 0
         truncated = False
+        examined = 0
         schema = self.table.schema
 
         def consume(row_id: int, row: tuple) -> bool:
@@ -146,20 +167,29 @@ class Executor:
         if plan.candidates is None:
             self.stats.full_scans += 1
             for row_id, row in enumerate(self.table):
-                self.stats.rows_examined += 1
+                examined += 1
                 if query.matches(row, schema) and consume(row_id, row):
                     break
         else:
             self.stats.index_lookups += 1
             residual = SelectionQuery(plan.residual)
             for row_id in plan.candidates:
-                self.stats.rows_examined += 1
+                examined += 1
                 row = self.table.row(row_id)
                 if residual.matches(row, schema) and consume(row_id, row):
                     break
 
+        self.stats.rows_examined += examined
         rows = tuple(self.table.row(row_id) for row_id in matched_ids)
         self.stats.rows_returned += len(rows)
+        if observing:
+            self._record_metrics(
+                mode="scan" if plan.candidates is None else "index",
+                seconds=time.perf_counter() - started,
+                examined=examined,
+                returned=len(rows),
+                truncated=truncated,
+            )
         return QueryResult(
             query=query,
             row_ids=tuple(matched_ids),
@@ -168,5 +198,74 @@ class Executor:
         )
 
     def count(self, query: SelectionQuery) -> int:
-        """Number of tuples matching ``query`` (no row materialisation)."""
-        return len(self.execute(query))
+        """Number of tuples matching ``query``.
+
+        A true count-only path: no row tuples are materialised and the
+        ``rows_returned`` work counter is untouched, so count probes
+        never inflate the rows-returned accounting the efficiency
+        experiments read.
+        """
+        query.validate_against(self.table.schema)
+        observing = OBS.enabled
+        started = time.perf_counter() if observing else 0.0
+        self.stats.queries_executed += 1
+        plan = self._plan(query)
+        schema = self.table.schema
+        matches = 0
+        examined = 0
+
+        if plan.candidates is None:
+            self.stats.full_scans += 1
+            for row in self.table:
+                examined += 1
+                if query.matches(row, schema):
+                    matches += 1
+        else:
+            self.stats.index_lookups += 1
+            residual = SelectionQuery(plan.residual)
+            for row_id in plan.candidates:
+                examined += 1
+                if residual.matches(self.table.row(row_id), schema):
+                    matches += 1
+
+        self.stats.rows_examined += examined
+        if observing:
+            self._record_metrics(
+                mode="scan" if plan.candidates is None else "index",
+                seconds=time.perf_counter() - started,
+                examined=examined,
+                returned=0,
+                truncated=False,
+            )
+        return matches
+
+    # -- observability --------------------------------------------------------
+
+    def _record_metrics(
+        self,
+        mode: str,
+        seconds: float,
+        examined: int,
+        returned: int,
+        truncated: bool,
+    ) -> None:
+        registry = OBS.registry
+        registry.histogram(
+            "repro_db_probe_seconds",
+            "Latency of one selection probe against the local substrate.",
+            labels=("mode",),
+        ).labels(mode=mode).observe(seconds)
+        registry.counter(
+            "repro_db_rows_examined_total",
+            "Rows touched while evaluating selection probes.",
+        ).inc(examined)
+        if returned:
+            registry.counter(
+                "repro_db_rows_returned_total",
+                "Rows materialised and handed back to callers.",
+            ).inc(returned)
+        if truncated:
+            registry.counter(
+                "repro_db_result_truncations_total",
+                "Probes whose result window was cut short by a cap.",
+            ).inc()

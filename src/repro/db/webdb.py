@@ -15,28 +15,43 @@ access model on top of the local engine:
 The Data Collector (:mod:`repro.sampling`) and the online Query Engine
 (:mod:`repro.core.engine`) both operate exclusively through this facade,
 so nothing in AIMQ accidentally depends on local-database privileges.
+
+Accounting comes in two layers: the cumulative :class:`ProbeLog` (plus
+nestable :meth:`AutonomousWebDatabase.accounting_scope` windows over
+it), and — when observability is enabled — labelled counters in the
+shared metrics registry, including probe counts by predicate shape.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator
 
 from repro.db.errors import ProbeLimitExceededError
 from repro.db.executor import ExecutionStats, Executor, QueryResult
 from repro.db.query import SelectionQuery
 from repro.db.schema import RelationSchema
 from repro.db.table import Table
+from repro.obs.runtime import OBS
 
-__all__ = ["ProbeLog", "AutonomousWebDatabase"]
+__all__ = ["ProbeLog", "AccountingWindow", "AutonomousWebDatabase"]
 
 
 @dataclass
 class ProbeLog:
-    """Account of the probing traffic an autonomous source has seen."""
+    """Account of the probing traffic an autonomous source has seen.
+
+    ``count_probes`` tracks result-count probes separately: a count
+    probe costs the source one form submission (and one unit of probe
+    budget) but returns no tuples, so it must never inflate
+    ``tuples_returned``.
+    """
 
     probes_issued: int = 0
     tuples_returned: int = 0
     empty_results: int = 0
+    count_probes: int = 0
 
     def record(self, result: QueryResult) -> None:
         self.probes_issued += 1
@@ -44,10 +59,86 @@ class ProbeLog:
         if not result:
             self.empty_results += 1
 
+    def record_count(self, matches: int) -> None:
+        """Account one count-only probe (no tuples were returned)."""
+        self.probes_issued += 1
+        self.count_probes += 1
+        if matches == 0:
+            self.empty_results += 1
+
+    def snapshot(self) -> "ProbeLog":
+        """An independent copy of the current counters."""
+        return replace(self)
+
+    def delta(self, since: "ProbeLog") -> "ProbeLog":
+        """Traffic recorded after the ``since`` snapshot was taken."""
+        return ProbeLog(
+            probes_issued=self.probes_issued - since.probes_issued,
+            tuples_returned=self.tuples_returned - since.tuples_returned,
+            empty_results=self.empty_results - since.empty_results,
+            count_probes=self.count_probes - since.count_probes,
+        )
+
     def reset(self) -> None:
         self.probes_issued = 0
         self.tuples_returned = 0
         self.empty_results = 0
+        self.count_probes = 0
+
+
+class AccountingWindow:
+    """Delta view over a webdb's accounting since the window opened.
+
+    Windows never mutate the underlying counters, so they nest freely
+    and leave the global totals intact — unlike ``reset_accounting``,
+    which zeroes everything for every observer at once.
+    """
+
+    def __init__(
+        self, webdb: "AutonomousWebDatabase", log_start: ProbeLog,
+        stats_start: ExecutionStats,
+    ) -> None:
+        self._webdb = webdb
+        self._log_start = log_start
+        self._stats_start = stats_start
+        self._frozen_log: ProbeLog | None = None
+        self._frozen_stats: ExecutionStats | None = None
+
+    @property
+    def log(self) -> ProbeLog:
+        """Probe traffic inside the window (live until the window closes)."""
+        if self._frozen_log is not None:
+            return self._frozen_log
+        return self._webdb.log.delta(self._log_start)
+
+    @property
+    def execution_stats(self) -> ExecutionStats:
+        """Engine-side work inside the window."""
+        if self._frozen_stats is not None:
+            return self._frozen_stats
+        return self._webdb.execution_stats.delta(self._stats_start)
+
+    @property
+    def probes_issued(self) -> int:
+        return self.log.probes_issued
+
+    @property
+    def tuples_returned(self) -> int:
+        return self.log.tuples_returned
+
+    @property
+    def empty_results(self) -> int:
+        return self.log.empty_results
+
+    @property
+    def count_probes(self) -> int:
+        return self.log.count_probes
+
+    def close(self) -> None:
+        """Freeze the window so later traffic stops leaking into it."""
+        if self._frozen_log is None:
+            self._frozen_log = self.log.snapshot()
+            self._frozen_stats = self.execution_stats.snapshot()
 
 
 class AutonomousWebDatabase:
@@ -125,11 +216,7 @@ class AutonomousWebDatabase:
         ``result_cap``; ``offset`` requests a later result page, the
         way a Web form's "next page" link does.
         """
-        if (
-            self.probe_budget is not None
-            and self.log.probes_issued >= self.probe_budget
-        ):
-            raise ProbeLimitExceededError(self.probe_budget)
+        self._check_budget()
         effective_limit = self.result_cap
         if limit is not None:
             effective_limit = (
@@ -137,11 +224,29 @@ class AutonomousWebDatabase:
             )
         result = self._executor.execute(query, limit=effective_limit, offset=offset)
         self.log.record(result)
+        if OBS.enabled:
+            self._record_probe_metrics(query, kind="query", empty=not result)
+            if result.truncated and self.result_cap is not None:
+                OBS.registry.counter(
+                    "repro_db_result_cap_truncations_total",
+                    "Probes whose result page was cut by the facade's cap.",
+                ).inc()
         return result
 
     def count(self, query: SelectionQuery) -> int:
-        """Result-count probe (forms report counts without listing)."""
-        return len(self.query(query))
+        """Result-count probe (forms report counts without listing).
+
+        Uses the executor's count-only path: no rows are materialised,
+        and the probe is logged distinctly as a count probe.  The probe
+        budget applies exactly as for row probes — a count still costs
+        the source one form submission.
+        """
+        self._check_budget()
+        matches = self._executor.count(query)
+        self.log.record_count(matches)
+        if OBS.enabled:
+            self._record_probe_metrics(query, kind="count", empty=matches == 0)
+        return matches
 
     # -- bookkeeping -----------------------------------------------------------
 
@@ -154,3 +259,63 @@ class AutonomousWebDatabase:
         """Zero the probe log and engine counters between experiments."""
         self.log.reset()
         self._executor.stats = ExecutionStats()
+
+    @contextmanager
+    def accounting_scope(self) -> Iterator[AccountingWindow]:
+        """Nestable accounting window over this source's traffic.
+
+        Yields an :class:`AccountingWindow` whose counters cover only
+        the probes issued inside the ``with`` block; the global
+        :attr:`log` keeps accumulating untouched, so scopes nest and
+        concurrent observers never clobber each other — the failure
+        mode ``reset_accounting`` has when a probe budget trips
+        mid-experiment.
+        """
+        window = AccountingWindow(
+            self, self.log.snapshot(), self._executor.stats.snapshot()
+        )
+        try:
+            yield window
+        finally:
+            window.close()
+
+    # -- internals -------------------------------------------------------------
+
+    def _check_budget(self) -> None:
+        if (
+            self.probe_budget is not None
+            and self.log.probes_issued >= self.probe_budget
+        ):
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "repro_db_probe_budget_exhausted_total",
+                    "Probes refused because the source's budget ran out.",
+                ).inc()
+            raise ProbeLimitExceededError(self.probe_budget)
+
+    def _record_probe_metrics(
+        self, query: SelectionQuery, kind: str, empty: bool
+    ) -> None:
+        registry = OBS.registry
+        registry.counter(
+            "repro_db_probes_total",
+            "Probes issued against the autonomous source, by kind and "
+            "predicate shape.",
+            labels=("kind", "shape"),
+        ).labels(kind=kind, shape=_predicate_shape(query)).inc()
+        if empty:
+            registry.counter(
+                "repro_db_empty_results_total",
+                "Probes that returned (or counted) zero tuples.",
+            ).inc()
+
+
+def _predicate_shape(query: SelectionQuery) -> str:
+    """Compact shape label, e.g. ``between:1,eq:4`` (``none`` if empty)."""
+    kinds: dict[str, int] = {}
+    for predicate in query.predicates:
+        name = type(predicate).__name__.lower()
+        kinds[name] = kinds.get(name, 0) + 1
+    if not kinds:
+        return "none"
+    return ",".join(f"{name}:{kinds[name]}" for name in sorted(kinds))

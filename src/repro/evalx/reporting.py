@@ -1,10 +1,15 @@
 """Plain-text rendering of experiment results in the paper's layouts.
 
 Benchmarks print these tables so a run can be read side by side with
-the paper's Tables 2–3 and Figures 3–9.
+the paper's Tables 2–3 and Figures 3–9.  When observability is on,
+:func:`format_metrics_appendix` turns the registry snapshot into a
+report appendix so every experiment artefact carries its own work
+accounting.
 """
 
 from __future__ import annotations
+
+from typing import Any, Mapping
 
 from repro.evalx.experiments import (
     EfficiencyResult,
@@ -16,6 +21,7 @@ from repro.evalx.experiments import (
     Table3Result,
 )
 from repro.evalx.userstudy import StudyOutcome
+from repro.obs.runtime import OBS
 
 __all__ = [
     "format_table2",
@@ -26,6 +32,7 @@ __all__ = [
     "format_efficiency",
     "format_fig8",
     "format_fig9",
+    "format_metrics_appendix",
 ]
 
 
@@ -159,6 +166,37 @@ def format_fig8(outcome: StudyOutcome) -> str:
         outcome.system_mrr, key=lambda n: -outcome.system_mrr[n]
     ):
         lines.append(f"  {name:<14}{outcome.system_mrr[name]:.3f}")
+    return "\n".join(lines)
+
+
+def format_metrics_appendix(snapshot: Mapping[str, Any] | None = None) -> str:
+    """Metrics appendix embedded in experiment reports.
+
+    Renders a registry snapshot (the global one unless given) as an
+    indented family/series listing.  Returns ``""`` when observability
+    is disabled and no snapshot was supplied, so callers can append the
+    result unconditionally.
+    """
+    if snapshot is None:
+        if not OBS.enabled:
+            return ""
+        snapshot = OBS.registry.snapshot()
+    metrics = snapshot.get("metrics", [])
+    if not metrics:
+        return ""
+    lines = ["Metrics appendix (observability snapshot)"]
+    for family in metrics:
+        lines.append(f"  {family['name']} ({family['kind']})")
+        for series in family["series"]:
+            labels = series.get("labels") or {}
+            label_text = ", ".join(
+                f"{key}={value}" for key, value in sorted(labels.items())
+            )
+            if family["kind"] == "histogram":
+                cell = f"count={series['count']} sum={series['sum']:.6g}"
+            else:
+                cell = f"{series['value']:.6g}"
+            lines.append(f"    {{{label_text}}} {cell}")
     return "\n".join(lines)
 
 

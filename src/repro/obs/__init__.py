@@ -1,0 +1,49 @@
+"""Unified observability: metrics registry, span tracing, exporters.
+
+Everything the rest of the system needs is importable from here::
+
+    from repro.obs import OBS, timed_phase, render_span_tree
+    from repro.obs import to_json, to_prometheus
+
+``OBS`` is the process-wide runtime (disabled by default — enable it
+with ``OBS.enable()`` or the CLI's ``--trace`` / ``--metrics-out``
+flags).  See docs/OBSERVABILITY.md for the metric-name catalogue and
+the span taxonomy.
+"""
+
+from repro.obs.export import to_json, to_prometheus
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.runtime import OBS, Observability, timed_phase
+from repro.obs.summary import StreamingQuantile
+from repro.obs.tracing import (
+    NOOP_SPAN,
+    NullTracer,
+    Span,
+    Tracer,
+    render_span_tree,
+)
+
+__all__ = [
+    "OBS",
+    "Observability",
+    "timed_phase",
+    "MetricsRegistry",
+    "MetricFamily",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "StreamingQuantile",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "NOOP_SPAN",
+    "render_span_tree",
+    "to_json",
+    "to_prometheus",
+]

@@ -1,0 +1,89 @@
+"""Exporters: one metrics snapshot, two wire formats.
+
+* :func:`to_json` — the registry snapshot as pretty-printed JSON, for
+  experiment reports and ad-hoc diffing;
+* :func:`to_prometheus` — the Prometheus text exposition format, so a
+  scraper pointed at a file (or a future HTTP endpoint) ingests the
+  same numbers.  Histograms render as standard ``_bucket``/``_sum``/
+  ``_count`` series; the reservoir quantiles are JSON-only because the
+  Prometheus histogram model has no slot for them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["to_json", "to_prometheus"]
+
+
+def _snapshot(source: MetricsRegistry | Mapping[str, object]) -> Mapping[str, object]:
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()
+    return source
+
+
+def to_json(source: MetricsRegistry | Mapping[str, object], indent: int = 2) -> str:
+    """Render a registry (or a prebuilt snapshot) as JSON text."""
+    return json.dumps(_snapshot(source), indent=indent, sort_keys=True)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Mapping[str, object], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_value(value: object) -> str:
+    number = float(value)  # type: ignore[arg-type]
+    if number == float("inf"):
+        return "+Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def to_prometheus(source: MetricsRegistry | Mapping[str, object]) -> str:
+    """Render a registry (or snapshot) in Prometheus text format."""
+    snapshot = _snapshot(source)
+    lines: list[str] = []
+    for metric in snapshot.get("metrics", ()):  # type: ignore[union-attr]
+        name = metric["name"]
+        kind = metric["kind"]
+        help_text = metric.get("help") or ""
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in metric["series"]:
+            labels: Mapping[str, object] = series.get("labels", {})
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"{name}{_render_labels(labels)} "
+                    f"{_format_value(series['value'])}"
+                )
+                continue
+            # histogram
+            for bound, cumulative in series["buckets"].items():
+                le = bound if bound == "+Inf" else _format_value(float(bound))
+                rendered = _render_labels(labels, extra=f'le="{le}"')
+                lines.append(f"{name}_bucket{rendered} {cumulative}")
+            lines.append(
+                f"{name}_sum{_render_labels(labels)} "
+                f"{_format_value(series['sum'])}"
+            )
+            lines.append(
+                f"{name}_count{_render_labels(labels)} {series['count']}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

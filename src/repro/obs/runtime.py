@@ -1,0 +1,124 @@
+"""The process-wide observability runtime and its on/off switch.
+
+Instrumented code throughout the repo talks to one module-level
+:data:`OBS` object::
+
+    from repro.obs.runtime import OBS
+
+    if OBS.enabled:
+        OBS.registry.counter("repro_db_probes_total").inc()
+    with OBS.span("engine.ranking", candidates=n):
+        ...
+
+Disabled (the default) is the zero-cost mode the efficiency benchmarks
+run in: ``OBS.enabled`` is a plain attribute read, ``OBS.span`` returns
+the shared no-op span, and no metric family is ever touched.  Enabling
+swaps in a real tracer; everything recorded since the last reset is
+visible through ``OBS.registry`` / ``OBS.tracer``.
+
+:class:`timed_phase` is the bridge between span timing and the older
+wall-clock structs (``BuildTimings``, ``MiningTimings``): it always
+measures, and when observability is on the elapsed value *is* the
+span's duration, so the structs and the trace can never disagree.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NOOP_SPAN, NullTracer, Span, Tracer, _NoopSpan
+
+__all__ = ["Observability", "OBS", "timed_phase"]
+
+_NULL_TRACER = NullTracer()
+
+
+class Observability:
+    """One registry + one tracer behind a cheap enabled flag."""
+
+    def __init__(self, enabled: bool = False, max_traces: int = 128) -> None:
+        self.registry = MetricsRegistry()
+        self._tracer = Tracer(max_traces=max_traces)
+        self.enabled = enabled
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Clear all recorded metrics and traces (keeps the on/off state)."""
+        self.registry.reset()
+        self._tracer.reset()
+
+    def span(self, name: str, **attributes: object):
+        """A real span when enabled, the shared no-op span otherwise."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return self._tracer.span(name, **attributes)
+
+
+#: The process-wide runtime every instrumented layer records into.
+OBS = Observability(enabled=False)
+
+
+class timed_phase:
+    """Context manager timing one offline phase, span-first.
+
+    Always measures (``elapsed_seconds`` is valid in disabled mode, via
+    ``perf_counter``); when observability is enabled it additionally
+    opens a span named ``name`` and, if ``histogram`` is given, records
+    the duration into that histogram family with ``labels``.  With
+    tracing on, ``elapsed_seconds`` is taken from the span itself so
+    timing structs derived from it agree with the trace exactly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        histogram: str | None = None,
+        help_text: str = "",
+        labels: Mapping[str, object] | None = None,
+        **attributes: object,
+    ) -> None:
+        self.name = name
+        self.histogram = histogram
+        self.help_text = help_text
+        self.labels = dict(labels or {})
+        self.attributes = attributes
+        self.elapsed_seconds = 0.0
+        self._span_context = None
+        self._span: Span | _NoopSpan | None = None
+        self._start = 0.0
+
+    def __enter__(self) -> "timed_phase":
+        if OBS.enabled:
+            self._span_context = OBS.tracer.span(self.name, **self.attributes)
+            self._span = self._span_context.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self._start
+        if self._span_context is not None:
+            self._span_context.__exit__(exc_type, exc, tb)
+            span = self._span
+            if isinstance(span, Span) and span.duration_seconds is not None:
+                elapsed = span.duration_seconds
+        self.elapsed_seconds = elapsed
+        if OBS.enabled and self.histogram is not None and exc_type is None:
+            family = OBS.registry.histogram(
+                self.histogram,
+                help_text=self.help_text,
+                labels=tuple(sorted(self.labels)),
+            )
+            instrument = family.labels(**self.labels)
+            instrument.observe(elapsed)  # type: ignore[union-attr]
+        return False

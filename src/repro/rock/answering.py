@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass
 
 from repro.db.table import Table
+from repro.obs.runtime import OBS
 from repro.rock.clustering import (
     RockClustering,
     RockConfig,
@@ -88,29 +89,49 @@ class RockQueryAnswerer:
 
     def fit(self) -> "RockQueryAnswerer":
         """Cluster the sample and label the full relation."""
-        self._all_items, self._binners = itemize_table(
-            self.table, self.config.numeric_bins
-        )
-        if self._sample_size and len(self.table) > self._sample_size:
-            sample_ids = sorted(
-                self._rng.sample(range(len(self.table)), self._sample_size)
-            )
-        else:
-            sample_ids = list(range(len(self.table)))
-        self._sample_items = [self._all_items[i] for i in sample_ids]
+        with OBS.span(
+            "rock.fit", n_rows=len(self.table), sample=self._sample_size
+        ) as root:
+            with OBS.span("rock.itemize"):
+                self._all_items, self._binners = itemize_table(
+                    self.table, self.config.numeric_bins
+                )
+            if self._sample_size and len(self.table) > self._sample_size:
+                sample_ids = sorted(
+                    self._rng.sample(range(len(self.table)), self._sample_size)
+                )
+            else:
+                sample_ids = list(range(len(self.table)))
+            self._sample_items = [self._all_items[i] for i in sample_ids]
 
-        self._clustering = cluster_rock(
-            self._sample_items, self.config, timings=self.timings
-        )
-        self._labels = label_points(
-            self._clustering,
-            self._sample_items,
-            self._all_items,
-            timings=self.timings,
-        )
-        self._members_by_cluster = {}
-        for row_id, label in enumerate(self._labels):
-            self._members_by_cluster.setdefault(label, []).append(row_id)
+            with OBS.span("rock.cluster"):
+                self._clustering = cluster_rock(
+                    self._sample_items, self.config, timings=self.timings
+                )
+            with OBS.span("rock.label"):
+                self._labels = label_points(
+                    self._clustering,
+                    self._sample_items,
+                    self._all_items,
+                    timings=self.timings,
+                )
+            self._members_by_cluster = {}
+            for row_id, label in enumerate(self._labels):
+                self._members_by_cluster.setdefault(label, []).append(row_id)
+            root.set_attribute("clusters", len(self._clustering.clusters))
+        if OBS.enabled:
+            phases = OBS.registry.histogram(
+                "repro_rock_fit_seconds",
+                "Wall-clock seconds per ROCK offline phase.",
+                labels=("phase",),
+            )
+            phases.labels(phase="links").observe(self.timings.link_seconds)
+            phases.labels(phase="clustering").observe(
+                self.timings.clustering_seconds
+            )
+            phases.labels(phase="labeling").observe(
+                self.timings.labeling_seconds
+            )
         self._fitted = True
         return self
 
@@ -181,12 +202,20 @@ class RockQueryAnswerer:
         k: int,
         exclude_row_id: int | None,
     ) -> list[RockAnswer]:
-        cluster_id = self._route_to_cluster(items)
+        with OBS.span("rock.route_to_cluster"):
+            cluster_id = self._route_to_cluster(items)
         candidate_ids = self._members_by_cluster.get(cluster_id, [])
-        if cluster_id == -1 or not candidate_ids:
+        routed = cluster_id != -1 and bool(candidate_ids)
+        if not routed:
             # Outlier query: fall back to a full ranking pass so the
             # system still answers (mirrors labelling every point).
             candidate_ids = range(len(self._all_items))
+        if OBS.enabled:
+            OBS.registry.counter(
+                "repro_rock_queries_total",
+                "ROCK queries answered, by routing outcome.",
+                labels=("routed",),
+            ).labels(routed="yes" if routed else "fallback").inc()
         scored: list[RockAnswer] = []
         theta = self.config.theta
         for row_id in candidate_ids:

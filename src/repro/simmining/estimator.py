@@ -21,6 +21,7 @@ from typing import Iterable, Mapping
 
 from repro.db.schema import RelationSchema
 from repro.db.table import Table
+from repro.obs.runtime import OBS, timed_phase
 from repro.simmining.avpair import AVPair
 from repro.simmining.bag import jaccard_bags, jaccard_sets
 from repro.simmining.supertuple import (
@@ -165,26 +166,47 @@ class ValueSimilarityMiner:
         Builds one supertuple per sufficiently frequent AV-pair over the
         given categorical attributes (default: all of them).
         """
-        start = time.perf_counter()
         schema = table.schema
         names = tuple(attributes) if attributes is not None else schema.categorical_names
         for name in names:
             if not schema.attribute(name).is_categorical:
                 raise ValueError(f"attribute {name!r} is not categorical")
-        binners = build_binners(table, self.config.numeric_bins)
-        supertuples: dict[AVPair, SuperTuple] = {}
-        for name in names:
-            index = table.hash_index(name) or table.create_hash_index(name)
-            for value in index.distinct_values():
-                row_ids = index.lookup(value)
-                if len(row_ids) < self.config.min_value_count:
-                    continue
-                avpair = AVPair(name, value)
-                supertuples[avpair] = build_supertuple(
-                    avpair, table.rows(row_ids), schema, binners
-                )
+        observing = OBS.enabled
+        with timed_phase(
+            "simmining.supertuples",
+            histogram="repro_simmining_phase_seconds",
+            help_text="Wall-clock seconds per similarity-mining phase.",
+            labels={"phase": "supertuple"},
+            n_attributes=len(names),
+        ) as phase:
+            binners = build_binners(table, self.config.numeric_bins)
+            supertuples: dict[AVPair, SuperTuple] = {}
+            for name in names:
+                attribute_start = time.perf_counter() if observing else 0.0
+                index = table.hash_index(name) or table.create_hash_index(name)
+                for value in index.distinct_values():
+                    row_ids = index.lookup(value)
+                    if len(row_ids) < self.config.min_value_count:
+                        continue
+                    avpair = AVPair(name, value)
+                    supertuples[avpair] = build_supertuple(
+                        avpair, table.rows(row_ids), schema, binners
+                    )
+                if observing:
+                    OBS.registry.histogram(
+                        "repro_simmining_supertuple_build_seconds",
+                        "Supertuple construction time per attribute.",
+                        labels=("attribute",),
+                    ).labels(attribute=name).observe(
+                        time.perf_counter() - attribute_start
+                    )
+        if observing:
+            OBS.registry.counter(
+                "repro_simmining_supertuples_total",
+                "Supertuples built over sufficiently frequent AV-pairs.",
+            ).inc(len(supertuples))
         self._supertuples = supertuples
-        self.timings.supertuple_seconds += time.perf_counter() - start
+        self.timings.supertuple_seconds += phase.elapsed_seconds
         return supertuples
 
     # -- pairwise estimation ------------------------------------------------
@@ -197,30 +219,45 @@ class ValueSimilarityMiner:
         names = tuple(attributes) if attributes is not None else schema.categorical_names
         if not self._supertuples:
             self.build_supertuples(table, names)
-        start = time.perf_counter()
-        model = SimilarityModel(names)
-        by_attribute: dict[str, list[SuperTuple]] = {name: [] for name in names}
-        for avpair, supertuple in self._supertuples.items():
-            if avpair.attribute in by_attribute:
-                by_attribute[avpair.attribute].append(supertuple)
-        for name in names:
-            supertuples = sorted(
-                by_attribute[name], key=lambda st: st.avpair.value
-            )
-            for supertuple in supertuples:
-                model.register_value(name, supertuple.avpair.value)
-            weights = self._attribute_weights(schema, bound=name)
-            for i, left in enumerate(supertuples):
-                for right in supertuples[i + 1 :]:
-                    score = self._vsim(left, right, weights)
-                    if score >= self.config.store_threshold and score > 0.0:
-                        model.record(
-                            name,
-                            left.avpair.value,
-                            right.avpair.value,
-                            score,
-                        )
-        self.timings.estimation_seconds += time.perf_counter() - start
+        observing = OBS.enabled
+        pair_evaluations = 0
+        with timed_phase(
+            "simmining.estimate",
+            histogram="repro_simmining_phase_seconds",
+            help_text="Wall-clock seconds per similarity-mining phase.",
+            labels={"phase": "estimation"},
+            n_attributes=len(names),
+        ) as phase:
+            model = SimilarityModel(names)
+            by_attribute: dict[str, list[SuperTuple]] = {name: [] for name in names}
+            for avpair, supertuple in self._supertuples.items():
+                if avpair.attribute in by_attribute:
+                    by_attribute[avpair.attribute].append(supertuple)
+            for name in names:
+                supertuples = sorted(
+                    by_attribute[name], key=lambda st: st.avpair.value
+                )
+                for supertuple in supertuples:
+                    model.register_value(name, supertuple.avpair.value)
+                weights = self._attribute_weights(schema, bound=name)
+                for i, left in enumerate(supertuples):
+                    for right in supertuples[i + 1 :]:
+                        pair_evaluations += 1
+                        score = self._vsim(left, right, weights)
+                        if score >= self.config.store_threshold and score > 0.0:
+                            model.record(
+                                name,
+                                left.avpair.value,
+                                right.avpair.value,
+                                score,
+                            )
+        if observing:
+            OBS.registry.counter(
+                "repro_simmining_pair_evaluations_total",
+                "VSim evaluations over AV-pair supertuple pairs (the "
+                "paper's O(m*k^2) cost).",
+            ).inc(pair_evaluations)
+        self.timings.estimation_seconds += phase.elapsed_seconds
         return model
 
     def mine(

@@ -132,3 +132,33 @@ class TestStats:
         b.execute(SelectionQuery.match_all())
         a.stats.merge(b.stats)
         assert a.stats.queries_executed == 2
+
+
+class TestCountOnlyPath:
+    """The count path must never materialise or account for rows."""
+
+    def test_count_does_not_touch_rows_returned(self, toy_table):
+        executor = Executor(toy_table)
+        executor.count(SelectionQuery((Eq("Make", "Toyota"),)))
+        assert executor.stats.queries_executed == 1
+        assert executor.stats.rows_returned == 0
+        assert executor.stats.rows_examined > 0
+
+    def test_count_uses_index_when_available(self, toy_table):
+        toy_table.create_hash_index("Make")
+        executor = Executor(toy_table)
+        assert executor.count(SelectionQuery((Eq("Make", "Honda"),))) == 3
+        assert executor.stats.index_lookups == 1
+        assert executor.stats.full_scans == 0
+        # Only the candidate rows were examined, not the whole table.
+        assert executor.stats.rows_examined == 3
+
+    def test_count_agrees_with_execute(self, toy_table):
+        executor = Executor(toy_table)
+        for query in (
+            SelectionQuery.match_all(),
+            SelectionQuery((Eq("Make", "Toyota"),)),
+            SelectionQuery((Eq("Make", "BMW"),)),
+        ):
+            expected = len(executor.execute(query))
+            assert executor.count(query) == expected

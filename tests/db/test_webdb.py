@@ -86,3 +86,102 @@ class TestProbeBudget:
         with pytest.raises(ProbeLimitExceededError) as excinfo:
             limited.query(SelectionQuery.match_all())
         assert excinfo.value.limit == 0
+
+
+class TestCountProbes:
+    """Count probes are real probes but must not inflate row accounting."""
+
+    def test_count_logged_distinctly(self, toy_webdb):
+        toy_webdb.count(SelectionQuery((Eq("Make", "Honda"),)))
+        assert toy_webdb.log.probes_issued == 1
+        assert toy_webdb.log.count_probes == 1
+        assert toy_webdb.log.tuples_returned == 0
+
+    def test_empty_count_recorded(self, toy_webdb):
+        assert toy_webdb.count(SelectionQuery((Eq("Make", "BMW"),))) == 0
+        assert toy_webdb.log.empty_results == 1
+
+    def test_count_does_not_materialise_rows(self, toy_webdb):
+        toy_webdb.count(SelectionQuery.match_all())
+        assert toy_webdb.execution_stats.rows_returned == 0
+        assert toy_webdb.execution_stats.rows_examined > 0
+
+    def test_count_spends_probe_budget(self, toy_table):
+        limited = AutonomousWebDatabase(toy_table, probe_budget=1)
+        limited.count(SelectionQuery.match_all())
+        with pytest.raises(ProbeLimitExceededError):
+            limited.count(SelectionQuery.match_all())
+
+    def test_count_ignores_result_cap(self, toy_table):
+        capped = AutonomousWebDatabase(toy_table, result_cap=2)
+        assert capped.count(SelectionQuery.match_all()) == len(toy_table)
+
+
+class TestAccountingScope:
+    def test_window_sees_only_scoped_traffic(self, toy_webdb):
+        toy_webdb.query(SelectionQuery((Eq("Make", "Toyota"),)))
+        with toy_webdb.accounting_scope() as window:
+            toy_webdb.query(SelectionQuery((Eq("Make", "Honda"),)))
+        assert window.probes_issued == 1
+        assert window.tuples_returned == 3
+        # The global log keeps accumulating untouched.
+        assert toy_webdb.log.probes_issued == 2
+        assert toy_webdb.log.tuples_returned == 6
+
+    def test_window_freezes_at_exit(self, toy_webdb):
+        with toy_webdb.accounting_scope() as window:
+            toy_webdb.query(SelectionQuery((Eq("Make", "Ford"),)))
+        toy_webdb.query(SelectionQuery.match_all())
+        assert window.probes_issued == 1
+        assert window.tuples_returned == 2
+
+    def test_scopes_nest(self, toy_webdb):
+        with toy_webdb.accounting_scope() as outer:
+            toy_webdb.query(SelectionQuery((Eq("Make", "Toyota"),)))
+            with toy_webdb.accounting_scope() as inner:
+                toy_webdb.query(SelectionQuery((Eq("Make", "Honda"),)))
+            assert inner.probes_issued == 1
+            assert inner.tuples_returned == 3
+        assert outer.probes_issued == 2
+        assert outer.tuples_returned == 6
+
+    def test_window_separates_count_probes(self, toy_webdb):
+        with toy_webdb.accounting_scope() as window:
+            toy_webdb.query(SelectionQuery((Eq("Make", "Honda"),)))
+            toy_webdb.count(SelectionQuery((Eq("Make", "Toyota"),)))
+        assert window.probes_issued == 2
+        assert window.count_probes == 1
+        assert window.tuples_returned == 3
+
+    def test_window_tracks_execution_stats(self, toy_webdb):
+        toy_webdb.query(SelectionQuery.match_all())
+        with toy_webdb.accounting_scope() as window:
+            toy_webdb.query(SelectionQuery.match_all())
+        assert window.execution_stats.queries_executed == 1
+
+    def test_window_survives_budget_trip(self, toy_table):
+        limited = AutonomousWebDatabase(toy_table, probe_budget=1)
+        with pytest.raises(ProbeLimitExceededError):
+            with limited.accounting_scope() as window:
+                limited.query(SelectionQuery.match_all())
+                limited.query(SelectionQuery.match_all())
+        assert window.probes_issued == 1
+        assert limited.log.probes_issued == 1
+
+
+class TestProbeLogDelta:
+    def test_snapshot_and_delta(self, toy_webdb):
+        toy_webdb.query(SelectionQuery((Eq("Make", "Toyota"),)))
+        before = toy_webdb.log.snapshot()
+        toy_webdb.query(SelectionQuery((Eq("Make", "Honda"),)))
+        toy_webdb.count(SelectionQuery((Eq("Make", "BMW"),)))
+        delta = toy_webdb.log.delta(before)
+        assert delta.probes_issued == 2
+        assert delta.tuples_returned == 3
+        assert delta.count_probes == 1
+        assert delta.empty_results == 1
+
+    def test_snapshot_is_detached(self, toy_webdb):
+        before = toy_webdb.log.snapshot()
+        toy_webdb.query(SelectionQuery.match_all())
+        assert before.probes_issued == 0

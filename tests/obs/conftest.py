@@ -1,0 +1,23 @@
+"""Observability test fixtures: an isolated, enabled runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import OBS
+
+
+@pytest.fixture()
+def obs_enabled():
+    """Enable the global runtime with clean state; restore on exit.
+
+    ``OBS`` is process-wide, so every test that records through it must
+    reset before and after to stay independent of test ordering.
+    """
+    OBS.reset()
+    OBS.enable()
+    try:
+        yield OBS
+    finally:
+        OBS.disable()
+        OBS.reset()

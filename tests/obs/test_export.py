@@ -1,0 +1,80 @@
+"""Exporter tests: JSON and Prometheus text renderings of one snapshot."""
+
+import json
+
+import pytest
+
+from repro.obs import to_json, to_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def populated() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_db_probes_total", "Probes issued.", labels=("kind",)
+    ).labels(kind="select").inc(4)
+    registry.gauge("repro_afd_lattice_level_size", "Nodes.", labels=("level",)).labels(
+        level=2
+    ).set(21)
+    latency = registry.histogram(
+        "repro_db_probe_seconds", "Probe latency.", buckets=(0.01, 0.1)
+    )
+    latency.observe(0.004)
+    latency.observe(0.04)
+    latency.observe(0.4)
+    return registry
+
+
+class TestJson:
+    def test_round_trips_through_json(self, populated):
+        parsed = json.loads(to_json(populated))
+        assert parsed == populated.snapshot()
+
+    def test_accepts_prebuilt_snapshot(self, populated):
+        snapshot = populated.snapshot()
+        assert json.loads(to_json(snapshot)) == snapshot
+
+    def test_quantiles_present_in_json_only(self, populated):
+        parsed = json.loads(to_json(populated))
+        histogram = next(
+            m for m in parsed["metrics"] if m["kind"] == "histogram"
+        )
+        assert "quantiles" in histogram["series"][0]
+        assert "quantile" not in to_prometheus(populated)
+
+
+class TestPrometheus:
+    def test_help_and_type_lines(self, populated):
+        text = to_prometheus(populated)
+        assert "# HELP repro_db_probes_total Probes issued." in text
+        assert "# TYPE repro_db_probes_total counter" in text
+        assert "# TYPE repro_afd_lattice_level_size gauge" in text
+        assert "# TYPE repro_db_probe_seconds histogram" in text
+
+    def test_series_lines(self, populated):
+        lines = to_prometheus(populated).splitlines()
+        assert 'repro_db_probes_total{kind="select"} 4' in lines
+        assert 'repro_afd_lattice_level_size{level="2"} 21' in lines
+
+    def test_histogram_convention(self, populated):
+        lines = to_prometheus(populated).splitlines()
+        assert 'repro_db_probe_seconds_bucket{le="0.01"} 1' in lines
+        assert 'repro_db_probe_seconds_bucket{le="0.1"} 2' in lines
+        assert 'repro_db_probe_seconds_bucket{le="+Inf"} 3' in lines
+        assert "repro_db_probe_seconds_count 3" in lines
+        assert any(
+            line.startswith("repro_db_probe_seconds_sum ") for line in lines
+        )
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", labels=("text",)).labels(
+            text='say "hi"\nplease\\now'
+        ).inc()
+        text = to_prometheus(registry)
+        assert r'text="say \"hi\"\nplease\\now"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+        assert json.loads(to_json(MetricsRegistry())) == {"metrics": []}

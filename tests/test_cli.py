@@ -192,3 +192,99 @@ class TestCommands:
         code = main(["experiment", "table1"])
         assert code == 0
         assert "Make=Ford" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    @pytest.fixture(autouse=True)
+    def _isolate_obs(self):
+        from repro.obs import OBS
+
+        OBS.reset()
+        yield
+        OBS.disable()
+        OBS.reset()
+
+    def test_stats_emits_both_formats(self, capsys):
+        code = main(
+            ["stats", "cardb", "--rows", "300", "--sample", "120", "-k", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"metrics"' in out  # JSON section
+        assert "# TYPE" in out  # Prometheus section
+        for prefix in (
+            "repro_db_",
+            "repro_afd_",
+            "repro_simmining_",
+            "repro_core_",
+        ):
+            assert prefix in out
+
+    def test_stats_writes_json_file(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "snapshot.json"
+        code = main(
+            [
+                "stats",
+                "cardb",
+                "--rows",
+                "300",
+                "--sample",
+                "120",
+                "--format",
+                "json",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        snapshot = json.loads(out.read_text(encoding="utf-8"))
+        assert snapshot["metrics"]
+
+    def test_trace_flag_prints_span_tree(self, capsys):
+        code = main(
+            [
+                "--trace",
+                "query",
+                "cardb",
+                "--rows",
+                "300",
+                "--sample",
+                "120",
+                "-k",
+                "3",
+                "Make=Ford",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pipeline.build_model" in out
+        assert "engine.answer" in out
+        assert "engine.base_query_mapping" in out
+
+    def test_metrics_out_flag_writes_prometheus(self, tmp_path, capsys):
+        out = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "--metrics-out",
+                str(out),
+                "--metrics-format",
+                "prom",
+                "mine",
+                "cardb",
+                "--rows",
+                "300",
+                "--sample",
+                "120",
+            ]
+        )
+        assert code == 0
+        text = out.read_text(encoding="utf-8")
+        assert "# TYPE repro_db_probe_seconds histogram" in text
+        assert "repro_afd_partitions_computed_total" in text
+
+    def test_stats_parser_defaults(self):
+        args = build_parser().parse_args(["stats", "cardb"])
+        assert args.format == "both" and args.k == 10
+        assert args.trace is False and args.metrics_out is None
