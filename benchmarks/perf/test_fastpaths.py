@@ -1,0 +1,33 @@
+"""Fast-path micro-benchmarks as a pytest artefact.
+
+Runs the ``repro.perf`` harness at smoke scale, asserts every fast
+path is result-equivalent to its reference path, and records the JSON
+report under ``benchmarks/results/``.  Speedups are *reported*, not
+asserted — wall-clock ratios on shared CI runners are too noisy for a
+hard gate here; the ``bench-smoke`` CI job applies the regression
+tolerance through ``python -m repro bench --check`` instead.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf import run_bench
+
+
+def test_fastpaths_smoke(record_result):
+    report = run_bench("smoke")
+    for name, entry in report["scenarios"].items():
+        assert entry["equivalent"], f"{name}: fast path output differs"
+    lines = [
+        f"{name}: {entry['speedup']}x "
+        f"({entry['slow_seconds']:.3f}s -> {entry['fast_seconds']:.3f}s)"
+        for name, entry in report["scenarios"].items()
+    ]
+    record_result(
+        "perf_fastpaths",
+        "Fast-path micro-benchmarks (smoke scale)\n"
+        + "\n".join(lines)
+        + "\n\n"
+        + json.dumps(report, indent=2, sort_keys=True),
+    )

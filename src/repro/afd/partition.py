@@ -35,16 +35,13 @@ class StrippedPartition:
 
     classes: tuple[tuple[int, ...], ...]
     n_rows: int
-    _class_of: dict[int, int] = field(
-        init=False, repr=False, compare=False, hash=False, default_factory=dict
+    # row id -> stripped-class id, built lazily on the first class_of()
+    # call.  The TANE mining path compares ranks only, so eagerly
+    # materialising this map for every lattice node was pure overhead;
+    # only refines() and the g3 error measure ever need it.
+    _class_of: dict[int, int] | None = field(
+        init=False, repr=False, compare=False, hash=False, default=None
     )
-
-    def __post_init__(self) -> None:
-        class_of: dict[int, int] = {}
-        for class_id, members in enumerate(self.classes):
-            for row_id in members:
-                class_of[row_id] = class_id
-        object.__setattr__(self, "_class_of", class_of)
 
     # -- size measures ----------------------------------------------------
 
@@ -74,7 +71,14 @@ class StrippedPartition:
 
     def class_of(self, row_id: int) -> int | None:
         """Stripped-class id containing ``row_id``, or None (singleton)."""
-        return self._class_of.get(row_id)
+        class_of = self._class_of
+        if class_of is None:
+            class_of = {}
+            for class_id, members in enumerate(self.classes):
+                for row_id_ in members:
+                    class_of[row_id_] = class_id
+            object.__setattr__(self, "_class_of", class_of)
+        return class_of.get(row_id)
 
     def refines(self, other: "StrippedPartition") -> bool:
         """True when every class of self lies inside a class of other.

@@ -9,7 +9,9 @@ Four commands cover the life cycle a downstream user walks through:
   model;
 * ``experiment`` — rerun one of the paper's tables/figures;
 * ``stats``    — exercise the full pipeline once with observability on
-  and dump the metrics snapshot.
+  and dump the metrics snapshot;
+* ``bench``    — time every fast path against its reference path and
+  emit a ``BENCH_perf.json`` report (see ``docs/PERFORMANCE.md``).
 
 Every command also accepts ``--trace`` (print the recorded span trees
 afterwards) and ``--metrics-out PATH`` (write a metrics snapshot, JSON
@@ -25,11 +27,13 @@ Examples::
     python -m repro --trace query cardb --rows 2000 --sample 500 Make=Ford
     python -m repro experiment fig5
     python -m repro stats cardb --rows 2000 --sample 500 --format prom
+    python -m repro bench --scale smoke --check --out BENCH_perf.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from typing import Sequence
@@ -66,6 +70,7 @@ from repro.evalx import (
     run_table3,
 )
 from repro.obs import OBS, render_span_tree, to_json, to_prometheus
+from repro.perf.bench import SCALES, SCENARIOS, check_regressions, run_bench
 
 __all__ = ["main", "build_parser"]
 
@@ -243,6 +248,32 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the fast-path micro-benchmarks and report/check the results."""
+    report = run_bench(args.scale, only=args.only)
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"benchmark report written to {args.out}")
+    else:
+        print(rendered)
+    for name, entry in report["scenarios"].items():
+        print(
+            f"{name}: {entry['speedup']}x "
+            f"({entry['slow_seconds']:.3f}s -> {entry['fast_seconds']:.3f}s, "
+            f"equivalent={entry['equivalent']})"
+        )
+    if args.check:
+        failures = check_regressions(report, max_regression=args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"FAIL {failure}", file=sys.stderr)
+            return 1
+        print("all fast paths within tolerance")
+    return 0
+
+
 # -- parser -------------------------------------------------------------------
 
 
@@ -333,6 +364,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("--out", help="write the snapshot here, not stdout")
     stats.set_defaults(handler=_cmd_stats)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="time the fast paths against their reference implementations",
+    )
+    bench.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="default",
+        help="problem sizes to benchmark at (default: default)",
+    )
+    bench.add_argument(
+        "--only",
+        action="append",
+        choices=sorted(SCENARIOS),
+        help="run only this scenario (repeatable)",
+    )
+    bench.add_argument(
+        "--out", help="write the JSON report here instead of stdout"
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if a fast path regresses or is not equivalent",
+    )
+    bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="tolerated fast-path slowdown for --check (default: 0.25)",
+    )
+    bench.set_defaults(handler=_cmd_bench)
 
     return parser
 

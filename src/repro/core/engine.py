@@ -20,6 +20,7 @@ efficiency experiments (Figs 6–7) read off directly.
 
 from __future__ import annotations
 
+import heapq
 from typing import Mapping
 
 from repro.core.attribute_order import AttributeOrdering
@@ -27,7 +28,7 @@ from repro.core.config import AIMQSettings
 from repro.core.query import BaseQueryMapper, ImpreciseQuery
 from repro.core.relaxation import GuidedRelax, _RelaxerBase, tuple_as_query
 from repro.core.results import AnswerSet, RankedAnswer, RelaxationTrace
-from repro.core.similarity import TupleSimilarity
+from repro.core.similarity import BindingsScorer, TupleSimilarity
 from repro.db.webdb import AutonomousWebDatabase
 from repro.obs.runtime import OBS
 from repro.simmining.estimator import SimilarityModel
@@ -96,6 +97,11 @@ class AIMQEngine:
             base_rows = base_rows[: settings.base_set_cap]
             trace.base_set_size = len(base_rows)
 
+            # One compiled scorer serves every Sim(Q, t) evaluation of
+            # this call: the weight table and per-value VSim lookups are
+            # resolved once instead of per candidate row.
+            query_scorer = self.similarity.query_scorer(query)
+
             # Extended set, deduplicated by row id; base tuples are answers
             # by construction (they satisfy a specialisation of Q).
             extended: dict[int, RankedAnswer] = {}
@@ -103,7 +109,7 @@ class AIMQEngine:
                 extended[base_row_id] = RankedAnswer(
                     row_id=base_row_id,
                     row=base_row,
-                    similarity=self.similarity.sim_to_query(query, base_row),
+                    similarity=query_scorer(base_row),
                     base_similarity=1.0,
                     source_base_row_id=base_row_id,
                     relaxation_level=0,
@@ -111,16 +117,21 @@ class AIMQEngine:
 
             for base_row_id, base_row in base_rows:
                 self._expand_base_tuple(
-                    base_row_id, base_row, query, threshold, extended, trace
+                    base_row_id, base_row, query_scorer, threshold, extended,
+                    trace,
                 )
 
             with OBS.span(
                 "engine.ranking", candidates=len(extended)
             ):
-                answers = sorted(
+                # nsmallest(k, key=...) == sorted(key=...)[:k] by
+                # contract, so the deterministic tie-break is preserved
+                # while only a k-sized heap is maintained.
+                answers = heapq.nsmallest(
+                    top_k,
                     extended.values(),
                     key=lambda a: (-a.similarity, -a.base_similarity, a.row_id),
-                )[:top_k]
+                )
             root.set_attribute("answers", len(answers))
             root.set_attribute("probes", trace.queries_issued)
         if OBS.enabled:
@@ -195,7 +206,7 @@ class AIMQEngine:
         self,
         base_row_id: int,
         base_row: tuple,
-        query: ImpreciseQuery | None,
+        query_scorer: BindingsScorer | None,
         threshold: float,
         extended: dict[int, RankedAnswer],
         trace: RelaxationTrace,
@@ -203,14 +214,17 @@ class AIMQEngine:
     ) -> None:
         """Relax one base tuple until its quota of similar tuples is met.
 
-        With ``query=None`` (tuple-query mode) the answer's query
-        similarity equals its base similarity.
+        With ``query_scorer=None`` (tuple-query mode) the answer's
+        query similarity equals its base similarity.
         """
         settings = self.settings
         schema = self.webdb.schema
         bound_query = tuple_as_query(
             base_row, schema, numeric_band=settings.tuple_query_numeric_band
         )
+        # Every extracted tuple is compared against this one base row;
+        # compile the reference bindings once instead of per comparison.
+        base_scorer = self.similarity.row_scorer(base_row)
         quota = target if target is not None else settings.target_per_base_tuple
         relevant_found = 0
         extracted = 0
@@ -248,16 +262,17 @@ class AIMQEngine:
                         "Relaxation probes issued, by relaxation level.",
                         labels=("level",),
                     ).labels(level=step.level).inc()
-                trace.queries_issued += 1
+                if result.from_cache:
+                    trace.probes_cached += 1
+                else:
+                    trace.queries_issued += 1
                 trace.deepest_level = max(trace.deepest_level, step.level)
                 for row_id, row in zip(result.row_ids, result.rows):
                     if row_id == base_row_id:
                         continue
                     extracted += 1
                     trace.tuples_extracted += 1
-                    base_similarity = self.similarity.sim_between_rows(
-                        base_row, row
-                    )
+                    base_similarity = base_scorer(row)
                     if score_histogram is not None:
                         score_histogram.observe(base_similarity)
                     if base_similarity <= threshold:
@@ -272,8 +287,8 @@ class AIMQEngine:
                         continue
                     query_similarity = (
                         base_similarity
-                        if query is None
-                        else self.similarity.sim_to_query(query, row)
+                        if query_scorer is None
+                        else query_scorer(row)
                     )
                     extended[row_id] = RankedAnswer(
                         row_id=row_id,

@@ -28,14 +28,28 @@ class RankedAnswer:
 
 @dataclass
 class RelaxationTrace:
-    """Work accounting for one answered query (drives Figs 6–7)."""
+    """Work accounting for one answered query (drives Figs 6–7).
+
+    ``queries_issued`` counts probes that actually reached the source —
+    the quantity Figures 6–7 plot.  When the facade's probe cache is
+    on, lookups it served are counted separately in ``probes_cached``
+    so the issued-probe semantics stay comparable to the paper's; with
+    the cache off (the default, and how the efficiency benchmarks run)
+    ``probes_cached`` is always zero.
+    """
 
     base_set_size: int = 0
     queries_issued: int = 0
+    probes_cached: int = 0
     tuples_extracted: int = 0
     tuples_relevant: int = 0
     deepest_level: int = 0
     generalisation_steps: tuple[str, ...] = ()
+
+    @property
+    def total_lookups(self) -> int:
+        """Issued probes plus cache-served lookups."""
+        return self.queries_issued + self.probes_cached
 
     @property
     def work_per_relevant_tuple(self) -> float:

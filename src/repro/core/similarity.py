@@ -11,18 +11,33 @@ the query binds.
 The same machinery scores tuple-to-tuple similarity (Algorithm 1 step 7
 compares extracted tuples to *base-set tuples*, not to the query), by
 treating one tuple's values as the reference bindings.
+
+Two scoring paths exist.  The per-call methods (``sim_to_bindings``,
+``sim_to_query``, ``sim_between_rows``) recompute the renormalised
+weights and attribute positions on every call — they are the reference
+implementation.  :class:`BindingsScorer` is the fast path the engine
+uses: one object per reference binding set, with the weight table,
+column positions and per-value similarity lookups resolved once and
+reused across every candidate row.  Both paths perform the identical
+floating-point operations in the identical order, so their scores are
+bit-for-bit equal (asserted by the fast-path equivalence tests).
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.core.attribute_order import AttributeOrdering
 from repro.core.query import ImpreciseQuery
 from repro.db.schema import RelationSchema
 from repro.simmining.estimator import SimilarityModel
 
-__all__ = ["numeric_similarity", "range_scaled_similarity", "TupleSimilarity"]
+__all__ = [
+    "numeric_similarity",
+    "range_scaled_similarity",
+    "TupleSimilarity",
+    "BindingsScorer",
+]
 
 
 def numeric_similarity(reference: float, candidate: float) -> float:
@@ -57,6 +72,32 @@ def range_scaled_similarity(
     return max(0.0, 1.0 - min(distance, 1.0))
 
 
+class BindingsScorer:
+    """Precompiled Sim(reference, ·) for one set of reference bindings.
+
+    Holds a plan of ``(column position, weight, value scorer)`` triples
+    resolved once; calling the scorer on a row walks the plan in the
+    bindings' original order, so the floating-point accumulation is the
+    same as the per-call reference path.  Categorical value scorers
+    memoise VSim lookups per candidate value — the per-query value
+    lookup table of the fast path.
+    """
+
+    __slots__ = ("_plan",)
+
+    def __init__(
+        self,
+        plan: Sequence[tuple[int, float, Callable[[object], float]]],
+    ) -> None:
+        self._plan = tuple(plan)
+
+    def __call__(self, row: Sequence[object]) -> float:
+        total = 0.0
+        for position, weight, value_score in self._plan:
+            total += weight * value_score(row[position])
+        return total
+
+
 class TupleSimilarity:
     """Scores rows against reference bindings with mined models.
 
@@ -82,6 +123,7 @@ class TupleSimilarity:
         self.value_similarity = value_similarity
         self.numeric_mode = numeric_mode
         self.numeric_extents = dict(numeric_extents or {})
+        self._weights_memo: dict[tuple[str, ...], dict[str, float]] = {}
 
     # -- scoring -----------------------------------------------------------
 
@@ -135,6 +177,109 @@ class TupleSimilarity:
             if reference_row[self.schema.position(name)] is not None
         }
         return self.sim_to_bindings(bindings, candidate_row)
+
+    # -- fast path: precompiled scorers --------------------------------------
+
+    def bindings_scorer(self, bindings: Mapping[str, object]) -> BindingsScorer:
+        """Compile Sim(bindings, ·) into a reusable scorer.
+
+        Score-equivalent to calling :meth:`sim_to_bindings` with the
+        same bindings: the plan preserves binding order, skips
+        zero-weight attributes exactly as the reference path does, and
+        drops ``None`` references (whose reference-path contribution is
+        exactly ``weight * 0.0``).
+        """
+        attributes = tuple(bindings)
+        if not attributes:
+            return BindingsScorer(())
+        weights = self._weights_for(attributes)
+        plan: list[tuple[int, float, Callable[[object], float]]] = []
+        for attribute, reference in bindings.items():
+            weight = weights[attribute]
+            if weight == 0.0 or reference is None:
+                continue
+            plan.append(
+                (
+                    self.schema.position(attribute),
+                    weight,
+                    self._value_scorer(attribute, reference),
+                )
+            )
+        return BindingsScorer(plan)
+
+    def query_scorer(self, query: ImpreciseQuery) -> BindingsScorer:
+        """Compiled form of :meth:`sim_to_query` for one query."""
+        bindings = {
+            constraint.attribute: constraint.value
+            for constraint in query.like_constraints
+        }
+        return self.bindings_scorer(bindings)
+
+    def row_scorer(
+        self,
+        reference_row: Sequence[object],
+        attributes: tuple[str, ...] | None = None,
+    ) -> BindingsScorer:
+        """Compiled form of :meth:`sim_between_rows` for one base tuple."""
+        names = attributes if attributes is not None else self.schema.attribute_names
+        bindings = {
+            name: reference_row[self.schema.position(name)]
+            for name in names
+            if reference_row[self.schema.position(name)] is not None
+        }
+        return self.bindings_scorer(bindings)
+
+    def _weights_for(self, attributes: tuple[str, ...]) -> dict[str, float]:
+        """Memoised ``ordering.weights_over`` (callers must not mutate)."""
+        weights = self._weights_memo.get(attributes)
+        if weights is None:
+            weights = self.ordering.weights_over(attributes)
+            self._weights_memo[attributes] = weights
+        return weights
+
+    def _value_scorer(
+        self, attribute: str, reference: object
+    ) -> Callable[[object], float]:
+        """Per-attribute similarity with the reference value bound."""
+        if self.schema.attribute(attribute).is_numeric:
+            extent = (
+                self.numeric_extents.get(attribute)
+                if self.numeric_mode == "range"
+                else None
+            )
+            if extent is not None:
+                low, high = extent
+
+                def range_score(candidate: object) -> float:
+                    if candidate is None:
+                        return 0.0
+                    return range_scaled_similarity(
+                        float(reference), float(candidate), low, high  # type: ignore[arg-type]
+                    )
+
+                return range_score
+
+            def relative_score(candidate: object) -> float:
+                if candidate is None:
+                    return 0.0
+                return numeric_similarity(float(reference), float(candidate))  # type: ignore[arg-type]
+
+            return relative_score
+
+        lookup = self.value_similarity.similarity
+        reference_text = str(reference)
+        memo: dict[object, float] = {}
+
+        def categorical_score(candidate: object) -> float:
+            if candidate is None:
+                return 0.0
+            cached = memo.get(candidate)
+            if cached is None:
+                cached = lookup(attribute, reference_text, str(candidate))
+                memo[candidate] = cached
+            return cached
+
+        return categorical_score
 
     # -- internals -----------------------------------------------------------
 

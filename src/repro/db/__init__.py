@@ -18,6 +18,7 @@ from repro.db.errors import (
 )
 from repro.db.executor import ExecutionStats, Executor, QueryResult
 from repro.db.predicates import Between, Eq, Ge, Gt, IsIn, Le, Lt, Ne, Predicate
+from repro.db.probe_cache import ProbeCache, canonical_probe_key
 from repro.db.query import SelectionQuery
 from repro.db.schema import Attribute, AttributeKind, RelationSchema
 from repro.db.table import Table
@@ -39,8 +40,10 @@ __all__ = [
     "Lt",
     "Ne",
     "Predicate",
+    "ProbeCache",
     "ProbeLimitExceededError",
     "ProbeLog",
+    "canonical_probe_key",
     "QueryError",
     "QueryResult",
     "RelationSchema",

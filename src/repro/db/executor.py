@@ -64,12 +64,18 @@ class ExecutionStats:
 
 @dataclass(frozen=True)
 class QueryResult:
-    """Result of one selection query: matching row ids and rows."""
+    """Result of one selection query: matching row ids and rows.
+
+    ``from_cache`` marks results the facade served from its probe
+    cache rather than from the source; payloads are identical either
+    way, the flag only drives probe accounting.
+    """
 
     query: SelectionQuery
     row_ids: tuple[int, ...]
     rows: tuple[tuple, ...]
     truncated: bool = False
+    from_cache: bool = False
 
     def __len__(self) -> int:
         return len(self.row_ids)

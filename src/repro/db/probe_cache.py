@@ -1,0 +1,151 @@
+"""Bounded LRU cache over selection probes (opt-in).
+
+Relaxation floods the source with near-duplicate probes: GuidedRelax
+turns every base-set tuple into a fully bound query and then drops
+attribute subsets, and sibling base tuples — which by construction
+share most attribute values — end up issuing *identical* relaxed
+queries.  Against a static snapshot of an autonomous source those
+repeats are pure waste, so the facade can optionally remember recent
+results.
+
+Design constraints, in order:
+
+* **Equivalence.**  A cache hit returns the same :class:`QueryResult`
+  payload the source returned for the original probe (flagged
+  ``from_cache=True``), so answer sets are identical with the cache on
+  or off; only the probe accounting differs.
+* **Honest accounting.**  The paper's efficiency experiments (Figs
+  6–7) count *issued* probes, so the cache is off by default and, when
+  enabled, hits are logged separately (``ProbeLog.cache_hits``,
+  ``RelaxationTrace.probes_cached``) and never charge the probe
+  budget — no form was submitted.
+* **Canonical keys.**  Two conjunctions that differ only in predicate
+  order (or in ``IsIn`` value order) describe the same form submission
+  and share one cache entry.
+
+The cache assumes the source is static between probes, which is how
+every experiment in this reproduction treats it; see
+``docs/PERFORMANCE.md`` for the discussion.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.db.executor import QueryResult
+from repro.db.predicates import Between, Eq, Ge, Gt, IsIn, Le, Lt, Ne, Predicate
+from repro.db.query import SelectionQuery
+
+__all__ = ["ProbeCache", "canonical_probe_key"]
+
+
+def _canonical_predicate(predicate: Predicate) -> tuple:
+    """Order-insensitive, hashable form of one predicate."""
+    if isinstance(predicate, Eq):
+        return (predicate.attribute, "eq", predicate.value)
+    if isinstance(predicate, Ne):
+        return (predicate.attribute, "ne", predicate.value)
+    if isinstance(predicate, Lt):
+        return (predicate.attribute, "lt", predicate.bound)
+    if isinstance(predicate, Le):
+        return (predicate.attribute, "le", predicate.bound)
+    if isinstance(predicate, Gt):
+        return (predicate.attribute, "gt", predicate.bound)
+    if isinstance(predicate, Ge):
+        return (predicate.attribute, "ge", predicate.bound)
+    if isinstance(predicate, Between):
+        return (predicate.attribute, "between", predicate.low, predicate.high)
+    if isinstance(predicate, IsIn):
+        values = tuple(sorted(predicate.values, key=repr))
+        return (predicate.attribute, "in", values)
+    # Unknown predicate classes fall back to their repr, which for
+    # frozen dataclasses encodes every field deterministically.
+    return (predicate.attribute, type(predicate).__name__, repr(predicate))
+
+
+def canonical_probe_key(
+    query: SelectionQuery, limit: int | None, offset: int
+) -> Hashable:
+    """Cache key for one probe: canonical conjunction + result window.
+
+    Predicates are sorted by their canonical form (via ``repr`` so
+    mixed value types stay comparable), making the key insensitive to
+    conjunct order.  The *effective* limit must be passed in — the
+    facade folds its ``result_cap`` into it before looking up.
+    """
+    parts = sorted(
+        (_canonical_predicate(p) for p in query.predicates), key=repr
+    )
+    return (tuple(parts), limit, offset)
+
+
+class ProbeCache:
+    """A bounded LRU map from canonical probe keys to results.
+
+    ``capacity`` bounds the number of cached probes; inserting past it
+    evicts the least recently used entry.  Both row probes and count
+    probes share the bound (count entries are keyed with a distinct
+    marker so the two kinds never collide).
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("probe cache capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_result(
+        self, query: SelectionQuery, limit: int | None, offset: int
+    ) -> QueryResult | None:
+        entry = self._get(("q", canonical_probe_key(query, limit, offset)))
+        return entry if isinstance(entry, QueryResult) else None
+
+    def put_result(
+        self,
+        query: SelectionQuery,
+        limit: int | None,
+        offset: int,
+        result: QueryResult,
+    ) -> bool:
+        """Cache one row-probe result; True when an entry was evicted."""
+        return self._put(("q", canonical_probe_key(query, limit, offset)), result)
+
+    def get_count(self, query: SelectionQuery) -> int | None:
+        entry = self._get(("c", canonical_probe_key(query, None, 0)))
+        return entry if isinstance(entry, int) else None
+
+    def put_count(self, query: SelectionQuery, matches: int) -> bool:
+        """Cache one count-probe result; True when an entry was evicted."""
+        return self._put(("c", canonical_probe_key(query, None, 0)), matches)
+
+    def clear(self) -> None:
+        """Drop every entry (keeps the hit/miss/eviction counters)."""
+        self._entries.clear()
+
+    # -- internals ---------------------------------------------------------
+
+    def _get(self, key: Hashable) -> object | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def _put(self, key: Hashable, entry: object) -> bool:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = entry
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            return True
+        return False

@@ -30,6 +30,7 @@ from typing import Iterator
 
 from repro.db.errors import ProbeLimitExceededError
 from repro.db.executor import ExecutionStats, Executor, QueryResult
+from repro.db.probe_cache import ProbeCache
 from repro.db.query import SelectionQuery
 from repro.db.schema import RelationSchema
 from repro.db.table import Table
@@ -46,12 +47,19 @@ class ProbeLog:
     probe costs the source one form submission (and one unit of probe
     budget) but returns no tuples, so it must never inflate
     ``tuples_returned``.
+
+    ``cache_hits`` counts lookups served from the facade's probe cache.
+    A hit never reaches the source — no form submission, no budget
+    charge — so it is *not* a probe and leaves every other counter
+    untouched.  Figures 6–7 read ``probes_issued``, which therefore
+    keeps its paper semantics whether the cache is on or off.
     """
 
     probes_issued: int = 0
     tuples_returned: int = 0
     empty_results: int = 0
     count_probes: int = 0
+    cache_hits: int = 0
 
     def record(self, result: QueryResult) -> None:
         self.probes_issued += 1
@@ -66,6 +74,10 @@ class ProbeLog:
         if matches == 0:
             self.empty_results += 1
 
+    def record_cache_hit(self) -> None:
+        """Account one lookup answered by the probe cache."""
+        self.cache_hits += 1
+
     def snapshot(self) -> "ProbeLog":
         """An independent copy of the current counters."""
         return replace(self)
@@ -77,6 +89,7 @@ class ProbeLog:
             tuples_returned=self.tuples_returned - since.tuples_returned,
             empty_results=self.empty_results - since.empty_results,
             count_probes=self.count_probes - since.count_probes,
+            cache_hits=self.cache_hits - since.cache_hits,
         )
 
     def reset(self) -> None:
@@ -84,6 +97,7 @@ class ProbeLog:
         self.tuples_returned = 0
         self.empty_results = 0
         self.count_probes = 0
+        self.cache_hits = 0
 
 
 class AccountingWindow:
@@ -134,6 +148,10 @@ class AccountingWindow:
     def count_probes(self) -> int:
         return self.log.count_probes
 
+    @property
+    def cache_hits(self) -> int:
+        return self.log.cache_hits
+
     def close(self) -> None:
         """Freeze the window so later traffic stops leaking into it."""
         if self._frozen_log is None:
@@ -154,6 +172,12 @@ class AutonomousWebDatabase:
     probe_budget:
         When set, raise :class:`ProbeLimitExceededError` once this many
         probes have been issued (rate limiting).
+    probe_cache_capacity:
+        When set, enable a bounded LRU cache over probes (see
+        :mod:`repro.db.probe_cache`).  Off by default — the efficiency
+        experiments meter issued probes, and a cache would serve
+        repeats for free.  Cache hits are logged as
+        ``ProbeLog.cache_hits`` and never charge the probe budget.
     """
 
     def __init__(
@@ -161,12 +185,18 @@ class AutonomousWebDatabase:
         table: Table,
         result_cap: int | None = None,
         probe_budget: int | None = None,
+        probe_cache_capacity: int | None = None,
     ) -> None:
         self._table = table
         self._executor = Executor(table)
         self.result_cap = result_cap
         self.probe_budget = probe_budget
         self.log = ProbeLog()
+        self._probe_cache: ProbeCache | None = (
+            ProbeCache(probe_cache_capacity)
+            if probe_cache_capacity is not None
+            else None
+        )
 
     # -- metadata a Web form exposes -------------------------------------------
 
@@ -215,15 +245,31 @@ class AutonomousWebDatabase:
         ``limit`` may further reduce (never exceed) the facade's
         ``result_cap``; ``offset`` requests a later result page, the
         way a Web form's "next page" link does.
+
+        With the probe cache enabled, a repeated probe (same canonical
+        conjunction and result window) is served from the cache: the
+        returned result is payload-identical but flagged
+        ``from_cache=True``, no budget is charged, and only
+        ``cache_hits`` accounting moves.
         """
-        self._check_budget()
         effective_limit = self.result_cap
         if limit is not None:
             effective_limit = (
                 limit if effective_limit is None else min(limit, effective_limit)
             )
+        cache = self._probe_cache
+        if cache is not None:
+            cached = cache.get_result(query, effective_limit, offset)
+            if cached is not None:
+                self.log.record_cache_hit()
+                self._record_cache_metrics(hit=True)
+                return replace(cached, from_cache=True)
+        self._check_budget()
         result = self._executor.execute(query, limit=effective_limit, offset=offset)
         self.log.record(result)
+        if cache is not None:
+            evicted = cache.put_result(query, effective_limit, offset, result)
+            self._record_cache_metrics(hit=False, evicted=evicted)
         if OBS.enabled:
             self._record_probe_metrics(query, kind="query", empty=not result)
             if result.truncated and self.result_cap is not None:
@@ -239,14 +285,41 @@ class AutonomousWebDatabase:
         Uses the executor's count-only path: no rows are materialised,
         and the probe is logged distinctly as a count probe.  The probe
         budget applies exactly as for row probes — a count still costs
-        the source one form submission.
+        the source one form submission.  Repeated counts are served by
+        the probe cache when it is enabled.
         """
+        cache = self._probe_cache
+        if cache is not None:
+            cached = cache.get_count(query)
+            if cached is not None:
+                self.log.record_cache_hit()
+                self._record_cache_metrics(hit=True)
+                return cached
         self._check_budget()
         matches = self._executor.count(query)
         self.log.record_count(matches)
+        if cache is not None:
+            evicted = cache.put_count(query, matches)
+            self._record_cache_metrics(hit=False, evicted=evicted)
         if OBS.enabled:
             self._record_probe_metrics(query, kind="count", empty=matches == 0)
         return matches
+
+    # -- probe cache management ------------------------------------------------
+
+    @property
+    def probe_cache(self) -> ProbeCache | None:
+        """The active probe cache, or None when caching is off."""
+        return self._probe_cache
+
+    def enable_probe_cache(self, capacity: int = 1024) -> ProbeCache:
+        """Switch the probe cache on (replacing any existing one)."""
+        self._probe_cache = ProbeCache(capacity)
+        return self._probe_cache
+
+    def disable_probe_cache(self) -> None:
+        """Switch the probe cache off and drop its entries."""
+        self._probe_cache = None
 
     # -- bookkeeping -----------------------------------------------------------
 
@@ -292,6 +365,26 @@ class AutonomousWebDatabase:
                     "Probes refused because the source's budget ran out.",
                 ).inc()
             raise ProbeLimitExceededError(self.probe_budget)
+
+    def _record_cache_metrics(self, hit: bool, evicted: bool = False) -> None:
+        if not OBS.enabled:
+            return
+        registry = OBS.registry
+        if hit:
+            registry.counter(
+                "repro_db_probe_cache_hits_total",
+                "Probe lookups served from the facade's probe cache.",
+            ).inc()
+        else:
+            registry.counter(
+                "repro_db_probe_cache_misses_total",
+                "Probe lookups that missed the cache and reached the source.",
+            ).inc()
+        if evicted:
+            registry.counter(
+                "repro_db_probe_cache_evictions_total",
+                "Probe cache entries evicted by the LRU capacity bound.",
+            ).inc()
 
     def _record_probe_metrics(
         self, query: SelectionQuery, kind: str, empty: bool

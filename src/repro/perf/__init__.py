@@ -1,0 +1,26 @@
+"""Performance harness: micro-benchmarks over the opt-in fast paths.
+
+Each scenario times a fast path against its reference (slow) path on
+the same inputs, verifies the two produce identical results, and
+reports wall-clock plus the relevant observability counters.  The CLI
+entry point is ``python -m repro bench``; CI runs the smoke scale and
+the committed ``BENCH_perf.json`` records a default-scale run.  See
+``docs/PERFORMANCE.md`` for what each fast path changes and why it is
+result-equivalent.
+"""
+
+from repro.perf.bench import (
+    SCALES,
+    SCENARIOS,
+    ScenarioResult,
+    check_regressions,
+    run_bench,
+)
+
+__all__ = [
+    "SCALES",
+    "SCENARIOS",
+    "ScenarioResult",
+    "check_regressions",
+    "run_bench",
+]

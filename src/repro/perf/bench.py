@@ -1,0 +1,513 @@
+"""Fast-path micro-benchmarks (``python -m repro bench``).
+
+Five scenarios, one per fast path introduced by the performance layer:
+
+``probe_cache``
+    Repeated imprecise-query answering with the facade's LRU probe
+    cache off (every relaxation probe hits the source) vs on (repeats
+    are served from the cache).
+``vsim_mining``
+    ``ValueSimilarityMiner.mine`` in the seed configuration vs
+    ``workers=2`` + ``prune_bound=True`` at the same store threshold.
+``topk``
+    Ranking the extended set with a full sort vs ``heapq.nsmallest``.
+``similarity_memo``
+    Scoring candidate rows through the per-call reference path
+    (``sim_to_query``) vs one precompiled :class:`BindingsScorer`.
+``lazy_partition``
+    TANE-style partition products reading ranks only, with the
+    row→class map forced after every construction (the seed's eager
+    ``__post_init__`` behaviour) vs built lazily (never, on this path).
+
+Every scenario checks that the fast and slow paths produced identical
+results; ``check_regressions`` turns a report into CI failures when a
+fast path is slower than its reference beyond a tolerance.
+
+Timing runs with observability *off* so neither path pays metric
+overhead; counters reported in ``details`` come from separate metered
+re-runs of the fast path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.afd.partition import StrippedPartition, partition_product, partition_single
+from repro.core.config import AIMQSettings
+from repro.core.pipeline import AIMQModel, build_model
+from repro.core.query import ImpreciseQuery
+from repro.core.results import RankedAnswer
+from repro.datasets.cardb import cardb_webdb
+from repro.db.schema import RelationSchema
+from repro.db.table import Table
+from repro.db.webdb import AutonomousWebDatabase
+from repro.obs.runtime import OBS
+from repro.simmining.estimator import SimilarityMinerConfig, ValueSimilarityMiner
+
+__all__ = [
+    "BenchScale",
+    "SCALES",
+    "SCENARIOS",
+    "ScenarioResult",
+    "check_regressions",
+    "run_bench",
+]
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Problem sizes for one benchmark scale."""
+
+    rows: int  # source size behind the facade
+    sample: int  # sample size for model building
+    repeats: int  # repeated answering passes over the query set
+    queries: int  # distinct imprecise queries per pass
+    mining_rows: int  # synthetic mining-table size
+    mining_values: int  # distinct values per mining attribute
+    mining_attributes: int
+    mining_threshold: float  # store_threshold for the mining scenario
+    candidates: int  # synthetic extended-set size for top-k
+    top_k: int
+    score_rows: int  # rows scored per similarity-memo repetition
+    score_repeats: int
+    partition_rows: int
+    partition_products: int
+
+
+SCALES: dict[str, BenchScale] = {
+    # CI smoke: seconds, not minutes; still large enough that the
+    # fast/slow gap dominates timer noise.
+    "smoke": BenchScale(
+        rows=1_500,
+        sample=400,
+        repeats=3,
+        queries=2,
+        mining_rows=700,
+        mining_values=35,
+        mining_attributes=5,
+        mining_threshold=0.5,
+        candidates=30_000,
+        top_k=10,
+        score_rows=400,
+        score_repeats=30,
+        partition_rows=6_000,
+        partition_products=40,
+    ),
+    # The committed BENCH_perf.json scale.
+    "default": BenchScale(
+        rows=6_000,
+        sample=1_200,
+        repeats=5,
+        queries=3,
+        mining_rows=1_500,
+        mining_values=50,
+        mining_attributes=6,
+        mining_threshold=0.5,
+        candidates=150_000,
+        top_k=10,
+        score_rows=1_200,
+        score_repeats=60,
+        partition_rows=20_000,
+        partition_products=120,
+    ),
+}
+
+
+@dataclass
+class ScenarioResult:
+    """Timing pair + equivalence verdict for one scenario."""
+
+    name: str
+    slow_seconds: float
+    fast_seconds: float
+    equivalent: bool
+    details: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.fast_seconds <= 0.0:
+            return float("inf")
+        return self.slow_seconds / self.fast_seconds
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "slow_seconds": round(self.slow_seconds, 6),
+            "fast_seconds": round(self.fast_seconds, 6),
+            "speedup": round(self.speedup, 3),
+            "equivalent": self.equivalent,
+            "details": self.details,
+        }
+
+
+def _timed(run: Callable[[], object]) -> tuple[object, float]:
+    start = time.perf_counter()
+    value = run()
+    return value, time.perf_counter() - start
+
+
+# -- shared fixture -----------------------------------------------------------
+
+
+class _Fixture:
+    """One source + mined model shared by the engine-level scenarios.
+
+    Built on first access so scenario subsets that never touch the
+    engine (``--only topk``) skip the model build entirely.
+    """
+
+    def __init__(self, scale: BenchScale) -> None:
+        self._scale = scale
+        self._webdb: AutonomousWebDatabase | None = None
+        self._model: AIMQModel | None = None
+
+    def _build(self) -> None:
+        if self._webdb is not None:
+            return
+        self._webdb = cardb_webdb(self._scale.rows, seed=11)
+        self._model = build_model(
+            self._webdb,
+            sample_size=self._scale.sample,
+            rng=random.Random(12),
+            settings=AIMQSettings(max_relaxation_level=3),
+        )
+        self._webdb.reset_accounting()
+
+    @property
+    def webdb(self) -> AutonomousWebDatabase:
+        self._build()
+        assert self._webdb is not None
+        return self._webdb
+
+    @property
+    def model(self) -> AIMQModel:
+        self._build()
+        assert self._model is not None
+        return self._model
+
+
+def _fixture_queries(fixture: _Fixture, count: int) -> list[ImpreciseQuery]:
+    """Likeness queries built from distinct sample rows."""
+    schema = fixture.webdb.schema
+    sample = fixture.model.sample
+    queries: list[ImpreciseQuery] = []
+    step = max(1, len(sample) // max(count, 1))
+    for index in range(count):
+        row = sample.row((index * step) % len(sample))
+        bindings: dict[str, object] = {}
+        for name in ("Model", "Price", "Location"):
+            value = row[schema.position(name)]
+            if value is not None:
+                bindings[name] = value
+        queries.append(ImpreciseQuery.like(schema.name, **bindings))
+    return queries
+
+
+# -- scenarios ----------------------------------------------------------------
+
+
+def bench_probe_cache(scale: BenchScale, fixture: _Fixture) -> ScenarioResult:
+    webdb = fixture.webdb
+    engine = fixture.model.engine(webdb)
+    queries = _fixture_queries(fixture, scale.queries)
+
+    def run() -> list[list[tuple[int, float, float]]]:
+        outputs: list[list[tuple[int, float, float]]] = []
+        for _ in range(scale.repeats):
+            for query in queries:
+                answers = engine.answer(query)
+                outputs.append(
+                    [
+                        (a.row_id, a.similarity, a.base_similarity)
+                        for a in answers
+                    ]
+                )
+        return outputs
+
+    webdb.disable_probe_cache()
+    with webdb.accounting_scope() as slow_window:
+        slow_out, slow_seconds = _timed(run)
+    webdb.enable_probe_cache(capacity=8_192)
+    try:
+        with webdb.accounting_scope() as fast_window:
+            fast_out, fast_seconds = _timed(run)
+        cache = webdb.probe_cache
+        details = {
+            "repeats": scale.repeats,
+            "queries": len(queries),
+            "probes_issued_slow": slow_window.probes_issued,
+            "probes_issued_fast": fast_window.probes_issued,
+            "cache_hits": fast_window.cache_hits,
+            "cache_evictions": cache.evictions if cache is not None else 0,
+        }
+    finally:
+        webdb.disable_probe_cache()
+    return ScenarioResult(
+        name="probe_cache",
+        slow_seconds=slow_seconds,
+        fast_seconds=fast_seconds,
+        equivalent=slow_out == fast_out,
+        details=details,
+    )
+
+
+def _mining_table(scale: BenchScale, seed: int = 61) -> Table:
+    """All-categorical table with Zipf-skewed value frequencies.
+
+    The skew matters: heavy-tailed AV-pair frequencies give the
+    bag-size upper bound real spread, which is exactly the regime the
+    prune targets (most pairs mix one frequent with one rare value and
+    cannot clear the store threshold).
+    """
+    rng = random.Random(seed)
+    names = tuple(f"A{index}" for index in range(scale.mining_attributes))
+    schema = RelationSchema.build(
+        "minebench", categorical=names, numeric=(), order=names
+    )
+    domains = [
+        [f"v{attribute}_{value}" for value in range(scale.mining_values)]
+        for attribute in range(scale.mining_attributes)
+    ]
+    weights = [1.0 / (rank + 1) for rank in range(scale.mining_values)]
+    table = Table(schema)
+    for _ in range(scale.mining_rows):
+        table.insert(
+            tuple(
+                rng.choices(domain, weights=weights, k=1)[0]
+                for domain in domains
+            )
+        )
+    return table
+
+
+def bench_vsim_mining(scale: BenchScale, fixture: _Fixture) -> ScenarioResult:
+    table = _mining_table(scale)
+    threshold = scale.mining_threshold
+    slow_config = SimilarityMinerConfig(store_threshold=threshold)
+    fast_config = SimilarityMinerConfig(
+        store_threshold=threshold,
+        workers=2,
+        prune_bound=True,
+        parallel_chunk_pairs=8_192,
+    )
+
+    slow_model, slow_seconds = _timed(
+        lambda: ValueSimilarityMiner(slow_config).mine(table)
+    )
+    fast_model, fast_seconds = _timed(
+        lambda: ValueSimilarityMiner(fast_config).mine(table)
+    )
+
+    def model_state(model):
+        return (
+            {name: model.pairs(name) for name in model.attributes},
+            {name: model.known_values(name) for name in model.attributes},
+        )
+
+    # Metered serial re-run of the pruned path for the counters (the
+    # parallel path counts identically but meters in worker processes).
+    metered_config = SimilarityMinerConfig(
+        store_threshold=threshold, prune_bound=True
+    )
+    was_enabled = OBS.enabled
+    OBS.reset()
+    OBS.enable()
+    try:
+        ValueSimilarityMiner(metered_config).mine(table)
+        snapshot: dict[str, int] = {}
+        for metric in OBS.registry.snapshot()["metrics"]:
+            if metric["name"].startswith("repro_simmining_pair"):
+                snapshot[metric["name"]] = sum(
+                    series.get("value", 0) for series in metric["series"]
+                )
+    finally:
+        OBS.reset()
+        if not was_enabled:
+            OBS.disable()
+    pairs_total = sum(
+        count * (count - 1) // 2
+        for count in (
+            len(slow_model.known_values(name))
+            for name in slow_model.attributes
+        )
+    )
+    return ScenarioResult(
+        name="vsim_mining",
+        slow_seconds=slow_seconds,
+        fast_seconds=fast_seconds,
+        equivalent=model_state(slow_model) == model_state(fast_model),
+        details={
+            "store_threshold": threshold,
+            "workers": fast_config.workers,
+            "pairs_total": pairs_total,
+            "pairs_evaluated_pruned_path": snapshot.get(
+                "repro_simmining_pair_evaluations_total", 0
+            ),
+            "pairs_pruned": snapshot.get(
+                "repro_simmining_pairs_pruned_total", 0
+            ),
+            "pairs_stored": slow_model.pair_count(),
+        },
+    )
+
+
+def bench_topk(scale: BenchScale, fixture: _Fixture) -> ScenarioResult:
+    rng = random.Random(31)
+    candidates = [
+        RankedAnswer(
+            row_id=index,
+            row=(),
+            similarity=rng.random(),
+            base_similarity=rng.random(),
+            source_base_row_id=0,
+            relaxation_level=1,
+        )
+        for index in range(scale.candidates)
+    ]
+
+    def key(answer: RankedAnswer) -> tuple[float, float, int]:
+        return (-answer.similarity, -answer.base_similarity, answer.row_id)
+
+    slow_top, slow_seconds = _timed(
+        lambda: sorted(candidates, key=key)[: scale.top_k]
+    )
+    fast_top, fast_seconds = _timed(
+        lambda: heapq.nsmallest(scale.top_k, candidates, key=key)
+    )
+    return ScenarioResult(
+        name="topk",
+        slow_seconds=slow_seconds,
+        fast_seconds=fast_seconds,
+        equivalent=slow_top == fast_top,
+        details={"candidates": scale.candidates, "top_k": scale.top_k},
+    )
+
+
+def bench_similarity_memo(scale: BenchScale, fixture: _Fixture) -> ScenarioResult:
+    engine = fixture.model.engine(fixture.webdb)
+    similarity = engine.similarity
+    query = _fixture_queries(fixture, 1)[0]
+    sample = fixture.model.sample
+    rows = [sample.row(index % len(sample)) for index in range(scale.score_rows)]
+
+    def run_slow() -> list[float]:
+        scores: list[float] = []
+        for _ in range(scale.score_repeats):
+            scores = [similarity.sim_to_query(query, row) for row in rows]
+        return scores
+
+    def run_fast() -> list[float]:
+        scores: list[float] = []
+        for _ in range(scale.score_repeats):
+            scorer = similarity.query_scorer(query)
+            scores = [scorer(row) for row in rows]
+        return scores
+
+    slow_scores, slow_seconds = _timed(run_slow)
+    fast_scores, fast_seconds = _timed(run_fast)
+    return ScenarioResult(
+        name="similarity_memo",
+        slow_seconds=slow_seconds,
+        fast_seconds=fast_seconds,
+        equivalent=slow_scores == fast_scores,
+        details={
+            "rows_scored": scale.score_rows,
+            "repeats": scale.score_repeats,
+        },
+    )
+
+
+def bench_lazy_partition(scale: BenchScale, fixture: _Fixture) -> ScenarioResult:
+    rng = random.Random(51)
+    n_rows = scale.partition_rows
+    columns = [
+        [rng.randrange(cardinality) for _ in range(n_rows)]
+        for cardinality in (8, 20, 50, 200)
+    ]
+    singles = [partition_single(column) for column in columns]
+
+    def force_map(partition: StrippedPartition) -> None:
+        # Replicate the seed's eager __post_init__: the row→class map
+        # was built for every partition whether or not it was read.
+        if partition.classes:
+            partition.class_of(partition.classes[0][0])
+
+    def run(eager: bool) -> list[int]:
+        ranks: list[int] = []
+        for round_index in range(scale.partition_products):
+            left = singles[round_index % len(singles)]
+            right = singles[(round_index + 1) % len(singles)]
+            product = partition_product(left, right)
+            if eager:
+                force_map(product)
+            ranks.append(product.rank)
+        return ranks
+
+    slow_ranks, slow_seconds = _timed(lambda: run(eager=True))
+    fast_ranks, fast_seconds = _timed(lambda: run(eager=False))
+    return ScenarioResult(
+        name="lazy_partition",
+        slow_seconds=slow_seconds,
+        fast_seconds=fast_seconds,
+        equivalent=slow_ranks == fast_ranks,
+        details={
+            "rows": n_rows,
+            "products": scale.partition_products,
+        },
+    )
+
+
+SCENARIOS: dict[str, Callable[[BenchScale, _Fixture], ScenarioResult]] = {
+    "probe_cache": bench_probe_cache,
+    "vsim_mining": bench_vsim_mining,
+    "topk": bench_topk,
+    "similarity_memo": bench_similarity_memo,
+    "lazy_partition": bench_lazy_partition,
+}
+
+
+def run_bench(
+    scale_name: str = "default",
+    only: list[str] | None = None,
+) -> dict[str, object]:
+    """Run the selected scenarios and return the report mapping."""
+    scale = SCALES[scale_name]
+    names = list(SCENARIOS) if not only else [n for n in SCENARIOS if n in only]
+    unknown = set(only or ()) - set(SCENARIOS)
+    if unknown:
+        raise ValueError(f"unknown scenarios: {sorted(unknown)}")
+    fixture = _Fixture(scale)
+    scenarios: dict[str, object] = {}
+    for name in names:
+        scenarios[name] = SCENARIOS[name](scale, fixture).as_dict()
+    return {
+        "scale": scale_name,
+        "python": sys.version.split()[0],
+        "scenarios": scenarios,
+    }
+
+
+def check_regressions(
+    report: dict[str, object], max_regression: float = 0.25
+) -> list[str]:
+    """Failure messages for fast paths slower than their reference.
+
+    A scenario fails when the fast path is more than ``max_regression``
+    slower than the slow path (speedup below ``1 / (1 + max_regression)``)
+    or when its equivalence check failed.
+    """
+    floor = 1.0 / (1.0 + max_regression)
+    failures: list[str] = []
+    for name, entry in report["scenarios"].items():  # type: ignore[union-attr]
+        if not entry["equivalent"]:
+            failures.append(f"{name}: fast path output differs from slow path")
+        if entry["speedup"] < floor:
+            failures.append(
+                f"{name}: fast path regressed (speedup {entry['speedup']:.3f} "
+                f"< {floor:.3f})"
+            )
+    return failures

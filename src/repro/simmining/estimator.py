@@ -11,13 +11,29 @@ The pairwise pass over the ``k`` distinct values of each of ``m``
 categorical attributes is the O(m·k²) cost the paper contrasts with
 ROCK's O(n³) (§6.1): it depends on the number of AV-pairs, not on the
 number of tuples.
+
+Two fast paths attack that cost (both opt-in, both provably
+result-equivalent to the naive pass — see ``docs/PERFORMANCE.md``):
+
+* **Prune bounds** (``prune_bound=True``): per bag,
+  ``SimJ(A, B) ≤ min(|A|, |B|) / max(|A|, |B|)`` (the intersection is
+  at most the smaller bag, the union at least the larger), so
+  ``Σᵢ wᵢ·boundᵢ < store_threshold`` rejects a pair from its bag sizes
+  alone, and a running suffix-bound aborts mid-evaluation once the
+  remaining attributes cannot lift the score over the threshold.
+* **Parallel estimation** (``workers > 1``): the pair grid of every
+  attribute is chunked across a ``ProcessPoolExecutor``; results are
+  folded back in deterministic task order.  ``workers=1`` keeps the
+  serial loop bit-for-bit.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 from repro.db.schema import RelationSchema
 from repro.db.table import Table
@@ -54,12 +70,27 @@ class SimilarityMinerConfig:
         keeps the model small without changing rankings near the top.
     bag_semantics:
         True (paper) = multiset Jaccard; False = set Jaccard ablation.
+    workers:
+        Process count for the pairwise estimation pass.  1 (default)
+        preserves the serial path bit-for-bit; >1 chunks each
+        attribute's pair grid across a ``ProcessPoolExecutor`` and
+        produces an identical model (same pairs, same scores).
+    prune_bound:
+        When True, skip ``_vsim`` for pairs whose bag-size upper bound
+        ``Σ wᵢ·min(|Aᵢ|,|Bᵢ|)/max(|Aᵢ|,|Bᵢ|)`` cannot reach
+        ``store_threshold``.  Never drops a pair the naive loop would
+        have stored; a no-op when ``store_threshold`` is 0.
+    parallel_chunk_pairs:
+        Pairs per worker task when ``workers > 1``.
     """
 
     numeric_bins: int = 10
     min_value_count: int = 2
     store_threshold: float = 0.0
     bag_semantics: bool = True
+    workers: int = 1
+    prune_bound: bool = False
+    parallel_chunk_pairs: int = 512
 
     def __post_init__(self) -> None:
         if self.numeric_bins < 1:
@@ -68,6 +99,10 @@ class SimilarityMinerConfig:
             raise ValueError("min_value_count must be at least 1")
         if not 0.0 <= self.store_threshold < 1.0:
             raise ValueError("store_threshold must be in [0, 1)")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.parallel_chunk_pairs < 1:
+            raise ValueError("parallel_chunk_pairs must be at least 1")
 
 
 @dataclass
@@ -132,8 +167,10 @@ class SimilarityModel:
             for other in self._values.get(attribute, ())
             if other != value
         ]
-        scored.sort(key=lambda pair: (-pair[1], pair[0]))
-        return scored[:n]
+        # nsmallest(n, key=...) == sorted(key=...)[:n] by contract, so
+        # the Table 3 rows are unchanged while only an n-sized heap is
+        # kept over the k known values.
+        return heapq.nsmallest(n, scored, key=lambda pair: (-pair[1], pair[0]))
 
     def pairs(self, attribute: str) -> dict[tuple[str, str], float]:
         """Copy of the stored pair scores for one attribute."""
@@ -155,6 +192,7 @@ class ValueSimilarityMiner:
         self.importance_weights = dict(importance_weights or {})
         self.timings = MiningTimings()
         self._supertuples: dict[AVPair, SuperTuple] = {}
+        self._supertuple_attributes: frozenset[str] = frozenset()
 
     # -- supertuple generation --------------------------------------------
 
@@ -206,6 +244,7 @@ class ValueSimilarityMiner:
                 "Supertuples built over sufficiently frequent AV-pairs.",
             ).inc(len(supertuples))
         self._supertuples = supertuples
+        self._supertuple_attributes = frozenset(names)
         self.timings.supertuple_seconds += phase.elapsed_seconds
         return supertuples
 
@@ -214,13 +253,22 @@ class ValueSimilarityMiner:
     def estimate(
         self, table: Table, attributes: Iterable[str] | None = None
     ) -> SimilarityModel:
-        """Phase 2 (Table 2's "Similarity Estimation"): full VSim model."""
+        """Phase 2 (Table 2's "Similarity Estimation"): full VSim model.
+
+        Supertuples are rebuilt automatically when the requested
+        attribute set is not covered by the set
+        :meth:`build_supertuples` last ran with — previously a stale
+        build was silently reused and never-built attributes produced
+        no pairs at all.
+        """
         schema = table.schema
         names = tuple(attributes) if attributes is not None else schema.categorical_names
-        if not self._supertuples:
+        if not set(names) <= self._supertuple_attributes:
             self.build_supertuples(table, names)
+        config = self.config
         observing = OBS.enabled
         pair_evaluations = 0
+        pairs_pruned = 0
         with timed_phase(
             "simmining.estimate",
             histogram="repro_simmining_phase_seconds",
@@ -233,6 +281,7 @@ class ValueSimilarityMiner:
             for avpair, supertuple in self._supertuples.items():
                 if avpair.attribute in by_attribute:
                     by_attribute[avpair.attribute].append(supertuple)
+            jobs: list[tuple[str, list[SuperTuple], tuple[tuple[str, float], ...]]] = []
             for name in names:
                 supertuples = sorted(
                     by_attribute[name], key=lambda st: st.avpair.value
@@ -240,25 +289,112 @@ class ValueSimilarityMiner:
                 for supertuple in supertuples:
                     model.register_value(name, supertuple.avpair.value)
                 weights = self._attribute_weights(schema, bound=name)
-                for i, left in enumerate(supertuples):
-                    for right in supertuples[i + 1 :]:
-                        pair_evaluations += 1
-                        score = self._vsim(left, right, weights)
-                        if score >= self.config.store_threshold and score > 0.0:
-                            model.record(
-                                name,
-                                left.avpair.value,
-                                right.avpair.value,
-                                score,
-                            )
+                # Zero-weight attributes are skipped by _vsim anyway;
+                # filtering here (in iteration order) keeps the exact
+                # accumulation order of the naive loop.
+                weight_items = tuple(
+                    (attr, weight)
+                    for attr, weight in weights.items()
+                    if weight != 0.0
+                )
+                jobs.append((name, supertuples, weight_items))
+
+            if config.workers > 1:
+                outcomes = self._estimate_parallel(jobs)
+            else:
+                outcomes = [
+                    (
+                        name,
+                        _evaluate_pairs(
+                            supertuples,
+                            weight_items,
+                            _pair_grid(len(supertuples)),
+                            bag_semantics=config.bag_semantics,
+                            store_threshold=config.store_threshold,
+                            prune=config.prune_bound,
+                        ),
+                    )
+                    for name, supertuples, weight_items in jobs
+                ]
+            for name, (stored, evaluated, pruned) in outcomes:
+                pair_evaluations += evaluated
+                pairs_pruned += pruned
+                for value_a, value_b, score in stored:
+                    model.record(name, value_a, value_b, score)
         if observing:
             OBS.registry.counter(
                 "repro_simmining_pair_evaluations_total",
                 "VSim evaluations over AV-pair supertuple pairs (the "
                 "paper's O(m*k^2) cost).",
             ).inc(pair_evaluations)
+            OBS.registry.counter(
+                "repro_simmining_pairs_pruned_total",
+                "Supertuple pairs skipped by the bag-size upper bound "
+                "before (or during) VSim evaluation.",
+            ).inc(pairs_pruned)
         self.timings.estimation_seconds += phase.elapsed_seconds
         return model
+
+    def _estimate_parallel(
+        self,
+        jobs: list[tuple[str, list[SuperTuple], tuple[tuple[str, float], ...]]],
+    ) -> list[tuple[str, tuple[list[tuple[str, str, float]], int, int]]]:
+        """Chunk every attribute's pair grid across a process pool.
+
+        The shared supertuples travel once per worker (pool
+        initializer); tasks carry only ``(attribute, pair indices)``.
+        Results fold back in deterministic task order, and a pool that
+        cannot start (sandboxed fork, missing semaphores) degrades to
+        the serial path rather than failing the build.
+        """
+        config = self.config
+        context = {
+            "supertuples": {name: supertuples for name, supertuples, _ in jobs},
+            "weights": {name: weight_items for name, _, weight_items in jobs},
+            "bag_semantics": config.bag_semantics,
+            "store_threshold": config.store_threshold,
+            "prune": config.prune_bound,
+        }
+        tasks: list[tuple[str, list[tuple[int, int]]]] = []
+        for name, supertuples, _ in jobs:
+            grid = _pair_grid(len(supertuples))
+            for start in range(0, len(grid), config.parallel_chunk_pairs):
+                tasks.append(
+                    (name, grid[start : start + config.parallel_chunk_pairs])
+                )
+        try:
+            with ProcessPoolExecutor(
+                max_workers=config.workers,
+                initializer=_init_vsim_worker,
+                initargs=(context,),
+            ) as pool:
+                chunk_results = list(pool.map(_score_vsim_chunk, tasks))
+        except (OSError, PermissionError):
+            return [
+                (
+                    name,
+                    _evaluate_pairs(
+                        supertuples,
+                        weight_items,
+                        _pair_grid(len(supertuples)),
+                        bag_semantics=config.bag_semantics,
+                        store_threshold=config.store_threshold,
+                        prune=config.prune_bound,
+                    ),
+                )
+                for name, supertuples, weight_items in jobs
+            ]
+        merged: dict[str, tuple[list[tuple[str, str, float]], int, int]] = {
+            name: ([], 0, 0) for name, _, _ in jobs
+        }
+        for (name, _), (stored, evaluated, pruned) in zip(tasks, chunk_results):
+            previous = merged[name]
+            merged[name] = (
+                previous[0] + stored,
+                previous[1] + evaluated,
+                previous[2] + pruned,
+            )
+        return [(name, merged[name]) for name, _, _ in jobs]
 
     def mine(
         self, table: Table, attributes: Iterable[str] | None = None
@@ -305,3 +441,150 @@ class ValueSimilarityMiner:
                     left_bag.as_set(), right_bag.as_set()
                 )
         return min(score, 1.0)
+
+
+# -- pair-grid evaluation (shared by the serial and parallel paths) ----------
+
+#: Slack applied to the *mid-evaluation* suffix-bound cutoff.  The
+#: whole-pair bound is FP-safe without slack (every rounded operation is
+#: monotone and term-wise dominates the score's), but the running cutoff
+#: mixes evaluated terms with bound terms, so a generous margin — ~1e6×
+#: the worst-case rounding error at these magnitudes — keeps it sound.
+_PRUNE_SLACK = 1e-9
+
+
+def _pair_grid(n: int) -> list[tuple[int, int]]:
+    """Index pairs ``(i, j), i < j`` in the naive loop's order."""
+    return [(i, j) for i in range(n) for j in range(i + 1, n)]
+
+
+def _bag_magnitude(supertuple: SuperTuple, attribute: str, bag_semantics: bool) -> int:
+    bag = supertuple.bag(attribute)
+    return len(bag) if bag_semantics else bag.support
+
+
+def _evaluate_pairs(
+    supertuples: Sequence[SuperTuple],
+    weight_items: Sequence[tuple[str, float]],
+    pairs: Sequence[tuple[int, int]],
+    bag_semantics: bool,
+    store_threshold: float,
+    prune: bool,
+) -> tuple[list[tuple[str, str, float]], int, int]:
+    """Score index ``pairs`` over one attribute's supertuples.
+
+    Returns ``(stored, evaluated, pruned)`` where ``stored`` holds
+    ``(value_a, value_b, score)`` triples that clear the store
+    threshold, ``evaluated`` counts full VSim evaluations and
+    ``pruned`` counts pairs rejected by the upper bound (outright or
+    mid-evaluation).  With ``prune=False`` this is the naive pass.
+    """
+    stored: list[tuple[str, str, float]] = []
+    evaluated = 0
+    pruned = 0
+    sizes: list[tuple[int, ...]] | None = None
+    if prune and store_threshold > 0.0:
+        sizes = [
+            tuple(
+                _bag_magnitude(st, attribute, bag_semantics)
+                for attribute, _ in weight_items
+            )
+            for st in supertuples
+        ]
+    for i, j in pairs:
+        left = supertuples[i]
+        right = supertuples[j]
+        if sizes is None:
+            evaluated += 1
+            score = 0.0
+            for attribute, weight in weight_items:
+                left_bag = left.bag(attribute)
+                right_bag = right.bag(attribute)
+                if bag_semantics:
+                    score += weight * jaccard_bags(left_bag, right_bag)
+                else:
+                    score += weight * jaccard_sets(
+                        left_bag.as_set(), right_bag.as_set()
+                    )
+            score = min(score, 1.0)
+        else:
+            # Per-term upper bounds from bag sizes alone:
+            # SimJ(A, B) ≤ min(|A|, |B|) / max(|A|, |B|).
+            left_sizes = sizes[i]
+            right_sizes = sizes[j]
+            bounds: list[float] = []
+            total_bound = 0.0
+            for t, (_, weight) in enumerate(weight_items):
+                size_a = left_sizes[t]
+                size_b = right_sizes[t]
+                if size_a == 0 and size_b == 0:
+                    ratio = 1.0  # two empty bags are identical (SimJ = 1)
+                elif size_a == 0 or size_b == 0:
+                    ratio = 0.0
+                else:
+                    ratio = (
+                        (size_a if size_a < size_b else size_b)
+                        / (size_a if size_a > size_b else size_b)
+                    )
+                term_bound = weight * ratio
+                bounds.append(term_bound)
+                total_bound += term_bound
+            if total_bound < store_threshold:
+                pruned += 1
+                continue
+            # Suffix sums of the remaining bounds for the running cutoff.
+            suffix = [0.0] * len(bounds)
+            acc = 0.0
+            for t in range(len(bounds) - 1, 0, -1):
+                acc += bounds[t]
+                suffix[t - 1] = acc
+            score = 0.0
+            aborted = False
+            for t, (attribute, weight) in enumerate(weight_items):
+                left_bag = left.bag(attribute)
+                right_bag = right.bag(attribute)
+                if bag_semantics:
+                    score += weight * jaccard_bags(left_bag, right_bag)
+                else:
+                    score += weight * jaccard_sets(
+                        left_bag.as_set(), right_bag.as_set()
+                    )
+                if score + suffix[t] < store_threshold - _PRUNE_SLACK:
+                    aborted = True
+                    break
+            if aborted:
+                pruned += 1
+                continue
+            evaluated += 1
+            score = min(score, 1.0)
+        if score >= store_threshold and score > 0.0:
+            stored.append((left.avpair.value, right.avpair.value, score))
+    return stored, evaluated, pruned
+
+
+# -- process-pool plumbing ----------------------------------------------------
+
+#: Per-worker context installed by the pool initializer so task payloads
+#: stay small (attribute name + index pairs, not the supertuples).
+_WORKER_CONTEXT: dict | None = None
+
+
+def _init_vsim_worker(context: dict) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _score_vsim_chunk(
+    task: tuple[str, list[tuple[int, int]]],
+) -> tuple[list[tuple[str, str, float]], int, int]:
+    name, pairs = task
+    context = _WORKER_CONTEXT
+    assert context is not None, "worker used before initializer ran"
+    return _evaluate_pairs(
+        context["supertuples"][name],
+        context["weights"][name],
+        pairs,
+        bag_semantics=context["bag_semantics"],
+        store_threshold=context["store_threshold"],
+        prune=context["prune"],
+    )

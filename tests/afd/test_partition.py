@@ -100,3 +100,26 @@ class TestRefines:
         p = StrippedPartition(classes=((0, 1), (2, 3)), n_rows=5)
         assert p.class_of(4) is None
         assert p.stripped_size == 4
+
+
+class TestLazyClassMap:
+    def test_map_not_built_until_needed(self):
+        p = partition_single(["a", "b", "a", "c", "b", "a"])
+        assert p._class_of is None
+        p.class_of(0)
+        assert p._class_of is not None
+
+    def test_lazy_map_matches_classes(self):
+        p = partition_single(["a", "b", "a", "c", "b", "a"])
+        for class_id, members in enumerate(p.classes):
+            for row_id in members:
+                assert p.class_of(row_id) == class_id
+        # Row 3 holds the singleton value "c".
+        assert p.class_of(3) is None
+
+    def test_rank_does_not_build_map(self):
+        left = partition_single(["a", "a", "b", "b", "c"])
+        right = partition_single(["x", "x", "x", "y", "y"])
+        product = partition_product(left, right)
+        assert product.rank >= 0
+        assert product._class_of is None

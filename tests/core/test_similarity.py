@@ -170,3 +170,57 @@ class TestSimBetweenRows:
         b = ("Toyota", "Accord", 10000, 2000)
         # Model is null in the reference: similarity over remaining attrs.
         assert scorer.sim_between_rows(a, b) == pytest.approx(1.0)
+
+
+class TestCompiledScorers:
+    """The precompiled fast path must be bit-for-bit the reference path."""
+
+    ROWS = [
+        ("Toyota", "Camry", 10000, 2000),
+        ("Honda", "Accord", 10000, 2000),
+        ("Honda", "F-150", 99999, 1900),
+        ("Ford", "Focus", 7000, 2001),
+        ("Toyota", None, 10000, 2000),
+        (None, "Camry", None, None),
+    ]
+
+    def test_bindings_scorer_bit_equal(self, scorer):
+        bindings = {"Model": "Camry", "Price": 10000, "Year": 2000}
+        compiled = scorer.bindings_scorer(bindings)
+        for row in self.ROWS:
+            assert compiled(row) == scorer.sim_to_bindings(bindings, row)
+
+    def test_bindings_scorer_with_null_reference(self, scorer):
+        bindings = {"Model": None, "Price": 10000}
+        compiled = scorer.bindings_scorer(bindings)
+        for row in self.ROWS:
+            assert compiled(row) == scorer.sim_to_bindings(bindings, row)
+
+    def test_query_scorer_bit_equal(self, scorer):
+        query = ImpreciseQuery.like("Cars", Model="Camry", Price=10000)
+        compiled = scorer.query_scorer(query)
+        for row in self.ROWS:
+            assert compiled(row) == scorer.sim_to_query(query, row)
+
+    def test_row_scorer_bit_equal(self, scorer):
+        reference = ("Toyota", "Camry", 10000, 2000)
+        compiled = scorer.row_scorer(reference)
+        for row in self.ROWS:
+            assert compiled(row) == scorer.sim_between_rows(reference, row)
+
+    def test_row_scorer_attribute_subset(self, scorer):
+        reference = ("Toyota", "Camry", 10000, 2000)
+        compiled = scorer.row_scorer(reference, attributes=("Model", "Price"))
+        for row in self.ROWS:
+            assert compiled(row) == scorer.sim_between_rows(
+                reference, row, attributes=("Model", "Price")
+            )
+
+    def test_empty_bindings_scorer(self, scorer):
+        assert scorer.bindings_scorer({})(("Toyota", "Camry", 1, 2)) == 0.0
+
+    def test_weights_memo_reused(self, scorer):
+        scorer.bindings_scorer({"Model": "Camry", "Price": 1})
+        first = scorer._weights_memo[("Model", "Price")]
+        scorer.bindings_scorer({"Model": "Accord", "Price": 2})
+        assert scorer._weights_memo[("Model", "Price")] is first

@@ -155,3 +155,64 @@ class TestMinerOnCarDB:
         ford_chev = car_model.similarity("Make", "Ford", "Chevrolet")
         ford_bmw = car_model.similarity("Make", "Ford", "BMW")
         assert ford_chev > ford_bmw
+
+
+class TestConfigFastPaths:
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            SimilarityMinerConfig(workers=0)
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError):
+            SimilarityMinerConfig(parallel_chunk_pairs=0)
+
+
+class TestTopSimilarRegression:
+    """`top_similar` moved to `heapq.nsmallest`; Table 3 rows must not move."""
+
+    def _reference(self, model, attribute, value, n):
+        scored = [
+            (other, model.similarity(attribute, value, other))
+            for other in model.known_values(attribute)
+            if other != value
+        ]
+        return sorted(scored, key=lambda pair: (-pair[1], pair[0]))[:n]
+
+    def test_matches_full_sort_on_cardb(self, car_table):
+        model = ValueSimilarityMiner().mine(car_table, attributes=("Make",))
+        for value in sorted(model.known_values("Make")):
+            for n in (1, 3, 10):
+                assert model.top_similar("Make", value, n=n) == self._reference(
+                    model, "Make", value, n
+                )
+
+    def test_tie_break_is_lexicographic(self):
+        model = SimilarityModel(["Make"])
+        model.record("Make", "Ford", "Chevrolet", 0.25)
+        model.record("Make", "Ford", "Buick", 0.25)
+        model.record("Make", "Ford", "Dodge", 0.10)
+        assert model.top_similar("Make", "Ford", n=2) == [
+            ("Buick", 0.25),
+            ("Chevrolet", 0.25),
+        ]
+
+
+class TestStaleSupertuples:
+    def test_estimate_rebuilds_for_uncovered_attributes(self, toy_table):
+        miner = ValueSimilarityMiner(
+            config=SimilarityMinerConfig(min_value_count=1)
+        )
+        miner.build_supertuples(toy_table, attributes=("Make",))
+        model = miner.estimate(toy_table, attributes=("Make", "Model"))
+        # Previously the stale Make-only build was silently reused and
+        # Model produced no values (and no pairs) at all.
+        assert model.known_values("Model")
+        assert model.pairs("Model")
+
+    def test_estimate_reuses_covering_build(self, toy_table):
+        miner = ValueSimilarityMiner(
+            config=SimilarityMinerConfig(min_value_count=1)
+        )
+        supertuples = miner.build_supertuples(toy_table)
+        miner.estimate(toy_table, attributes=("Make",))
+        assert miner._supertuples is supertuples

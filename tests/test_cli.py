@@ -288,3 +288,28 @@ class TestObservabilityFlags:
         args = build_parser().parse_args(["stats", "cardb"])
         assert args.format == "both" and args.k == 10
         assert args.trace is False and args.metrics_out is None
+
+
+class TestBenchCommand:
+    def test_bench_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.scale == "default" and args.only is None
+        assert args.check is False and args.max_regression == 0.25
+
+    def test_bench_only_topk_writes_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--scale", "smoke", "--only", "topk", "--out", str(out)]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["scale"] == "smoke"
+        assert set(report["scenarios"]) == {"topk"}
+        assert report["scenarios"]["topk"]["equivalent"] is True
+        assert "topk:" in capsys.readouterr().out
+
+    def test_bench_rejects_unknown_scenario(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "--only", "nonsense"])
