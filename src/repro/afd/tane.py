@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Hashable, Mapping, Sequence
+from typing import TYPE_CHECKING, Hashable, Mapping, Sequence
 
 from repro.afd.g3 import dependency_error, key_error
 from repro.afd.model import AFD, ApproximateKey, DependencyModel
@@ -41,6 +41,9 @@ from repro.afd.partition import (
 from repro.db.schema import RelationSchema
 from repro.db.table import Table
 from repro.obs.runtime import OBS
+
+if TYPE_CHECKING:
+    from repro.obs.tracing import Span
 
 __all__ = ["TaneConfig", "TaneMiner", "mine_dependencies", "bin_numeric_column"]
 
@@ -285,7 +288,7 @@ class TaneMiner:
 
     def _record_metrics(
         self,
-        span,
+        span: "Span",
         level_sizes: dict[int, int],
         partitions: int,
         model: DependencyModel,

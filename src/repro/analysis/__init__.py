@@ -1,0 +1,48 @@
+"""reprolint: AST-based invariant linter for this repository.
+
+The test suite can only *sample* the repo's correctness contracts —
+determinism of mined artifacts and rankings, facade-only online access,
+bit-for-bit fast-path equivalence.  This package enforces whole classes
+of those contracts mechanically at commit time:
+
+* :mod:`repro.analysis.rules.determinism` — REP001, unordered iteration
+  / unseeded randomness / wall-clock reads in mining and scoring paths;
+* :mod:`repro.analysis.rules.floats` — REP002, float ``==`` outside the
+  tolerance helpers;
+* :mod:`repro.analysis.rules.layering` — REP003, the import-contract
+  graph (layer ranks, facade-only ``repro.core``, cycle detection);
+* :mod:`repro.analysis.rules.probes` — REP004, probe accounting (no
+  caller outside ``repro.db`` touches the executor or index internals);
+* :mod:`repro.analysis.rules.obs` — REP005, metric naming and
+  context-managed spans;
+* :mod:`repro.analysis.rules.exceptions` — REP006, no swallowed
+  exceptions.
+
+Run it as ``python -m repro lint`` (see :mod:`repro.analysis.cli`).
+"""
+
+from repro.analysis.baseline import (
+    load_baseline,
+    match_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import LintEngine, LintRun
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.rulebase import Rule, all_rules, rule_ids
+from repro.analysis.source import ProjectContext, SourceModule, load_project
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintEngine",
+    "LintRun",
+    "ProjectContext",
+    "Rule",
+    "SourceModule",
+    "all_rules",
+    "load_baseline",
+    "load_project",
+    "match_baseline",
+    "rule_ids",
+    "write_baseline",
+]

@@ -1,0 +1,75 @@
+"""Baseline files: deliberately-accepted findings, burned down over time.
+
+The baseline is a committed JSON file holding content fingerprints (see
+:func:`repro.analysis.finding.fingerprints`).  A finding whose
+fingerprint appears in the baseline is filtered out of the report; any
+fingerprint left in the file that no longer matches a finding is stale
+and reported so the file shrinks monotonically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.finding import Finding, fingerprints
+
+__all__ = [
+    "BASELINE_VERSION",
+    "load_baseline",
+    "write_baseline",
+    "match_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Read a baseline file; raises ``ValueError`` on malformed content."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "fingerprints" not in payload:
+        raise ValueError(f"baseline {path} missing 'fingerprints' key")
+    version = payload.get("version", BASELINE_VERSION)
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {version}, expected {BASELINE_VERSION}"
+        )
+    entries = payload["fingerprints"]
+    if not isinstance(entries, list) or not all(
+        isinstance(entry, str) for entry in entries
+    ):
+        raise ValueError(f"baseline {path}: 'fingerprints' must be a string list")
+    return set(entries)
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write the current findings as the new accepted baseline."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "fingerprints": sorted(fingerprints(findings)),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def match_baseline(
+    findings: list[Finding], accepted: set[str]
+) -> tuple[list[Finding], list[Finding], set[str]]:
+    """Split findings by the baseline.
+
+    Returns ``(fresh, baselined, stale)``: findings not covered by the
+    baseline, findings the baseline silences, and baseline fingerprints
+    that matched nothing (candidates for removal).
+    """
+    fresh: list[Finding] = []
+    baselined: list[Finding] = []
+    used: set[str] = set()
+    for finding, fingerprint in zip(findings, fingerprints(findings)):
+        if fingerprint in accepted:
+            baselined.append(finding)
+            used.add(fingerprint)
+        else:
+            fresh.append(finding)
+    return fresh, baselined, accepted - used

@@ -1,0 +1,147 @@
+"""The ``repro lint`` command.
+
+Exit codes: 0 — clean (or everything baselined/below the ``--fail-on``
+threshold); 1 — findings at or above the threshold; 2 — usage or
+configuration error (unknown rule, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.analysis.baseline import write_baseline
+from repro.analysis.engine import LintEngine
+from repro.analysis.finding import Severity
+from repro.analysis.report import render_json, render_text
+from repro.analysis.rulebase import all_rules, rule_ids
+
+BASELINE_FILENAME = ".reprolint-baseline.json"
+
+__all__ = ["add_lint_arguments", "run_lint", "default_target"]
+
+
+def default_target() -> Path:
+    """The package this repo lints by default: ``src/repro`` itself."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def discover_baseline(targets: list[Path]) -> Path | None:
+    """Walk up from the first target looking for the committed baseline."""
+    if not targets:
+        return None
+    start = targets[0].resolve()
+    if not start.is_dir():
+        start = start.parent
+    for directory in [start, *start.parents]:
+        candidate = directory / BASELINE_FILENAME
+        if candidate.exists():
+            return candidate
+    return None
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--rules",
+        help=f"comma-separated rule ids to run (default: all of {', '.join(rule_ids())})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        help=f"baseline file of accepted findings (default: nearest {BASELINE_FILENAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file, report everything",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings: write them to the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("warning", "error", "never"),
+        default="warning",
+        help="lowest severity that fails the run (default: warning)",
+    )
+    parser.add_argument(
+        "--self",
+        dest="self_check",
+        action="store_true",
+        help="lint the linter: run over repro.analysis itself",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list baselined and suppressed findings (text format)",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.self_check:
+        targets = [default_target() / "analysis"]
+    elif args.targets:
+        targets = list(args.targets)
+    else:
+        targets = [default_target()]
+    missing = [t for t in targets if not t.exists()]
+    if missing:
+        print(f"error: no such target: {', '.join(map(str, missing))}")
+        return 2
+
+    only = None
+    if args.rules:
+        only = [r for r in args.rules.split(",") if r.strip()]
+    try:
+        rules = all_rules(only)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    baseline_path: Path | None = None
+    if not args.no_baseline:
+        baseline_path = args.baseline or discover_baseline(targets)
+    if args.baseline and not args.baseline.exists() and not args.write_baseline:
+        print(f"error: baseline {args.baseline} does not exist")
+        return 2
+
+    engine = LintEngine(rules)
+    try:
+        if args.write_baseline:
+            run = engine.run(targets, baseline_path=None)
+            destination = baseline_path or targets[0] / BASELINE_FILENAME
+            write_baseline(destination, run.findings)
+            print(
+                f"wrote {len(run.findings)} fingerprint(s) to {destination}"
+            )
+            return 0
+        run = engine.run(targets, baseline_path=baseline_path)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    if args.format == "json":
+        print(render_json(run))
+    else:
+        print(render_text(run, verbose=args.verbose))
+
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity(args.fail_on)
+    return 1 if run.exceeds(threshold) else 0

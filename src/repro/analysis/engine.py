@@ -1,0 +1,102 @@
+"""The engine: run rules over a project, apply suppressions and baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import load_baseline, match_baseline
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.rulebase import Rule, all_rules
+from repro.analysis.source import ProjectContext, load_project
+
+__all__ = ["LintEngine", "LintRun"]
+
+PARSE_RULE_ID = "REP000"
+
+
+@dataclass
+class LintRun:
+    """Everything one lint invocation produced."""
+
+    findings: list[Finding]  # fresh findings (not baselined, not suppressed)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    stale_fingerprints: set[str] = field(default_factory=set)
+    files_checked: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    def worst_severity(self) -> Severity | None:
+        if not self.findings:
+            return None
+        return max((f.severity for f in self.findings), key=lambda s: s.rank)
+
+    def exceeds(self, threshold: Severity) -> bool:
+        worst = self.worst_severity()
+        return worst is not None and worst.rank >= threshold.rank
+
+
+class LintEngine:
+    """Runs a rule set over source targets and folds in the baseline."""
+
+    def __init__(self, rules: list[Rule] | None = None) -> None:
+        self.rules = rules if rules is not None else all_rules()
+
+    def run(
+        self,
+        targets: list[Path],
+        baseline_path: Path | None = None,
+        root: Path | None = None,
+    ) -> LintRun:
+        project = load_project(targets, root=root)
+        return self.run_project(project, baseline_path=baseline_path)
+
+    def run_project(
+        self, project: ProjectContext, baseline_path: Path | None = None
+    ) -> LintRun:
+        raw: list[Finding] = list(self._parse_errors(project))
+        for rule in self.rules:
+            raw.extend(rule.run(project))
+        raw.sort(key=Finding.sort_key)
+
+        kept: list[Finding] = []
+        suppressed: list[Finding] = []
+        by_path = {m.relpath: m for m in project.modules}
+        for finding in raw:
+            module = by_path.get(finding.path)
+            if module is not None and module.is_suppressed(
+                finding.line, finding.rule_id
+            ):
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+
+        baselined: list[Finding] = []
+        stale: set[str] = set()
+        if baseline_path is not None and baseline_path.exists():
+            accepted = load_baseline(baseline_path)
+            kept, baselined, stale = match_baseline(kept, accepted)
+
+        return LintRun(
+            findings=kept,
+            baselined=baselined,
+            suppressed=suppressed,
+            stale_fingerprints=stale,
+            files_checked=len(project.modules) + len(project.parse_errors),
+            rules_run=[rule.rule_id for rule in self.rules],
+        )
+
+    @staticmethod
+    def _parse_errors(project: ProjectContext) -> list[Finding]:
+        return [
+            Finding(
+                rule_id=PARSE_RULE_ID,
+                severity=Severity.ERROR,
+                path=relpath,
+                line=line,
+                column=0,
+                message=message,
+                hint="fix the file so it parses; unparseable files are unlinted",
+            )
+            for relpath, line, message in project.parse_errors
+        ]

@@ -1,0 +1,86 @@
+"""Findings: what a rule reports and how findings are identified.
+
+A finding is anchored to a file and line but *identified* by content —
+the fingerprint hashes ``rule id | path | offending source line`` plus
+an occurrence index, so a committed baseline survives unrelated edits
+that merely shift line numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Severity(str, Enum):
+    """How bad a finding is; drives ``--fail-on`` gating."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return 1 if self is Severity.WARNING else 2
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str  # repo-relative, POSIX separators
+    line: int
+    column: int
+    message: str
+    hint: str = ""
+    snippet: str = ""
+
+    @property
+    def content_key(self) -> str:
+        """Location-independent identity (no occurrence index)."""
+        digest = hashlib.sha256(
+            f"{self.rule_id}|{self.path}|{self.snippet}".encode("utf-8")
+        ).hexdigest()
+        return digest[:16]
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.column, self.rule_id)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "hint": self.hint,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        location = f"{self.path}:{self.line}:{self.column}"
+        text = f"{location}: {self.rule_id} {self.severity.value}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        if self.snippet:
+            text += f"\n    > {self.snippet}"
+        return text
+
+
+def fingerprints(findings: list[Finding]) -> list[str]:
+    """Occurrence-indexed fingerprints, aligned with ``findings``.
+
+    Two identical offending lines in one file get distinct suffixes, so
+    a baseline holding one of them still reports the other.
+    """
+    seen: dict[str, int] = {}
+    out: list[str] = []
+    for finding in findings:
+        key = finding.content_key
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        out.append(f"{key}-{index}")
+    return out

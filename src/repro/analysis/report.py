@@ -1,0 +1,57 @@
+"""Rendering lint runs as text or machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.analysis.engine import LintRun
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(run: LintRun, verbose: bool = False) -> str:
+    parts: list[str] = [finding.render() for finding in run.findings]
+    if run.stale_fingerprints:
+        parts.append(
+            f"baseline: {len(run.stale_fingerprints)} stale fingerprint(s) no "
+            "longer match any finding — regenerate with --write-baseline"
+        )
+    summary = (
+        f"checked {run.files_checked} file(s), {len(run.rules_run)} rule(s): "
+        f"{len(run.findings)} finding(s)"
+    )
+    extras = []
+    if run.baselined:
+        extras.append(f"{len(run.baselined)} baselined")
+    if run.suppressed:
+        extras.append(f"{len(run.suppressed)} suppressed")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    parts.append(summary)
+    if verbose and (run.baselined or run.suppressed):
+        for finding in run.baselined:
+            parts.append(f"[baselined] {finding.render()}")
+        for finding in run.suppressed:
+            parts.append(f"[suppressed] {finding.render()}")
+    return "\n".join(parts)
+
+
+def render_json(run: LintRun) -> str:
+    by_rule = Counter(f.rule_id for f in run.findings)
+    by_severity = Counter(f.severity.value for f in run.findings)
+    payload = {
+        "version": 1,
+        "files_checked": run.files_checked,
+        "rules_run": run.rules_run,
+        "findings": [f.to_dict() for f in run.findings],
+        "baselined": len(run.baselined),
+        "suppressed": len(run.suppressed),
+        "stale_fingerprints": sorted(run.stale_fingerprints),
+        "summary": {
+            "total": len(run.findings),
+            "by_rule": dict(sorted(by_rule.items())),
+            "by_severity": dict(sorted(by_severity.items())),
+        },
+    }
+    return json.dumps(payload, indent=2)

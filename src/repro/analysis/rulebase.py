@@ -1,0 +1,165 @@
+"""Rule plumbing: the base class, the registry, shared AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Type
+
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.source import ProjectContext, SourceModule
+
+__all__ = [
+    "Rule",
+    "register",
+    "all_rules",
+    "rule_ids",
+    "runtime_imports",
+    "attribute_chain",
+]
+
+_REGISTRY: dict[str, Type["Rule"]] = {}
+
+
+class Rule:
+    """One invariant checker.
+
+    Subclasses set ``rule_id``/``title``/``hint`` and override either
+    :meth:`check_module` (per-file rules) or :meth:`run` (whole-project
+    rules such as the import-graph checks).
+    """
+
+    rule_id: str = "REP000"
+    title: str = ""
+    severity: Severity = Severity.WARNING
+    hint: str = ""
+
+    def run(self, project: ProjectContext) -> Iterator[Finding]:
+        for module in project.modules:
+            yield from self.check_module(module, project)
+
+    def check_module(
+        self, module: SourceModule, project: ProjectContext
+    ) -> Iterable[Finding]:
+        return ()
+
+    # -- helpers -----------------------------------------------------------
+
+    def finding(
+        self,
+        module: SourceModule,
+        node: ast.AST | None,
+        message: str,
+        hint: str | None = None,
+        severity: Severity | None = None,
+    ) -> Finding:
+        line = getattr(node, "lineno", 0) if node is not None else 0
+        column = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(
+            rule_id=self.rule_id,
+            severity=severity or self.severity,
+            path=module.relpath,
+            line=line,
+            column=column + 1 if node is not None else 0,
+            message=message,
+            hint=self.hint if hint is None else hint,
+            snippet=module.line_text(line),
+        )
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules(only: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate the registered rules (optionally a subset by id)."""
+    # Importing the rule modules populates the registry on first use.
+    from repro.analysis import rules  # noqa: F401
+
+    if only is None:
+        wanted = sorted(_REGISTRY)
+    else:
+        wanted = []
+        for rule_id in only:
+            normalised = rule_id.strip().upper()
+            if normalised not in _REGISTRY:
+                raise ValueError(
+                    f"unknown rule {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+                )
+            wanted.append(normalised)
+    return [_REGISTRY[rule_id]() for rule_id in wanted]
+
+
+def rule_ids() -> list[str]:
+    from repro.analysis import rules  # noqa: F401
+
+    return sorted(_REGISTRY)
+
+
+# -- shared AST helpers -------------------------------------------------------
+
+
+def runtime_imports(
+    module: SourceModule, include_typing_only: bool = False
+) -> list[tuple[str, ast.stmt]]:
+    """``(imported module name, node)`` pairs for a module's imports.
+
+    Imports guarded by ``if TYPE_CHECKING:`` are typing-only — they do
+    not exist at runtime, create no import-time coupling, and are
+    excluded unless asked for.  Relative imports are resolved against
+    the module's own package.
+    """
+    typing_only: set[int] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.If) and _is_type_checking_test(node.test):
+            for child in ast.walk(node):
+                typing_only.add(id(child))
+    pairs: list[tuple[str, ast.stmt]] = []
+    for node in ast.walk(module.tree):
+        if not include_typing_only and id(node) in typing_only:
+            continue
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                pairs.append((alias.name, node))
+        elif isinstance(node, ast.ImportFrom):
+            target = _resolve_import_from(module, node)
+            if target:
+                pairs.append((target, node))
+    return pairs
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _resolve_import_from(module: SourceModule, node: ast.ImportFrom) -> str:
+    if node.level == 0:
+        return node.module or ""
+    # Relative import: climb from the module's own package.
+    base = module.module.split(".")
+    if module.path.name != "__init__.py":
+        base = base[:-1]
+    drop = node.level - 1
+    if drop:
+        base = base[:-drop] if drop <= len(base) else []
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base)
+
+
+def attribute_chain(node: ast.expr) -> list[str]:
+    """``a.b.c`` → ``["a", "b", "c"]`` (empty when not a plain chain)."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return parts[::-1]
+    return []

@@ -1,0 +1,19 @@
+"""The rule set.  Importing this package registers every rule."""
+
+from repro.analysis.rules import (  # noqa: F401
+    determinism,
+    exceptions,
+    floats,
+    layering,
+    obs,
+    probes,
+)
+
+__all__ = [
+    "determinism",
+    "exceptions",
+    "floats",
+    "layering",
+    "obs",
+    "probes",
+]

@@ -1,0 +1,228 @@
+"""REP001 — determinism in mining and scoring paths.
+
+The paper's artifacts (AFD sets, supertuples, similarity matrices,
+ranked answers) must be byte-identical across runs.  Three things break
+that silently:
+
+* iterating a ``set`` (hash-randomised order for strings) into an
+  order-sensitive result;
+* the process-global ``random`` module instead of a seeded
+  ``random.Random(seed)`` instance;
+* wall-clock reads feeding mined/scored values.
+
+The set-iteration and wall-clock checks apply to the ordered-path
+packages (mining, clustering, scoring, data generation) and to
+standalone files; the unseeded-randomness check applies everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.finding import Finding
+from repro.analysis.rulebase import Rule, attribute_chain, register
+from repro.analysis.source import ProjectContext, SourceModule
+
+# Packages whose outputs are ranked, serialized, or mined — iteration
+# order and clocks are part of their contract.
+ORDERED_PACKAGES = (
+    "repro.afd",
+    "repro.simmining",
+    "repro.rock",
+    "repro.core",
+    "repro.datasets",
+    "repro.sampling",
+)
+
+_SET_BUILTINS = {"set", "frozenset"}
+_SET_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_WALL_CLOCK_HEADS = {"datetime", "date"}
+_WALL_CLOCK_TAILS = {"now", "utcnow", "today"}
+
+
+def _module_in_ordered_scope(module: SourceModule) -> bool:
+    name = module.module
+    if not name.startswith("repro"):
+        return True  # standalone file (fixtures, scripts): full checks
+    return any(
+        name == pkg or name.startswith(pkg + ".") for pkg in ORDERED_PACKAGES
+    )
+
+
+@register
+class DeterminismRule(Rule):
+    rule_id = "REP001"
+    title = "determinism: ordered iteration, seeded randomness, no wall clock"
+    hint = (
+        "wrap set iteration in sorted(...), use random.Random(seed), and "
+        "keep wall-clock reads out of mining/scoring paths"
+    )
+
+    def check_module(
+        self, module: SourceModule, project: ProjectContext
+    ) -> Iterable[Finding]:
+        checker = _Checker(self, module, _module_in_ordered_scope(module))
+        checker.visit(module.tree)
+        return checker.findings
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-pass walker tracking which local names hold sets."""
+
+    def __init__(self, rule: Rule, module: SourceModule, ordered: bool) -> None:
+        self.rule = rule
+        self.module = module
+        self.ordered = ordered
+        self.findings: list[Finding] = []
+        self._set_names: list[set[str]] = [set()]
+
+    # -- scope bookkeeping -------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._set_names.append(set())
+        self.generic_visit(node)
+        self._set_names.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            name = node.targets[0].id
+            if self._is_set_expr(node.value):
+                self._set_names[-1].add(name)
+            else:
+                self._set_names[-1].discard(name)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            if self._is_set_expr(node.value):
+                self._set_names[-1].add(node.target.id)
+            else:
+                self._set_names[-1].discard(node.target.id)
+        self.generic_visit(node)
+
+    # -- set iteration -----------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        if self.ordered and self._is_set_expr(node.iter):
+            self.findings.append(
+                self.rule.finding(
+                    self.module,
+                    node,
+                    "iterating a set in an ordered path: iteration order is "
+                    "hash-randomised and will vary across runs",
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comprehension(node)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._check_comprehension(node)
+        self.generic_visit(node)
+
+    def _check_comprehension(
+        self, node: ast.ListComp | ast.GeneratorExp
+    ) -> None:
+        # Set/dict comprehensions over sets rebuild an unordered result,
+        # so only order-preserving comprehensions are flagged.
+        if not self.ordered:
+            return
+        for generator in node.generators:
+            if self._is_set_expr(generator.iter):
+                self.findings.append(
+                    self.rule.finding(
+                        self.module,
+                        node,
+                        "building an ordered sequence from a set: the element "
+                        "order is hash-randomised",
+                    )
+                )
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in frame for frame in self._set_names)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in _SET_BUILTINS:
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_METHODS
+                and self._is_set_expr(node.func.value)
+            ):
+                return True
+        return False
+
+    # -- randomness and clocks ---------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = attribute_chain(node.func)
+        if chain[:1] == ["random"] and len(chain) == 2:
+            if chain[1] == "Random":
+                if not node.args and not node.keywords:
+                    self.findings.append(
+                        self.rule.finding(
+                            self.module,
+                            node,
+                            "random.Random() without a seed is "
+                            "nondeterministic; pass an explicit seed",
+                        )
+                    )
+            else:
+                self.findings.append(
+                    self.rule.finding(
+                        self.module,
+                        node,
+                        f"module-level random.{chain[1]}() uses the shared "
+                        "unseeded RNG; use a random.Random(seed) instance",
+                    )
+                )
+        if self.ordered and self._is_wall_clock(chain):
+            self.findings.append(
+                self.rule.finding(
+                    self.module,
+                    node,
+                    f"wall-clock read {'.'.join(chain)}() in an ordered path "
+                    "makes outputs time-dependent",
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" and node.level == 0:
+            bare = [a.name for a in node.names if a.name != "Random"]
+            if bare:
+                self.findings.append(
+                    self.rule.finding(
+                        self.module,
+                        node,
+                        f"importing {', '.join(bare)} from random binds the "
+                        "shared unseeded RNG; import Random and seed it",
+                    )
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_wall_clock(chain: list[str]) -> bool:
+        if chain == ["time", "time"]:
+            return True
+        return (
+            len(chain) >= 2
+            and chain[-1] in _WALL_CLOCK_TAILS
+            and chain[0] in _WALL_CLOCK_HEADS
+        )

@@ -1,0 +1,96 @@
+"""REP006 — exception hygiene: nothing gets swallowed silently.
+
+A bare ``except:`` (or ``except Exception``/``BaseException``) whose
+body neither re-raises nor records the error hides exactly the failures
+the determinism contracts exist to surface — a mining worker dying
+mid-chunk would silently change the mined artifact.  Narrow handlers
+(``except KeyError``) are fine; broad handlers are fine when they
+``raise``, return the error, or log it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.finding import Finding
+from repro.analysis.rulebase import Rule, attribute_chain, register
+from repro.analysis.source import ProjectContext, SourceModule
+
+_BROAD = {"Exception", "BaseException"}
+_LOG_METHODS = {
+    "debug",
+    "info",
+    "warning",
+    "error",
+    "exception",
+    "critical",
+    "log",
+    "record_error",
+    "print",
+}
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    rule_id = "REP006"
+    title = "exception hygiene: no silently swallowed exceptions"
+    hint = (
+        "catch the narrowest exception that can actually occur, or "
+        "re-raise / log the error before continuing"
+    )
+
+    def check_module(
+        self, module: SourceModule, project: ProjectContext
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if self._handles_error(node):
+                continue
+            caught = (
+                "bare except"
+                if node.type is None
+                else f"except {ast.unparse(node.type)}"
+            )
+            yield self.finding(
+                module,
+                node,
+                f"{caught} swallows the error: the body neither re-raises "
+                "nor records it",
+            )
+
+    @staticmethod
+    def _is_broad(node: ast.expr | None) -> bool:
+        if node is None:
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in _BROAD
+        if isinstance(node, ast.Tuple):
+            return any(
+                isinstance(elt, ast.Name) and elt.id in _BROAD
+                for elt in node.elts
+            )
+        return False
+
+    @staticmethod
+    def _handles_error(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                if chain and chain[-1] in _LOG_METHODS:
+                    return True
+            # Using the bound exception (``except Exception as exc``)
+            # counts as handling: it is stored, formatted, or returned.
+            if (
+                handler.name is not None
+                and isinstance(node, ast.Name)
+                and node.id == handler.name
+                and isinstance(node.ctx, ast.Load)
+            ):
+                return True
+        return False

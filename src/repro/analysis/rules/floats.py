@@ -1,0 +1,153 @@
+"""REP002 — float discipline: no exact ``==``/``!=`` on float values.
+
+Similarity scores and g3 errors are accumulated floats; exact equality
+on them is representation-dependent and breaks the bit-for-bit
+fast-path contract.  Comparisons must go through the tolerance helpers
+in :mod:`repro.floats` (``close`` for tolerant, ``exact_eq`` for the
+rare deliberate bitwise check).
+
+Two IEEE-exact patterns stay legal: comparing against a literal ``0``/
+``0.0`` (sentinel guards — zero is exactly representable and these
+values are assigned, not computed) and the bodies of the tolerance
+helpers themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.finding import Finding
+from repro.analysis.rulebase import Rule, attribute_chain, register
+from repro.analysis.source import ProjectContext, SourceModule
+
+TOLERANCE_HELPER_NAMES = {
+    "close",
+    "exact_eq",
+    "isclose",
+    "floats_equal",
+    "approx_equal",
+}
+
+_FLOAT_CALLS = {"float", "fsum"}
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Pow, ast.Mod)
+
+
+@register
+class FloatDisciplineRule(Rule):
+    rule_id = "REP002"
+    title = "float discipline: no exact equality on computed floats"
+    hint = (
+        "use repro.floats.close(a, b) for tolerant comparison or "
+        "repro.floats.exact_eq(a, b) when bitwise identity is the point"
+    )
+
+    def check_module(
+        self, module: SourceModule, project: ProjectContext
+    ) -> Iterable[Finding]:
+        checker = _Checker(self, module)
+        checker.visit(module.tree)
+        return checker.findings
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, rule: Rule, module: SourceModule) -> None:
+        self.rule = rule
+        self.module = module
+        self.findings: list[Finding] = []
+        self._float_names: list[set[str]] = [set()]
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node.name in TOLERANCE_HELPER_NAMES:
+            return  # the helpers themselves may compare exactly
+        frame: set[str] = set()
+        args = node.args
+        for arg in [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            args.vararg,
+            args.kwarg,
+        ]:
+            if arg is not None and _annotation_is_float(arg.annotation):
+                frame.add(arg.arg)
+        self._float_names.append(frame)
+        self.generic_visit(node)
+        self._float_names.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and _annotation_is_float(
+            node.annotation
+        ):
+            self._float_names[-1].add(node.target.id)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            name = node.targets[0].id
+            if self._is_float_expr(node.value):
+                self._float_names[-1].add(name)
+            else:
+                self._float_names[-1].discard(name)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_literal_zero(left) or _is_literal_zero(right):
+                continue
+            if self._is_float_expr(left) or self._is_float_expr(right):
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                self.findings.append(
+                    self.rule.finding(
+                        self.module,
+                        node,
+                        f"exact {symbol} on a float expression; computed "
+                        "floats are not exactly comparable",
+                    )
+                )
+        self.generic_visit(node)
+
+    def _is_float_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.Name):
+            return any(node.id in frame for frame in self._float_names)
+        if isinstance(node, ast.UnaryOp):
+            return self._is_float_expr(node.operand)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True
+            if isinstance(node.op, _ARITH_OPS):
+                return self._is_float_expr(node.left) or self._is_float_expr(
+                    node.right
+                )
+            return False
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name):
+                return node.func.id in _FLOAT_CALLS
+            chain = attribute_chain(node.func)
+            return len(chain) == 2 and chain[0] == "math"
+        return False
+
+
+def _annotation_is_float(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id == "float"
+    if isinstance(annotation, ast.Constant):  # string annotation
+        return annotation.value == "float"
+    return False
+
+
+def _is_literal_zero(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    return isinstance(node, ast.Constant) and not isinstance(
+        node.value, bool
+    ) and node.value in (0, 0.0)

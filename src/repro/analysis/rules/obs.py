@@ -1,0 +1,96 @@
+"""REP005 — observability hygiene.
+
+Metric names follow the exporter contract
+``repro_<subsystem>_<name>_<unit>`` (unit one of ``total``, ``seconds``,
+``bytes``, ``ratio``, ``size``, ``score``, ``count``, ``info``; counters
+always end ``_total``) so dashboards and the Prometheus exporter can
+rely on the shape.  Spans must be opened with ``with OBS.span(...)`` —
+a span entered by hand leaks on the exception path and corrupts the
+trace tree.  The ``repro.obs`` package itself is exempt from the span
+check: it implements the context managers.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.finding import Finding
+from repro.analysis.rulebase import Rule, register
+from repro.analysis.source import ProjectContext, SourceModule
+
+METRIC_NAME_RE = re.compile(
+    r"^repro_[a-z0-9]+(?:_[a-z0-9]+)*_"
+    r"(?:total|seconds|bytes|ratio|size|score|count|info)$"
+)
+_METRIC_FACTORIES = {"counter", "gauge", "histogram"}
+
+
+@register
+class ObsHygieneRule(Rule):
+    rule_id = "REP005"
+    title = "obs hygiene: metric naming and context-managed spans"
+    hint = (
+        "name metrics repro_<subsystem>_<name>_<unit> (counters end "
+        "_total) and open spans with `with OBS.span(...):`"
+    )
+
+    def check_module(
+        self, module: SourceModule, project: ProjectContext
+    ) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        findings.extend(self._check_metric_names(module))
+        if not module.module.startswith("repro.obs"):
+            findings.extend(self._check_spans(module))
+        return findings
+
+    def _check_metric_names(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _METRIC_FACTORIES
+                and node.args
+            ):
+                continue
+            name_arg = node.args[0]
+            if not (
+                isinstance(name_arg, ast.Constant)
+                and isinstance(name_arg.value, str)
+            ):
+                continue
+            name = name_arg.value
+            if not METRIC_NAME_RE.match(name):
+                yield self.finding(
+                    module,
+                    node,
+                    f"metric name {name!r} does not match "
+                    "repro_<subsystem>_<name>_<unit>",
+                )
+            elif node.func.attr == "counter" and not name.endswith("_total"):
+                yield self.finding(
+                    module,
+                    node,
+                    f"counter {name!r} must use the _total unit suffix",
+                )
+
+    def _check_spans(self, module: SourceModule) -> Iterable[Finding]:
+        managed: set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    managed.add(id(item.context_expr))
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+                and id(node) not in managed
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "span opened outside a with-statement; manual "
+                    "__enter__/__exit__ leaks the span on exceptions",
+                )

@@ -1,0 +1,101 @@
+"""REP004 — probe accounting: online access stays inside ``repro.db``.
+
+The paper's Figure 6–7 probe counts are only honest if every online
+query flows through :class:`AutonomousWebDatabase`, whose ``ProbeLog``
+does the accounting.  Code outside ``repro.db`` therefore may not:
+
+* import the ``repro.db.executor`` / ``repro.db.index`` submodules
+  (the unaccounted scan machinery),
+* pull ``Executor`` out of the facade or instantiate it,
+* reach into database internals (``_table``, ``_executor``, ``_rows``,
+  index maps, the probe cache) on anything other than ``self``.
+
+Offline construction (``Table``, schemas, predicates) is untouched —
+mining happens on materialised samples, not via probes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.finding import Finding
+from repro.analysis.rulebase import Rule, register, runtime_imports
+from repro.analysis.source import ProjectContext, SourceModule
+
+FORBIDDEN_SUBMODULES = ("repro.db.executor", "repro.db.index")
+FORBIDDEN_FACADE_NAMES = {"Executor"}
+PRIVATE_DB_ATTRS = {
+    "_table",
+    "_executor",
+    "_rows",
+    "_hash_indexes",
+    "_sorted_indexes",
+    "_probe_cache",
+    "_plan",
+    "_index_candidates",
+}
+
+
+def _inside_db(module: SourceModule) -> bool:
+    return module.module == "repro.db" or module.module.startswith("repro.db.")
+
+
+@register
+class ProbeAccountingRule(Rule):
+    rule_id = "REP004"
+    title = "probe accounting: no unaccounted database access"
+    hint = (
+        "go through AutonomousWebDatabase so the ProbeLog sees every "
+        "online query; offline code should take a Table, not an Executor"
+    )
+
+    def check_module(
+        self, module: SourceModule, project: ProjectContext
+    ) -> Iterable[Finding]:
+        if _inside_db(module):
+            return []
+        findings: list[Finding] = []
+        findings.extend(self._check_imports(module))
+        findings.extend(self._check_private_access(module))
+        return findings
+
+    def _check_imports(self, module: SourceModule) -> Iterable[Finding]:
+        for target, node in runtime_imports(module):
+            if target in FORBIDDEN_SUBMODULES or any(
+                target.startswith(sub + ".") for sub in FORBIDDEN_SUBMODULES
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"import of {target}: the scan/index machinery is "
+                    "private to repro.db and bypasses probe accounting",
+                )
+            elif target == "repro.db" and isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name in FORBIDDEN_FACADE_NAMES:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"importing {alias.name} outside repro.db "
+                            "executes queries without ProbeLog accounting",
+                        )
+
+    def _check_private_access(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr not in PRIVATE_DB_ATTRS:
+                continue
+            receiver = node.value
+            if isinstance(receiver, ast.Name) and receiver.id in (
+                "self",
+                "cls",
+            ):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"access to private database internals ({node.attr}) from "
+                "outside repro.db",
+            )

@@ -1,0 +1,178 @@
+"""Source loading: files → parsed modules → a project context.
+
+Module names are derived from the path: everything from the last
+``repro`` path component down (``src/repro/core/engine.py`` →
+``repro.core.engine``), so the layering rules see the same dotted names
+the import statements use.  Files outside a ``repro`` tree (golden
+fixtures, scratch scripts) get their bare stem as module name and are
+simply not part of the layer contract.
+
+Suppressions: a trailing ``# reprolint: disable=REP001,REP004`` (or
+``# reprolint: disable`` for all rules) silences findings on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "SourceModule",
+    "ProjectContext",
+    "load_project",
+    "iter_python_files",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable(?:=(?P<rules>[A-Z0-9, ]+))?"
+)
+
+
+@dataclass
+class SourceModule:
+    """One parsed Python file plus everything rules need to know."""
+
+    path: Path
+    relpath: str
+    module: str
+    text: str
+    lines: list[str]
+    tree: ast.Module
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """Dotted parent package (``""`` for top-level modules)."""
+        return self.module.rpartition(".")[0]
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        rules = self.suppressions.get(line)
+        if rules is None:
+            return False
+        return "*" in rules or rule_id in rules
+
+
+@dataclass
+class ProjectContext:
+    """All modules under the lint targets, plus unparseable files."""
+
+    root: Path
+    modules: list[SourceModule]
+    parse_errors: list[tuple[str, int, str]] = field(default_factory=list)
+
+    def by_module_name(self) -> dict[str, SourceModule]:
+        return {m.module: m for m in self.modules if m.module}
+
+    def module_for_path(self, relpath: str) -> SourceModule | None:
+        for module in self.modules:
+            if module.relpath == relpath:
+                return module
+        return None
+
+
+def _module_name(path: Path) -> str:
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+        if not parts:
+            return ""
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        return ".".join(parts[index:])
+    return parts[-1] if parts else ""
+
+
+def _parse_suppressions(lines: list[str]) -> dict[int, frozenset[str]]:
+    suppressions: dict[int, frozenset[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        if "reprolint" not in line:
+            continue
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[number] = frozenset({"*"})
+        else:
+            suppressions[number] = frozenset(
+                rule.strip() for rule in rules.split(",") if rule.strip()
+            )
+    return suppressions
+
+
+def iter_python_files(targets: list[Path]) -> list[Path]:
+    """Every ``.py`` file under the targets, deterministically ordered."""
+    files: dict[Path, None] = {}
+    for target in targets:
+        if target.is_dir():
+            for path in sorted(target.rglob("*.py")):
+                if "__pycache__" in path.parts:
+                    continue
+                files.setdefault(path.resolve())
+        elif target.suffix == ".py":
+            files.setdefault(target.resolve())
+    return sorted(files)
+
+
+def load_project(targets: list[Path], root: Path | None = None) -> ProjectContext:
+    """Parse every Python file under ``targets`` into a project context.
+
+    ``root`` anchors the repo-relative paths findings report; it
+    defaults to the common parent of the targets.
+    """
+    resolved = [t.resolve() for t in targets]
+    if root is None:
+        root = _common_root(resolved)
+    root = root.resolve()
+    modules: list[SourceModule] = []
+    errors: list[tuple[str, int, str]] = []
+    for path in iter_python_files(resolved):
+        relpath = _relative(path, root)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            errors.append((relpath, 0, f"unreadable: {exc}"))
+            continue
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            errors.append((relpath, exc.lineno or 0, f"syntax error: {exc.msg}"))
+            continue
+        lines = text.splitlines()
+        modules.append(
+            SourceModule(
+                path=path,
+                relpath=relpath,
+                module=_module_name(path),
+                text=text,
+                lines=lines,
+                tree=tree,
+                suppressions=_parse_suppressions(lines),
+            )
+        )
+    return ProjectContext(root=root, modules=modules, parse_errors=errors)
+
+
+def _common_root(paths: list[Path]) -> Path:
+    if not paths:
+        return Path.cwd()
+    parents = [p if p.is_dir() else p.parent for p in paths]
+    common = parents[0]
+    for parent in parents[1:]:
+        while not parent.is_relative_to(common):
+            common = common.parent
+    return common
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()

@@ -45,6 +45,7 @@ from repro.core.query import ImpreciseQuery
 from repro.core.store import StoreError, load_model, save_model
 from repro.datasets.cardb import cardb_webdb, generate_cardb
 from repro.datasets.census import census_webdb, generate_censusdb
+from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.db.csvio import write_csv
 from repro.db.errors import DatabaseError
 from repro.db.webdb import AutonomousWebDatabase
@@ -248,6 +249,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static invariant checks over the source tree."""
+    return run_lint(args)
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the fast-path micro-benchmarks and report/check the results."""
     report = run_bench(args.scale, only=args.only)
@@ -396,6 +402,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="tolerated fast-path slowdown for --check (default: 0.25)",
     )
     bench.set_defaults(handler=_cmd_bench)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the reprolint invariant checks (REP001-REP006)",
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(handler=_cmd_lint)
 
     return parser
 

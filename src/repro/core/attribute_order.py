@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.afd.model import ApproximateKey, DependencyModel
-from repro.db.schema import RelationSchema
+from repro.db import RelationSchema
 
 __all__ = [
     "AttributeOrdering",

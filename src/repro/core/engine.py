@@ -29,7 +29,7 @@ from repro.core.query import BaseQueryMapper, ImpreciseQuery
 from repro.core.relaxation import GuidedRelax, _RelaxerBase, tuple_as_query
 from repro.core.results import AnswerSet, RankedAnswer, RelaxationTrace
 from repro.core.similarity import BindingsScorer, TupleSimilarity
-from repro.db.webdb import AutonomousWebDatabase
+from repro.db import AutonomousWebDatabase
 from repro.obs.runtime import OBS
 from repro.simmining.estimator import SimilarityModel
 

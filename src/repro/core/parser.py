@@ -25,8 +25,7 @@ from __future__ import annotations
 import re
 
 from repro.core.query import ImpreciseQuery, LikeConstraint, PreciseConstraint
-from repro.db.errors import QueryError
-from repro.db.predicates import parse_op
+from repro.db import QueryError, parse_op
 
 __all__ = ["parse_query", "ParseError"]
 

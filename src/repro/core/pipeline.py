@@ -19,8 +19,7 @@ from repro.core.attribute_order import AttributeOrdering, compute_attribute_orde
 from repro.core.config import AIMQSettings
 from repro.core.engine import AIMQEngine
 from repro.core.relaxation import RandomRelax, _RelaxerBase
-from repro.db.table import Table
-from repro.db.webdb import AutonomousWebDatabase
+from repro.db import AutonomousWebDatabase, Table
 from repro.obs.runtime import OBS, timed_phase
 from repro.sampling.collector import CollectionReport, collect_sample
 from repro.simmining.estimator import SimilarityModel, ValueSimilarityMiner

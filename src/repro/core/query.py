@@ -15,12 +15,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.db.errors import QueryError
-from repro.db.executor import QueryResult
-from repro.db.predicates import Between, Eq, Predicate
-from repro.db.query import SelectionQuery
-from repro.db.schema import RelationSchema
-from repro.db.webdb import AutonomousWebDatabase
+from repro.db import (
+    AutonomousWebDatabase,
+    Between,
+    Eq,
+    Predicate,
+    QueryError,
+    QueryResult,
+    RelationSchema,
+    SelectionQuery,
+)
 
 __all__ = [
     "LikeConstraint",

@@ -27,9 +27,7 @@ from itertools import combinations
 from typing import Iterator, Mapping, Sequence
 
 from repro.core.attribute_order import AttributeOrdering
-from repro.db.predicates import Between, Eq, Predicate
-from repro.db.query import SelectionQuery
-from repro.db.schema import RelationSchema
+from repro.db import Between, Eq, Predicate, RelationSchema, SelectionQuery
 
 __all__ = [
     "RelaxationStep",

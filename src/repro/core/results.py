@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.core.query import ImpreciseQuery
-from repro.db.schema import RelationSchema
+from repro.db import RelationSchema
 
 __all__ = ["RankedAnswer", "AnswerSet", "RelaxationTrace"]
 

@@ -29,7 +29,8 @@ from typing import Callable, Mapping, Sequence
 
 from repro.core.attribute_order import AttributeOrdering
 from repro.core.query import ImpreciseQuery
-from repro.db.schema import RelationSchema
+from repro.db import RelationSchema
+from repro.floats import exact_eq
 from repro.simmining.estimator import SimilarityModel
 
 __all__ = [
@@ -67,7 +68,9 @@ def range_scaled_similarity(
     additive (years, hours) better than multiplicative ones (prices).
     """
     if high <= low:
-        return 1.0 if reference == candidate else 0.0
+        # Values straight from the relation, never computed: exact
+        # identity is the paper's semantics for a zero-width extent.
+        return 1.0 if exact_eq(reference, candidate) else 0.0
     distance = abs(reference - candidate) / (high - low)
     return max(0.0, 1.0 - min(distance, 1.0))
 

@@ -21,8 +21,7 @@ from repro.afd.tane import TaneConfig
 from repro.core.attribute_order import AttributeOrdering
 from repro.core.config import AIMQSettings
 from repro.core.pipeline import AIMQModel, BuildTimings
-from repro.db.schema import RelationSchema
-from repro.db.table import Table
+from repro.db import RelationSchema, Table
 from repro.simmining.estimator import SimilarityMinerConfig, SimilarityModel
 
 __all__ = ["FORMAT_VERSION", "StoreError", "save_model", "load_model"]

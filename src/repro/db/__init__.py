@@ -17,7 +17,18 @@ from repro.db.errors import (
     UnsupportedPredicateError,
 )
 from repro.db.executor import ExecutionStats, Executor, QueryResult
-from repro.db.predicates import Between, Eq, Ge, Gt, IsIn, Le, Lt, Ne, Predicate
+from repro.db.predicates import (
+    Between,
+    Eq,
+    Ge,
+    Gt,
+    IsIn,
+    Le,
+    Lt,
+    Ne,
+    Predicate,
+    parse_op,
+)
 from repro.db.probe_cache import ProbeCache, canonical_probe_key
 from repro.db.query import SelectionQuery
 from repro.db.schema import Attribute, AttributeKind, RelationSchema
@@ -44,6 +55,7 @@ __all__ = [
     "ProbeLimitExceededError",
     "ProbeLog",
     "canonical_probe_key",
+    "parse_op",
     "QueryError",
     "QueryResult",
     "RelationSchema",

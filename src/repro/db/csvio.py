@@ -62,7 +62,9 @@ def read_csv(schema: RelationSchema, path: str | Path) -> Table:
         try:
             header = next(reader)
         except StopIteration:
-            raise SchemaError(f"{path} is empty; expected a header row")
+            raise SchemaError(
+                f"{path} is empty; expected a header row"
+            ) from None
         if sorted(header) != sorted(schema.attribute_names):
             raise SchemaError(
                 f"{path} header {header!r} does not match schema "

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
+from typing import Iterator
 
 from repro.db.predicates import Eq, IsIn, Predicate
 from repro.db.query import SelectionQuery
@@ -83,7 +84,7 @@ class QueryResult:
     def __bool__(self) -> bool:
         return bool(self.row_ids)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)
 
 

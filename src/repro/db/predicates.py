@@ -232,5 +232,7 @@ def parse_op(attribute: str, op: str, value: object) -> Predicate:
     try:
         factory = _OPS[op]
     except KeyError:
-        raise QueryError(f"unknown operator {op!r} for attribute {attribute!r}")
+        raise QueryError(
+            f"unknown operator {op!r} for attribute {attribute!r}"
+        ) from None
     return factory(attribute, value)

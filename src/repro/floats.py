@@ -1,0 +1,39 @@
+"""Float comparison helpers — the only sanctioned way to ``==`` floats.
+
+Computed similarity scores and g3 errors accumulate rounding error, so
+exact equality on them is representation-dependent (REP002).  Use
+:func:`close` for tolerant comparison.  :func:`exact_eq` exists for the
+rare case where bitwise identity *is* the contract — the fast-path
+equivalence checks and short-circuit guards on values that were
+assigned, never computed — and makes that intent explicit and
+greppable.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["DEFAULT_REL_TOL", "DEFAULT_ABS_TOL", "close", "exact_eq"]
+
+DEFAULT_REL_TOL = 1e-9
+DEFAULT_ABS_TOL = 1e-12
+
+
+def close(
+    a: float,
+    b: float,
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = DEFAULT_ABS_TOL,
+) -> bool:
+    """Tolerant float equality (``math.isclose`` with repo defaults)."""
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def exact_eq(a: float, b: float) -> bool:
+    """Deliberate bit-for-bit float equality.
+
+    For contracts where identity, not proximity, is the point: the
+    fast path must return *exactly* the reference value, or a value
+    is compared against the same object it was assigned from.
+    """
+    return a == b

@@ -12,6 +12,7 @@
 from __future__ import annotations
 
 import json
+import math
 from typing import Mapping
 
 from repro.obs.metrics import MetricsRegistry
@@ -48,9 +49,9 @@ def _render_labels(labels: Mapping[str, object], extra: str = "") -> str:
 
 def _format_value(value: object) -> str:
     number = float(value)  # type: ignore[arg-type]
-    if number == float("inf"):
+    if math.isinf(number):
         return "+Inf"
-    if number == int(number) and abs(number) < 1e15:
+    if number.is_integer() and abs(number) < 1e15:
         return str(int(number))
     return repr(number)
 

@@ -23,6 +23,7 @@ Design choices, in the spirit of the Prometheus client model:
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Iterable, Mapping, Sequence
 
@@ -365,7 +366,7 @@ class MetricsRegistry:
 def _histogram_entry(histogram: Histogram) -> dict[str, object]:
     buckets: dict[str, int] = {}
     for bound, cumulative in histogram.cumulative_buckets():
-        label = "+Inf" if bound == float("inf") else repr(bound)
+        label = "+Inf" if math.isinf(bound) else repr(bound)
         buckets[label] = cumulative
     quantiles: Mapping[str, float | None] = {
         repr(q): histogram.quantile(q) for q in histogram.quantile_marks

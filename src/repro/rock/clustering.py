@@ -167,7 +167,9 @@ def cluster_rock(
         # Recompute links from the merged cluster to every neighbour.
         neighbors_of_merged = (linked_to.pop(a) | linked_to.pop(b)) - {a, b}
         linked_to[merged_id] = set()
-        for other in neighbors_of_merged:
+        # Sorted so link bookkeeping (and therefore tie-breaking among
+        # equal-goodness merges) is independent of set hash order.
+        for other in sorted(neighbors_of_merged):
             if other not in active:
                 continue
             count = cross_links.pop(_pair(a, other), 0) + cross_links.pop(

@@ -18,12 +18,17 @@ paper describes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.core.query import ImpreciseQuery
 from repro.db.predicates import Between, Eq, Predicate
 from repro.db.query import SelectionQuery
 from repro.db.table import Table
 from repro.db.webdb import AutonomousWebDatabase
+
+if TYPE_CHECKING:
+    # Typing-only: a runtime import here would put the sampling layer
+    # above the engine and close a core <-> sampling package cycle.
+    from repro.core.query import ImpreciseQuery
 
 __all__ = ["WorkloadProbeReport", "probe_from_workload"]
 

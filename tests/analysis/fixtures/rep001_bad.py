@@ -1,0 +1,14 @@
+"""Golden fixture: violates REP001 (nondeterministic ranked output)."""
+
+import random
+import time
+
+
+def ranked(values):
+    pool = {value for value in values}
+    out = []
+    for item in pool:  # set iteration feeding an ordered list
+        out.append(item)
+    out.sort(key=lambda _: random.random())  # global unseeded RNG
+    stamp = time.time()  # wall clock in a scoring path
+    return out, stamp

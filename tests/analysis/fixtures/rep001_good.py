@@ -1,0 +1,13 @@
+"""Golden fixture: the REP001-clean version of rep001_bad."""
+
+import random
+import time
+
+
+def ranked(values, seed=7):
+    rng = random.Random(seed)
+    pool = {value for value in values}
+    out = sorted(pool)  # deterministic order before any ranking
+    rng.shuffle(out)  # seeded instance, reproducible
+    duration = time.perf_counter()  # monotonic timer, not wall clock
+    return out, duration

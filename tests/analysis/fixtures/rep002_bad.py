@@ -1,0 +1,9 @@
+"""Golden fixture: violates REP002 (exact equality on computed floats)."""
+
+
+def same_score(a: float, b: float) -> bool:
+    return a == b
+
+
+def ratio_changed(part: float, total: float) -> bool:
+    return part / total != 0.5

@@ -1,0 +1,11 @@
+"""Golden fixture: the REP002-clean version of rep002_bad."""
+
+from repro.floats import close
+
+
+def same_score(a: float, b: float) -> bool:
+    return close(a, b)
+
+
+def is_unset(score: float) -> bool:
+    return score == 0.0  # literal-zero sentinel guard is exempt

@@ -1,0 +1,7 @@
+"""Golden fixture: the engine reaching around the repro.db facade."""
+
+from repro.db.table import Table
+
+
+def materialise(schema):
+    return Table(schema)

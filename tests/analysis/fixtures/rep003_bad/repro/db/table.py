@@ -1,0 +1,7 @@
+"""Golden fixture: an upward import closing a db <-> core cycle."""
+
+from repro.core.engine import materialise
+
+
+def rebuild(schema):
+    return materialise(schema)

@@ -1,0 +1,7 @@
+"""Golden fixture: the engine using the repro.db facade, layers intact."""
+
+from repro.db import Table
+
+
+def materialise(schema):
+    return Table(schema)

@@ -1,0 +1,6 @@
+"""Golden fixture: the database layer importing nothing above itself."""
+
+
+class Table:
+    def __init__(self, schema):
+        self.schema = schema

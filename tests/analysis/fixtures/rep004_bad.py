@@ -1,0 +1,8 @@
+"""Golden fixture: violates REP004 (probes that dodge the ProbeLog)."""
+
+from repro.db.executor import Executor
+
+
+def count_rows(webdb):
+    executor = Executor(webdb._table)  # private internals, no accounting
+    return len(webdb._table._rows), executor

@@ -1,0 +1,8 @@
+"""Golden fixture: the REP004-clean version of rep004_bad."""
+
+from repro.db import SelectionQuery
+
+
+def count_rows(webdb):
+    # Every probe goes through the facade, so the ProbeLog sees it.
+    return webdb.probe_count(SelectionQuery.conjunction([]))

@@ -1,0 +1,11 @@
+"""Golden fixture: violates REP005 (metric naming, hand-entered span)."""
+
+from repro.obs import OBS
+
+
+def record(registry):
+    registry.counter("probes").inc()  # no repro_ prefix, no unit
+    registry.counter("repro_db_probe_seconds").inc()  # counter, not _total
+    span = OBS.span("mining")
+    span.__enter__()  # leaks if the body raises
+    return span

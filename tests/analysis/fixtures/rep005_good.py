@@ -1,0 +1,10 @@
+"""Golden fixture: the REP005-clean version of rep005_bad."""
+
+from repro.obs import OBS
+
+
+def record(registry):
+    registry.counter("repro_db_probes_total").inc()
+    registry.histogram("repro_db_probe_seconds").observe(0.1)
+    with OBS.span("mining"):
+        return registry

@@ -1,0 +1,13 @@
+"""Golden fixture: violates REP006 (broad handlers that swallow)."""
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    except Exception:
+        pass
+    try:
+        return path.read_text()
+    except:  # noqa: E722
+        return None

@@ -1,0 +1,10 @@
+"""Golden fixture: the REP006-clean version of rep006_bad."""
+
+
+def load(path, log):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as exc:  # narrow, and the failure is recorded
+        log.warning("could not read %s: %s", path, exc)
+        return None

@@ -1,0 +1,102 @@
+"""Baseline round-trip: accepted findings vanish, new ones still fire."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    LintEngine,
+    all_rules,
+    load_baseline,
+    match_baseline,
+    write_baseline,
+)
+from repro.analysis.finding import fingerprints
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_baseline_round_trip(tmp_path):
+    engine = LintEngine(all_rules(["REP002"]))
+    first = engine.run([FIXTURES / "rep002_bad.py"])
+    assert first.findings
+
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, first.findings)
+    assert load_baseline(baseline) == set(fingerprints(first.findings))
+
+    second = engine.run([FIXTURES / "rep002_bad.py"], baseline_path=baseline)
+    assert second.findings == []
+    assert len(second.baselined) == len(first.findings)
+    assert second.stale_fingerprints == set()
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    source = FIXTURES / "rep002_bad.py"
+    copy = tmp_path / "rep002_bad.py"
+    copy.write_text(source.read_text(encoding="utf-8"), encoding="utf-8")
+
+    engine = LintEngine(all_rules(["REP002"]))
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, engine.run([copy]).findings)
+
+    # Prepend lines: every finding moves, no finding changes content.
+    copy.write_text(
+        "# a new header comment\n\n" + copy.read_text(encoding="utf-8"),
+        encoding="utf-8",
+    )
+    drifted = engine.run([copy], baseline_path=baseline)
+    assert drifted.findings == []
+    assert drifted.stale_fingerprints == set()
+
+
+def test_stale_fingerprints_are_surfaced(tmp_path):
+    engine = LintEngine(all_rules(["REP002"]))
+    run = engine.run([FIXTURES / "rep002_bad.py"])
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, run.findings)
+
+    accepted = load_baseline(baseline) | {"deadbeefdeadbeef-0"}
+    fresh, baselined, stale = match_baseline(run.findings, accepted)
+    assert fresh == []
+    assert len(baselined) == len(run.findings)
+    assert stale == {"deadbeefdeadbeef-0"}
+
+
+def test_duplicate_findings_get_distinct_fingerprints(tmp_path):
+    source = tmp_path / "dupes.py"
+    source.write_text(
+        "def f(a: float, b: float):\n"
+        "    x = a == b\n"
+        "    x = a == b\n"
+        "    return x\n",
+        encoding="utf-8",
+    )
+    engine = LintEngine(all_rules(["REP002"]))
+    run = engine.run([source])
+    assert len(run.findings) == 2
+    prints = fingerprints(run.findings)
+    assert len(set(prints)) == 2
+
+    # Baselining only the first occurrence keeps reporting the second.
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, run.findings[:1])
+    partial = engine.run([source], baseline_path=baseline)
+    assert len(partial.findings) == 1
+    assert len(partial.baselined) == 1
+
+
+def test_malformed_baseline_is_rejected(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text("[]", encoding="utf-8")
+    with pytest.raises(ValueError, match="fingerprints"):
+        load_baseline(bad)
+    bad.write_text("not json", encoding="utf-8")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        load_baseline(bad)
+
+
+def test_committed_repo_baseline_is_empty():
+    repo_baseline = Path(__file__).resolve().parents[2] / ".reprolint-baseline.json"
+    assert repo_baseline.exists()
+    assert load_baseline(repo_baseline) == set()

@@ -1,0 +1,135 @@
+"""CLI contract: exit codes, JSON schema, --self, baseline flags."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+BAD_FIXTURES = [
+    "rep001_bad.py",
+    "rep002_bad.py",
+    "rep003_bad",
+    "rep004_bad.py",
+    "rep005_bad.py",
+    "rep006_bad.py",
+]
+
+FINDING_KEYS = {
+    "rule",
+    "severity",
+    "path",
+    "line",
+    "column",
+    "message",
+    "hint",
+    "snippet",
+}
+
+
+@pytest.mark.parametrize("fixture", BAD_FIXTURES)
+def test_each_bad_fixture_fails_the_lint(fixture):
+    assert main(["lint", "--no-baseline", str(FIXTURES / fixture)]) == 1
+
+
+def test_repo_lints_clean_with_committed_baseline():
+    assert main(["lint"]) == 0
+
+
+def test_self_check_passes():
+    assert main(["lint", "--self"]) == 0
+
+
+def test_json_output_schema(capsys):
+    code = main(
+        ["lint", "--no-baseline", "--format", "json", str(FIXTURES / "rep002_bad.py")]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["files_checked"] == 1
+    assert set(payload["rules_run"]) == {
+        "REP001",
+        "REP002",
+        "REP003",
+        "REP004",
+        "REP005",
+        "REP006",
+    }
+    assert payload["findings"], "expected findings for the bad fixture"
+    for finding in payload["findings"]:
+        assert set(finding) == FINDING_KEYS
+        assert finding["rule"] == "REP002"
+        assert finding["severity"] in ("warning", "error")
+        assert finding["line"] > 0
+    summary = payload["summary"]
+    assert summary["total"] == len(payload["findings"])
+    assert summary["by_rule"] == {"REP002": summary["total"]}
+
+
+def test_rules_flag_limits_the_rule_set(capsys):
+    code = main(
+        [
+            "lint",
+            "--no-baseline",
+            "--rules",
+            "REP006",
+            "--format",
+            "json",
+            str(FIXTURES / "rep002_bad.py"),
+        ]
+    )
+    assert code == 0  # REP002 violations invisible to a REP006-only run
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["rules_run"] == ["REP006"]
+    assert payload["findings"] == []
+
+
+def test_unknown_rule_is_a_usage_error():
+    assert main(["lint", "--rules", "REP999"]) == 2
+
+
+def test_missing_target_is_a_usage_error(tmp_path):
+    assert main(["lint", str(tmp_path / "nope.py")]) == 2
+
+
+def test_fail_on_never_reports_but_exits_zero(capsys):
+    code = main(
+        [
+            "lint",
+            "--no-baseline",
+            "--fail-on",
+            "never",
+            str(FIXTURES / "rep006_bad.py"),
+        ]
+    )
+    assert code == 0
+    assert "REP006" in capsys.readouterr().out
+
+
+def test_write_baseline_then_clean_run(tmp_path, capsys):
+    target = tmp_path / "rep001_bad.py"
+    target.write_text(
+        (FIXTURES / "rep001_bad.py").read_text(encoding="utf-8"),
+        encoding="utf-8",
+    )
+    baseline = tmp_path / "accepted.json"
+    assert (
+        main(
+            [
+                "lint",
+                "--write-baseline",
+                "--baseline",
+                str(baseline),
+                str(target),
+            ]
+        )
+        == 0
+    )
+    assert baseline.exists()
+    capsys.readouterr()
+    assert main(["lint", "--baseline", str(baseline), str(target)]) == 0
+    assert "baselined" in capsys.readouterr().out

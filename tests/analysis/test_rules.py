@@ -1,0 +1,106 @@
+"""Golden-fixture tests: every rule fires on its bad twin, not its good one."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintEngine, all_rules, load_project, rule_ids
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+RULE_FIXTURES = {
+    "REP001": ("rep001_bad.py", "rep001_good.py"),
+    "REP002": ("rep002_bad.py", "rep002_good.py"),
+    "REP003": ("rep003_bad", "rep003_good"),
+    "REP004": ("rep004_bad.py", "rep004_good.py"),
+    "REP005": ("rep005_bad.py", "rep005_good.py"),
+    "REP006": ("rep006_bad.py", "rep006_good.py"),
+}
+
+
+def run_rule(rule_id: str, target: Path):
+    engine = LintEngine(all_rules([rule_id]))
+    return engine.run([target])
+
+
+def test_every_shipped_rule_has_a_fixture_pair():
+    assert set(RULE_FIXTURES) == set(rule_ids())
+    for bad, good in RULE_FIXTURES.values():
+        assert (FIXTURES / bad).exists()
+        assert (FIXTURES / good).exists()
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+def test_bad_fixture_triggers_rule(rule_id):
+    bad, _ = RULE_FIXTURES[rule_id]
+    run = run_rule(rule_id, FIXTURES / bad)
+    assert run.findings, f"{rule_id} found nothing in {bad}"
+    assert {f.rule_id for f in run.findings} == {rule_id}
+    for finding in run.findings:
+        assert finding.line > 0
+        assert finding.message
+        assert finding.hint
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+def test_good_fixture_is_clean_under_all_rules(rule_id):
+    _, good = RULE_FIXTURES[rule_id]
+    engine = LintEngine()
+    run = engine.run([FIXTURES / good])
+    assert run.findings == [], [f.render() for f in run.findings]
+
+
+def test_rep001_reports_each_violation_kind():
+    run = run_rule("REP001", FIXTURES / "rep001_bad.py")
+    messages = " ".join(f.message for f in run.findings)
+    assert "iterating a set" in messages
+    assert "random" in messages
+    assert "wall-clock" in messages
+
+
+def test_rep003_reports_facade_and_cycle():
+    run = run_rule("REP003", FIXTURES / "rep003_bad")
+    messages = " ".join(f.message for f in run.findings)
+    assert "facade" in messages
+    assert "cycle" in messages
+    assert "upward import" in messages
+
+
+def test_suppression_comment_silences_a_finding(tmp_path):
+    source = FIXTURES / "rep006_bad.py"
+    patched = tmp_path / "patched.py"
+    text = source.read_text(encoding="utf-8").replace(
+        "    except Exception:",
+        "    except Exception:  # reprolint: disable=REP006",
+    )
+    patched.write_text(text, encoding="utf-8")
+    run = LintEngine(all_rules(["REP006"])).run([patched])
+    assert len(run.suppressed) == 1
+    assert len(run.findings) == 1  # the bare except is still reported
+
+
+def test_unknown_rule_id_is_rejected():
+    with pytest.raises(ValueError, match="unknown rule"):
+        all_rules(["REP999"])
+
+
+def test_parse_error_becomes_rep000_error(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def broken(:\n", encoding="utf-8")
+    run = LintEngine().run([broken])
+    assert [f.rule_id for f in run.findings] == ["REP000"]
+    assert run.findings[0].severity.value == "error"
+
+
+def test_repo_source_tree_is_clean():
+    import repro
+
+    package = Path(repro.__file__).resolve().parent
+    run = LintEngine().run([package])
+    assert run.findings == [], [f.render() for f in run.findings]
+
+
+def test_module_names_derive_from_repro_root():
+    project = load_project([FIXTURES / "rep003_bad"])
+    names = sorted(m.module for m in project.modules)
+    assert names == ["repro.core.engine", "repro.db.table"]
