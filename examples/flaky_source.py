@@ -1,0 +1,93 @@
+"""The same imprecise query against a healthy, a flaky and a guarded source.
+
+Three runs of ``Model like Camry AND Price like 9000`` over CarDB:
+
+1. a healthy source — the baseline answers;
+2. a flaky source (20% transient faults, a throttling burst, one
+   outage window) with **no** protection — the engine degrades
+   gracefully, returning whatever it ranked before each failure;
+3. the same flaky source behind the full resilience stack — retries
+   with seeded backoff, deadline budgets and a circuit breaker cure
+   the transient schedule and recover the baseline answers exactly.
+
+Everything is seeded, so the output of this script is deterministic.
+
+Run:  python examples/flaky_source.py
+"""
+
+from repro import ImpreciseQuery, build_model
+from repro.datasets import cardb_webdb
+from repro.datasets.cardb import generate_cardb
+from repro.db import AutonomousWebDatabase, FaultPolicy, FaultSpec
+from repro.resilience import ResiliencePolicy, RetryConfig
+
+ROWS = 2_000
+QUERY = ImpreciseQuery.like("CarDB", Model="Camry", Price=9_000)
+
+FLAKY = FaultSpec(
+    transient_rate=0.2,   # generic blips
+    timeout_rate=0.05,    # slow pages that give up
+    throttle_rate=0.05,   # "come back in 50 ms"
+    outages=((40, 55),),  # attempts 40-54: source is down
+)
+
+
+def flaky_webdb(table, seed=42):
+    return AutonomousWebDatabase(
+        table, fault_policy=FaultPolicy(FLAKY, seed=seed)
+    )
+
+
+def describe(title, answers, webdb):
+    print(f"\n=== {title} ===")
+    print(answers.describe(webdb.schema, top=5))
+    print(f"probes issued: {webdb.log.probes_issued}")
+    policy = getattr(webdb, "fault_policy", None)
+    if policy is not None:
+        fired = {k: v for k, v in policy.injected.items() if v}
+        print(f"faults injected: {fired or 'none'}")
+    print(answers.degradation.summary())
+
+
+def main():
+    webdb = cardb_webdb(ROWS)
+    model = build_model(webdb, sample_size=600)
+    table = generate_cardb(ROWS)
+
+    # 1. The baseline: a source that always answers.
+    healthy = AutonomousWebDatabase(table)
+    baseline = model.engine(healthy).answer(QUERY, k=5)
+    describe("healthy source", baseline, healthy)
+
+    # 2. The same query against a flaky source, no protection: failed
+    # relaxation steps are skipped and recorded, ranked work survives.
+    unguarded = flaky_webdb(table)
+    degraded = model.engine(unguarded).answer(QUERY, k=5)
+    describe("flaky source, no protection", degraded, unguarded)
+
+    # 3. The flaky source behind the resilience stack: transient
+    # faults are retried away and the baseline answers come back.
+    guarded = flaky_webdb(table)
+    engine = model.engine(
+        guarded,
+        resilience=ResiliencePolicy(
+            # Enough attempts to outlast the 15-attempt outage window,
+            # with backoff capped low so the demo stays snappy.
+            retry=RetryConfig(
+                max_attempts=20, base_delay=0.005, max_delay=0.05, seed=7
+            ),
+            breaker_failure_threshold=None,
+            probe_deadline_seconds=5.0,
+            query_deadline_seconds=60.0,
+        ),
+    )
+    healed = engine.answer(QUERY, k=5)
+    describe("flaky source + resilience", healed, guarded)
+    print(f"\nresilience work: {engine.webdb.stats()}")
+
+    same = healed.row_ids == baseline.row_ids
+    print(f"recovered the baseline answers exactly: {'YES' if same else 'NO'}")
+
+
+if __name__ == "__main__":
+    main()

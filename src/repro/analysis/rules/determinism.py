@@ -33,6 +33,7 @@ ORDERED_PACKAGES = (
     "repro.core",
     "repro.datasets",
     "repro.sampling",
+    "repro.resilience",
 )
 
 _SET_BUILTINS = {"set", "frozenset"}

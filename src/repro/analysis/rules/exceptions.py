@@ -6,6 +6,16 @@ the determinism contracts exist to surface — a mining worker dying
 mid-chunk would silently change the mined artifact.  Narrow handlers
 (``except KeyError``) are fine; broad handlers are fine when they
 ``raise``, return the error, or log it.
+
+The rule also polices *retry loops*: a handler inside a ``for``/
+``while`` loop that swallows a permanent
+:class:`~repro.db.errors.DatabaseError` subclass (schema mistakes,
+malformed queries, an exhausted probe budget) turns a bug into an
+infinite or silently-short loop — retrying cannot cure a permanent
+failure.  Only the transient taxonomy
+(:class:`~repro.db.errors.TransientSourceError` and its subclasses) is
+legitimately retriable; permanent errors must be re-raised, logged, or
+recorded (using the bound exception counts, as for broad handlers).
 """
 
 from __future__ import annotations
@@ -18,6 +28,17 @@ from repro.analysis.rulebase import Rule, attribute_chain, register
 from repro.analysis.source import ProjectContext, SourceModule
 
 _BROAD = {"Exception", "BaseException"}
+# The permanent half of the repro.db error taxonomy: retrying these
+# never helps, so a retry loop that swallows one is always a bug.
+_PERMANENT_DB_ERRORS = {
+    "DatabaseError",
+    "SchemaError",
+    "UnknownAttributeError",
+    "TypeMismatchError",
+    "QueryError",
+    "UnsupportedPredicateError",
+    "ProbeLimitExceededError",
+}
 _LOG_METHODS = {
     "debug",
     "info",
@@ -43,24 +64,59 @@ class ExceptionHygieneRule(Rule):
     def check_module(
         self, module: SourceModule, project: ProjectContext
     ) -> Iterable[Finding]:
+        in_loop = self._handlers_in_loops(module.tree)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
-            if not self._is_broad(node.type):
-                continue
             if self._handles_error(node):
                 continue
-            caught = (
-                "bare except"
-                if node.type is None
-                else f"except {ast.unparse(node.type)}"
-            )
-            yield self.finding(
-                module,
-                node,
-                f"{caught} swallows the error: the body neither re-raises "
-                "nor records it",
-            )
+            if self._is_broad(node.type):
+                caught = (
+                    "bare except"
+                    if node.type is None
+                    else f"except {ast.unparse(node.type)}"
+                )
+                yield self.finding(
+                    module,
+                    node,
+                    f"{caught} swallows the error: the body neither "
+                    "re-raises nor records it",
+                )
+                continue
+            permanent = self._permanent_names(node.type)
+            if permanent and id(node) in in_loop:
+                yield self.finding(
+                    module,
+                    node,
+                    "retry loop swallows permanent "
+                    f"{', '.join(permanent)}: retrying cannot cure it — "
+                    "re-raise, record it, or degrade explicitly",
+                )
+
+    @staticmethod
+    def _handlers_in_loops(tree: ast.AST) -> set[int]:
+        """ids of ExceptHandler nodes nested (at any depth) in a loop."""
+        found: set[int] = set()
+        for loop in ast.walk(tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if isinstance(node, ast.ExceptHandler):
+                    found.add(id(node))
+        return found
+
+    @staticmethod
+    def _permanent_names(node: ast.expr | None) -> list[str]:
+        """Permanent-taxonomy names this handler catches, sorted."""
+        if node is None:
+            return []
+        exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+        names = set()
+        for expr in exprs:
+            chain = attribute_chain(expr)
+            if chain and chain[-1] in _PERMANENT_DB_ERRORS:
+                names.add(chain[-1])
+        return sorted(names)
 
     @staticmethod
     def _is_broad(node: ast.expr | None) -> bool:

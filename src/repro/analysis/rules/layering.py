@@ -27,6 +27,7 @@ LAYERS: dict[str, int] = {
     "repro.obs": 0,
     "repro.floats": 0,
     "repro.db": 1,
+    "repro.resilience": 1,
     "repro.afd": 2,
     "repro.simmining": 2,
     "repro.datasets": 2,

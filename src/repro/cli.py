@@ -48,6 +48,7 @@ from repro.datasets.census import census_webdb, generate_censusdb
 from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.db.csvio import write_csv
 from repro.db.errors import DatabaseError
+from repro.db.faults import FaultPolicy, FaultSpec
 from repro.db.webdb import AutonomousWebDatabase
 from repro.evalx import (
     census_settings,
@@ -72,6 +73,7 @@ from repro.evalx import (
 )
 from repro.obs import OBS, render_span_tree, to_json, to_prometheus
 from repro.perf.bench import SCALES, SCENARIOS, check_regressions, run_bench
+from repro.resilience import ResilienceError, ResiliencePolicy, ResilientWebDatabase
 
 __all__ = ["main", "build_parser"]
 
@@ -169,7 +171,17 @@ def _cmd_query(args: argparse.Namespace) -> int:
         query = ImpreciseQuery.like(webdb.schema.name, **bindings)
     else:
         raise ValueError("provide --text or at least one Attr=Value pair")
-    engine = model.engine(webdb)
+    if args.fault_rate > 0.0:
+        webdb.set_fault_policy(
+            FaultPolicy(
+                FaultSpec(transient_rate=args.fault_rate),
+                seed=args.fault_seed,
+            )
+        )
+    resilience = (
+        ResiliencePolicy() if (args.resilient or args.fault_rate > 0.0) else None
+    )
+    engine = model.engine(webdb, resilience=resilience)
     answers = engine.answer(query, k=args.k)
     print(answers.describe(webdb.schema))
     trace = answers.trace
@@ -177,6 +189,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"\n{trace.queries_issued} probes, {trace.tuples_extracted} extracted, "
         f"{trace.tuples_relevant} relevant"
     )
+    if answers.degraded:
+        print()
+        print(answers.degradation.summary())
+    if isinstance(engine.webdb, ResilientWebDatabase):
+        stats = engine.webdb.stats()
+        rendered = ", ".join(f"{key}={value}" for key, value in stats.items())
+        print(f"resilience: {rendered}")
     return 0
 
 
@@ -231,7 +250,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     OBS.reset()
     OBS.enable()
     webdb, model = _mine_model(args)
-    engine = model.engine(webdb)
+    # Answer through the resilience wrapper so its metric families
+    # (attempt outcomes, retries, breaker state) appear in the dump.
+    engine = model.engine(webdb, resilience=ResiliencePolicy())
     engine.answer(_demo_query(webdb, model), k=args.k)
     snapshot = OBS.registry.snapshot()
     sections = []
@@ -343,6 +364,26 @@ def build_parser() -> argparse.ArgumentParser:
         "\"Model like Camry AND Price < 10000\"",
     )
     query.add_argument(
+        "--resilient",
+        action="store_true",
+        help="guard every probe with retries, a circuit breaker and "
+        "deadline budgets",
+    )
+    query.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="inject seeded transient probe failures with probability P "
+        "(implies --resilient)",
+    )
+    query.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic fault schedule (default: 0)",
+    )
+    query.add_argument(
         "constraints",
         nargs="*",
         metavar="Attr=Value",
@@ -445,7 +486,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 handle.write(render(OBS.registry.snapshot()) + "\n")
             print(f"metrics snapshot written to {args.metrics_out}")
         return code
-    except (ValueError, OSError, DatabaseError, StoreError) as exc:
+    except (ValueError, OSError, DatabaseError, StoreError, ResilienceError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -21,6 +21,7 @@ efficiency experiments (Figs 6–7) read off directly.
 from __future__ import annotations
 
 import heapq
+from contextlib import nullcontext
 from typing import Mapping
 
 from repro.core.attribute_order import AttributeOrdering
@@ -29,11 +30,28 @@ from repro.core.query import BaseQueryMapper, ImpreciseQuery
 from repro.core.relaxation import GuidedRelax, _RelaxerBase, tuple_as_query
 from repro.core.results import AnswerSet, RankedAnswer, RelaxationTrace
 from repro.core.similarity import BindingsScorer, TupleSimilarity
-from repro.db import AutonomousWebDatabase
+from repro.db import (
+    AutonomousWebDatabase,
+    ProbeLimitExceededError,
+    TransientSourceError,
+)
 from repro.obs.runtime import OBS
+from repro.resilience import (
+    CircuitOpenError,
+    Clock,
+    DeadlineExceededError,
+    ResiliencePolicy,
+    ResilientWebDatabase,
+)
 from repro.simmining.estimator import SimilarityModel
 
 __all__ = ["AIMQEngine"]
+
+
+class _ExpansionAborted(Exception):
+    """Internal control flow: every future probe of this call is doomed
+    (probe budget gone, breaker open, or query deadline passed), so stop
+    expanding and let the already-ranked tuples stand as the answer."""
 
 
 class AIMQEngine:
@@ -41,13 +59,19 @@ class AIMQEngine:
 
     def __init__(
         self,
-        webdb: AutonomousWebDatabase,
+        webdb: AutonomousWebDatabase | ResilientWebDatabase,
         ordering: AttributeOrdering,
         value_similarity: SimilarityModel,
         settings: AIMQSettings | None = None,
         strategy: _RelaxerBase | None = None,
         numeric_extents: dict[str, tuple[float, float]] | None = None,
+        resilience: ResiliencePolicy | None = None,
+        clock: Clock | None = None,
     ) -> None:
+        if resilience is not None and not isinstance(
+            webdb, ResilientWebDatabase
+        ):
+            webdb = ResilientWebDatabase(webdb, resilience, clock=clock)
         self.webdb = webdb
         self.ordering = ordering
         self.settings = settings or AIMQSettings()
@@ -83,18 +107,31 @@ class AIMQEngine:
         top_k = settings.top_k if k is None else k
 
         trace = RelaxationTrace()
+        resilience_before = self._snapshot_resilience()
         with OBS.span(
             "engine.answer", query=query.describe(), k=top_k
-        ) as root:
-            with OBS.span("engine.base_query_mapping") as mapping_span:
-                base = self.mapper.map(query)
-                mapping_span.set_attribute("base_set_size", len(base))
-                mapping_span.set_attribute(
-                    "generalisation_steps", len(base.generalisation_steps)
-                )
-            trace.generalisation_steps = base.generalisation_steps
-            base_rows = list(zip(base.result.row_ids, base.result.rows))
-            base_rows = base_rows[: settings.base_set_cap]
+        ) as root, self._deadline_scope():
+            base_rows: list[tuple[int, tuple]] = []
+            try:
+                with OBS.span("engine.base_query_mapping") as mapping_span:
+                    base = self.mapper.map(query)
+                    mapping_span.set_attribute("base_set_size", len(base))
+                    mapping_span.set_attribute(
+                        "generalisation_steps", len(base.generalisation_steps)
+                    )
+            except (
+                ProbeLimitExceededError,
+                TransientSourceError,
+                CircuitOpenError,
+                DeadlineExceededError,
+            ) as exc:
+                # Without a base set there is nothing to relax; the
+                # degraded answer is empty but still structured.
+                trace.degradation.record("base_query", exc)
+            else:
+                trace.generalisation_steps = base.generalisation_steps
+                base_rows = list(zip(base.result.row_ids, base.result.rows))
+                base_rows = base_rows[: settings.base_set_cap]
             trace.base_set_size = len(base_rows)
 
             # One compiled scorer serves every Sim(Q, t) evaluation of
@@ -116,10 +153,13 @@ class AIMQEngine:
                 )
 
             for base_row_id, base_row in base_rows:
-                self._expand_base_tuple(
-                    base_row_id, base_row, query_scorer, threshold, extended,
-                    trace,
-                )
+                try:
+                    self._expand_base_tuple(
+                        base_row_id, base_row, query_scorer, threshold,
+                        extended, trace,
+                    )
+                except _ExpansionAborted:
+                    break
 
             with OBS.span(
                 "engine.ranking", candidates=len(extended)
@@ -134,6 +174,8 @@ class AIMQEngine:
                 )
             root.set_attribute("answers", len(answers))
             root.set_attribute("probes", trace.queries_issued)
+            root.set_attribute("degraded", trace.degraded)
+        self._finish_degradation(trace, resilience_before)
         if OBS.enabled:
             self._record_query_metrics("answer", trace)
         return AnswerSet(query=query, answers=answers, trace=trace)
@@ -177,18 +219,22 @@ class AIMQEngine:
         trace = RelaxationTrace(base_set_size=1)
         extended: dict[int, RankedAnswer] = {}
         seed_id = row_id if row_id is not None else -1
+        resilience_before = self._snapshot_resilience()
         with OBS.span(
             "engine.gather_similar", row_id=seed_id, threshold=threshold
-        ) as root:
-            self._expand_base_tuple(
-                seed_id,
-                row,
-                None,
-                threshold,
-                extended,
-                trace,
-                target=target,
-            )
+        ) as root, self._deadline_scope():
+            try:
+                self._expand_base_tuple(
+                    seed_id,
+                    row,
+                    None,
+                    threshold,
+                    extended,
+                    trace,
+                    target=target,
+                )
+            except _ExpansionAborted:
+                pass
             with OBS.span("engine.ranking", candidates=len(extended)):
                 answers = sorted(
                     extended.values(),
@@ -196,6 +242,8 @@ class AIMQEngine:
                 )
             root.set_attribute("answers", len(answers))
             root.set_attribute("probes", trace.queries_issued)
+            root.set_attribute("degraded", trace.degraded)
+        self._finish_degradation(trace, resilience_before)
         if OBS.enabled:
             self._record_query_metrics("gather_similar", trace)
         return answers, trace
@@ -254,7 +302,38 @@ class AIMQEngine:
                     level=step.level,
                     relaxed=",".join(step.relaxed_attributes),
                 ) as step_span:
-                    result = self.webdb.query(step.query)
+                    try:
+                        result = self.webdb.query(step.query)
+                    except (ProbeLimitExceededError, CircuitOpenError) as exc:
+                        # Terminal for the whole call: no future probe
+                        # can succeed either.
+                        trace.degradation.record(
+                            "expansion", exc,
+                            base_row_id=base_row_id, level=step.level,
+                        )
+                        raise _ExpansionAborted from exc
+                    except DeadlineExceededError as exc:
+                        if exc.scope == "query":
+                            trace.degradation.record(
+                                "expansion", exc,
+                                base_row_id=base_row_id, level=step.level,
+                            )
+                            raise _ExpansionAborted from exc
+                        # Probe-scope deadline: only this step is lost.
+                        trace.degradation.record(
+                            "relaxation", exc,
+                            base_row_id=base_row_id, level=step.level,
+                        )
+                        continue
+                    except TransientSourceError as exc:
+                        # Retries (if configured) are already exhausted
+                        # by the time this surfaces; skip the step and
+                        # try the next relaxation.
+                        trace.degradation.record(
+                            "relaxation", exc,
+                            base_row_id=base_row_id, level=step.level,
+                        )
+                        continue
                     step_span.set_attribute("result_size", len(result))
                 if observing:
                     OBS.registry.counter(
@@ -305,6 +384,30 @@ class AIMQEngine:
             expand_span.set_attribute("extracted", extracted)
             expand_span.set_attribute("relevant", relevant_found)
 
+    def _deadline_scope(self):
+        """The per-query deadline window (no-op without resilience)."""
+        if isinstance(self.webdb, ResilientWebDatabase):
+            return self.webdb.deadline_scope()
+        return nullcontext()
+
+    def _snapshot_resilience(self) -> tuple[int, int]:
+        """(retries, breaker opens) so far, for per-call deltas."""
+        if isinstance(self.webdb, ResilientWebDatabase):
+            breaker = self.webdb.breaker
+            return (
+                self.webdb.retrier.retries,
+                breaker.open_count if breaker is not None else 0,
+            )
+        return (0, 0)
+
+    def _finish_degradation(
+        self, trace: RelaxationTrace, before: tuple[int, int]
+    ) -> None:
+        """Attribute this call's share of retry/breaker activity."""
+        after = self._snapshot_resilience()
+        trace.degradation.retries_used = after[0] - before[0]
+        trace.degradation.breaker_opens = after[1] - before[1]
+
     def _record_query_metrics(self, mode: str, trace: RelaxationTrace) -> None:
         """Publish one answered query's work accounting."""
         registry = OBS.registry
@@ -326,3 +429,9 @@ class AIMQEngine:
             "repro_core_tuples_relevant_total",
             "Extracted tuples clearing the similarity threshold.",
         ).inc(trace.tuples_relevant)
+        if trace.degraded:
+            registry.counter(
+                "repro_core_degraded_answers_total",
+                "Answers returned partial because the source failed.",
+                labels=("mode",),
+            ).labels(mode=mode).inc()

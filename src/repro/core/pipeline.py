@@ -21,6 +21,7 @@ from repro.core.engine import AIMQEngine
 from repro.core.relaxation import RandomRelax, _RelaxerBase
 from repro.db import AutonomousWebDatabase, Table
 from repro.obs.runtime import OBS, timed_phase
+from repro.resilience import Clock, ResiliencePolicy
 from repro.sampling.collector import CollectionReport, collect_sample
 from repro.simmining.estimator import SimilarityModel, ValueSimilarityMiner
 
@@ -63,8 +64,15 @@ class AIMQModel:
         self,
         webdb: AutonomousWebDatabase,
         strategy: _RelaxerBase | None = None,
+        resilience: "ResiliencePolicy | None" = None,
+        clock: "Clock | None" = None,
     ) -> AIMQEngine:
-        """Online engine over ``webdb`` (GuidedRelax unless overridden)."""
+        """Online engine over ``webdb`` (GuidedRelax unless overridden).
+
+        Passing ``resilience`` wraps the facade in
+        :class:`~repro.resilience.ResilientWebDatabase`, giving every
+        probe of this engine retry/breaker/deadline protection.
+        """
         return AIMQEngine(
             webdb=webdb,
             ordering=self.ordering,
@@ -72,6 +80,8 @@ class AIMQModel:
             settings=self.settings,
             strategy=strategy,
             numeric_extents=self.numeric_extents,
+            resilience=resilience,
+            clock=clock,
         )
 
     def random_engine(

@@ -7,6 +7,7 @@ from typing import Iterator
 
 from repro.core.query import ImpreciseQuery
 from repro.db import RelationSchema
+from repro.resilience.degradation import DegradationReport
 
 __all__ = ["RankedAnswer", "AnswerSet", "RelaxationTrace"]
 
@@ -45,6 +46,12 @@ class RelaxationTrace:
     tuples_relevant: int = 0
     deepest_level: int = 0
     generalisation_steps: tuple[str, ...] = ()
+    degradation: DegradationReport = field(default_factory=DegradationReport)
+
+    @property
+    def degraded(self) -> bool:
+        """True when source failures forced the engine to skip work."""
+        return self.degradation.degraded
 
     @property
     def total_lookups(self) -> int:
@@ -83,6 +90,15 @@ class AnswerSet:
     @property
     def row_ids(self) -> list[int]:
         return [answer.row_id for answer in self.answers]
+
+    @property
+    def degradation(self) -> DegradationReport:
+        return self.trace.degradation
+
+    @property
+    def degraded(self) -> bool:
+        """True when this answer is partial because the source failed."""
+        return self.trace.degraded
 
     def describe(self, schema: RelationSchema, top: int | None = None) -> str:
         lines = [f"Answers for {self.query.describe()}:"]

@@ -10,13 +10,19 @@ Web-form-style probing interface.
 from repro.db.errors import (
     DatabaseError,
     ProbeLimitExceededError,
+    ProbeTimeoutError,
     QueryError,
     SchemaError,
+    SourceThrottledError,
+    SourceUnavailableError,
+    TransientProbeError,
+    TransientSourceError,
     TypeMismatchError,
     UnknownAttributeError,
     UnsupportedPredicateError,
 )
 from repro.db.executor import ExecutionStats, Executor, QueryResult
+from repro.db.faults import FAULT_KINDS, FaultDecision, FaultPolicy, FaultSpec
 from repro.db.predicates import (
     Between,
     Eq,
@@ -44,6 +50,10 @@ __all__ = [
     "Eq",
     "ExecutionStats",
     "Executor",
+    "FAULT_KINDS",
+    "FaultDecision",
+    "FaultPolicy",
+    "FaultSpec",
     "Ge",
     "Gt",
     "IsIn",
@@ -54,6 +64,11 @@ __all__ = [
     "ProbeCache",
     "ProbeLimitExceededError",
     "ProbeLog",
+    "ProbeTimeoutError",
+    "SourceThrottledError",
+    "SourceUnavailableError",
+    "TransientProbeError",
+    "TransientSourceError",
     "canonical_probe_key",
     "parse_op",
     "QueryError",

@@ -4,6 +4,23 @@ Every error raised by :mod:`repro.db` derives from :class:`DatabaseError`
 so callers can catch substrate failures with a single ``except`` clause
 while still being able to distinguish schema problems from query
 problems when they need to.
+
+The autonomous-source setting adds a second axis: *transience*.  A real
+Web source fails in two very different ways —
+
+* **transient** failures (a dropped connection, a timeout, a rate-limit
+  rejection, a short outage) where retrying the same probe later may
+  succeed; these all derive from :class:`TransientSourceError`, which is
+  what the retry machinery in :mod:`repro.resilience` is allowed to
+  swallow;
+* **permanent** failures (schema errors, malformed queries, an exhausted
+  probe budget) where retrying is useless and hides a real problem;
+  these stay direct :class:`DatabaseError` subclasses, and reprolint's
+  REP006 extension flags retry loops that swallow them.
+
+Errors carry structured fields (``probes_issued``, ``budget``,
+``retry_after`` ...) rather than message-only payloads so policies can
+act on them without parsing strings.
 """
 
 from __future__ import annotations
@@ -16,6 +33,11 @@ __all__ = [
     "QueryError",
     "UnsupportedPredicateError",
     "ProbeLimitExceededError",
+    "TransientSourceError",
+    "TransientProbeError",
+    "ProbeTimeoutError",
+    "SourceThrottledError",
+    "SourceUnavailableError",
 ]
 
 
@@ -56,8 +78,96 @@ class UnsupportedPredicateError(QueryError):
 
 
 class ProbeLimitExceededError(DatabaseError):
-    """The probing budget of an autonomous source has been exhausted."""
+    """The probing budget of an autonomous source has been exhausted.
 
-    def __init__(self, limit: int) -> None:
-        self.limit = limit
-        super().__init__(f"probe limit of {limit} queries exceeded")
+    Not transient: the budget models a hard allocation (the paper's
+    rate-limited source), so retrying the same probe can never succeed
+    within the same accounting window.  Carries the budget and the
+    probes already issued so callers can report exactly how far a run
+    got before the source cut it off.
+    """
+
+    def __init__(self, budget: int, probes_issued: int | None = None) -> None:
+        self.budget = budget
+        self.probes_issued = budget if probes_issued is None else probes_issued
+        # Kept for callers written against the message-only era.
+        self.limit = budget
+        super().__init__(
+            f"probe limit of {budget} queries exceeded "
+            f"({self.probes_issued} probes issued)"
+        )
+
+
+class TransientSourceError(DatabaseError):
+    """A probe failed in a way a later retry may cure.
+
+    Base class of the transient taxonomy; everything the resilience
+    layer is allowed to retry derives from here.  ``retry_after`` is an
+    optional hint (seconds) the source attached to the rejection; None
+    means the source gave no guidance.
+    """
+
+    def __init__(
+        self, message: str, retry_after: float | None = None
+    ) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class TransientProbeError(TransientSourceError):
+    """A probe failed for an unspecified transient reason.
+
+    The catch-all of the taxonomy: dropped connections, mid-flight
+    resets, garbled responses — anything where the source is believed
+    healthy and an immediate retry is reasonable.
+    """
+
+    def __init__(self, message: str = "transient probe failure") -> None:
+        super().__init__(message)
+
+
+class ProbeTimeoutError(TransientSourceError):
+    """A probe exceeded its response deadline.
+
+    ``timeout_seconds`` is the deadline that was blown (None when the
+    injector or transport did not record one).
+    """
+
+    def __init__(
+        self,
+        message: str = "probe timed out",
+        timeout_seconds: float | None = None,
+    ) -> None:
+        self.timeout_seconds = timeout_seconds
+        super().__init__(message)
+
+
+class SourceThrottledError(TransientSourceError):
+    """The source rejected a probe with a rate-limit response.
+
+    ``retry_after`` is the source's back-off hint in seconds; retry
+    policies must wait at least that long before the next attempt.
+    """
+
+    def __init__(
+        self,
+        message: str = "source throttled the probe",
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message, retry_after=retry_after)
+
+
+class SourceUnavailableError(TransientSourceError):
+    """The source is entirely down (a windowed outage).
+
+    Transient in the taxonomy sense — outages end — but typically much
+    longer-lived than a throttle, which is why circuit breakers treat a
+    run of these as reason to stop probing altogether for a while.
+    """
+
+    def __init__(
+        self,
+        message: str = "source unavailable",
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message, retry_after=retry_after)

@@ -1,0 +1,246 @@
+"""Deterministic fault injection for the autonomous-source facade.
+
+The paper's source is a *non-local autonomous Web database* (§1,
+footnote 1): in production such a source times out, throttles, truncates
+result pages and occasionally disappears outright.  This module lets
+the facade simulate exactly that — reproducibly — so the resilience
+layer (:mod:`repro.resilience`) and the chaos suite can be tested
+against failure schedules that are bit-identical across runs.
+
+Determinism contract
+--------------------
+
+A :class:`FaultPolicy` is a pure function of ``(spec, seed, attempt
+sequence)``: every source-reaching probe attempt consumes exactly two
+values from one seeded ``random.Random`` stream (one for the error
+draw, one for the truncation draw), regardless of which fault kinds are
+enabled.  Two policies built from the same spec and seed therefore
+produce the same fault schedule, and a policy with all rates zero and
+no outage windows draws the same stream but never fires — so enabling
+the hook costs nothing semantically.
+
+With ``fault_policy=None`` (the default) the facade never touches this
+module and probe/accounting behaviour is bit-identical to a build
+without it.
+
+Accounting
+----------
+
+An injected fault aborts the probe *before* it reaches the executor:
+nothing is recorded in the :class:`~repro.db.webdb.ProbeLog` and no
+probe budget is charged — the paper's Figure 6–7 issued-probe semantics
+only ever count answered probes.  Every injection is counted in the
+policy's :attr:`FaultPolicy.injected` map and, when observability is
+on, in ``repro_db_faults_injected_total{kind=...}``.  A truncation
+fault lets the probe execute but drops the tail of the result page
+(flagging it ``truncated``), the way a flaky source serves partial
+pages; the facade skips caching such pages.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.db.errors import (
+    DatabaseError,
+    ProbeTimeoutError,
+    SourceThrottledError,
+    SourceUnavailableError,
+    TransientProbeError,
+)
+from repro.db.executor import QueryResult
+from repro.obs.runtime import OBS
+
+__all__ = ["FaultSpec", "FaultDecision", "FaultPolicy", "FAULT_KINDS"]
+
+#: Every fault kind a policy can inject, in metric-label spelling.
+FAULT_KINDS: tuple[str, ...] = (
+    "transient",
+    "timeout",
+    "throttle",
+    "outage",
+    "truncation",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What to inject, and how often.
+
+    Rates are independent per-attempt probabilities in ``[0, 1]``; the
+    three error rates share one uniform draw (cumulative comparison) so
+    at most one error fires per attempt.  ``outages`` are half-open
+    ``[start, stop)`` windows over the 0-based attempt index during
+    which *every* probe fails with
+    :class:`~repro.db.errors.SourceUnavailableError` — the windowed
+    full outage of a source that is simply down.
+    """
+
+    transient_rate: float = 0.0
+    timeout_rate: float = 0.0
+    throttle_rate: float = 0.0
+    truncation_rate: float = 0.0
+    throttle_retry_after: float = 0.05
+    timeout_seconds: float = 1.0
+    truncation_keep_fraction: float = 0.5
+    outages: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        rates = (
+            self.transient_rate,
+            self.timeout_rate,
+            self.throttle_rate,
+            self.truncation_rate,
+        )
+        if any(rate < 0.0 or rate > 1.0 for rate in rates):
+            raise ValueError("fault rates must lie in [0, 1]")
+        if self.transient_rate + self.timeout_rate + self.throttle_rate > 1.0:
+            raise ValueError("error rates may not sum above 1")
+        if not 0.0 < self.truncation_keep_fraction <= 1.0:
+            raise ValueError("truncation_keep_fraction must be in (0, 1]")
+        if self.throttle_retry_after < 0.0:
+            raise ValueError("throttle_retry_after cannot be negative")
+        for start, stop in self.outages:
+            if start < 0 or stop <= start:
+                raise ValueError(
+                    f"outage window ({start}, {stop}) must satisfy "
+                    "0 <= start < stop"
+                )
+
+    def in_outage(self, attempt_index: int) -> bool:
+        """True when ``attempt_index`` falls inside an outage window."""
+        return any(
+            start <= attempt_index < stop for start, stop in self.outages
+        )
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """Outcome of one schedule draw.
+
+    ``kind`` is the injected fault's label (None when the attempt is
+    clean), ``error`` the exception to raise before executing, and
+    ``truncate`` whether the result page should be cut.  ``kind`` and
+    ``truncate`` alone define schedule equality — exceptions never
+    compare equal — which is what the determinism property tests use.
+    """
+
+    attempt_index: int
+    kind: str | None = None
+    error: DatabaseError | None = None
+    truncate: bool = False
+
+    @property
+    def signature(self) -> tuple[int, str | None, bool]:
+        return (self.attempt_index, self.kind, self.truncate)
+
+
+class FaultPolicy:
+    """Seeded fault schedule applied by the facade to each probe attempt.
+
+    Parameters
+    ----------
+    spec:
+        The fault mix to inject.
+    seed:
+        Seed of the private ``random.Random`` stream; the whole
+        schedule is a deterministic function of ``(spec, seed)``.
+    """
+
+    def __init__(self, spec: FaultSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.attempts = 0
+        self.injected: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+
+    # -- schedule ------------------------------------------------------------
+
+    def decide(self) -> FaultDecision:
+        """Draw the next attempt's fate (advances the schedule).
+
+        Exactly two uniforms are consumed per call whatever the spec
+        enables, so schedules with the same seed stay aligned across
+        configurations.
+        """
+        index = self.attempts
+        self.attempts += 1
+        error_draw = self._rng.random()
+        truncate_draw = self._rng.random()
+        spec = self.spec
+
+        if spec.in_outage(index):
+            self._count("outage")
+            return FaultDecision(
+                attempt_index=index,
+                kind="outage",
+                error=SourceUnavailableError(
+                    f"source outage window covers probe attempt {index}"
+                ),
+            )
+
+        kind = self._error_kind(error_draw)
+        if kind is not None:
+            self._count(kind)
+            return FaultDecision(
+                attempt_index=index, kind=kind, error=self._make_error(kind)
+            )
+
+        truncate = (
+            spec.truncation_rate > 0.0 and truncate_draw < spec.truncation_rate
+        )
+        return FaultDecision(attempt_index=index, truncate=truncate)
+
+    def truncate_result(self, result: QueryResult) -> QueryResult:
+        """Cut a result page the way a flaky source would.
+
+        Keeps the leading ``truncation_keep_fraction`` of the rows (at
+        least one) and flags the page truncated.  Pages too small to
+        lose a row pass through unchanged and count no injection.
+        """
+        keep = max(1, int(len(result) * self.spec.truncation_keep_fraction))
+        if keep >= len(result):
+            return result
+        self._count("truncation")
+        return replace(
+            result,
+            row_ids=result.row_ids[:keep],
+            rows=result.rows[:keep],
+            truncated=True,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _error_kind(self, draw: float) -> str | None:
+        spec = self.spec
+        threshold = spec.transient_rate
+        if draw < threshold:
+            return "transient"
+        threshold += spec.timeout_rate
+        if draw < threshold:
+            return "timeout"
+        threshold += spec.throttle_rate
+        if draw < threshold:
+            return "throttle"
+        return None
+
+    def _make_error(self, kind: str) -> DatabaseError:
+        if kind == "transient":
+            return TransientProbeError()
+        if kind == "timeout":
+            return ProbeTimeoutError(
+                timeout_seconds=self.spec.timeout_seconds
+            )
+        return SourceThrottledError(
+            retry_after=self.spec.throttle_retry_after
+        )
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] += 1
+        if OBS.enabled:
+            OBS.registry.counter(
+                "repro_db_faults_injected_total",
+                "Faults injected into the autonomous source, by kind.",
+                labels=("kind",),
+            ).labels(kind=kind).inc()

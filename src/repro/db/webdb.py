@@ -30,6 +30,7 @@ from typing import Iterator
 
 from repro.db.errors import ProbeLimitExceededError
 from repro.db.executor import ExecutionStats, Executor, QueryResult
+from repro.db.faults import FaultDecision, FaultPolicy
 from repro.db.probe_cache import ProbeCache
 from repro.db.query import SelectionQuery
 from repro.db.schema import RelationSchema
@@ -178,6 +179,16 @@ class AutonomousWebDatabase:
         experiments meter issued probes, and a cache would serve
         repeats for free.  Cache hits are logged as
         ``ProbeLog.cache_hits`` and never charge the probe budget.
+    fault_policy:
+        When set, every source-reaching probe attempt first consults
+        the seeded fault schedule (see :mod:`repro.db.faults`): the
+        attempt may be aborted with a transient error, a timeout, a
+        throttle response or an outage, or its result page may be
+        truncated.  Off by default; with the policy unset this path is
+        never entered and probe/accounting semantics are bit-identical
+        to a policy-free facade.  An injected error aborts the probe
+        before execution, so it charges no budget and moves no
+        ``ProbeLog`` counter.
     """
 
     def __init__(
@@ -186,12 +197,14 @@ class AutonomousWebDatabase:
         result_cap: int | None = None,
         probe_budget: int | None = None,
         probe_cache_capacity: int | None = None,
+        fault_policy: FaultPolicy | None = None,
     ) -> None:
         self._table = table
         self._executor = Executor(table)
         self.result_cap = result_cap
         self.probe_budget = probe_budget
         self.log = ProbeLog()
+        self._fault_policy = fault_policy
         self._probe_cache: ProbeCache | None = (
             ProbeCache(probe_cache_capacity)
             if probe_cache_capacity is not None
@@ -265,9 +278,19 @@ class AutonomousWebDatabase:
                 self._record_cache_metrics(hit=True)
                 return replace(cached, from_cache=True)
         self._check_budget()
+        decision = self._consult_faults()
         result = self._executor.execute(query, limit=effective_limit, offset=offset)
+        fault_truncated = False
+        if decision is not None and decision.truncate:
+            policy = self._fault_policy
+            assert policy is not None
+            cut = policy.truncate_result(result)
+            fault_truncated = cut is not result
+            result = cut
         self.log.record(result)
-        if cache is not None:
+        if cache is not None and not fault_truncated:
+            # A fault-truncated page is not the source's real answer;
+            # caching it would replay the corruption on every repeat.
             evicted = cache.put_result(query, effective_limit, offset, result)
             self._record_cache_metrics(hit=False, evicted=evicted)
         if OBS.enabled:
@@ -296,6 +319,7 @@ class AutonomousWebDatabase:
                 self._record_cache_metrics(hit=True)
                 return cached
         self._check_budget()
+        self._consult_faults()
         matches = self._executor.count(query)
         self.log.record_count(matches)
         if cache is not None:
@@ -304,6 +328,32 @@ class AutonomousWebDatabase:
         if OBS.enabled:
             self._record_probe_metrics(query, kind="count", empty=matches == 0)
         return matches
+
+    # -- fault injection ---------------------------------------------------------
+
+    @property
+    def fault_policy(self) -> FaultPolicy | None:
+        """The active fault-injection policy, or None when off."""
+        return self._fault_policy
+
+    def set_fault_policy(self, policy: FaultPolicy | None) -> None:
+        """Install (or, with None, remove) the fault-injection policy."""
+        self._fault_policy = policy
+
+    def _consult_faults(self) -> FaultDecision | None:
+        """Draw the fault schedule for one source-reaching attempt.
+
+        Raises the injected error (before any accounting) when the
+        schedule says the attempt fails; otherwise returns the decision
+        so the caller can apply a pending page truncation.
+        """
+        policy = self._fault_policy
+        if policy is None:
+            return None
+        decision = policy.decide()
+        if decision.error is not None:
+            raise decision.error
+        return decision
 
     # -- probe cache management ------------------------------------------------
 
@@ -364,7 +414,9 @@ class AutonomousWebDatabase:
                     "repro_db_probe_budget_exhausted_total",
                     "Probes refused because the source's budget ran out.",
                 ).inc()
-            raise ProbeLimitExceededError(self.probe_budget)
+            raise ProbeLimitExceededError(
+                self.probe_budget, probes_issued=self.log.probes_issued
+            )
 
     def _record_cache_metrics(self, hit: bool, evicted: bool = False) -> None:
         if not OBS.enabled:

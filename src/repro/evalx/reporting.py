@@ -20,6 +20,7 @@ from repro.evalx.experiments import (
     Table2Result,
     Table3Result,
 )
+from repro.core.results import AnswerSet
 from repro.evalx.userstudy import StudyOutcome
 from repro.obs.runtime import OBS
 
@@ -32,6 +33,7 @@ __all__ = [
     "format_efficiency",
     "format_fig8",
     "format_fig9",
+    "format_degradation",
     "format_metrics_appendix",
 ]
 
@@ -166,6 +168,21 @@ def format_fig8(outcome: StudyOutcome) -> str:
         outcome.system_mrr, key=lambda n: -outcome.system_mrr[n]
     ):
         lines.append(f"  {name:<14}{outcome.system_mrr[name]:.3f}")
+    return "\n".join(lines)
+
+
+def format_degradation(answers: AnswerSet) -> str:
+    """Degradation appendix for one answered query.
+
+    Returns ``""`` for a complete answer with no resilience activity,
+    so callers can append the result unconditionally — the same
+    contract as :func:`format_metrics_appendix`.
+    """
+    report = answers.degradation
+    if not (report.degraded or report.retries_used or report.breaker_opens):
+        return ""
+    lines = ["Degradation appendix"]
+    lines.extend("  " + line for line in report.summary().splitlines())
     return "\n".join(lines)
 
 

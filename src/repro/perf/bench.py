@@ -1,6 +1,7 @@
 """Fast-path micro-benchmarks (``python -m repro bench``).
 
-Five scenarios, one per fast path introduced by the performance layer:
+One scenario per fast path introduced by the performance layer, plus
+one overhead guard for the resilience layer:
 
 ``probe_cache``
     Repeated imprecise-query answering with the facade's LRU probe
@@ -18,6 +19,13 @@ Five scenarios, one per fast path introduced by the performance layer:
     TANE-style partition products reading ranks only, with the
     row→class map forced after every construction (the seed's eager
     ``__post_init__`` behaviour) vs built lazily (never, on this path).
+``resilience_overhead``
+    Repeated answering on a healthy source through the plain facade vs
+    through :class:`~repro.resilience.ResilientWebDatabase` with a full
+    policy attached (retry + breaker + deadlines).  This scenario is a
+    *guard*, not an optimisation: both paths must produce identical
+    answers and the guarded path must stay within the regression
+    tolerance — i.e. resilience on the happy path is close to free.
 
 Every scenario checks that the fast and slow paths produced identical
 results; ``check_regressions`` turns a report into CI failures when a
@@ -47,6 +55,7 @@ from repro.db.schema import RelationSchema
 from repro.db.table import Table
 from repro.db.webdb import AutonomousWebDatabase
 from repro.obs.runtime import OBS
+from repro.resilience import ResiliencePolicy, ResilientWebDatabase
 from repro.simmining.estimator import SimilarityMinerConfig, ValueSimilarityMiner
 
 __all__ = [
@@ -461,12 +470,65 @@ def bench_lazy_partition(scale: BenchScale, fixture: _Fixture) -> ScenarioResult
     )
 
 
+def bench_resilience_overhead(
+    scale: BenchScale, fixture: _Fixture
+) -> ScenarioResult:
+    webdb = fixture.webdb
+    queries = _fixture_queries(fixture, scale.queries)
+    plain_engine = fixture.model.engine(webdb)
+    policy = ResiliencePolicy(
+        probe_deadline_seconds=60.0, query_deadline_seconds=600.0
+    )
+    guarded = ResilientWebDatabase(webdb, policy)
+    guarded_engine = fixture.model.engine(guarded)
+
+    def run(engine) -> list[list[tuple[int, float, float]]]:
+        outputs: list[list[tuple[int, float, float]]] = []
+        for _ in range(scale.repeats):
+            for query in queries:
+                answers = engine.answer(query)
+                outputs.append(
+                    [
+                        (a.row_id, a.similarity, a.base_similarity)
+                        for a in answers
+                    ]
+                )
+        return outputs
+
+    with webdb.accounting_scope() as slow_window:
+        slow_out, slow_seconds = _timed(lambda: run(plain_engine))
+    with webdb.accounting_scope() as fast_window:
+        fast_out, fast_seconds = _timed(lambda: run(guarded_engine))
+    return ScenarioResult(
+        name="resilience_overhead",
+        slow_seconds=slow_seconds,
+        fast_seconds=fast_seconds,
+        equivalent=(
+            slow_out == fast_out
+            and slow_window.probes_issued == fast_window.probes_issued
+        ),
+        details={
+            "repeats": scale.repeats,
+            "queries": len(queries),
+            "probes_issued_plain": slow_window.probes_issued,
+            "probes_issued_guarded": fast_window.probes_issued,
+            "retries": guarded.retrier.retries,
+            "breaker_state": (
+                guarded.breaker.state.value
+                if guarded.breaker is not None
+                else "disabled"
+            ),
+        },
+    )
+
+
 SCENARIOS: dict[str, Callable[[BenchScale, _Fixture], ScenarioResult]] = {
     "probe_cache": bench_probe_cache,
     "vsim_mining": bench_vsim_mining,
     "topk": bench_topk,
     "similarity_memo": bench_similarity_memo,
     "lazy_partition": bench_lazy_partition,
+    "resilience_overhead": bench_resilience_overhead,
 }
 
 

@@ -1,0 +1,78 @@
+"""Deadline budgets: bounded time for probes and whole queries.
+
+A budget is opened against a :class:`~repro.resilience.clock.Clock`
+and answers two questions: *is there time left?* and *may I still
+afford this sleep?*  Two scopes exist by convention:
+
+* ``"probe"`` — one guarded facade call, including all of its retry
+  attempts and backoff sleeps;
+* ``"query"`` — one ``AIMQEngine.answer`` invocation end to end.
+
+Budgets never interrupt a running attempt (this is a synchronous,
+single-threaded system); they refuse the *next* attempt or sleep once
+exhausted, raising :class:`~repro.resilience.errors.DeadlineExceededError`
+with structured fields.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.clock import Clock
+from repro.resilience.errors import DeadlineExceededError
+
+__all__ = ["DeadlineBudget"]
+
+
+class DeadlineBudget:
+    """Time allocation measured against an injectable clock.
+
+    ``seconds=None`` builds an unlimited budget, so call sites can
+    thread one object through unconditionally.
+    """
+
+    def __init__(self, seconds: float | None, clock: Clock, scope: str) -> None:
+        if seconds is not None and seconds <= 0:
+            raise ValueError("deadline budget must be positive (or None)")
+        self.scope = scope
+        self.seconds = seconds
+        self._clock = clock
+        self._started = clock.monotonic()
+
+    @property
+    def elapsed(self) -> float:
+        return self._clock.monotonic() - self._started
+
+    @property
+    def remaining(self) -> float | None:
+        """Seconds left, or None for an unlimited budget."""
+        if self.seconds is None:
+            return None
+        return self.seconds - self.elapsed
+
+    @property
+    def expired(self) -> bool:
+        remaining = self.remaining
+        return remaining is not None and remaining <= 0
+
+    def require(self) -> None:
+        """Refuse (raise) when the budget has run out."""
+        if self.expired:
+            assert self.seconds is not None
+            raise DeadlineExceededError(
+                scope=self.scope,
+                budget_seconds=self.seconds,
+                elapsed_seconds=self.elapsed,
+            )
+
+    def affords_sleep(self, duration: float) -> bool:
+        """Would sleeping ``duration`` still leave the deadline intact?"""
+        remaining = self.remaining
+        return remaining is None or duration <= remaining
+
+    def refuse_sleep(self, duration: float) -> DeadlineExceededError:
+        """The refusal to raise when a sleep cannot be afforded."""
+        assert self.seconds is not None
+        return DeadlineExceededError(
+            scope=self.scope,
+            budget_seconds=self.seconds,
+            elapsed_seconds=self.elapsed + duration,
+        )

@@ -1,0 +1,75 @@
+"""Injectable time source for the resilience layer.
+
+Backoff, deadlines and breaker recovery all need "now" and "wait";
+reading the wall clock directly would make every retry schedule
+time-dependent and every test slow.  The resilience layer therefore
+only ever talks to a :class:`Clock`:
+
+* :class:`SystemClock` — production: ``time.monotonic`` /
+  ``time.sleep`` (monotonic, so deadline arithmetic survives NTP
+  adjustments);
+* :class:`VirtualClock` — tests and deterministic replays: time is an
+  explicit counter that only moves when ``sleep`` or ``advance`` is
+  called, and every sleep is recorded for assertions.
+
+This is the REP001 story for the whole package: the only clock reads
+live here, and the deterministic chaos suite runs entirely on
+:class:`VirtualClock`, so no test ever actually sleeps.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+__all__ = ["Clock", "SystemClock", "VirtualClock"]
+
+
+class Clock(Protocol):
+    """What the resilience layer needs from a time source."""
+
+    def monotonic(self) -> float:
+        """Seconds from an arbitrary, monotonically advancing origin."""
+        ...
+
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` (virtual clocks merely advance)."""
+        ...
+
+
+class SystemClock:
+    """The process's real monotonic clock."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock:
+    """Deterministic clock: time moves only when told to.
+
+    ``sleeps`` records every requested sleep duration in order, which
+    is how the tests assert backoff schedules without waiting for them.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self.sleeps: list[float] = []
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.sleeps.append(seconds)
+        self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        self._now += seconds

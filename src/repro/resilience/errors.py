@@ -1,0 +1,54 @@
+"""Errors raised by the resilience layer itself.
+
+These are deliberately *not* :class:`~repro.db.errors.DatabaseError`
+subclasses: the source did not fail — the client-side policy refused to
+keep asking it.  Callers that degrade gracefully catch
+:class:`ResilienceError` alongside the transient source taxonomy.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ResilienceError", "CircuitOpenError", "DeadlineExceededError"]
+
+
+class ResilienceError(Exception):
+    """Base class for refusals issued by the resilience policies."""
+
+
+class CircuitOpenError(ResilienceError):
+    """The circuit breaker is open: probing is suspended.
+
+    ``retry_in`` is the time (seconds) until the breaker will admit a
+    half-open trial call; None when the breaker just opened and the
+    recovery window has not been computed against the clock yet.
+    """
+
+    def __init__(self, retry_in: float | None = None) -> None:
+        self.retry_in = retry_in
+        message = "circuit breaker is open; probing suspended"
+        if retry_in is not None:
+            message += f" (trial call admitted in {retry_in:.3f}s)"
+        super().__init__(message)
+
+
+class DeadlineExceededError(ResilienceError):
+    """A probe or query deadline budget ran out.
+
+    ``scope`` says which budget tripped (``"probe"`` or ``"query"``),
+    ``budget_seconds`` its full allocation and ``elapsed_seconds`` how
+    much had been consumed when the refusal was issued.
+    """
+
+    def __init__(
+        self,
+        scope: str,
+        budget_seconds: float,
+        elapsed_seconds: float,
+    ) -> None:
+        self.scope = scope
+        self.budget_seconds = budget_seconds
+        self.elapsed_seconds = elapsed_seconds
+        super().__init__(
+            f"{scope} deadline of {budget_seconds:.3f}s exceeded "
+            f"({elapsed_seconds:.3f}s elapsed)"
+        )

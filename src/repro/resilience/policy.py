@@ -1,0 +1,49 @@
+"""One immutable knob-set for the whole resilience stack.
+
+A :class:`ResiliencePolicy` bundles the retry shape, breaker thresholds
+and deadline budgets so callers configure resilience in one place and
+pass a single object to
+:class:`~repro.resilience.source.ResilientWebDatabase` or
+``AIMQEngine``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.resilience.retry import RetryConfig
+
+__all__ = ["ResiliencePolicy"]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Configuration for retries, circuit breaking and deadlines.
+
+    ``breaker_failure_threshold=None`` disables the circuit breaker
+    entirely (useful for chaos tests that study retries in isolation).
+    ``probe_deadline_seconds`` bounds one guarded facade call including
+    its retries; ``query_deadline_seconds`` bounds one whole
+    ``answer()`` invocation.  ``None`` deadlines are unlimited.
+    """
+
+    retry: RetryConfig = field(default_factory=RetryConfig)
+    breaker_failure_threshold: int | None = 5
+    breaker_recovery_seconds: float = 1.0
+    probe_deadline_seconds: float | None = None
+    query_deadline_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.breaker_failure_threshold is not None
+            and self.breaker_failure_threshold < 1
+        ):
+            raise ValueError(
+                "breaker_failure_threshold must be at least 1 (or None)"
+            )
+        if self.breaker_recovery_seconds < 0:
+            raise ValueError("breaker_recovery_seconds cannot be negative")
+        for name in ("probe_deadline_seconds", "query_deadline_seconds"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive (or None)")

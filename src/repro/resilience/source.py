@@ -1,0 +1,188 @@
+"""A resilient facade over :class:`AutonomousWebDatabase`.
+
+:class:`ResilientWebDatabase` wraps a source facade and guards its two
+probing methods (``query`` and ``count``) with the full resilience
+stack — circuit breaker, retry with backoff, per-probe and per-query
+deadline budgets — while delegating everything else (schema, probe log,
+budget accounting, sampling helpers) to the wrapped instance untouched.
+Because every layer of the system reaches the source through these two
+methods, wrapping here gives query mapping, relaxation probing and
+sampling identical protection with zero changes to their call sites.
+
+The wrapper never alters successful results and never converts error
+*types*: transient errors that outlast the retry allowance re-raise
+unchanged, and permanent :class:`~repro.db.errors.DatabaseError`
+subclasses pass straight through on the first attempt.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, TypeVar
+
+from repro.db import AutonomousWebDatabase, QueryResult, SelectionQuery
+from repro.db.errors import TransientSourceError
+from repro.obs.runtime import OBS
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.budget import DeadlineBudget
+from repro.resilience.clock import Clock, SystemClock
+from repro.resilience.errors import DeadlineExceededError
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.retry import Retrier
+
+__all__ = ["ResilientWebDatabase"]
+
+T = TypeVar("T")
+
+
+class ResilientWebDatabase:
+    """Probe-level resilience as a transparent facade wrapper.
+
+    Failure accounting in the breaker is per *guarded call*: a probe
+    that succeeds on its third attempt is a success (retries already
+    cured the blip), while retry exhaustion and deadline refusals are
+    failures.  Permanent database errors — schema mistakes, malformed
+    queries, an exhausted probe budget — say nothing about the source's
+    health and leave the breaker untouched.
+    """
+
+    def __init__(
+        self,
+        webdb: AutonomousWebDatabase,
+        policy: ResiliencePolicy | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.inner = webdb
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        self.clock: Clock = clock if clock is not None else SystemClock()
+        self.retrier = Retrier(self.policy.retry, self.clock)
+        self.breaker: CircuitBreaker | None = None
+        if self.policy.breaker_failure_threshold is not None:
+            self.breaker = CircuitBreaker(
+                failure_threshold=self.policy.breaker_failure_threshold,
+                recovery_seconds=self.policy.breaker_recovery_seconds,
+                clock=self.clock,
+            )
+        self._query_budget: DeadlineBudget | None = None
+
+    # -- guarded probing -------------------------------------------------------
+
+    def query(
+        self,
+        query: SelectionQuery,
+        limit: int | None = None,
+        offset: int = 0,
+    ) -> QueryResult:
+        return self._guard(
+            lambda: self.inner.query(query, limit=limit, offset=offset)
+        )
+
+    def count(self, query: SelectionQuery) -> int:
+        return self._guard(lambda: self.inner.count(query))
+
+    @contextmanager
+    def deadline_scope(self) -> Iterator[DeadlineBudget]:
+        """Open a per-query deadline covering all probes issued inside.
+
+        Nested scopes shadow the outer one for their duration.  With
+        ``query_deadline_seconds=None`` the budget is unlimited, so the
+        engine can open a scope unconditionally.
+        """
+        budget = DeadlineBudget(
+            self.policy.query_deadline_seconds, self.clock, scope="query"
+        )
+        previous = self._query_budget
+        self._query_budget = budget
+        try:
+            yield budget
+        finally:
+            self._query_budget = previous
+
+    def _guard(self, fn: Callable[[], T]) -> T:
+        if self.breaker is not None:
+            self.breaker.before_call()
+        if not OBS.enabled:
+            # Fast path: defer the retry/budget machinery until a probe
+            # actually fails.  A fresh probe budget cannot be expired on
+            # attempt one, so only the query-scope budget needs checking
+            # here; a first failure replays into the full path with the
+            # RNG stream and retry counters untouched.  Skipped when
+            # observability is on so the attempt metrics stay complete.
+            query_budget = self._query_budget
+            try:
+                if query_budget is not None:
+                    query_budget.require()
+                value = fn()
+            except TransientSourceError as exc:
+                return self._guard_full(fn, first_error=exc)
+            except DeadlineExceededError:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return value
+        return self._guard_full(fn)
+
+    def _guard_full(
+        self,
+        fn: Callable[[], T],
+        first_error: TransientSourceError | None = None,
+    ) -> T:
+        budgets: list[DeadlineBudget] = []
+        if self.policy.probe_deadline_seconds is not None:
+            # When replaying a fast-path failure the budget starts at
+            # the failure, not the attempt; probes take no virtual time,
+            # so deterministic schedules are unaffected.
+            budgets.append(
+                DeadlineBudget(
+                    self.policy.probe_deadline_seconds,
+                    self.clock,
+                    scope="probe",
+                )
+            )
+        if self._query_budget is not None:
+            budgets.append(self._query_budget)
+        attempt_fn = fn
+        if first_error is not None:
+            pending = [first_error]
+
+            def attempt_fn() -> T:
+                if pending:
+                    raise pending.pop()
+                return fn()
+
+        try:
+            value = self.retrier.call(attempt_fn, tuple(budgets))
+        except (TransientSourceError, DeadlineExceededError):
+            # Retry exhaustion or a deadline refusal: the source is
+            # misbehaving at guarded-call granularity.
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return value
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Counters for CLI/evalx reporting (plain JSON-able values)."""
+        payload: dict[str, Any] = {
+            "retries": self.retrier.retries,
+            "retry_exhaustions": self.retrier.exhaustions,
+            "breaker_enabled": self.breaker is not None,
+        }
+        if self.breaker is not None:
+            payload.update(
+                breaker_state=self.breaker.state.value,
+                breaker_opens=self.breaker.open_count,
+                breaker_rejections=self.breaker.rejections,
+            )
+        return payload
+
+    def __getattr__(self, name: str) -> Any:
+        # Everything that is not guarded probing (schema, log, budget
+        # accounting, cardinality, fault knobs) is the inner facade's
+        # business, verbatim.
+        return getattr(self.inner, name)

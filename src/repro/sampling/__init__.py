@@ -1,5 +1,6 @@
 """Data Collector: probing an autonomous source to build local samples."""
 
+from repro.sampling.checkpoint import CollectionCheckpoint, CollectionInterrupted
 from repro.sampling.collector import (
     CollectionReport,
     collect_sample,
@@ -14,6 +15,8 @@ from repro.sampling.spanning import (
 from repro.sampling.workload_probes import WorkloadProbeReport, probe_from_workload
 
 __all__ = [
+    "CollectionCheckpoint",
+    "CollectionInterrupted",
     "CollectionReport",
     "WorkloadProbeReport",
     "probe_from_workload",

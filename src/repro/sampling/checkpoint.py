@@ -1,0 +1,94 @@
+"""Checkpoint/resume for probing-based collection runs.
+
+Extracting a 100k-tuple sample through a Web form costs thousands of
+probes; a source outage halfway through used to cost all of them.  In
+resumable mode :func:`~repro.sampling.collector.probe_all` raises
+:class:`CollectionInterrupted` carrying a
+:class:`CollectionCheckpoint` — the exact position in the spanning
+family, the page offset, and every row already collected — and a later
+call continues from that position, re-issuing no completed probe.
+
+Checkpoints round-trip through JSON so long collections can survive
+process restarts, not just exception handling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["CollectionCheckpoint", "CollectionInterrupted"]
+
+
+@dataclass(frozen=True)
+class CollectionCheckpoint:
+    """Where a collection run stopped and what it had.
+
+    ``next_query_index`` indexes the deterministic spanning-query
+    family (same order every run — REP001 guarantees it);
+    ``next_offset`` is the result page to request next within that
+    query.  ``rows`` holds every row collected so far, in collection
+    order, so the resumed run rebuilds an identical local table.
+    """
+
+    spanning_attribute: str
+    next_query_index: int
+    next_offset: int
+    rows: tuple[tuple, ...]
+    probes_issued: int = 0
+    truncated_probes: int = 0
+    pages_followed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.next_query_index < 0 or self.next_offset < 0:
+            raise ValueError("checkpoint positions cannot be negative")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spanning_attribute": self.spanning_attribute,
+            "next_query_index": self.next_query_index,
+            "next_offset": self.next_offset,
+            "rows": [list(row) for row in self.rows],
+            "probes_issued": self.probes_issued,
+            "truncated_probes": self.truncated_probes,
+            "pages_followed": self.pages_followed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "CollectionCheckpoint":
+        return cls(
+            spanning_attribute=payload["spanning_attribute"],
+            next_query_index=payload["next_query_index"],
+            next_offset=payload["next_offset"],
+            rows=tuple(tuple(row) for row in payload["rows"]),
+            probes_issued=payload.get("probes_issued", 0),
+            truncated_probes=payload.get("truncated_probes", 0),
+            pages_followed=payload.get("pages_followed", 0),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "CollectionCheckpoint":
+        return cls.from_dict(json.loads(text))
+
+
+class CollectionInterrupted(Exception):
+    """A resumable collection run hit a failure it could not ride out.
+
+    Deliberately *not* a :class:`~repro.db.errors.DatabaseError`: the
+    source error that caused the interruption is chained as
+    ``__cause__``, while this exception's job is to hand the caller the
+    :class:`CollectionCheckpoint` to resume from.
+    """
+
+    def __init__(self, checkpoint: CollectionCheckpoint, reason: str) -> None:
+        self.checkpoint = checkpoint
+        self.reason = reason
+        super().__init__(
+            f"collection interrupted at spanning query "
+            f"{checkpoint.next_query_index} offset {checkpoint.next_offset} "
+            f"with {len(checkpoint.rows)} rows collected: {reason}"
+        )

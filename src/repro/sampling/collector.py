@@ -21,8 +21,12 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.db.errors import ProbeLimitExceededError, TransientSourceError
 from repro.db.table import Table
 from repro.db.webdb import AutonomousWebDatabase
+from repro.obs.runtime import OBS
+from repro.resilience.errors import ResilienceError
+from repro.sampling.checkpoint import CollectionCheckpoint, CollectionInterrupted
 from repro.sampling.spanning import (
     categorical_spanning_queries,
     choose_spanning_attribute,
@@ -53,6 +57,8 @@ def probe_all(
     spanning_attribute: str | None = None,
     paginate: bool = True,
     max_pages_per_probe: int = 1000,
+    resumable: bool = False,
+    checkpoint: CollectionCheckpoint | None = None,
 ) -> tuple[Table, CollectionReport]:
     """Materialise every reachable tuple via spanning probes.
 
@@ -61,18 +67,87 @@ def probe_all(
     links — until the probe is exhausted or ``max_pages_per_probe`` is
     hit.  With ``paginate=False`` only the first page of each probe is
     taken and the report flags the under-coverage.
+
+    With ``resumable=True`` a transient/budget/resilience failure does
+    not discard the probes already paid for: the run raises
+    :class:`~repro.sampling.checkpoint.CollectionInterrupted` carrying
+    a :class:`~repro.sampling.checkpoint.CollectionCheckpoint`, and a
+    later call with ``checkpoint=`` continues exactly where it stopped,
+    re-issuing no completed probe.  By default (``resumable=False``)
+    failures propagate unchanged, as they always did.
     """
-    attribute = spanning_attribute or choose_spanning_attribute(webdb)
+    if checkpoint is not None:
+        if (
+            spanning_attribute is not None
+            and spanning_attribute != checkpoint.spanning_attribute
+        ):
+            raise ValueError(
+                "checkpoint was taken with spanning attribute "
+                f"{checkpoint.spanning_attribute!r}, not {spanning_attribute!r}"
+            )
+        attribute = checkpoint.spanning_attribute
+    else:
+        attribute = spanning_attribute or choose_spanning_attribute(webdb)
     report = CollectionReport(spanning_attribute=attribute)
     local = Table(webdb.schema)
-    for query in categorical_spanning_queries(webdb, attribute):
-        offset = 0
+    collected: list[tuple] = []
+    start_index = 0
+    start_offset = 0
+    if checkpoint is not None:
+        for row in checkpoint.rows:
+            local.insert(row)
+            collected.append(row)
+        report.probes_issued = checkpoint.probes_issued
+        report.truncated_probes = checkpoint.truncated_probes
+        report.pages_followed = checkpoint.pages_followed
+        start_index = checkpoint.next_query_index
+        start_offset = checkpoint.next_offset
+        report.notes.append(
+            f"resumed from checkpoint: spanning query {start_index}, "
+            f"offset {start_offset}, {len(checkpoint.rows)} rows carried over"
+        )
+        if OBS.enabled:
+            OBS.registry.counter(
+                "repro_sampling_resumes_total",
+                "Collection runs resumed from a checkpoint.",
+            ).inc()
+    for query_index, query in enumerate(
+        categorical_spanning_queries(webdb, attribute)
+    ):
+        if query_index < start_index:
+            continue
+        offset = start_offset if query_index == start_index else 0
         pages = 0
         while True:
-            result = webdb.query(query, offset=offset)
+            try:
+                result = webdb.query(query, offset=offset)
+            except (
+                TransientSourceError,
+                ProbeLimitExceededError,
+                ResilienceError,
+            ) as exc:
+                if not resumable:
+                    raise
+                position = CollectionCheckpoint(
+                    spanning_attribute=attribute,
+                    next_query_index=query_index,
+                    next_offset=offset,
+                    rows=tuple(collected),
+                    probes_issued=report.probes_issued,
+                    truncated_probes=report.truncated_probes,
+                    pages_followed=report.pages_followed,
+                )
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "repro_sampling_interruptions_total",
+                        "Resumable collection runs interrupted, by error.",
+                        labels=("error",),
+                    ).labels(error=type(exc).__name__).inc()
+                raise CollectionInterrupted(position, reason=str(exc)) from exc
             report.probes_issued += 1
             for row in result:
                 local.insert(row)
+                collected.append(row)
             offset += len(result)
             pages += 1
             if not result.truncated:

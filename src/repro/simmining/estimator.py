@@ -29,6 +29,7 @@ result-equivalent to the naive pass — see ``docs/PERFORMANCE.md``):
 
 from __future__ import annotations
 
+import gc
 import heapq
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -362,28 +363,39 @@ class ValueSimilarityMiner:
                 tasks.append(
                     (name, grid[start : start + config.parallel_chunk_pairs])
                 )
+        # Workers are forked, so they inherit the parent's whole object
+        # graph; without a freeze every collection in parent or child
+        # rescans that inherited heap (and COW-faults its pages), which
+        # can dwarf the scoring work itself when the parent is large.
+        # Freezing exempts pre-fork objects from collection for the
+        # pool's lifetime; the parent thaws afterwards.
+        gc.collect()
+        gc.freeze()
         try:
-            with ProcessPoolExecutor(
-                max_workers=config.workers,
-                initializer=_init_vsim_worker,
-                initargs=(context,),
-            ) as pool:
-                chunk_results = list(pool.map(_score_vsim_chunk, tasks))
-        except (OSError, PermissionError):
-            return [
-                (
-                    name,
-                    _evaluate_pairs(
-                        supertuples,
-                        weight_items,
-                        _pair_grid(len(supertuples)),
-                        bag_semantics=config.bag_semantics,
-                        store_threshold=config.store_threshold,
-                        prune=config.prune_bound,
-                    ),
-                )
-                for name, supertuples, weight_items in jobs
-            ]
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=config.workers,
+                    initializer=_init_vsim_worker,
+                    initargs=(context,),
+                ) as pool:
+                    chunk_results = list(pool.map(_score_vsim_chunk, tasks))
+            except (OSError, PermissionError):
+                return [
+                    (
+                        name,
+                        _evaluate_pairs(
+                            supertuples,
+                            weight_items,
+                            _pair_grid(len(supertuples)),
+                            bag_semantics=config.bag_semantics,
+                            store_threshold=config.store_threshold,
+                            prune=config.prune_bound,
+                        ),
+                    )
+                    for name, supertuples, weight_items in jobs
+                ]
+        finally:
+            gc.unfreeze()
         merged: dict[str, tuple[list[tuple[str, str, float]], int, int]] = {
             name: ([], 0, 0) for name, _, _ in jobs
         }

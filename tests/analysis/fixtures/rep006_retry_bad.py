@@ -1,0 +1,21 @@
+"""Golden fixture: retry loops that swallow permanent database errors."""
+
+from repro.db.errors import ProbeLimitExceededError, QueryError
+
+
+def fetch_forever(webdb, query):
+    while True:
+        try:
+            return webdb.query(query)
+        except QueryError:
+            continue  # a malformed query never becomes well-formed
+
+
+def drain(webdb, queries):
+    pages = []
+    for query in queries:
+        try:
+            pages.append(webdb.query(query))
+        except (ProbeLimitExceededError, QueryError):
+            pass  # the budget will not refill mid-loop
+    return pages

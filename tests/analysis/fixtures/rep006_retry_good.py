@@ -1,0 +1,28 @@
+"""Golden fixture: the retry-hygiene-clean version of rep006_retry_bad."""
+
+from repro.db.errors import (
+    ProbeLimitExceededError,
+    QueryError,
+    TransientSourceError,
+)
+
+
+def fetch_with_retries(webdb, query, attempts):
+    for _ in range(attempts):
+        try:
+            return webdb.query(query)
+        except TransientSourceError:
+            continue  # retriable by definition: the transient taxonomy
+    raise TransientSourceError("source kept failing")
+
+
+def drain(webdb, queries, report):
+    pages = []
+    for query in queries:
+        try:
+            pages.append(webdb.query(query))
+        except ProbeLimitExceededError:
+            raise  # permanent: surface it
+        except QueryError as exc:  # permanent, but recorded
+            report.append(exc)
+    return pages

@@ -66,6 +66,20 @@ def test_rep003_reports_facade_and_cycle():
     assert "upward import" in messages
 
 
+def test_rep006_flags_retry_loops_swallowing_permanent_errors():
+    run = run_rule("REP006", FIXTURES / "rep006_retry_bad.py")
+    assert len(run.findings) == 2
+    messages = " ".join(f.message for f in run.findings)
+    assert "retry loop" in messages
+    assert "QueryError" in messages
+    assert "ProbeLimitExceededError" in messages
+
+
+def test_rep006_retry_good_fixture_is_clean_under_all_rules():
+    run = LintEngine().run([FIXTURES / "rep006_retry_good.py"])
+    assert run.findings == [], [f.render() for f in run.findings]
+
+
 def test_suppression_comment_silences_a_finding(tmp_path):
     source = FIXTURES / "rep006_bad.py"
     patched = tmp_path / "patched.py"

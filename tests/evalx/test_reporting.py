@@ -1,12 +1,37 @@
 """Unit tests for report formatting helpers."""
 
+from repro.core.query import ImpreciseQuery
+from repro.core.results import AnswerSet, RelaxationTrace
+from repro.db.errors import TransientProbeError
 from repro.evalx.experiments import EfficiencyResult, Fig5Result, Fig9Result
 from repro.evalx.reporting import (
     _seconds,
+    format_degradation,
     format_efficiency,
     format_fig5,
     format_fig9,
 )
+
+
+def _answer_set(trace: RelaxationTrace) -> AnswerSet:
+    return AnswerSet(
+        query=ImpreciseQuery.like("CarDB", Model="Camry"),
+        answers=[],
+        trace=trace,
+    )
+
+
+class TestDegradationFormatting:
+    def test_clean_answer_renders_empty(self):
+        assert format_degradation(_answer_set(RelaxationTrace())) == ""
+
+    def test_degraded_answer_renders_appendix(self):
+        trace = RelaxationTrace()
+        trace.degradation.record("relaxation", TransientProbeError("blip"))
+        text = format_degradation(_answer_set(trace))
+        assert text.startswith("Degradation appendix")
+        assert "relaxation" in text
+        assert "DEGRADED" in text
 
 
 class TestSecondsFormatting:

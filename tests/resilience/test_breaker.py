@@ -1,0 +1,91 @@
+"""Circuit breaker state machine over the injectable clock."""
+
+import pytest
+
+from repro.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    CircuitOpenError,
+    VirtualClock,
+)
+
+
+def make_breaker(threshold=3, recovery=5.0):
+    clock = VirtualClock()
+    breaker = CircuitBreaker(
+        failure_threshold=threshold, recovery_seconds=recovery, clock=clock
+    )
+    return breaker, clock
+
+
+class TestConstruction:
+    def test_clock_is_required(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(clock=None)
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=VirtualClock())
+
+
+class TestStateMachine:
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.transitions == [("closed", "open")]
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_open_circuit_rejects_calls_with_retry_hint(self):
+        breaker, clock = make_breaker(threshold=1, recovery=5.0)
+        breaker.record_failure()
+        clock.advance(2.0)
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.before_call()
+        assert info.value.retry_in == pytest.approx(3.0)
+        assert breaker.rejections == 1
+
+    def test_recovery_window_admits_a_trial_call(self):
+        breaker, clock = make_breaker(threshold=1, recovery=5.0)
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(5.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.before_call()  # the trial call is admitted
+
+    def test_trial_success_closes_the_circuit(self):
+        breaker, clock = make_breaker(threshold=1, recovery=1.0)
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.before_call()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.transitions == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+
+    def test_trial_failure_reopens_for_a_fresh_window(self):
+        breaker, clock = make_breaker(threshold=1, recovery=2.0)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(1.0)
+        assert breaker.state is BreakerState.OPEN  # window restarted
+        clock.advance(1.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.open_count == 2

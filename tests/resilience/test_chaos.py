@@ -1,0 +1,178 @@
+"""Chaos suite: seeded fault schedules swept across a seed matrix.
+
+Every test here is deterministic — chaos means *adversarial
+schedules*, not nondeterminism.  The seed matrix below can be shifted
+by the ``CHAOS_SEED`` environment variable (the CI chaos job runs one
+shard per offset), and any failure reproduces exactly by re-running
+with the same offset.
+"""
+
+import os
+
+import pytest
+
+from repro.core.config import AIMQSettings
+from repro.core.pipeline import build_model_from_sample
+from repro.core.query import ImpreciseQuery
+from repro.db import AutonomousWebDatabase, FaultPolicy, FaultSpec
+from repro.resilience import ResiliencePolicy, RetryConfig, VirtualClock
+from repro.sampling import CollectionInterrupted, probe_all
+
+pytestmark = pytest.mark.chaos
+
+_OFFSET = int(os.environ.get("CHAOS_SEED", "0"))
+SEEDS = [_OFFSET * 100 + base for base in (1, 2, 3, 5, 8)]
+
+QUERY = ImpreciseQuery.like("CarDB", Model="Camry", Price=9000)
+
+
+@pytest.fixture(scope="module")
+def car_model(car_table):
+    sample = car_table.sample(range(0, len(car_table), 4))
+    return build_model_from_sample(
+        sample, settings=AIMQSettings(max_relaxation_level=2)
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_answers(car_model, car_table):
+    webdb = AutonomousWebDatabase(car_table)
+    answers = car_model.engine(webdb).answer(QUERY, k=10)
+    return answers, webdb.log.probes_issued
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestScheduleDeterminism:
+    def test_fault_schedules_replay_exactly(self, seed):
+        spec = FaultSpec(
+            transient_rate=0.2,
+            timeout_rate=0.05,
+            throttle_rate=0.05,
+            truncation_rate=0.1,
+        )
+        a = FaultPolicy(spec, seed=seed)
+        b = FaultPolicy(spec, seed=seed)
+        assert [a.decide().signature for _ in range(500)] == [
+            b.decide().signature for _ in range(500)
+        ]
+
+    def test_engine_runs_replay_exactly(self, seed, car_model, car_table):
+        def run():
+            webdb = AutonomousWebDatabase(
+                car_table,
+                fault_policy=FaultPolicy(
+                    FaultSpec(transient_rate=0.3), seed=seed
+                ),
+            )
+            engine = car_model.engine(
+                webdb,
+                resilience=ResiliencePolicy(
+                    retry=RetryConfig(max_attempts=10, seed=seed)
+                ),
+                clock=VirtualClock(),
+            )
+            answers = engine.answer(QUERY, k=10)
+            return (
+                answers.row_ids,
+                [a.similarity for a in answers],
+                answers.degraded,
+                webdb.log.probes_issued,
+                dict(webdb.fault_policy.injected),
+            )
+
+        assert run() == run()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestTransientConvergence:
+    def test_retries_heal_any_transient_schedule(
+        self, seed, car_model, car_table, clean_answers
+    ):
+        """For every seed in the matrix: transient-only faults plus
+        retries produce the exact fault-free answers."""
+        clean, _ = clean_answers
+        webdb = AutonomousWebDatabase(
+            car_table,
+            fault_policy=FaultPolicy(
+                FaultSpec(transient_rate=0.3, timeout_rate=0.05),
+                seed=seed,
+            ),
+        )
+        engine = car_model.engine(
+            webdb,
+            resilience=ResiliencePolicy(
+                retry=RetryConfig(max_attempts=12, seed=seed)
+            ),
+            clock=VirtualClock(),
+        )
+        healed = engine.answer(QUERY, k=10)
+        assert not healed.degraded
+        assert healed.row_ids == clean.row_ids
+        assert [a.similarity for a in healed] == [
+            a.similarity for a in clean
+        ]
+
+    def test_resumable_collection_heals(self, seed, car_table):
+        clean, _ = probe_all(
+            AutonomousWebDatabase(car_table), spanning_attribute="Model"
+        )
+        flaky = AutonomousWebDatabase(
+            car_table,
+            fault_policy=FaultPolicy(
+                FaultSpec(transient_rate=0.35), seed=seed
+            ),
+        )
+        checkpoint = None
+        for _ in range(300):
+            try:
+                collected, _ = probe_all(
+                    flaky,
+                    spanning_attribute="Model",
+                    resumable=True,
+                    checkpoint=checkpoint,
+                )
+                break
+            except CollectionInterrupted as interrupt:
+                checkpoint = interrupt.checkpoint
+        else:
+            pytest.fail("collection never completed")
+        assert list(collected.rows()) == list(clean.rows())
+
+
+class TestDisabledPolicyEquivalence:
+    def test_engine_accounting_bit_identical(
+        self, car_model, car_table, clean_answers
+    ):
+        """A zero-rate policy must not perturb answers, ProbeLog
+        accounting, or the Fig 6–7 probe counts."""
+        clean, clean_probes = clean_answers
+        zeroed = AutonomousWebDatabase(
+            car_table, fault_policy=FaultPolicy(FaultSpec(), seed=99)
+        )
+        answers = car_model.engine(zeroed).answer(QUERY, k=10)
+        assert answers.row_ids == clean.row_ids
+        assert [a.similarity for a in answers] == [
+            a.similarity for a in clean
+        ]
+        assert not answers.degraded
+        assert zeroed.log.probes_issued == clean_probes
+        assert answers.trace.queries_issued == clean.trace.queries_issued
+        assert sum(zeroed.fault_policy.injected.values()) == 0
+
+    def test_resilience_wrapper_alone_is_equivalent(
+        self, car_model, car_table, clean_answers
+    ):
+        """Resilience around a healthy source changes nothing either."""
+        clean, clean_probes = clean_answers
+        webdb = AutonomousWebDatabase(car_table)
+        engine = car_model.engine(
+            webdb,
+            resilience=ResiliencePolicy(
+                probe_deadline_seconds=60.0, query_deadline_seconds=600.0
+            ),
+            clock=VirtualClock(),
+        )
+        answers = engine.answer(QUERY, k=10)
+        assert answers.row_ids == clean.row_ids
+        assert not answers.degraded
+        assert webdb.log.probes_issued == clean_probes

@@ -1,0 +1,130 @@
+"""Checkpoint/resume for collection runs against failing sources."""
+
+import pytest
+
+from repro.db import AutonomousWebDatabase, FaultPolicy, FaultSpec
+from repro.db.errors import ProbeLimitExceededError
+from repro.sampling import (
+    CollectionCheckpoint,
+    CollectionInterrupted,
+    probe_all,
+)
+
+
+class TestCheckpointSerialisation:
+    def test_json_round_trip(self):
+        checkpoint = CollectionCheckpoint(
+            spanning_attribute="Make",
+            next_query_index=3,
+            next_offset=40,
+            rows=(("Toyota", "Camry", 1999), ("Honda", "Civic", 2001)),
+            probes_issued=7,
+            truncated_probes=1,
+            pages_followed=2,
+        )
+        assert CollectionCheckpoint.from_json(checkpoint.to_json()) == checkpoint
+
+    def test_positions_validated(self):
+        with pytest.raises(ValueError):
+            CollectionCheckpoint(
+                spanning_attribute="Make",
+                next_query_index=-1,
+                next_offset=0,
+                rows=(),
+            )
+
+
+class TestResumableCollection:
+    def test_default_mode_propagates_unchanged(self, car_table):
+        limited = AutonomousWebDatabase(car_table, probe_budget=3)
+        with pytest.raises(ProbeLimitExceededError):
+            probe_all(limited, spanning_attribute="Model")
+
+    def test_interrupt_carries_a_checkpoint(self, car_table):
+        limited = AutonomousWebDatabase(car_table, probe_budget=3)
+        with pytest.raises(CollectionInterrupted) as info:
+            probe_all(limited, spanning_attribute="Model", resumable=True)
+        checkpoint = info.value.checkpoint
+        assert checkpoint.spanning_attribute == "Model"
+        assert checkpoint.probes_issued == 3
+        assert len(checkpoint.rows) > 0
+        assert isinstance(info.value.__cause__, ProbeLimitExceededError)
+
+    def test_resume_completes_without_reissuing_probes(self, car_table):
+        clean = AutonomousWebDatabase(car_table)
+        full, clean_report = probe_all(clean, spanning_attribute="Model")
+
+        limited = AutonomousWebDatabase(car_table, probe_budget=5)
+        with pytest.raises(CollectionInterrupted) as info:
+            probe_all(limited, spanning_attribute="Model", resumable=True)
+        checkpoint = info.value.checkpoint
+
+        fresh = AutonomousWebDatabase(car_table)
+        resumed, report = probe_all(
+            fresh, resumable=True, checkpoint=checkpoint
+        )
+        assert list(resumed.rows()) == list(full.rows())
+        assert report.tuples_collected == clean_report.tuples_collected
+        # The resumed run paid only for the probes the first run missed.
+        assert (
+            fresh.log.probes_issued
+            == clean_report.probes_issued - checkpoint.probes_issued
+        )
+        assert report.probes_issued == clean_report.probes_issued
+
+    def test_resume_survives_repeated_faults(self, car_table):
+        """Keep resuming through a flaky source until collection lands."""
+        clean = AutonomousWebDatabase(car_table)
+        full, _ = probe_all(clean, spanning_attribute="Model")
+
+        flaky = AutonomousWebDatabase(
+            car_table,
+            fault_policy=FaultPolicy(
+                FaultSpec(transient_rate=0.4), seed=13
+            ),
+        )
+        checkpoint = None
+        for _ in range(200):
+            try:
+                collected, _ = probe_all(
+                    flaky,
+                    spanning_attribute="Model",
+                    resumable=True,
+                    checkpoint=checkpoint,
+                )
+                break
+            except CollectionInterrupted as interrupt:
+                checkpoint = interrupt.checkpoint
+        else:
+            pytest.fail("collection never completed through the flaky source")
+        assert list(collected.rows()) == list(full.rows())
+
+    def test_round_trip_through_json_mid_run(self, car_table):
+        limited = AutonomousWebDatabase(car_table, probe_budget=5)
+        with pytest.raises(CollectionInterrupted) as info:
+            probe_all(limited, spanning_attribute="Model", resumable=True)
+        revived = CollectionCheckpoint.from_json(
+            info.value.checkpoint.to_json()
+        )
+        fresh = AutonomousWebDatabase(car_table)
+        resumed, _ = probe_all(fresh, resumable=True, checkpoint=revived)
+        clean, _ = probe_all(
+            AutonomousWebDatabase(car_table), spanning_attribute="Model"
+        )
+        assert list(resumed.rows()) == list(clean.rows())
+
+    def test_mismatched_spanning_attribute_is_rejected(self, car_table):
+        checkpoint = CollectionCheckpoint(
+            spanning_attribute="Model",
+            next_query_index=0,
+            next_offset=0,
+            rows=(),
+        )
+        webdb = AutonomousWebDatabase(car_table)
+        with pytest.raises(ValueError, match="spanning attribute"):
+            probe_all(
+                webdb,
+                spanning_attribute="Make",
+                resumable=True,
+                checkpoint=checkpoint,
+            )

@@ -1,0 +1,191 @@
+"""Degraded answers: the engine under outages, faults and deadlines."""
+
+import pytest
+
+from repro.core.config import AIMQSettings
+from repro.core.pipeline import build_model_from_sample
+from repro.core.query import ImpreciseQuery
+from repro.db import AutonomousWebDatabase, FaultPolicy, FaultSpec
+from repro.resilience import ResiliencePolicy, RetryConfig, VirtualClock
+
+QUERY = ImpreciseQuery.like("CarDB", Model="Camry", Price=9000)
+
+
+@pytest.fixture(scope="module")
+def car_model(car_table):
+    sample = car_table.sample(range(0, len(car_table), 4))
+    return build_model_from_sample(
+        sample, settings=AIMQSettings(max_relaxation_level=2)
+    )
+
+
+def flaky_webdb(car_table, spec, seed=0):
+    return AutonomousWebDatabase(
+        car_table, fault_policy=FaultPolicy(spec, seed=seed)
+    )
+
+
+class TestHardOutage:
+    def test_plain_engine_returns_structured_empty_answer(
+        self, car_model, car_table
+    ):
+        """A source that is down for good yields a degraded empty answer
+        set — never an exception out of ``answer``."""
+        webdb = flaky_webdb(car_table, FaultSpec(outages=((0, 10_000),)))
+        answers = car_model.engine(webdb).answer(QUERY)
+        assert len(answers) == 0
+        assert answers.degraded
+        report = answers.degradation
+        assert any(step.stage == "base_query" for step in report.skipped)
+        assert "DEGRADED" in report.summary()
+
+    def test_resilient_engine_exhausts_retries_then_degrades(
+        self, car_model, car_table
+    ):
+        clock = VirtualClock()
+        webdb = flaky_webdb(car_table, FaultSpec(outages=((0, 10_000),)))
+        engine = car_model.engine(
+            webdb,
+            resilience=ResiliencePolicy(retry=RetryConfig(max_attempts=3)),
+            clock=clock,
+        )
+        answers = engine.answer(QUERY)
+        assert answers.degraded
+        assert answers.degradation.retries_used == 2
+        assert len(clock.sleeps) == 2  # backoff ran on the virtual clock
+
+    def test_outage_after_mapping_keeps_the_base_set(
+        self, car_model, car_table
+    ):
+        """The source dies right after the base query: every relaxation
+        probe is skipped but the base tuples are still ranked answers."""
+        webdb = flaky_webdb(car_table, FaultSpec(outages=((1, 10_000),)))
+        answers = car_model.engine(webdb).answer(QUERY)
+        assert answers.degraded
+        assert len(answers) >= 1
+        assert all(a.relaxation_level == 0 for a in answers)
+        assert any(
+            step.stage == "relaxation"
+            for step in answers.degradation.skipped
+        )
+
+
+class TestTransientConvergence:
+    def test_retries_recover_the_fault_free_answers(
+        self, car_model, car_table
+    ):
+        """A schedule of purely transient faults plus enough retries is
+        invisible in the final answers (the acceptance criterion)."""
+        clean = car_model.engine(AutonomousWebDatabase(car_table)).answer(
+            QUERY, k=10
+        )
+        flaky = flaky_webdb(
+            car_table, FaultSpec(transient_rate=0.3), seed=17
+        )
+        engine = car_model.engine(
+            flaky,
+            resilience=ResiliencePolicy(
+                retry=RetryConfig(max_attempts=10, seed=17)
+            ),
+            clock=VirtualClock(),
+        )
+        healed = engine.answer(QUERY, k=10)
+        assert not healed.degraded
+        assert healed.row_ids == clean.row_ids
+        assert [a.similarity for a in healed] == [
+            a.similarity for a in clean
+        ]
+        assert sum(flaky.fault_policy.injected.values()) > 0
+
+    def test_throttling_is_also_cured(self, car_model, car_table):
+        clean = car_model.engine(AutonomousWebDatabase(car_table)).answer(
+            QUERY, k=5
+        )
+        flaky = flaky_webdb(
+            car_table, FaultSpec(throttle_rate=0.2), seed=23
+        )
+        engine = car_model.engine(
+            flaky,
+            resilience=ResiliencePolicy(
+                retry=RetryConfig(max_attempts=10)
+            ),
+            clock=VirtualClock(),
+        )
+        healed = engine.answer(QUERY, k=5)
+        assert not healed.degraded
+        assert healed.row_ids == clean.row_ids
+
+
+class TestDeadlines:
+    def test_probe_deadline_refusal_is_recorded(self, car_model, car_table):
+        """Backoff that would blow the per-probe deadline is refused and
+        recorded instead of slept through."""
+        clock = VirtualClock()
+        webdb = flaky_webdb(car_table, FaultSpec(outages=((0, 10_000),)))
+        engine = car_model.engine(
+            webdb,
+            resilience=ResiliencePolicy(
+                retry=RetryConfig(
+                    max_attempts=5, base_delay=1.0, jitter=0.0
+                ),
+                probe_deadline_seconds=0.5,
+            ),
+            clock=clock,
+        )
+        answers = engine.answer(QUERY)
+        assert answers.degraded
+        assert answers.degradation.deadline_exceeded
+        assert clock.sleeps == []  # the 1.0 s backoff was never affordable
+
+    def test_query_deadline_aborts_the_whole_expansion(
+        self, car_model, car_table
+    ):
+        """Once the per-answer budget is spent, the engine stops
+        expanding and returns what it ranked so far."""
+        clock = VirtualClock()
+        webdb = flaky_webdb(car_table, FaultSpec(outages=((1, 10_000),)))
+        engine = car_model.engine(
+            webdb,
+            resilience=ResiliencePolicy(
+                retry=RetryConfig(
+                    max_attempts=2, base_delay=2.0, jitter=0.0
+                ),
+                query_deadline_seconds=3.0,
+            ),
+            clock=clock,
+        )
+        answers = engine.answer(QUERY)
+        assert answers.degraded
+        assert answers.degradation.deadline_exceeded
+        assert len(answers) >= 1  # base set survived
+
+
+class TestGatherSimilar:
+    def test_gather_similar_degrades_on_budget_exhaustion(
+        self, car_model, car_table
+    ):
+        limited = AutonomousWebDatabase(car_table, probe_budget=2)
+        engine = car_model.engine(limited)
+        seed_row = next(iter(car_table.rows()))
+        answers, trace = engine.gather_similar(
+            seed_row, similarity_threshold=0.4
+        )
+        assert trace.degraded
+        assert trace.degradation.budget_exhausted
+        assert isinstance(answers, list)
+
+
+class TestSummaryText:
+    def test_clean_answer_summary(self, car_model, car_table):
+        answers = car_model.engine(
+            AutonomousWebDatabase(car_table)
+        ).answer(QUERY, k=5)
+        assert not answers.degraded
+        assert "no degradation" in answers.degradation.summary()
+
+    def test_degraded_summary_names_the_error(self, car_model, car_table):
+        webdb = flaky_webdb(car_table, FaultSpec(outages=((0, 10_000),)))
+        answers = car_model.engine(webdb).answer(QUERY)
+        text = answers.degradation.summary()
+        assert "DEGRADED" in text
+        assert "base_query" in text

@@ -1,0 +1,205 @@
+"""Fault side: the seeded injection policy and its facade hook."""
+
+import pytest
+
+from repro.db import (
+    AutonomousWebDatabase,
+    Eq,
+    FaultPolicy,
+    FaultSpec,
+    SelectionQuery,
+    SourceThrottledError,
+    SourceUnavailableError,
+    TransientProbeError,
+    TransientSourceError,
+)
+from repro.obs import OBS
+
+
+def _probe(table):
+    """A selection that matches a healthy slice of the car table."""
+    return SelectionQuery((Eq("Make", "Toyota"),))
+
+
+class TestFaultSpec:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultSpec(transient_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(transient_rate=0.6, timeout_rate=0.6)
+        with pytest.raises(ValueError):
+            FaultSpec(truncation_keep_fraction=0.0)
+        with pytest.raises(ValueError):
+            FaultSpec(outages=((5, 5),))
+
+    def test_outage_windows_are_half_open(self):
+        spec = FaultSpec(outages=((2, 4),))
+        assert not spec.in_outage(1)
+        assert spec.in_outage(2)
+        assert spec.in_outage(3)
+        assert not spec.in_outage(4)
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        spec = FaultSpec(
+            transient_rate=0.2, timeout_rate=0.1, truncation_rate=0.3
+        )
+        first = FaultPolicy(spec, seed=42)
+        second = FaultPolicy(spec, seed=42)
+        signatures = [first.decide().signature for _ in range(300)]
+        assert signatures == [second.decide().signature for _ in range(300)]
+
+    def test_different_seed_different_schedule(self):
+        spec = FaultSpec(transient_rate=0.3)
+        first = FaultPolicy(spec, seed=1)
+        second = FaultPolicy(spec, seed=2)
+        assert [first.decide().signature for _ in range(200)] != [
+            second.decide().signature for _ in range(200)
+        ]
+
+    def test_error_draws_aligned_across_specs(self):
+        """Enabling extra fault kinds never shifts the error schedule."""
+        lean = FaultPolicy(FaultSpec(transient_rate=0.25), seed=9)
+        rich = FaultPolicy(
+            FaultSpec(transient_rate=0.25, truncation_rate=0.5), seed=9
+        )
+        lean_errors = [
+            d.attempt_index
+            for d in (lean.decide() for _ in range(400))
+            if d.kind == "transient"
+        ]
+        rich_errors = [
+            d.attempt_index
+            for d in (rich.decide() for _ in range(400))
+            if d.kind == "transient"
+        ]
+        assert lean_errors == rich_errors
+        assert lean_errors  # the rate is high enough to fire
+
+    def test_each_error_kind_maps_to_its_exception(self):
+        always_transient = FaultPolicy(FaultSpec(transient_rate=1.0))
+        assert isinstance(always_transient.decide().error, TransientProbeError)
+        always_throttle = FaultPolicy(FaultSpec(throttle_rate=1.0))
+        error = always_throttle.decide().error
+        assert isinstance(error, SourceThrottledError)
+        assert error.retry_after == pytest.approx(0.05)
+
+    def test_outage_overrides_error_rates(self):
+        policy = FaultPolicy(
+            FaultSpec(transient_rate=1.0, outages=((0, 2),)), seed=0
+        )
+        assert policy.decide().kind == "outage"
+        assert policy.decide().kind == "outage"
+        assert policy.decide().kind == "transient"
+
+
+class TestFacadeHook:
+    def test_injected_fault_skips_probe_accounting(self, car_table):
+        webdb = AutonomousWebDatabase(
+            car_table,
+            fault_policy=FaultPolicy(FaultSpec(transient_rate=1.0)),
+        )
+        with pytest.raises(TransientProbeError):
+            webdb.query(_probe(car_table))
+        assert webdb.log.probes_issued == 0
+        assert webdb.fault_policy.injected["transient"] == 1
+
+    def test_injected_fault_does_not_charge_budget(self, car_table):
+        webdb = AutonomousWebDatabase(car_table, probe_budget=1)
+        webdb.set_fault_policy(FaultPolicy(FaultSpec(transient_rate=1.0)))
+        for _ in range(5):
+            with pytest.raises(TransientSourceError):
+                webdb.query(_probe(car_table))
+        webdb.set_fault_policy(None)
+        # The budget is still whole: one real probe goes through.
+        assert len(webdb.query(_probe(car_table))) > 0
+
+    def test_count_probes_also_fault(self, car_table):
+        webdb = AutonomousWebDatabase(
+            car_table,
+            fault_policy=FaultPolicy(FaultSpec(transient_rate=1.0)),
+        )
+        with pytest.raises(TransientProbeError):
+            webdb.count(_probe(car_table))
+        assert webdb.log.count_probes == 0
+
+    def test_truncation_cuts_page_and_skips_cache(self, car_table):
+        webdb = AutonomousWebDatabase(car_table)
+        full = len(webdb.query(_probe(car_table)))
+        assert full >= 2
+        webdb.reset_accounting()
+        webdb.enable_probe_cache(capacity=64)
+        webdb.set_fault_policy(
+            FaultPolicy(
+                FaultSpec(
+                    truncation_rate=1.0, truncation_keep_fraction=0.5
+                )
+            )
+        )
+        cut = webdb.query(_probe(car_table))
+        assert len(cut) == max(1, full // 2)
+        assert cut.truncated
+        assert webdb.fault_policy.injected["truncation"] == 1
+        # The corrupted page was not cached: the repeat hits the source.
+        webdb.query(_probe(car_table))
+        assert webdb.log.cache_hits == 0
+        assert webdb.log.probes_issued == 2
+
+    def test_outage_window_then_recovery(self, car_table):
+        webdb = AutonomousWebDatabase(
+            car_table,
+            fault_policy=FaultPolicy(FaultSpec(outages=((0, 3),))),
+        )
+        for _ in range(3):
+            with pytest.raises(SourceUnavailableError):
+                webdb.query(_probe(car_table))
+        assert len(webdb.query(_probe(car_table))) > 0
+
+    def test_disabled_policy_is_bit_identical(self, car_table):
+        """No policy, an explicit None, and an all-zero spec all leave
+        probe results and accounting exactly as the seed had them."""
+        plain = AutonomousWebDatabase(car_table)
+        explicit = AutonomousWebDatabase(car_table, fault_policy=None)
+        zeroed = AutonomousWebDatabase(
+            car_table, fault_policy=FaultPolicy(FaultSpec(), seed=3)
+        )
+        queries = [
+            SelectionQuery((Eq("Make", make),))
+            for make in ("Toyota", "Honda", "Ford")
+        ]
+        outputs = []
+        for webdb in (plain, explicit, zeroed):
+            pages = [webdb.query(query) for query in queries]
+            outputs.append(
+                (
+                    [(p.row_ids, p.rows, p.truncated) for p in pages],
+                    webdb.log.probes_issued,
+                    webdb.log.tuples_returned,
+                    webdb.log.empty_results,
+                )
+            )
+        assert outputs[0] == outputs[1] == outputs[2]
+        assert all(count == 0 for count in zeroed.fault_policy.injected.values())
+
+    def test_injections_counted_in_metrics(self, car_table):
+        OBS.reset()
+        OBS.enable()
+        try:
+            webdb = AutonomousWebDatabase(
+                car_table,
+                fault_policy=FaultPolicy(FaultSpec(transient_rate=1.0)),
+            )
+            with pytest.raises(TransientProbeError):
+                webdb.query(_probe(car_table))
+            snapshot = OBS.registry.snapshot()
+            families = {m["name"]: m for m in snapshot["metrics"]}
+            family = families["repro_db_faults_injected_total"]
+            series = {
+                tuple(sorted((s.get("labels") or {}).items())): s["value"]
+                for s in family["series"]
+            }
+            assert series[(("kind", "transient"),)] == 1
+        finally:
+            OBS.reset()
+            OBS.disable()

@@ -1,0 +1,171 @@
+"""Retry with deterministic backoff, and the deadline budgets under it."""
+
+import pytest
+
+from repro.db.errors import (
+    QueryError,
+    SourceThrottledError,
+    TransientProbeError,
+    TransientSourceError,
+)
+from repro.resilience import (
+    DeadlineBudget,
+    DeadlineExceededError,
+    Retrier,
+    RetryConfig,
+    VirtualClock,
+)
+
+
+class _Flaky:
+    """Fails ``failures`` times with ``error``, then returns ``value``."""
+
+    def __init__(self, failures, error=None, value="ok"):
+        self.failures = failures
+        self.error = error or TransientProbeError()
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return self.value
+
+
+class TestRetryConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryConfig(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryConfig(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryConfig(jitter=1.5)
+
+
+class TestBackoffSchedule:
+    def test_deterministic_under_seed(self):
+        config = RetryConfig(seed=7)
+        first = Retrier(config, VirtualClock())
+        second = Retrier(config, VirtualClock())
+        assert [first.backoff_delay(n) for n in range(1, 6)] == [
+            second.backoff_delay(n) for n in range(1, 6)
+        ]
+
+    def test_exponential_shape_with_cap(self):
+        config = RetryConfig(
+            base_delay=0.1, multiplier=2.0, max_delay=0.3, jitter=0.0
+        )
+        retrier = Retrier(config, VirtualClock())
+        assert retrier.backoff_delay(1) == pytest.approx(0.1)
+        assert retrier.backoff_delay(2) == pytest.approx(0.2)
+        assert retrier.backoff_delay(3) == pytest.approx(0.3)
+        assert retrier.backoff_delay(5) == pytest.approx(0.3)
+
+    def test_jitter_only_shrinks_the_delay(self):
+        config = RetryConfig(base_delay=0.2, jitter=0.5)
+        retrier = Retrier(config, VirtualClock())
+        for attempt in range(1, 20):
+            delay = retrier.backoff_delay(attempt)
+            raw = min(config.max_delay, 0.2 * 2.0 ** (attempt - 1))
+            assert raw * 0.5 <= delay <= raw
+
+    def test_retry_after_hint_is_a_floor(self):
+        retrier = Retrier(
+            RetryConfig(base_delay=0.01, jitter=0.0), VirtualClock()
+        )
+        assert retrier.backoff_delay(1, retry_after=0.5) == pytest.approx(0.5)
+
+
+class TestCall:
+    def test_transient_failures_are_cured(self):
+        clock = VirtualClock()
+        retrier = Retrier(RetryConfig(max_attempts=4, seed=1), clock)
+        flaky = _Flaky(failures=2)
+        assert retrier.call(flaky) == "ok"
+        assert flaky.calls == 3
+        assert retrier.retries == 2
+        assert len(clock.sleeps) == 2
+
+    def test_sleep_schedule_matches_backoff_delay(self):
+        config = RetryConfig(max_attempts=5, seed=11)
+        clock = VirtualClock()
+        retrier = Retrier(config, clock)
+        retrier.call(_Flaky(failures=3))
+        reference = Retrier(config, VirtualClock())
+        assert clock.sleeps == pytest.approx(
+            [reference.backoff_delay(n) for n in (1, 2, 3)]
+        )
+
+    def test_exhaustion_reraises_the_original_error(self):
+        clock = VirtualClock()
+        retrier = Retrier(RetryConfig(max_attempts=3), clock)
+        flaky = _Flaky(failures=10)
+        with pytest.raises(TransientProbeError):
+            retrier.call(flaky)
+        assert flaky.calls == 3
+        assert retrier.exhaustions == 1
+        assert len(clock.sleeps) == 2  # no sleep after the last attempt
+
+    def test_permanent_errors_propagate_immediately(self):
+        clock = VirtualClock()
+        retrier = Retrier(RetryConfig(max_attempts=5), clock)
+        flaky = _Flaky(failures=10, error=QueryError("malformed"))
+        with pytest.raises(QueryError):
+            retrier.call(flaky)
+        assert flaky.calls == 1
+        assert clock.sleeps == []
+
+    def test_throttle_retry_after_respected(self):
+        clock = VirtualClock()
+        retrier = Retrier(
+            RetryConfig(max_attempts=2, base_delay=0.001, jitter=0.0), clock
+        )
+        flaky = _Flaky(
+            failures=1, error=SourceThrottledError(retry_after=0.75)
+        )
+        assert retrier.call(flaky) == "ok"
+        assert clock.sleeps == [pytest.approx(0.75)]
+
+
+class TestDeadlineBudget:
+    def test_unlimited_budget_never_expires(self):
+        clock = VirtualClock()
+        budget = DeadlineBudget(None, clock, scope="query")
+        clock.advance(10_000)
+        assert not budget.expired
+        assert budget.affords_sleep(10_000)
+        budget.require()
+
+    def test_require_raises_after_expiry(self):
+        clock = VirtualClock()
+        budget = DeadlineBudget(1.0, clock, scope="probe")
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceededError) as info:
+            budget.require()
+        assert info.value.scope == "probe"
+        assert info.value.budget_seconds == pytest.approx(1.0)
+        assert info.value.elapsed_seconds == pytest.approx(2.0)
+
+    def test_budget_refuses_unaffordable_sleep(self):
+        clock = VirtualClock()
+        retrier = Retrier(
+            RetryConfig(max_attempts=5, base_delay=2.0, jitter=0.0), clock
+        )
+        budget = DeadlineBudget(1.0, clock, scope="probe")
+        with pytest.raises(DeadlineExceededError) as info:
+            retrier.call(_Flaky(failures=10), budgets=(budget,))
+        assert info.value.scope == "probe"
+        assert isinstance(info.value.__cause__, TransientSourceError)
+        assert clock.sleeps == []  # the refusal happened before sleeping
+
+    def test_budget_spanning_retries_expires_between_attempts(self):
+        clock = VirtualClock()
+        retrier = Retrier(
+            RetryConfig(max_attempts=10, base_delay=0.6, jitter=0.0), clock
+        )
+        budget = DeadlineBudget(1.0, clock, scope="query")
+        with pytest.raises(DeadlineExceededError):
+            retrier.call(_Flaky(failures=10), budgets=(budget,))
+        # 0.6 affordable, cumulative 1.2 is not: exactly one sleep ran.
+        assert clock.sleeps == [pytest.approx(0.6)]

@@ -25,13 +25,54 @@ class TestProbeBudgetExhaustion:
         with pytest.raises(ProbeLimitExceededError):
             probe_all(limited, spanning_attribute="Model")
 
-    def test_engine_surfaces_budget_error_mid_answer(self, car_table):
+    def test_engine_degrades_on_budget_exhaustion_mid_answer(self, car_table):
+        """Budget death mid-relaxation yields a degraded answer, not a crash.
+
+        The probes already paid for are not discarded: whatever the
+        engine ranked before the budget ran out is returned, with the
+        exhaustion recorded in the degradation report.
+        """
         sample = car_table.sample(range(0, len(car_table), 4))
         model = build_model_from_sample(sample)
         limited = AutonomousWebDatabase(car_table, probe_budget=2)
         engine = model.engine(limited)
-        with pytest.raises(ProbeLimitExceededError):
-            engine.answer(ImpreciseQuery.like("CarDB", Model="Camry", Price=9000))
+        answers = engine.answer(
+            ImpreciseQuery.like("CarDB", Model="Camry", Price=9000)
+        )
+        assert answers.degraded
+        assert answers.degradation.budget_exhausted
+        assert any(
+            step.error_kind == "ProbeLimitExceededError"
+            for step in answers.degradation.skipped
+        )
+        # The base set survived the budget death (mapping cost 1 probe,
+        # the budget allowed 2), so the base tuples are still answers.
+        assert len(answers) >= 1
+
+    def test_engine_degraded_answer_keeps_ranked_tuples(self, car_table):
+        """A mid-expansion budget death returns exactly the tuples that a
+        clean run had already ranked by that point — nothing discarded."""
+        sample = car_table.sample(range(0, len(car_table), 4))
+        model = build_model_from_sample(
+            sample, settings=AIMQSettings(max_relaxation_level=2)
+        )
+        query = ImpreciseQuery.like("CarDB", Model="Camry", Price=9000)
+        unlimited = AutonomousWebDatabase(car_table, probe_budget=10_000)
+        # k large enough to return the whole extended set, so the
+        # subset relation below is exact, not a top-k artefact.
+        full = model.engine(unlimited).answer(query, k=100_000)
+        assert not full.degraded
+        budget = unlimited.log.probes_issued // 2
+        limited = AutonomousWebDatabase(car_table, probe_budget=budget)
+        partial = model.engine(limited).answer(query, k=100_000)
+        assert partial.degraded
+        # Every probe the budget allowed was actually spent (the trace
+        # counts relaxation probes; mapping probes use the same budget).
+        assert limited.log.probes_issued == budget
+        assert 1 <= len(partial) <= len(full)
+        # Probe order is deterministic, so everything the partial run
+        # extracted is a subset of what the clean run extracted.
+        assert set(partial.row_ids) <= set(full.row_ids)
 
     def test_budget_large_enough_succeeds(self, car_table):
         sample = car_table.sample(range(0, len(car_table), 4))
