@@ -41,6 +41,7 @@ from typing import Sequence
 from repro.core.config import AIMQSettings
 from repro.core.pipeline import AIMQModel, build_model
 from repro.core.parser import parse_query
+from repro.core.plan import FRONTIER_MODES, PlannerConfig
 from repro.core.query import ImpreciseQuery
 from repro.core.store import StoreError, load_model, save_model
 from repro.datasets.cardb import cardb_webdb, generate_cardb
@@ -72,7 +73,15 @@ from repro.evalx import (
     run_table3,
 )
 from repro.obs import OBS, render_span_tree, to_json, to_prometheus
-from repro.perf.bench import SCALES, SCENARIOS, check_regressions, run_bench
+from repro.perf.bench import (
+    SCALES,
+    SCENARIOS,
+    append_history,
+    check_baseline,
+    check_regressions,
+    load_report,
+    run_bench,
+)
 from repro.resilience import ResilienceError, ResiliencePolicy, ResilientWebDatabase
 
 __all__ = ["main", "build_parser"]
@@ -181,7 +190,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
     resilience = (
         ResiliencePolicy() if (args.resilient or args.fault_rate > 0.0) else None
     )
-    engine = model.engine(webdb, resilience=resilience)
+    planner = (
+        PlannerConfig(frontier=args.frontier, workers=args.batch_workers)
+        if args.batched
+        else None
+    )
+    engine = model.engine(webdb, resilience=resilience, planner=planner)
     answers = engine.answer(query, k=args.k)
     print(answers.describe(webdb.schema))
     trace = answers.trace
@@ -189,6 +203,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"\n{trace.queries_issued} probes, {trace.tuples_extracted} extracted, "
         f"{trace.tuples_relevant} relevant"
     )
+    if planner is not None:
+        print(
+            f"planner: {trace.probes_subsumed} subsumed, "
+            f"{trace.probes_speculative} speculative, "
+            f"{trace.frontier_batches} frontier batches, "
+            f"{trace.logical_probes} logical probes"
+        )
     if answers.degraded:
         print()
         print(answers.degradation.summary())
@@ -277,6 +298,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the fast-path micro-benchmarks and report/check the results."""
+    # Read the baseline before the run: --out may legitimately point at
+    # the same file the baseline is read from.
+    baseline = load_report(args.baseline) if args.baseline else None
     report = run_bench(args.scale, only=args.only)
     rendered = json.dumps(report, indent=2, sort_keys=True)
     if args.out:
@@ -291,12 +315,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"({entry['slow_seconds']:.3f}s -> {entry['fast_seconds']:.3f}s, "
             f"equivalent={entry['equivalent']})"
         )
+    if args.history:
+        append_history(report, args.history)
+        print(f"trajectory line appended to {args.history}")
+    failures: list[str] = []
     if args.check:
-        failures = check_regressions(report, max_regression=args.max_regression)
-        if failures:
-            for failure in failures:
-                print(f"FAIL {failure}", file=sys.stderr)
-            return 1
+        failures.extend(
+            check_regressions(report, max_regression=args.max_regression)
+        )
+    if baseline is not None:
+        failures.extend(
+            check_baseline(report, baseline, max_regression=args.max_regression)
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    if args.check or baseline is not None:
         print("all fast paths within tolerance")
     return 0
 
@@ -384,6 +419,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the deterministic fault schedule (default: 0)",
     )
     query.add_argument(
+        "--batched",
+        action="store_true",
+        help="answer through the semantic probe planner (batched "
+        "frontiers + containment-based probe reuse; bit-identical "
+        "answers)",
+    )
+    query.add_argument(
+        "--frontier",
+        choices=FRONTIER_MODES,
+        default="tuple",
+        help="planner frontier mode for --batched (default: tuple)",
+    )
+    query.add_argument(
+        "--batch-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="bounded thread pool size for batch dispatch (default: 1)",
+    )
+    query.add_argument(
         "constraints",
         nargs="*",
         metavar="Attr=Value",
@@ -441,6 +496,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.25,
         help="tolerated fast-path slowdown for --check (default: 0.25)",
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="compare speedups against this committed report and exit "
+        "non-zero on decay beyond --max-regression",
+    )
+    bench.add_argument(
+        "--history",
+        metavar="PATH",
+        help="append one trajectory line for this run (JSONL)",
     )
     bench.set_defaults(handler=_cmd_bench)
 

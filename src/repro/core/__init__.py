@@ -23,6 +23,7 @@ from repro.core.pipeline import (
     build_model,
     build_model_from_sample,
 )
+from repro.core.plan import PlannerConfig, PlanSession, SemanticProbeStore
 from repro.core.query import (
     BaseQueryMapper,
     BaseSet,
@@ -37,7 +38,13 @@ from repro.core.relaxation import (
     ordered_subsets,
     tuple_as_query,
 )
-from repro.core.results import AnswerSet, RankedAnswer, RelaxationTrace
+from repro.core.results import (
+    AnswerSet,
+    RankedAnswer,
+    RelaxationTrace,
+    answer_rank_key,
+    base_rank_key,
+)
 from repro.core.similarity import (
     TupleSimilarity,
     numeric_similarity,
@@ -59,13 +66,18 @@ __all__ = [
     "GuidedRelax",
     "ImpreciseQuery",
     "LikeConstraint",
+    "PlanSession",
+    "PlannerConfig",
     "PreciseConstraint",
     "RandomRelax",
     "RankedAnswer",
     "RelaxationStep",
     "RelaxationTrace",
+    "SemanticProbeStore",
     "StoreError",
     "TupleSimilarity",
+    "answer_rank_key",
+    "base_rank_key",
     "load_model",
     "save_model",
     "build_model",

@@ -22,13 +22,25 @@ from __future__ import annotations
 
 import heapq
 from contextlib import nullcontext
-from typing import Mapping
+from typing import Iterator, Mapping, Sequence
 
 from repro.core.attribute_order import AttributeOrdering
 from repro.core.config import AIMQSettings
+from repro.core.plan import PlannerConfig, PlanSession
 from repro.core.query import BaseQueryMapper, ImpreciseQuery
-from repro.core.relaxation import GuidedRelax, _RelaxerBase, tuple_as_query
-from repro.core.results import AnswerSet, RankedAnswer, RelaxationTrace
+from repro.core.relaxation import (
+    GuidedRelax,
+    RelaxationStep,
+    _RelaxerBase,
+    tuple_as_query,
+)
+from repro.core.results import (
+    AnswerSet,
+    RankedAnswer,
+    RelaxationTrace,
+    answer_rank_key,
+    base_rank_key,
+)
 from repro.core.similarity import BindingsScorer, TupleSimilarity
 from repro.db import (
     AutonomousWebDatabase,
@@ -67,6 +79,7 @@ class AIMQEngine:
         numeric_extents: dict[str, tuple[float, float]] | None = None,
         resilience: ResiliencePolicy | None = None,
         clock: Clock | None = None,
+        planner: PlannerConfig | None = None,
     ) -> None:
         if resilience is not None and not isinstance(
             webdb, ResilientWebDatabase
@@ -75,6 +88,9 @@ class AIMQEngine:
         self.webdb = webdb
         self.ordering = ordering
         self.settings = settings or AIMQSettings()
+        # Semantic probe planner (repro.core.plan): None — the default —
+        # selects the exact sequential relaxation path.
+        self.planner = planner
         self.strategy = strategy if strategy is not None else GuidedRelax(ordering)
         self.similarity = TupleSimilarity(
             webdb.schema,
@@ -152,25 +168,38 @@ class AIMQEngine:
                     relaxation_level=0,
                 )
 
-            for base_row_id, base_row in base_rows:
-                try:
-                    self._expand_base_tuple(
-                        base_row_id, base_row, query_scorer, threshold,
-                        extended, trace,
-                    )
-                except _ExpansionAborted:
-                    break
+            session = self._open_plan_session()
+            programs = self._materialise_programs(session, base_rows)
+            try:
+                for tuple_index, (base_row_id, base_row) in enumerate(
+                    base_rows
+                ):
+                    try:
+                        self._expand_base_tuple(
+                            base_row_id, base_row, query_scorer, threshold,
+                            extended, trace,
+                            session=session,
+                            steps=(
+                                programs[tuple_index]
+                                if programs is not None
+                                else None
+                            ),
+                            tuple_index=tuple_index,
+                        )
+                    except _ExpansionAborted:
+                        break
+            finally:
+                self._close_plan_session(session, trace)
 
             with OBS.span(
                 "engine.ranking", candidates=len(extended)
             ):
                 # nsmallest(k, key=...) == sorted(key=...)[:k] by
-                # contract, so the deterministic tie-break is preserved
-                # while only a k-sized heap is maintained.
+                # contract, so the deterministic tie-break (see
+                # answer_rank_key) is preserved while only a k-sized
+                # heap is maintained.
                 answers = heapq.nsmallest(
-                    top_k,
-                    extended.values(),
-                    key=lambda a: (-a.similarity, -a.base_similarity, a.row_id),
+                    top_k, extended.values(), key=answer_rank_key
                 )
             root.set_attribute("answers", len(answers))
             root.set_attribute("probes", trace.queries_issued)
@@ -223,6 +252,7 @@ class AIMQEngine:
         with OBS.span(
             "engine.gather_similar", row_id=seed_id, threshold=threshold
         ) as root, self._deadline_scope():
+            session = self._open_plan_session()
             try:
                 self._expand_base_tuple(
                     seed_id,
@@ -232,14 +262,14 @@ class AIMQEngine:
                     extended,
                     trace,
                     target=target,
+                    session=session,
                 )
             except _ExpansionAborted:
                 pass
+            finally:
+                self._close_plan_session(session, trace)
             with OBS.span("engine.ranking", candidates=len(extended)):
-                answers = sorted(
-                    extended.values(),
-                    key=lambda a: (-a.base_similarity, a.row_id),
-                )
+                answers = sorted(extended.values(), key=base_rank_key)
             root.set_attribute("answers", len(answers))
             root.set_attribute("probes", trace.queries_issued)
             root.set_attribute("degraded", trace.degraded)
@@ -259,11 +289,18 @@ class AIMQEngine:
         extended: dict[int, RankedAnswer],
         trace: RelaxationTrace,
         target: int | None = None,
+        session: PlanSession | None = None,
+        steps: Sequence[RelaxationStep] | None = None,
+        tuple_index: int = 0,
     ) -> None:
         """Relax one base tuple until its quota of similar tuples is met.
 
         With ``query_scorer=None`` (tuple-query mode) the answer's
-        query similarity equals its base similarity.
+        query similarity equals its base similarity.  With an active
+        ``session`` the relaxation steps route through the semantic
+        planner (frontier batching + local reuse) but are consumed in
+        the identical serial order; ``steps`` optionally supplies a
+        pre-materialised program (frontier="all").
         """
         settings = self.settings
         schema = self.webdb.schema
@@ -290,8 +327,8 @@ class AIMQEngine:
         with OBS.span(
             "engine.expand_base_tuple", base_row_id=base_row_id
         ) as expand_span:
-            for step in self.strategy.relaxation_steps(
-                bound_query, settings.max_relaxation_level
+            for step in self._step_source(
+                bound_query, session, steps, tuple_index
             ):
                 if relevant_found >= quota:
                     break
@@ -303,7 +340,7 @@ class AIMQEngine:
                     relaxed=",".join(step.relaxed_attributes),
                 ) as step_span:
                     try:
-                        result = self.webdb.query(step.query)
+                        result, probe_kind = self._probe_step(step, session)
                     except (ProbeLimitExceededError, CircuitOpenError) as exc:
                         # Terminal for the whole call: no future probe
                         # can succeed either.
@@ -341,8 +378,10 @@ class AIMQEngine:
                         "Relaxation probes issued, by relaxation level.",
                         labels=("level",),
                     ).labels(level=step.level).inc()
-                if result.from_cache:
+                if probe_kind == "cached":
                     trace.probes_cached += 1
+                elif probe_kind == "subsumed":
+                    trace.probes_subsumed += 1
                 else:
                     trace.queries_issued += 1
                 trace.deepest_level = max(trace.deepest_level, step.level)
@@ -383,6 +422,135 @@ class AIMQEngine:
                         break
             expand_span.set_attribute("extracted", extracted)
             expand_span.set_attribute("relevant", relevant_found)
+
+    # -- semantic planning -------------------------------------------------
+
+    def _open_plan_session(self) -> PlanSession | None:
+        """A fresh planning session, or None on the sequential path."""
+        if self.planner is None:
+            return None
+        return PlanSession(self.webdb, self.planner)
+
+    def _close_plan_session(
+        self, session: PlanSession | None, trace: RelaxationTrace
+    ) -> None:
+        """Fold the session's scheduling counters into the trace."""
+        if session is None:
+            return
+        session.close()
+        trace.frontier_batches = session.frontier_batches
+        trace.probes_speculative = session.probes_speculative
+
+    def _materialise_programs(
+        self,
+        session: PlanSession | None,
+        base_rows: list[tuple[int, tuple]],
+    ) -> list[list[RelaxationStep]] | None:
+        """Pre-build every base tuple's relaxation program (frontier="all").
+
+        Programs are materialised in tuple order, so a seeded
+        RandomRelax draws its RNG stream in the serial sequence.  (The
+        draws happen earlier than on the sequential path, which is
+        observable across *subsequent* calls only when this call aborts
+        early — the serial path would then never have created the later
+        tuples' generators.  Documented in docs/PERFORMANCE.md.)
+        """
+        if (
+            session is None
+            or not session.active
+            or session.config.frontier != "all"
+        ):
+            return None
+        settings = self.settings
+        schema = self.webdb.schema
+        programs: list[list[RelaxationStep]] = []
+        for _, base_row in base_rows:
+            bound_query = tuple_as_query(
+                base_row, schema,
+                numeric_band=settings.tuple_query_numeric_band,
+            )
+            programs.append(
+                list(
+                    self.strategy.relaxation_steps(
+                        bound_query, settings.max_relaxation_level
+                    )
+                )
+            )
+        session.set_programs(
+            [
+                [(step.query, step.level) for step in program]
+                for program in programs
+            ]
+        )
+        return programs
+
+    def _step_source(
+        self,
+        bound_query,
+        session: PlanSession | None,
+        steps: Sequence[RelaxationStep] | None,
+        tuple_index: int,
+    ) -> Iterator[RelaxationStep]:
+        """The relaxation step stream for one base tuple.
+
+        Sequential path: the strategy's lazy generator, untouched.
+        Batched path: the same steps in the same order, materialised so
+        contiguous same-level runs can be announced to the session as
+        frontier batches before being consumed.
+        """
+        if session is None or not session.active:
+            if steps is not None:
+                return iter(steps)
+            return self.strategy.relaxation_steps(
+                bound_query, self.settings.max_relaxation_level
+            )
+        if steps is None:
+            steps = list(
+                self.strategy.relaxation_steps(
+                    bound_query, self.settings.max_relaxation_level
+                )
+            )
+        return self._batched_steps(steps, session, tuple_index)
+
+    @staticmethod
+    def _batched_steps(
+        steps: Sequence[RelaxationStep],
+        session: PlanSession,
+        tuple_index: int,
+    ) -> Iterator[RelaxationStep]:
+        """Yield steps serially, prefetching each same-level run first.
+
+        GuidedRelax emits levels contiguously, so a run is one whole
+        relaxation level; RandomRelax's shuffled stream degrades to
+        short runs, which bounds its speculation accordingly.
+        """
+        index = 0
+        total = len(steps)
+        while index < total:
+            level = steps[index].level
+            run_end = index
+            while run_end < total and steps[run_end].level == level:
+                run_end += 1
+            group = steps[index:run_end]
+            session.prefetch(
+                [step.query for step in group], tuple_index, level
+            )
+            yield from group
+            index = run_end
+
+    def _probe_step(
+        self, step: RelaxationStep, session: PlanSession | None
+    ) -> tuple:
+        """Resolve one relaxation step and classify its accounting.
+
+        Returns ``(result, kind)``, ``kind`` ∈ {"issued", "cached",
+        "subsumed"}; exceptions propagate for the caller's degradation
+        handling exactly as direct ``webdb.query`` calls did.
+        """
+        if session is not None:
+            return session.fetch(step.query)
+        result = self.webdb.query(step.query)
+        return result, ("cached" if result.from_cache else "issued")
 
     def _deadline_scope(self):
         """The per-query deadline window (no-op without resilience)."""
@@ -429,6 +597,17 @@ class AIMQEngine:
             "repro_core_tuples_relevant_total",
             "Extracted tuples clearing the similarity threshold.",
         ).inc(trace.tuples_relevant)
+        if trace.probes_subsumed:
+            registry.counter(
+                "repro_core_probes_subsumed_total",
+                "Relaxation steps answered locally from subsuming "
+                "results instead of probing the source.",
+            ).inc(trace.probes_subsumed)
+        if trace.frontier_batches:
+            registry.counter(
+                "repro_core_frontier_batches_total",
+                "Frontier waves scheduled by the semantic planner.",
+            ).inc(trace.frontier_batches)
         if trace.degraded:
             registry.counter(
                 "repro_core_degraded_answers_total",

@@ -1,0 +1,34 @@
+"""Semantic probe planning for the online answering hot path.
+
+Algorithm 1 relaxes every base-set tuple independently, so one
+imprecise query fans out into hundreds of probes whose answer sets
+heavily overlap — sibling base tuples issue *identical* relaxed
+queries, and a deeper relaxation (fewer predicates) *contains* every
+shallower one that binds a superset of its predicates.  This package
+exploits both facts without changing a single answer:
+
+* :class:`PlannerConfig` — opt-in knobs (frontier scope, worker pool).
+* :class:`SemanticProbeStore` — per-call store of fetched results with
+  exact-duplicate replay and containment-based residual derivation.
+* :class:`PlanSession` — the scheduling session one ``answer()`` /
+  ``gather_similar()`` call opens: batches each relaxation level's
+  frontier, deduplicates it, dispatches only the irreducible residue
+  (optionally concurrently) and answers the rest locally.
+
+The engine consumes results in exact serial order, so the ranked
+answer set is bit-identical to the sequential path; only the probe
+traffic shrinks.  See ``docs/PERFORMANCE.md`` ("Semantic probe
+reuse") for the containment rules and the accounting semantics.
+"""
+
+from repro.core.plan.config import FRONTIER_MODES, PlannerConfig
+from repro.core.plan.session import PlanSession
+from repro.core.plan.store import SemanticProbeStore, StoredProbe
+
+__all__ = [
+    "FRONTIER_MODES",
+    "PlannerConfig",
+    "PlanSession",
+    "SemanticProbeStore",
+    "StoredProbe",
+]

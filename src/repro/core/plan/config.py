@@ -1,0 +1,62 @@
+"""Configuration for the semantic probe planner (off by default)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PlannerConfig", "FRONTIER_MODES"]
+
+#: Valid frontier scopes, from least to most speculative.
+FRONTIER_MODES = ("off", "tuple", "all")
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Knobs of the batched relaxation scheduler.
+
+    The planner itself is opt-in: the engine takes ``planner=None`` by
+    default and then runs the exact sequential path.  Constructing a
+    config and handing it to the engine enables semantic reuse.
+
+    Parameters
+    ----------
+    frontier:
+        How much of the relaxation frontier each batch prefetches.
+
+        ``"off"``
+            No prefetching.  Probes dispatch one at a time on demand,
+            but exact-duplicate replay and containment derivation still
+            apply — zero speculation, reuse only.
+        ``"tuple"`` (default)
+            Before consuming a relaxation level of the current base
+            tuple, dispatch that level's deduplicated, irreducible
+            queries as one batch.  Every prefetched probe is one the
+            serial path was about to issue (unless a quota break cuts
+            the level short), so speculation is bounded by one level.
+        ``"all"``
+            Additionally prefetch the *same level* of every later base
+            tuple's relaxation program.  Maximises batch width (and
+            worker-pool utilisation) at the cost of speculative probes
+            when expansion stops early.
+    workers:
+        Size of the bounded thread pool used to dispatch one batch's
+        probes concurrently.  ``1`` (default) dispatches serially.  The
+        facade is an I/O-shaped boundary, so workers only pay off
+        against sources with real latency — the in-memory substrate
+        serialises probes under its accounting lock.  Forced back to 1
+        when the engine talks through a
+        :class:`~repro.resilience.ResilientWebDatabase`, whose retry
+        and deadline state is not thread-safe.
+    """
+
+    frontier: str = "tuple"
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.frontier not in FRONTIER_MODES:
+            raise ValueError(
+                f"frontier must be one of {FRONTIER_MODES}, got "
+                f"{self.frontier!r}"
+            )
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")

@@ -1,0 +1,216 @@
+"""One engine call's batched, containment-aware probe scheduling.
+
+A :class:`PlanSession` sits between the engine's relaxation loop and
+the web-database facade.  The engine announces each relaxation level's
+frontier before consuming it (:meth:`PlanSession.prefetch`) and then
+demands results step by step (:meth:`PlanSession.fetch`) in the exact
+order the sequential path would have issued them.  The session
+
+* deduplicates the frontier by canonical conjunction,
+* skips queries a stored result already subsumes (they will be derived
+  locally at demand time),
+* dispatches the irreducible residue through the facade — serially or
+  via a bounded thread pool, and
+* replays or derives everything else without touching the source.
+
+Every probe that reaches the source goes through ``webdb.query``; the
+session never writes to the :class:`~repro.db.ProbeLog` and never
+fabricates accounting for locally-answered queries — reprolint REP004
+enforces both.
+
+**Fault injection pass-through.**  With an active fault policy the
+fault schedule is drawn per source-reaching attempt, so reordering or
+eliding probes would shift which attempts fail.  The session therefore
+deactivates itself (``active=False``) when the facade has a fault
+policy installed: every fetch goes straight through, keeping fault
+schedules — and hence results — bit-identical to the serial path.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from repro.core.plan.config import PlannerConfig
+from repro.core.plan.store import SemanticProbeStore
+from repro.db import (
+    AutonomousWebDatabase,
+    ProbeLimitExceededError,
+    QueryResult,
+    SelectionQuery,
+    TransientSourceError,
+)
+from repro.resilience import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ResilientWebDatabase,
+)
+
+__all__ = ["PlanSession"]
+
+# The error classes the engine's relaxation loop knows how to degrade
+# on.  Batch dispatch catches exactly these and replays them at demand
+# time; anything else is a programming error and propagates.
+_DISPATCH_ERRORS = (
+    ProbeLimitExceededError,
+    TransientSourceError,
+    CircuitOpenError,
+    DeadlineExceededError,
+)
+
+
+class PlanSession:
+    """Scheduling state for one ``answer()``/``gather_similar()`` call."""
+
+    def __init__(
+        self,
+        webdb: AutonomousWebDatabase | ResilientWebDatabase,
+        config: PlannerConfig,
+    ) -> None:
+        self.webdb = webdb
+        self.config = config
+        # Pass-through when faults are active: see module docstring.
+        self.active = webdb.fault_policy is None
+        workers = config.workers
+        if workers > 1 and isinstance(webdb, ResilientWebDatabase):
+            # The wrapper's retrier counters and deadline-budget slot
+            # are plain instance state; concurrent probes would race
+            # them.  Resilience therefore always dispatches serially.
+            workers = 1
+        self.workers = workers
+        self.store = SemanticProbeStore()
+        self.schema = webdb.schema
+        self.result_cap = webdb.result_cap
+        self.frontier_batches = 0
+        self._pool: ThreadPoolExecutor | None = None
+        # With frontier="all": each later tuple's (query, level) program,
+        # registered up front so a batch can pull sibling levels in.
+        self._programs: list[list[tuple[SelectionQuery, int]]] | None = None
+
+    # -- frontier scheduling ---------------------------------------------------
+
+    def set_programs(
+        self, programs: list[list[tuple[SelectionQuery, int]]]
+    ) -> None:
+        """Register every base tuple's relaxation program (frontier="all")."""
+        self._programs = programs
+
+    def prefetch(
+        self,
+        queries: Sequence[SelectionQuery],
+        tuple_index: int,
+        level: int,
+    ) -> None:
+        """Dispatch one level's irreducible frontier as a batch.
+
+        ``queries`` is the current tuple's contiguous run of
+        level-``level`` relaxations, in serial demand order.  With
+        ``frontier="all"`` the batch additionally pulls the same level
+        from every later tuple's registered program.  Queries already
+        stored, duplicated within the batch, or subsumed by a stored
+        untruncated result are not dispatched.
+        """
+        if not self.active or self.config.frontier == "off":
+            return
+        if not queries:
+            return
+        wave = list(queries)
+        if self.config.frontier == "all" and self._programs is not None:
+            for program in self._programs[tuple_index + 1 :]:
+                wave.extend(q for q, lv in program if lv == level)
+        self.frontier_batches += 1
+        batch: list[SelectionQuery] = []
+        seen: set[object] = set()
+        for query in wave:
+            key = query.canonical_predicates()
+            if key in seen:
+                continue
+            seen.add(key)
+            if self.store.get(query) is not None:
+                continue
+            if self.store.find_container(query) is not None:
+                continue
+            batch.append(query)
+        if not batch:
+            return
+        if self.workers > 1 and len(batch) > 1:
+            pool = self._ensure_pool()
+            # Each worker writes a distinct canonical key into the
+            # store, so the dict updates cannot collide; the facade
+            # serialises the probes themselves under its accounting
+            # lock.
+            futures = [
+                pool.submit(self._dispatch_one, query) for query in batch
+            ]
+            for future in futures:
+                future.result()
+        else:
+            for query in batch:
+                self._dispatch_one(query)
+
+    def _dispatch_one(self, query: SelectionQuery) -> None:
+        try:
+            result = self.webdb.query(query)
+        except _DISPATCH_ERRORS as exc:
+            self.store.put_error(query, exc, prefetched=True)
+        else:
+            self.store.put_result(query, result, prefetched=True)
+
+    # -- demand-side fetching --------------------------------------------------
+
+    def fetch(self, query: SelectionQuery) -> tuple[QueryResult, str]:
+        """Resolve one logical relaxation step, in serial demand order.
+
+        Returns ``(result, kind)`` where ``kind`` tells the engine how
+        to account the step: ``"issued"`` (a real probe reached the
+        source for this demand), ``"cached"`` (the facade's probe cache
+        served the dispatch), or ``"subsumed"`` (answered locally by
+        replay or containment derivation — no new source traffic).
+        Stored dispatch errors re-raise here, at the step that demanded
+        them.
+        """
+        if not self.active:
+            result = self.webdb.query(query)
+            return result, ("cached" if result.from_cache else "issued")
+        entry = self.store.get(query)
+        if entry is not None:
+            if entry.error is not None:
+                raise entry.error
+            assert entry.result is not None
+            if entry.demanded:
+                return entry.result, "subsumed"
+            entry.demanded = True
+            if entry.result.derived:
+                return entry.result, "subsumed"
+            kind = "cached" if entry.result.from_cache else "issued"
+            return entry.result, kind
+        container = self.store.find_container(query)
+        if container is not None:
+            derived = self.store.derive(
+                query, container, self.schema, self.result_cap
+            )
+            stored = self.store.put_result(query, derived, prefetched=False)
+            stored.demanded = True
+            return derived, "subsumed"
+        result = self.webdb.query(query)
+        stored = self.store.put_result(query, result, prefetched=False)
+        stored.demanded = True
+        return result, ("cached" if result.from_cache else "issued")
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def probes_speculative(self) -> int:
+        """Prefetched source probes never demanded by a logical step."""
+        return self.store.speculative_count()
+
+    def close(self) -> None:
+        """Release the worker pool (results in the store stay readable)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return self._pool

@@ -1,0 +1,199 @@
+"""Per-call store of probe results with containment-based derivation.
+
+The store remembers every result one planning session has seen, keyed
+by the query's canonical conjunction.  Two reuse mechanisms live here:
+
+* **Exact replay** — a demand whose canonical form was already fetched
+  returns the stored result verbatim (same payload, same flags).
+* **Containment derivation** — a demand Q2 subsumed by a stored,
+  *untruncated* result for Q1 (``preds(Q1) ⊆ preds(Q2)``, so
+  ``rows(Q2) ⊆ rows(Q1)``) is answered locally by evaluating Q2's
+  residual predicates over Q1's rows.  Because the executor returns
+  rows in canonical ascending-row-id order, the derived result is
+  bit-identical to what the source would have returned, including the
+  ``result_cap`` window semantics.
+
+Truncated containers are never used for derivation: a cut page is not
+the container's full answer set, so filtering it could silently drop
+matches.  Errors are stored too, so a batch-dispatched failure
+surfaces at the exact logical step that demanded it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Hashable
+
+from repro.db import QueryResult, RelationSchema, SelectionQuery
+
+__all__ = ["SemanticProbeStore", "StoredProbe"]
+
+# Containment lookup strategy cut-over: a demand with n conjuncts has
+# 2^n - 2 proper non-empty subsets; enumerating them against the store
+# dict is O(2^n) but independent of store size, so it wins for the
+# form-sized queries relaxation actually issues.  Wider conjunctions
+# (n > 10) fall back to scanning the store.
+_SUBSET_ENUMERATION_LIMIT = 10
+
+
+@dataclass
+class StoredProbe:
+    """One probe the session has dispatched (or derived locally).
+
+    ``demanded`` flips when a logical relaxation step first consumes
+    the entry; prefetched entries that never flip are *speculative* —
+    dispatched to the source but never needed.  ``error`` holds the
+    exception a dispatch raised, re-raised at every demand of the same
+    canonical query (exactly as re-issuing it would).
+    """
+
+    query: SelectionQuery
+    result: QueryResult | None = None
+    error: Exception | None = None
+    demanded: bool = False
+    prefetched: bool = False
+    canonical_set: frozenset[tuple[object, ...]] = field(
+        default_factory=frozenset
+    )
+
+
+class SemanticProbeStore:
+    """Canonical-keyed result store for one planning session."""
+
+    def __init__(self) -> None:
+        self._entries: dict[Hashable, StoredProbe] = {}
+        # Same entries keyed by canonical *set*, for containment probes.
+        self._by_set: dict[frozenset[tuple[object, ...]], StoredProbe] = {}
+        # Conjunct counts present in the store: subset enumeration only
+        # visits sizes at which a container can actually exist.
+        self._sizes: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, query: SelectionQuery) -> StoredProbe | None:
+        """The stored entry for this exact canonical conjunction."""
+        return self._entries.get(query.canonical_predicates())
+
+    def put_result(
+        self, query: SelectionQuery, result: QueryResult, prefetched: bool
+    ) -> StoredProbe:
+        """Store one fetched (or derived) result."""
+        entry = StoredProbe(
+            query=query,
+            result=result,
+            prefetched=prefetched,
+            canonical_set=query.canonical_form_set(),
+        )
+        self._entries[query.canonical_predicates()] = entry
+        self._by_set[entry.canonical_set] = entry
+        self._sizes.add(len(entry.canonical_set))
+        return entry
+
+    def put_error(
+        self, query: SelectionQuery, error: Exception, prefetched: bool
+    ) -> StoredProbe:
+        """Store one dispatch failure for replay at demand time."""
+        entry = StoredProbe(
+            query=query,
+            error=error,
+            prefetched=prefetched,
+            canonical_set=query.canonical_form_set(),
+        )
+        self._entries[query.canonical_predicates()] = entry
+        self._by_set[entry.canonical_set] = entry
+        return entry
+
+    def find_container(self, query: SelectionQuery) -> StoredProbe | None:
+        """A stored result that subsumes ``query``, or None.
+
+        Candidates must be successful, *untruncated* fetches whose
+        canonical conjuncts are a proper subset of the demand's (the
+        exact match is :meth:`get`'s business).  Every eligible
+        container yields the identical derived result — the demand's
+        full answer set — so the choice only affects derivation cost;
+        subsets are enumerated largest first because a more specific
+        container holds fewer rows to filter.
+        """
+        demand = query.canonical_predicates()
+        n = len(demand)
+        if n > _SUBSET_ENUMERATION_LIMIT:
+            demand_set = query.canonical_form_set()
+            for entry in self._entries.values():
+                if entry.result is None or entry.result.truncated:
+                    continue
+                if len(entry.canonical_set) < n and (
+                    entry.canonical_set <= demand_set
+                ):
+                    return entry
+            return None
+        # Size 0 is the match-all query: relaxation never issues it, but
+        # it is a legitimate container for anything if a caller stored it.
+        for size in range(n - 1, -1, -1):
+            if size not in self._sizes:
+                continue
+            for combo in combinations(demand, size):
+                entry = self._by_set.get(frozenset(combo))
+                if (
+                    entry is not None
+                    and entry.result is not None
+                    and not entry.result.truncated
+                ):
+                    return entry
+        return None
+
+    def derive(
+        self,
+        query: SelectionQuery,
+        container: StoredProbe,
+        schema: RelationSchema,
+        result_cap: int | None,
+    ) -> QueryResult:
+        """Answer ``query`` from a subsuming stored result.
+
+        Evaluates the residual predicates (the demand's conjuncts the
+        container does not already enforce) over the container's rows.
+        Rows stay in canonical ascending-row-id order, and the facade's
+        ``result_cap`` window is replicated — first N matches, flagged
+        ``truncated`` when more exist — so the derived result is
+        indistinguishable from a real probe's, except for the
+        ``derived`` flag that keeps the accounting honest.
+        """
+        assert container.result is not None
+        residual = SelectionQuery(
+            query.residual_against(container.result.query)
+        )
+        row_ids: list[int] = []
+        rows: list[tuple] = []
+        truncated = False
+        for row_id, row in zip(
+            container.result.row_ids, container.result.rows
+        ):
+            if not residual.matches(row, schema):
+                continue
+            if result_cap is not None and len(row_ids) >= result_cap:
+                truncated = True
+                break
+            row_ids.append(row_id)
+            rows.append(row)
+        return QueryResult(
+            query=query,
+            row_ids=tuple(row_ids),
+            rows=tuple(rows),
+            truncated=truncated,
+            derived=True,
+        )
+
+    def speculative_count(self) -> int:
+        """Prefetched probes that reached the source but were never
+        demanded — the cost of batching past an early quota break."""
+        return sum(
+            1
+            for entry in self._entries.values()
+            if entry.prefetched
+            and entry.result is not None
+            and not entry.result.derived
+            and not entry.result.from_cache
+            and not entry.demanded
+        )

@@ -9,7 +9,13 @@ from repro.core.query import ImpreciseQuery
 from repro.db import RelationSchema
 from repro.resilience.degradation import DegradationReport
 
-__all__ = ["RankedAnswer", "AnswerSet", "RelaxationTrace"]
+__all__ = [
+    "RankedAnswer",
+    "AnswerSet",
+    "RelaxationTrace",
+    "answer_rank_key",
+    "base_rank_key",
+]
 
 
 @dataclass(frozen=True)
@@ -27,6 +33,28 @@ class RankedAnswer:
         return schema.row_to_mapping(self.row)
 
 
+def answer_rank_key(answer: RankedAnswer) -> tuple[float, float, int]:
+    """The engine's canonical ranking key for ``answer()`` results.
+
+    Ascending sort under this key ranks by query similarity
+    (descending), then base-tuple similarity (descending), then row id
+    (ascending).  The trailing row id makes every tie-break explicit
+    and total: two answers never compare equal, so the top-k cut is
+    deterministic regardless of how — serially or batched — the
+    extended set was populated.
+    """
+    return (-answer.similarity, -answer.base_similarity, answer.row_id)
+
+
+def base_rank_key(answer: RankedAnswer) -> tuple[float, int]:
+    """Canonical ranking key for ``gather_similar()`` results.
+
+    Base-tuple similarity descending, then row id ascending — the same
+    total, deterministic order contract as :func:`answer_rank_key`.
+    """
+    return (-answer.base_similarity, answer.row_id)
+
+
 @dataclass
 class RelaxationTrace:
     """Work accounting for one answered query (drives Figs 6–7).
@@ -37,11 +65,31 @@ class RelaxationTrace:
     so the issued-probe semantics stay comparable to the paper's; with
     the cache off (the default, and how the efficiency benchmarks run)
     ``probes_cached`` is always zero.
+
+    The semantic planner (``repro.core.plan``, opt-in) adds three more
+    counters, all zero on the sequential path:
+
+    * ``probes_subsumed`` — logical relaxation steps answered locally,
+      by replaying an already-fetched result or deriving it from a
+      containing one.  No source traffic, no budget charge.
+    * ``probes_speculative`` — batch-prefetched probes that reached
+      the source but were never demanded (expansion stopped first).
+      These appear in ``ProbeLog.probes_issued`` but belong to no
+      logical step, so they are reported separately.
+    * ``frontier_batches`` — how many frontier waves the planner
+      scheduled.
+
+    ``logical_probes`` is invariant across scheduling modes: the
+    batched engine demands exactly the serial probe stream, it just
+    answers part of it without the source.
     """
 
     base_set_size: int = 0
     queries_issued: int = 0
     probes_cached: int = 0
+    probes_subsumed: int = 0
+    probes_speculative: int = 0
+    frontier_batches: int = 0
     tuples_extracted: int = 0
     tuples_relevant: int = 0
     deepest_level: int = 0
@@ -57,6 +105,26 @@ class RelaxationTrace:
     def total_lookups(self) -> int:
         """Issued probes plus cache-served lookups."""
         return self.queries_issued + self.probes_cached
+
+    @property
+    def logical_probes(self) -> int:
+        """Relaxation steps resolved, however they were answered.
+
+        ``queries_issued + probes_cached + probes_subsumed``: the
+        demand stream is identical in serial and batched mode, so this
+        equals the serial path's ``total_lookups`` by construction.
+        """
+        return self.queries_issued + self.probes_cached + self.probes_subsumed
+
+    @property
+    def source_probes(self) -> int:
+        """Probes that actually reached the source, speculation included.
+
+        Matches the :class:`~repro.db.ProbeLog` delta for the call
+        (modulo base-query mapping probes, which the trace never
+        counted).
+        """
+        return self.queries_issued + self.probes_speculative
 
     @property
     def work_per_relevant_tuple(self) -> float:

@@ -69,7 +69,14 @@ class QueryResult:
 
     ``from_cache`` marks results the facade served from its probe
     cache rather than from the source; payloads are identical either
-    way, the flag only drives probe accounting.
+    way, the flag only drives probe accounting.  ``derived`` marks
+    results the semantic planner computed locally by filtering a
+    containing query's rows — no probe reached the source at all.
+
+    Rows are always ordered by ascending row id (the canonical result
+    order, see :meth:`Executor.execute`), so two results for the same
+    query are comparable position by position however they were
+    produced.
     """
 
     query: SelectionQuery
@@ -77,6 +84,7 @@ class QueryResult:
     rows: tuple[tuple, ...]
     truncated: bool = False
     from_cache: bool = False
+    derived: bool = False
 
     def __len__(self) -> int:
         return len(self.row_ids)
@@ -144,6 +152,13 @@ class Executor:
         first ``offset`` matches, return at most ``limit``.  The result
         is flagged ``truncated`` when further matches exist beyond the
         returned window.
+
+        Results come back in *canonical order*: ascending row id,
+        whatever plan served the query.  Index drivers are sorted into
+        that order before the verify loop, so a paged window always
+        means "the first N matches by row id" — a plan-independent
+        contract the semantic planner relies on when it derives one
+        query's result from another's.
         """
         if offset < 0:
             raise ValueError("offset cannot be negative")
@@ -180,7 +195,7 @@ class Executor:
         else:
             self.stats.index_lookups += 1
             residual = SelectionQuery(plan.residual)
-            for row_id in plan.candidates:
+            for row_id in sorted(plan.candidates):
                 examined += 1
                 row = self.table.row(row_id)
                 if residual.matches(row, schema) and consume(row_id, row):

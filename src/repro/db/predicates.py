@@ -42,6 +42,18 @@ class Predicate:
         """Return True when ``value`` satisfies the predicate."""
         raise NotImplementedError
 
+    def canonical_form(self) -> tuple[object, ...]:
+        """Hashable, order-insensitive identity of this predicate.
+
+        Two predicates describing the same form constraint — regardless
+        of construction order or ``IsIn`` value order — share one
+        canonical form.  The probe cache keys on it and the semantic
+        planner uses set-inclusion over canonical forms to decide query
+        containment, so the form must be *exact*: no two semantically
+        different predicates may collide.
+        """
+        return (self.attribute, type(self).__name__, repr(self))
+
     @property
     def is_equality(self) -> bool:
         """True when the predicate pins the attribute to one value."""
@@ -70,6 +82,9 @@ class Eq(Predicate):
     def matches(self, value: object) -> bool:
         return value == self.value
 
+    def canonical_form(self) -> tuple[object, ...]:
+        return (self.attribute, "eq", self.value)
+
     @property
     def is_equality(self) -> bool:
         return True
@@ -87,6 +102,9 @@ class Ne(Predicate):
     def matches(self, value: object) -> bool:
         return value is not None and value != self.value
 
+    def canonical_form(self) -> tuple[object, ...]:
+        return (self.attribute, "ne", self.value)
+
     def describe(self) -> str:
         return f"{self.attribute} != {self.value!r}"
 
@@ -99,6 +117,9 @@ class Lt(Predicate):
 
     def matches(self, value: object) -> bool:
         return _comparable(value) and value < self.bound  # type: ignore[operator]
+
+    def canonical_form(self) -> tuple[object, ...]:
+        return (self.attribute, "lt", self.bound)
 
     @property
     def is_range(self) -> bool:
@@ -117,6 +138,9 @@ class Le(Predicate):
     def matches(self, value: object) -> bool:
         return _comparable(value) and value <= self.bound  # type: ignore[operator]
 
+    def canonical_form(self) -> tuple[object, ...]:
+        return (self.attribute, "le", self.bound)
+
     @property
     def is_range(self) -> bool:
         return True
@@ -134,6 +158,9 @@ class Gt(Predicate):
     def matches(self, value: object) -> bool:
         return _comparable(value) and value > self.bound  # type: ignore[operator]
 
+    def canonical_form(self) -> tuple[object, ...]:
+        return (self.attribute, "gt", self.bound)
+
     @property
     def is_range(self) -> bool:
         return True
@@ -150,6 +177,9 @@ class Ge(Predicate):
 
     def matches(self, value: object) -> bool:
         return _comparable(value) and value >= self.bound  # type: ignore[operator]
+
+    def canonical_form(self) -> tuple[object, ...]:
+        return (self.attribute, "ge", self.bound)
 
     @property
     def is_range(self) -> bool:
@@ -184,6 +214,9 @@ class Between(Predicate):
             and self.low <= value <= self.high  # type: ignore[operator]
         )
 
+    def canonical_form(self) -> tuple[object, ...]:
+        return (self.attribute, "between", self.low, self.high)
+
     @property
     def is_range(self) -> bool:
         return True
@@ -206,6 +239,9 @@ class IsIn(Predicate):
 
     def matches(self, value: object) -> bool:
         return value in self.values
+
+    def canonical_form(self) -> tuple[object, ...]:
+        return (self.attribute, "in", tuple(sorted(self.values, key=repr)))
 
     def describe(self) -> str:
         rendered = ", ".join(repr(v) for v in sorted(self.values, key=repr))

@@ -34,34 +34,9 @@ from collections import OrderedDict
 from typing import Hashable
 
 from repro.db.executor import QueryResult
-from repro.db.predicates import Between, Eq, Ge, Gt, IsIn, Le, Lt, Ne, Predicate
 from repro.db.query import SelectionQuery
 
 __all__ = ["ProbeCache", "canonical_probe_key"]
-
-
-def _canonical_predicate(predicate: Predicate) -> tuple:
-    """Order-insensitive, hashable form of one predicate."""
-    if isinstance(predicate, Eq):
-        return (predicate.attribute, "eq", predicate.value)
-    if isinstance(predicate, Ne):
-        return (predicate.attribute, "ne", predicate.value)
-    if isinstance(predicate, Lt):
-        return (predicate.attribute, "lt", predicate.bound)
-    if isinstance(predicate, Le):
-        return (predicate.attribute, "le", predicate.bound)
-    if isinstance(predicate, Gt):
-        return (predicate.attribute, "gt", predicate.bound)
-    if isinstance(predicate, Ge):
-        return (predicate.attribute, "ge", predicate.bound)
-    if isinstance(predicate, Between):
-        return (predicate.attribute, "between", predicate.low, predicate.high)
-    if isinstance(predicate, IsIn):
-        values = tuple(sorted(predicate.values, key=repr))
-        return (predicate.attribute, "in", values)
-    # Unknown predicate classes fall back to their repr, which for
-    # frozen dataclasses encodes every field deterministically.
-    return (predicate.attribute, type(predicate).__name__, repr(predicate))
 
 
 def canonical_probe_key(
@@ -69,15 +44,13 @@ def canonical_probe_key(
 ) -> Hashable:
     """Cache key for one probe: canonical conjunction + result window.
 
-    Predicates are sorted by their canonical form (via ``repr`` so
-    mixed value types stay comparable), making the key insensitive to
-    conjunct order.  The *effective* limit must be passed in — the
-    facade folds its ``result_cap`` into it before looking up.
+    Canonicalisation is delegated to (and memoised on) the query via
+    :meth:`SelectionQuery.canonical_predicates`, so repeated lookups of
+    the same query object — the relaxation hot path — pay for sorting
+    once.  The *effective* limit must be passed in — the facade folds
+    its ``result_cap`` into it before looking up.
     """
-    parts = sorted(
-        (_canonical_predicate(p) for p in query.predicates), key=repr
-    )
-    return (tuple(parts), limit, offset)
+    return (query.canonical_predicates(), limit, offset)
 
 
 class ProbeCache:

@@ -24,6 +24,7 @@ shared metrics registry, including probe counts by predicate shape.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Iterator
@@ -204,6 +205,13 @@ class AutonomousWebDatabase:
         self.result_cap = result_cap
         self.probe_budget = probe_budget
         self.log = ProbeLog()
+        # Serialises probe execution + accounting so concurrent callers
+        # (the batched planner's worker pool) cannot interleave a budget
+        # check, the executor counters, and the ProbeLog update.  The
+        # in-memory substrate therefore runs probes one at a time under
+        # the lock; worker pools only pay off against facades with real
+        # I/O latency.
+        self._accounting_lock = threading.RLock()
         self._fault_policy = fault_policy
         self._probe_cache: ProbeCache | None = (
             ProbeCache(probe_cache_capacity)
@@ -264,7 +272,20 @@ class AutonomousWebDatabase:
         returned result is payload-identical but flagged
         ``from_cache=True``, no budget is charged, and only
         ``cache_hits`` accounting moves.
+
+        Thread-safe: the whole probe (budget check, execution, cache and
+        log updates) runs under one lock, so concurrent callers observe
+        consistent accounting.
         """
+        with self._accounting_lock:
+            return self._query_locked(query, limit, offset)
+
+    def _query_locked(
+        self,
+        query: SelectionQuery,
+        limit: int | None,
+        offset: int,
+    ) -> QueryResult:
         effective_limit = self.result_cap
         if limit is not None:
             effective_limit = (
@@ -309,8 +330,13 @@ class AutonomousWebDatabase:
         and the probe is logged distinctly as a count probe.  The probe
         budget applies exactly as for row probes — a count still costs
         the source one form submission.  Repeated counts are served by
-        the probe cache when it is enabled.
+        the probe cache when it is enabled.  Thread-safe, like
+        :meth:`query`.
         """
+        with self._accounting_lock:
+            return self._count_locked(query)
+
+    def _count_locked(self, query: SelectionQuery) -> int:
         cache = self._probe_cache
         if cache is not None:
             cached = cache.get_count(query)

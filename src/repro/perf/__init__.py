@@ -4,16 +4,20 @@ Each scenario times a fast path against its reference (slow) path on
 the same inputs, verifies the two produce identical results, and
 reports wall-clock plus the relevant observability counters.  The CLI
 entry point is ``python -m repro bench``; CI runs the smoke scale and
-the committed ``BENCH_perf.json`` records a default-scale run.  See
-``docs/PERFORMANCE.md`` for what each fast path changes and why it is
-result-equivalent.
+gates it against the committed ``BENCH_perf.json`` baseline, while the
+committed ``BENCH_history.jsonl`` keeps the speedup trajectory across
+recorded runs.  See ``docs/PERFORMANCE.md`` for what each fast path
+changes and why it is result-equivalent.
 """
 
 from repro.perf.bench import (
     SCALES,
     SCENARIOS,
     ScenarioResult,
+    append_history,
+    check_baseline,
     check_regressions,
+    load_report,
     run_bench,
 )
 
@@ -21,6 +25,9 @@ __all__ = [
     "SCALES",
     "SCENARIOS",
     "ScenarioResult",
+    "append_history",
+    "check_baseline",
     "check_regressions",
+    "load_report",
     "run_bench",
 ]

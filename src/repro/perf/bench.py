@@ -26,10 +26,28 @@ one overhead guard for the resilience layer:
     *guard*, not an optimisation: both paths must produce identical
     answers and the guarded path must stay within the regression
     tolerance — i.e. resilience on the happy path is close to free.
+``semantic_reuse``
+    Answering over an overlap-heavy source (rows drawn from a small
+    pool of correlated profiles, so sibling base tuples share whole
+    relaxation programs) with the sequential engine vs the semantic
+    planner in pure-reuse mode (``frontier="off"``): every relaxed
+    query already answered — exactly or by containment — is served
+    locally instead of re-probing the source.  Equivalence here also
+    requires the planner to issue *strictly fewer* source probes while
+    resolving the *same* logical probe stream.
+``batched_frontier``
+    The same workload with frontier batching on top
+    (``frontier="tuple"``, two workers): each base tuple's
+    per-level frontier is deduplicated and dispatched as a batch
+    before consumption resumes in serial order.
 
 Every scenario checks that the fast and slow paths produced identical
 results; ``check_regressions`` turns a report into CI failures when a
-fast path is slower than its reference beyond a tolerance.
+fast path is slower than its reference beyond a tolerance, and
+``check_baseline`` compares a fresh report's speedups against a
+committed baseline (``BENCH_perf.json``) so the fast paths cannot
+silently decay across commits.  ``append_history`` keeps the
+trajectory: one JSON line per recorded run in ``BENCH_history.jsonl``.
 
 Timing runs with observability *off* so neither path pays metric
 overhead; counters reported in ``details`` come from separate metered
@@ -39,17 +57,20 @@ re-runs of the fast path.
 from __future__ import annotations
 
 import heapq
+import json
 import random
 import sys
 import time
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.afd.partition import StrippedPartition, partition_product, partition_single
 from repro.core.config import AIMQSettings
 from repro.core.pipeline import AIMQModel, build_model
+from repro.core.plan import PlannerConfig
 from repro.core.query import ImpreciseQuery
-from repro.core.results import RankedAnswer
+from repro.core.results import RankedAnswer, RelaxationTrace
 from repro.datasets.cardb import cardb_webdb
 from repro.db.schema import RelationSchema
 from repro.db.table import Table
@@ -63,7 +84,10 @@ __all__ = [
     "SCALES",
     "SCENARIOS",
     "ScenarioResult",
+    "append_history",
+    "check_baseline",
     "check_regressions",
+    "load_report",
     "run_bench",
 ]
 
@@ -90,7 +114,9 @@ class BenchScale:
 
 SCALES: dict[str, BenchScale] = {
     # CI smoke: seconds, not minutes; still large enough that the
-    # fast/slow gap dominates timer noise.
+    # fast/slow gap dominates timer noise.  This is the committed
+    # BENCH_perf.json scale, because the CI baseline gate compares
+    # speedups at the scale the bench-smoke job actually runs.
     "smoke": BenchScale(
         rows=1_500,
         sample=400,
@@ -107,7 +133,7 @@ SCALES: dict[str, BenchScale] = {
         partition_rows=6_000,
         partition_products=40,
     ),
-    # The committed BENCH_perf.json scale.
+    # The scale the committed BENCH_history.jsonl trajectory records.
     "default": BenchScale(
         rows=6_000,
         sample=1_200,
@@ -173,6 +199,9 @@ class _Fixture:
         self._scale = scale
         self._webdb: AutonomousWebDatabase | None = None
         self._model: AIMQModel | None = None
+        self._overlap: (
+            tuple[AutonomousWebDatabase, AIMQModel, ImpreciseQuery] | None
+        ) = None
 
     def _build(self) -> None:
         if self._webdb is not None:
@@ -197,6 +226,27 @@ class _Fixture:
         self._build()
         assert self._model is not None
         return self._model
+
+    @property
+    def overlap(
+        self,
+    ) -> tuple[AutonomousWebDatabase, AIMQModel, ImpreciseQuery]:
+        """Source + model + query for the semantic-planner scenarios."""
+        if self._overlap is None:
+            webdb, top_value = _overlap_webdb(self._scale)
+            model = build_model(
+                webdb,
+                sample_size=self._scale.sample,
+                rng=random.Random(12),
+                settings=AIMQSettings(
+                    max_relaxation_level=2,
+                    max_extracted_per_base_tuple=250,
+                ),
+            )
+            webdb.reset_accounting()
+            query = ImpreciseQuery.like(webdb.schema.name, A0=top_value)
+            self._overlap = (webdb, model, query)
+        return self._overlap
 
 
 def _fixture_queries(fixture: _Fixture, count: int) -> list[ImpreciseQuery]:
@@ -522,6 +572,126 @@ def bench_resilience_overhead(
     )
 
 
+def _overlap_webdb(
+    scale: BenchScale,
+    seed: int = 71,
+    profiles: int = 48,
+    attributes: int = 5,
+    values: int = 12,
+) -> tuple[AutonomousWebDatabase, str]:
+    """Overlap-heavy categorical source for the planner scenarios.
+
+    Rows are drawn (Zipf-weighted) from a small pool of fixed profile
+    tuples rather than independently per attribute.  That correlation
+    is what the semantic planner exploits: base-set tuples sharing a
+    profile share their *entire* relaxation program, and tuples sharing
+    a value prefix hand each other containment-derivable results.
+    Returns the facade plus the most frequent ``A0`` value, whose
+    likeness query yields a full (capped) base set.
+    """
+    rng = random.Random(seed)
+    names = tuple(f"A{index}" for index in range(attributes))
+    schema = RelationSchema.build(
+        "overlapbench", categorical=names, numeric=(), order=names
+    )
+    domains = [
+        [f"v{attribute}_{value}" for value in range(values)]
+        for attribute in range(attributes)
+    ]
+    value_weights = [1.0 / (rank + 1) for rank in range(values)]
+    pool = [
+        tuple(
+            rng.choices(domain, weights=value_weights, k=1)[0]
+            for domain in domains
+        )
+        for _ in range(profiles)
+    ]
+    profile_weights = [1.0 / (rank + 1) for rank in range(profiles)]
+    table = Table(schema)
+    for _ in range(scale.rows):
+        table.insert(rng.choices(pool, weights=profile_weights, k=1)[0])
+    top_value = Counter(row[0] for row in table.rows()).most_common(1)[0][0]
+    return AutonomousWebDatabase(table), str(top_value)
+
+
+def _run_planner_scenario(
+    name: str,
+    scale: BenchScale,
+    fixture: _Fixture,
+    planner: PlannerConfig,
+) -> ScenarioResult:
+    """Serial engine vs planner engine on the overlap-heavy source.
+
+    Equivalence is stricter than output identity: the planner must
+    resolve the *same* logical probe stream (``logical_probes`` equal
+    to the serial path's total lookups) while issuing *strictly fewer*
+    source probes — otherwise the reuse machinery is not actually
+    reusing anything and the scenario fails even if it happens to be
+    fast.
+    """
+    webdb, model, query = fixture.overlap
+    slow_engine = model.engine(webdb)
+    fast_engine = model.engine(webdb, planner=planner)
+
+    def run(engine) -> tuple[list[tuple[int, float, float]], RelaxationTrace]:
+        output: list[tuple[int, float, float]] = []
+        trace = RelaxationTrace()
+        for _ in range(scale.repeats):
+            answers = engine.answer(query)
+            output = [
+                (a.row_id, a.similarity, a.base_similarity) for a in answers
+            ]
+            trace = answers.trace
+        return output, trace
+
+    with webdb.accounting_scope() as slow_window:
+        (slow_out, slow_trace), slow_seconds = _timed(lambda: run(slow_engine))
+    with webdb.accounting_scope() as fast_window:
+        (fast_out, fast_trace), fast_seconds = _timed(lambda: run(fast_engine))
+    equivalent = (
+        slow_out == fast_out
+        and fast_trace.logical_probes == slow_trace.total_lookups
+        and fast_trace.queries_issued < slow_trace.queries_issued
+    )
+    return ScenarioResult(
+        name=name,
+        slow_seconds=slow_seconds,
+        fast_seconds=fast_seconds,
+        equivalent=equivalent,
+        details={
+            "repeats": scale.repeats,
+            "frontier": planner.frontier,
+            "workers": planner.workers,
+            "base_set_size": fast_trace.base_set_size,
+            "probes_issued_serial": slow_trace.queries_issued,
+            "probes_issued_planner": fast_trace.queries_issued,
+            "probes_subsumed": fast_trace.probes_subsumed,
+            "probes_speculative": fast_trace.probes_speculative,
+            "logical_probes": fast_trace.logical_probes,
+            "frontier_batches": fast_trace.frontier_batches,
+            "probelog_issued_serial": slow_window.probes_issued,
+            "probelog_issued_planner": fast_window.probes_issued,
+        },
+    )
+
+
+def bench_semantic_reuse(scale: BenchScale, fixture: _Fixture) -> ScenarioResult:
+    return _run_planner_scenario(
+        "semantic_reuse", scale, fixture, PlannerConfig(frontier="off")
+    )
+
+
+def bench_batched_frontier(
+    scale: BenchScale, fixture: _Fixture
+) -> ScenarioResult:
+    return _run_planner_scenario(
+        "batched_frontier",
+        scale,
+        fixture,
+        PlannerConfig(frontier="tuple", workers=2),
+    )
+
+
 SCENARIOS: dict[str, Callable[[BenchScale, _Fixture], ScenarioResult]] = {
     "probe_cache": bench_probe_cache,
     "vsim_mining": bench_vsim_mining,
@@ -529,6 +699,8 @@ SCENARIOS: dict[str, Callable[[BenchScale, _Fixture], ScenarioResult]] = {
     "similarity_memo": bench_similarity_memo,
     "lazy_partition": bench_lazy_partition,
     "resilience_overhead": bench_resilience_overhead,
+    "semantic_reuse": bench_semantic_reuse,
+    "batched_frontier": bench_batched_frontier,
 }
 
 
@@ -573,3 +745,79 @@ def check_regressions(
                 f"< {floor:.3f})"
             )
     return failures
+
+
+def load_report(path: str) -> dict[str, object]:
+    """Read a ``run_bench``-shaped JSON report from disk."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check_baseline(
+    report: dict[str, object],
+    baseline: dict[str, object],
+    max_regression: float = 0.25,
+) -> list[str]:
+    """Failure messages for speedups that decayed against a baseline.
+
+    The committed baseline pins each scenario's speedup at a known-good
+    commit; a fresh run fails when a scenario that the baseline records
+    as ``equivalent: true`` is now more than ``max_regression`` slower
+    relative to its reference path (current speedup below
+    ``baseline_speedup / (1 + max_regression)``), or is no longer
+    equivalent.  Speedups are ratios against the in-run reference, so
+    the comparison is portable across machines — but not across
+    problem sizes, so a scale mismatch refuses to judge rather than
+    failing spuriously.  Scenarios absent from the baseline are
+    skipped: they are new, and committing the next report baselines
+    them.
+    """
+    if report.get("scale") != baseline.get("scale"):
+        return [
+            "baseline scale mismatch: report is "
+            f"{report.get('scale')!r}, baseline is "
+            f"{baseline.get('scale')!r}; regenerate the baseline at the "
+            "scale the gate runs"
+        ]
+    failures: list[str] = []
+    baseline_scenarios = baseline.get("scenarios", {})
+    for name, entry in report["scenarios"].items():  # type: ignore[union-attr]
+        reference = baseline_scenarios.get(name)  # type: ignore[union-attr]
+        if reference is None or not reference["equivalent"]:
+            continue
+        if not entry["equivalent"]:
+            failures.append(
+                f"{name}: no longer equivalent (baseline was equivalent)"
+            )
+            continue
+        floor = reference["speedup"] / (1.0 + max_regression)
+        if entry["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup decayed to {entry['speedup']:.3f} "
+                f"(baseline {reference['speedup']:.3f}, floor {floor:.3f})"
+            )
+    return failures
+
+
+def append_history(report: dict[str, object], path: str) -> dict[str, object]:
+    """Append one compact trajectory line for ``report`` to ``path``.
+
+    ``BENCH_history.jsonl`` is the perf record over time — one JSON
+    object per recorded run, keeping the per-scenario speedups and
+    equivalence verdicts (timings are machine-local noise; the ratios
+    are what trend).  Returns the appended object.
+    """
+    line = {
+        "scale": report["scale"],
+        "python": report["python"],
+        "scenarios": {
+            name: {
+                "speedup": entry["speedup"],
+                "equivalent": entry["equivalent"],
+            }
+            for name, entry in report["scenarios"].items()  # type: ignore[union-attr]
+        },
+    }
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(line, sort_keys=True) + "\n")
+    return line

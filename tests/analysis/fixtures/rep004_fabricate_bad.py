@@ -1,0 +1,26 @@
+"""Golden fixture: fabricated ProbeLog accounting (REP004)."""
+
+from repro.db.webdb import ProbeLog
+
+
+def answer_locally(webdb, entry, result):
+    # A planner that answers a subsumed query from a stored result and
+    # then "corrects" the log so the issued count looks serial.
+    webdb.log.record(result)
+    webdb.log.probes_issued += 1
+    return entry
+
+
+def pretend_cache_hit(webdb):
+    webdb.log.record_cache_hit()
+
+
+def fake_count_probe(report, matches):
+    report.record_count(matches)
+
+
+def forge_log(results):
+    log = ProbeLog()
+    for result in results:
+        log.record(result)
+    return log

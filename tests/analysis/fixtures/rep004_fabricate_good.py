@@ -1,0 +1,23 @@
+"""Golden fixture: the REP004-clean twin of rep004_fabricate_bad.
+
+Locally-answered queries are accounted where they belong — in the
+trace's ``probes_subsumed`` — and real probes flow through the facade,
+whose own ProbeLog does the recording.
+"""
+
+
+def answer_locally(trace, entry):
+    trace.probes_subsumed += 1
+    return entry
+
+
+def issue_probe(webdb, query):
+    # The facade records the probe; callers never touch the log.
+    return webdb.query(query)
+
+
+def report_progress(report, matches):
+    # Collection reports carry their own counters; that is
+    # measurement, not ProbeLog fabrication.
+    report.probes_sampled += 1
+    return matches

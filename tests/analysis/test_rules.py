@@ -80,6 +80,22 @@ def test_rep006_retry_good_fixture_is_clean_under_all_rules():
     assert run.findings == [], [f.render() for f in run.findings]
 
 
+def test_rep004_flags_probelog_fabrication():
+    run = run_rule("REP004", FIXTURES / "rep004_fabricate_bad.py")
+    assert len(run.findings) == 5
+    messages = " ".join(f.message for f in run.findings)
+    assert "ProbeLog.record()" in messages
+    assert "ProbeLog.record_cache_hit()" in messages
+    assert "ProbeLog.record_count()" in messages
+    assert "mutation of ProbeLog.probes_issued" in messages
+    assert "probes_subsumed" in messages
+
+
+def test_rep004_fabricate_good_fixture_is_clean_under_all_rules():
+    run = LintEngine().run([FIXTURES / "rep004_fabricate_good.py"])
+    assert run.findings == [], [f.render() for f in run.findings]
+
+
 def test_suppression_comment_silences_a_finding(tmp_path):
     source = FIXTURES / "rep006_bad.py"
     patched = tmp_path / "patched.py"

@@ -1,0 +1,374 @@
+"""Semantic probe planner: unit, interplay and bit-identity tests.
+
+The planner's contract is absolute: opt-in batching and reuse may only
+change *how* relaxation probes are answered, never *what* any engine
+call returns.  These tests pin the store/session mechanics and then
+hold the batched engine against the sequential one across frontier
+modes, worker counts, the probe cache and fault injection.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import AIMQSettings, ImpreciseQuery, build_model
+from repro.core.plan import PlannerConfig, PlanSession, SemanticProbeStore
+from repro.datasets.cardb import cardb_webdb
+from repro.db import SelectionQuery, TransientSourceError
+from repro.db.faults import FaultPolicy, FaultSpec
+from repro.db.predicates import Eq
+from repro.db.schema import RelationSchema
+from repro.db.table import Table
+from repro.db.webdb import AutonomousWebDatabase
+from repro.obs.runtime import OBS
+from repro.resilience import ResiliencePolicy, ResilientWebDatabase
+
+# -- small fixtures ----------------------------------------------------------
+
+
+def _tiny_webdb(result_cap: int | None = None) -> AutonomousWebDatabase:
+    schema = RelationSchema.build(
+        "tiny", categorical=("A", "B", "C"), numeric=(), order=("A", "B", "C")
+    )
+    table = Table(schema)
+    for row in [
+        ("a1", "b1", "c1"),
+        ("a1", "b1", "c2"),
+        ("a1", "b2", "c1"),
+        ("a2", "b1", "c1"),
+        ("a1", "b1", "c1"),
+        ("a1", "b2", "c2"),
+    ]:
+        table.insert(row)
+    return AutonomousWebDatabase(table, result_cap=result_cap)
+
+
+def _overlap_webdb(
+    n_rows: int = 300, profiles: int = 6, seed: int = 9
+) -> AutonomousWebDatabase:
+    """Rows drawn from few profiles: guaranteed cross-tuple reuse."""
+    rng = random.Random(seed)
+    schema = RelationSchema.build(
+        "mini", categorical=("A", "B", "C"), numeric=(), order=("A", "B", "C")
+    )
+    pool = [
+        (f"a{rng.randrange(3)}", f"b{rng.randrange(3)}", f"c{rng.randrange(3)}")
+        for _ in range(profiles)
+    ]
+    table = Table(schema)
+    for _ in range(n_rows):
+        table.insert(rng.choice(pool))
+    return AutonomousWebDatabase(table)
+
+
+@pytest.fixture(scope="module")
+def cardb_setup():
+    webdb = cardb_webdb(800, seed=3)
+    model = build_model(
+        webdb,
+        sample_size=250,
+        rng=random.Random(4),
+        settings=AIMQSettings(max_relaxation_level=2),
+    )
+    webdb.reset_accounting()
+    schema = webdb.schema
+    row = model.sample.row(5)
+    query = ImpreciseQuery.like(
+        schema.name, Model=row[schema.position("Model")]
+    )
+    return webdb, model, query
+
+
+def _sig(answers) -> list[tuple[int, float, float]]:
+    return [(a.row_id, a.similarity, a.base_similarity) for a in answers]
+
+
+# -- PlannerConfig -----------------------------------------------------------
+
+
+def test_config_rejects_unknown_frontier_mode():
+    with pytest.raises(ValueError, match="frontier"):
+        PlannerConfig(frontier="eager")
+
+
+def test_config_rejects_nonpositive_workers():
+    with pytest.raises(ValueError, match="workers"):
+        PlannerConfig(workers=0)
+
+
+# -- SemanticProbeStore ------------------------------------------------------
+
+
+def test_store_replays_exact_canonical_match():
+    webdb = _tiny_webdb()
+    store = SemanticProbeStore()
+    query = SelectionQuery((Eq("A", "a1"), Eq("B", "b1")))
+    store.put_result(query, webdb.query(query), prefetched=False)
+    # A different instance with reordered conjuncts hits the same entry.
+    twin = SelectionQuery((Eq("B", "b1"), Eq("A", "a1")))
+    entry = store.get(twin)
+    assert entry is not None
+    assert entry.result is not None
+    assert entry.result.row_ids == webdb.query(query).row_ids
+
+
+def test_store_finds_container_and_derives_identical_result():
+    webdb = _tiny_webdb()
+    store = SemanticProbeStore()
+    container_query = SelectionQuery((Eq("A", "a1"),))
+    store.put_result(container_query, webdb.query(container_query), prefetched=False)
+    demand = SelectionQuery((Eq("A", "a1"), Eq("B", "b1")))
+    container = store.find_container(demand)
+    assert container is not None
+    derived = store.derive(demand, container, webdb.schema, webdb.result_cap)
+    direct = webdb.query(demand)
+    assert derived.row_ids == direct.row_ids
+    assert derived.rows == direct.rows
+    assert derived.truncated == direct.truncated
+    assert derived.derived and not direct.derived
+
+
+def test_store_prefers_most_specific_container():
+    webdb = _tiny_webdb()
+    store = SemanticProbeStore()
+    broad = SelectionQuery((Eq("A", "a1"),))
+    narrow = SelectionQuery((Eq("A", "a1"), Eq("B", "b1")))
+    store.put_result(broad, webdb.query(broad), prefetched=False)
+    store.put_result(narrow, webdb.query(narrow), prefetched=False)
+    demand = SelectionQuery((Eq("A", "a1"), Eq("B", "b1"), Eq("C", "c1")))
+    container = store.find_container(demand)
+    assert container is not None
+    # Fewest rows to filter: the two-conjunct container wins.
+    assert container.query.canonical_predicates() == narrow.canonical_predicates()
+
+
+def test_store_never_derives_from_truncated_container():
+    webdb = _tiny_webdb(result_cap=2)
+    store = SemanticProbeStore()
+    container_query = SelectionQuery((Eq("A", "a1"),))
+    result = webdb.query(container_query)
+    assert result.truncated
+    store.put_result(container_query, result, prefetched=False)
+    demand = SelectionQuery((Eq("A", "a1"), Eq("B", "b1")))
+    assert store.find_container(demand) is None
+
+
+def test_derive_replicates_result_cap_window():
+    webdb = _tiny_webdb()
+    store = SemanticProbeStore()
+    container_query = SelectionQuery.match_all()
+    store.put_result(container_query, webdb.query(container_query), prefetched=False)
+    demand = SelectionQuery((Eq("A", "a1"),))
+    container = store.find_container(demand)
+    assert container is not None
+    derived = store.derive(demand, container, webdb.schema, result_cap=2)
+    assert len(derived.row_ids) == 2
+    assert derived.truncated
+    # First-N-by-row-id semantics, exactly like the executor's.
+    assert list(derived.row_ids) == sorted(derived.row_ids)
+
+
+def test_speculative_count_tracks_undemanded_prefetches():
+    webdb = _tiny_webdb()
+    store = SemanticProbeStore()
+    query = SelectionQuery((Eq("A", "a2"),))
+    entry = store.put_result(query, webdb.query(query), prefetched=True)
+    assert store.speculative_count() == 1
+    entry.demanded = True
+    assert store.speculative_count() == 0
+
+
+# -- PlanSession -------------------------------------------------------------
+
+
+def test_session_is_passthrough_under_fault_injection():
+    webdb = _tiny_webdb()
+    webdb.set_fault_policy(FaultPolicy(FaultSpec(transient_rate=0.0), seed=1))
+    session = PlanSession(webdb, PlannerConfig(frontier="tuple", workers=2))
+    assert not session.active
+    query = SelectionQuery((Eq("A", "a1"),))
+    session.prefetch([query], tuple_index=0, level=1)
+    assert len(session.store) == 0  # nothing scheduled
+    result, kind = session.fetch(query)
+    assert kind == "issued"
+    assert result.row_ids == webdb.query(query).row_ids
+
+
+def test_session_forces_serial_dispatch_under_resilience_wrapper():
+    guarded = ResilientWebDatabase(_tiny_webdb(), ResiliencePolicy())
+    session = PlanSession(guarded, PlannerConfig(frontier="tuple", workers=8))
+    assert session.workers == 1
+
+
+def test_session_replays_dispatch_errors_at_demand_time():
+    webdb = _tiny_webdb()
+    session = PlanSession(webdb, PlannerConfig(frontier="tuple"))
+    query = SelectionQuery((Eq("A", "a1"),))
+    boom = TransientSourceError("batch dispatch failed")
+    session.store.put_error(query, boom, prefetched=True)
+    with pytest.raises(TransientSourceError, match="batch dispatch failed"):
+        session.fetch(query)
+
+
+def test_session_prefetch_deduplicates_within_a_batch():
+    webdb = _tiny_webdb()
+    session = PlanSession(webdb, PlannerConfig(frontier="tuple"))
+    query = SelectionQuery((Eq("A", "a1"), Eq("B", "b1")))
+    twin = SelectionQuery((Eq("B", "b1"), Eq("A", "a1")))
+    before = webdb.log.probes_issued
+    session.prefetch([query, twin], tuple_index=0, level=1)
+    assert webdb.log.probes_issued - before == 1
+
+
+def test_session_fetch_kinds_issued_then_subsumed():
+    webdb = _tiny_webdb()
+    session = PlanSession(webdb, PlannerConfig(frontier="off"))
+    query = SelectionQuery((Eq("A", "a1"),))
+    _, first = session.fetch(query)
+    _, second = session.fetch(query)
+    assert (first, second) == ("issued", "subsumed")
+    # Containment derivation also reports "subsumed" and issues nothing.
+    before = webdb.log.probes_issued
+    _, kind = session.fetch(SelectionQuery((Eq("A", "a1"), Eq("C", "c1"))))
+    assert kind == "subsumed"
+    assert webdb.log.probes_issued == before
+
+
+# -- engine bit-identity -----------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "planner",
+    [
+        PlannerConfig(frontier="off"),
+        PlannerConfig(frontier="tuple"),
+        PlannerConfig(frontier="tuple", workers=4),
+        PlannerConfig(frontier="all"),
+        PlannerConfig(frontier="all", workers=4),
+    ],
+    ids=["off", "tuple", "tuple-w4", "all", "all-w4"],
+)
+def test_answer_is_bit_identical_to_serial(cardb_setup, planner):
+    webdb, model, query = cardb_setup
+    serial = model.engine(webdb).answer(query)
+    batched = model.engine(webdb, planner=planner).answer(query)
+    assert _sig(batched) == _sig(serial)
+    assert batched.trace.logical_probes == serial.trace.total_lookups
+    assert batched.trace.queries_issued <= serial.trace.queries_issued
+    assert serial.trace.probes_subsumed == 0
+    assert serial.trace.frontier_batches == 0
+
+
+def test_gather_similar_is_bit_identical_to_serial(cardb_setup):
+    webdb, model, _ = cardb_setup
+    row = model.sample.row(11)
+    serial_answers, serial_trace = model.engine(webdb).gather_similar(row)
+    planner = PlannerConfig(frontier="tuple", workers=2)
+    batched_answers, batched_trace = model.engine(
+        webdb, planner=planner
+    ).gather_similar(row)
+    assert _sig(batched_answers) == _sig(serial_answers)
+    assert batched_trace.logical_probes == serial_trace.total_lookups
+
+
+def test_batched_engine_is_identical_with_probe_cache_on(cardb_setup):
+    webdb, model, query = cardb_setup
+    webdb.enable_probe_cache(capacity=4096)
+    try:
+        serial = model.engine(webdb).answer(query)
+        batched = model.engine(
+            webdb, planner=PlannerConfig(frontier="tuple")
+        ).answer(query)
+        assert _sig(batched) == _sig(serial)
+        assert batched.trace.logical_probes == serial.trace.total_lookups
+    finally:
+        webdb.disable_probe_cache()
+
+
+def test_fault_injection_deactivates_planner_and_stays_identical(cardb_setup):
+    webdb, model, query = cardb_setup
+    policy = FaultPolicy(FaultSpec(transient_rate=0.15), seed=21)
+    webdb.set_fault_policy(policy)
+    try:
+        serial = model.engine(webdb).answer(query)
+        webdb.set_fault_policy(FaultPolicy(FaultSpec(transient_rate=0.15), seed=21))
+        batched = model.engine(
+            webdb, planner=PlannerConfig(frontier="all", workers=4)
+        ).answer(query)
+    finally:
+        webdb.set_fault_policy(None)
+    assert _sig(batched) == _sig(serial)
+    # Passthrough: the fault schedules aligned probe by probe.
+    assert batched.trace.queries_issued == serial.trace.queries_issued
+    assert batched.trace.probes_subsumed == 0
+    assert batched.trace.frontier_batches == 0
+
+
+def test_resilient_wrapper_composes_with_planner(cardb_setup):
+    webdb, model, query = cardb_setup
+    policy = ResiliencePolicy()
+    serial = model.engine(webdb, resilience=policy).answer(query)
+    batched = model.engine(
+        webdb, resilience=policy, planner=PlannerConfig(frontier="tuple", workers=4)
+    ).answer(query)
+    assert _sig(batched) == _sig(serial)
+    assert batched.trace.logical_probes == serial.trace.total_lookups
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_seeds_keep_bit_identity_on_overlap_source(seed):
+    webdb = _overlap_webdb(seed=seed + 40)
+    model = build_model(
+        webdb,
+        sample_size=120,
+        rng=random.Random(seed),
+        settings=AIMQSettings(max_relaxation_level=2),
+    )
+    webdb.reset_accounting()
+    schema = webdb.schema
+    row = model.sample.row(seed)
+    query = ImpreciseQuery.like(schema.name, A=row[schema.position("A")])
+    serial = model.engine(webdb).answer(query)
+    batched = model.engine(
+        webdb, planner=PlannerConfig(frontier="tuple", workers=2)
+    ).answer(query)
+    assert _sig(batched) == _sig(serial)
+    assert batched.trace.logical_probes == serial.trace.total_lookups
+    assert batched.trace.queries_issued < serial.trace.queries_issued
+    assert batched.trace.probes_subsumed > 0
+
+
+def test_planner_metrics_are_recorded():
+    webdb = _overlap_webdb()
+    model = build_model(
+        webdb,
+        sample_size=120,
+        rng=random.Random(2),
+        settings=AIMQSettings(max_relaxation_level=2),
+    )
+    webdb.reset_accounting()
+    schema = webdb.schema
+    row = model.sample.row(0)
+    query = ImpreciseQuery.like(schema.name, A=row[schema.position("A")])
+    was_enabled = OBS.enabled
+    OBS.reset()
+    OBS.enable()
+    try:
+        answers = model.engine(
+            webdb, planner=PlannerConfig(frontier="tuple")
+        ).answer(query)
+        assert answers.trace.probes_subsumed > 0
+        names = {
+            metric["name"]: sum(
+                series.get("value", 0) for series in metric["series"]
+            )
+            for metric in OBS.registry.snapshot()["metrics"]
+        }
+    finally:
+        OBS.reset()
+        if not was_enabled:
+            OBS.disable()
+    assert names.get("repro_core_probes_subsumed_total", 0) > 0
+    assert names.get("repro_core_frontier_batches_total", 0) > 0

@@ -1,0 +1,166 @@
+"""Containment and residual-evaluation properties (hypothesis).
+
+The semantic planner's soundness rests on one algebraic fact: when
+``Q1.subsumes(Q2)`` (Q1's canonical conjuncts are a subset of Q2's),
+filtering Q1's answer set by Q2's residual predicates yields exactly
+Q2's answer set, in the same canonical row order.  These properties
+drive that fact across *every* operator the facade supports
+(``=, !=, <, <=, >, >=, between, in``) on randomly generated tables
+and conjunctions, end to end through the executor and the store's
+derivation path.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plan import SemanticProbeStore
+from repro.db.predicates import Between, Eq, Ge, Gt, IsIn, Le, Lt, Ne, Predicate
+from repro.db.query import SelectionQuery
+from repro.db.schema import RelationSchema
+from repro.db.table import Table
+from repro.db.webdb import AutonomousWebDatabase
+
+_SCHEMA = RelationSchema.build(
+    "prop",
+    categorical=("C0", "C1"),
+    numeric=("N0", "N1"),
+    order=("C0", "C1", "N0", "N1"),
+)
+_CATEGORIES = ["x", "y", "z", "w"]
+
+
+def _build_webdb(rows: list[tuple[str, str, int, int]]) -> AutonomousWebDatabase:
+    table = Table(_SCHEMA)
+    for row in rows:
+        table.insert(row)
+    return AutonomousWebDatabase(table)
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(_CATEGORIES),
+        st.sampled_from(_CATEGORIES),
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=9),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@st.composite
+def predicate_strategy(draw) -> Predicate:
+    kind = draw(
+        st.sampled_from(("eq", "ne", "lt", "le", "gt", "ge", "between", "in"))
+    )
+    if kind in ("eq", "ne", "in"):
+        attribute = draw(st.sampled_from(("C0", "C1")))
+        if kind == "eq":
+            return Eq(attribute, draw(st.sampled_from(_CATEGORIES)))
+        if kind == "ne":
+            return Ne(attribute, draw(st.sampled_from(_CATEGORIES)))
+        values = draw(
+            st.lists(
+                st.sampled_from(_CATEGORIES), min_size=1, max_size=3, unique=True
+            )
+        )
+        return IsIn(attribute, values)
+    attribute = draw(st.sampled_from(("N0", "N1")))
+    bound = draw(st.integers(min_value=0, max_value=9))
+    if kind == "lt":
+        return Lt(attribute, bound)
+    if kind == "le":
+        return Le(attribute, bound)
+    if kind == "gt":
+        return Gt(attribute, bound)
+    if kind == "ge":
+        return Ge(attribute, bound)
+    high = draw(st.integers(min_value=bound, max_value=12))
+    return Between(attribute, bound, high)
+
+
+conjunction_strategy = st.lists(predicate_strategy(), min_size=1, max_size=4)
+
+
+@st.composite
+def containment_case(draw):
+    """A demand Q2 plus a container Q1 built from a conjunct subset."""
+    predicates = draw(conjunction_strategy)
+    keep = draw(
+        st.lists(
+            st.booleans(), min_size=len(predicates), max_size=len(predicates)
+        )
+    )
+    container = tuple(p for p, keep_it in zip(predicates, keep) if keep_it)
+    return tuple(predicates), container
+
+
+@given(rows=rows_strategy, case=containment_case())
+@settings(max_examples=200, deadline=None)
+def test_residual_filter_of_container_rows_equals_direct_answer(rows, case):
+    demand_predicates, container_predicates = case
+    demand = SelectionQuery(demand_predicates)
+    container = SelectionQuery(container_predicates)
+    assert container.subsumes(demand)
+    webdb = _build_webdb(rows)
+    direct = webdb.query(demand)
+    container_result = webdb.query(container)
+    residual = SelectionQuery(demand.residual_against(container))
+    derived_ids = [
+        row_id
+        for row_id, row in zip(container_result.row_ids, container_result.rows)
+        if residual.matches(row, _SCHEMA)
+    ]
+    assert derived_ids == list(direct.row_ids)
+
+
+@given(rows=rows_strategy, case=containment_case())
+@settings(max_examples=200, deadline=None)
+def test_store_derivation_is_bit_identical_to_probing(rows, case):
+    demand_predicates, container_predicates = case
+    demand = SelectionQuery(demand_predicates)
+    container = SelectionQuery(container_predicates)
+    webdb = _build_webdb(rows)
+    store = SemanticProbeStore()
+    entry = store.put_result(container, webdb.query(container), prefetched=False)
+    derived = store.derive(demand, entry, _SCHEMA, webdb.result_cap)
+    direct = webdb.query(demand)
+    assert derived.row_ids == direct.row_ids
+    assert derived.rows == direct.rows
+    assert derived.truncated == direct.truncated
+
+
+@given(rows=rows_strategy, case=containment_case())
+@settings(max_examples=100, deadline=None)
+def test_subsumption_is_syntactic_subset_both_ways(rows, case):
+    demand_predicates, container_predicates = case
+    demand = SelectionQuery(demand_predicates)
+    container = SelectionQuery(container_predicates)
+    # Subset of canonical forms <=> subsumes, by definition; and the
+    # row sets honour it on every generated table.
+    assert container.subsumes(demand)
+    if not demand.subsumes(container):
+        webdb = _build_webdb(rows)
+        demand_ids = set(webdb.query(demand).row_ids)
+        container_ids = set(webdb.query(container).row_ids)
+        assert demand_ids <= container_ids
+
+
+@given(rows=rows_strategy)
+@settings(max_examples=50, deadline=None)
+def test_executor_returns_canonical_ascending_row_id_order(rows):
+    webdb = _build_webdb(rows)
+    rng = random.Random(13)
+    for _ in range(5):
+        query = SelectionQuery(
+            (
+                Eq("C0", rng.choice(_CATEGORIES)),
+                Ge("N0", rng.randrange(10)),
+            )
+        )
+        result = webdb.query(query)
+        assert list(result.row_ids) == sorted(result.row_ids)
