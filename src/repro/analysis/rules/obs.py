@@ -8,6 +8,14 @@ rely on the shape.  Spans must be opened with ``with OBS.span(...)`` —
 a span entered by hand leaks on the exception path and corrupts the
 trace tree.  The ``repro.obs`` package itself is exempt from the span
 check: it implements the context managers.
+
+Wide events carry the same hygiene contract: emission goes through the
+``repro.obs.events`` API (``OBS.emit_event(...)`` / ``*.events.emit``)
+with a *constant* dotted snake_case event name and snake_case field
+keywords, so the JSONL log stays greppable and schema-stable.  Ad-hoc
+wide events — ``json.dumps`` over a literal dict carrying an ``event``
+key — bypass the ring buffer, the validation, and the sink, and are
+flagged outside ``repro.obs``.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from typing import Iterable
 from repro.analysis.finding import Finding
 from repro.analysis.rulebase import Rule, register
 from repro.analysis.source import ProjectContext, SourceModule
+from repro.obs.events import EVENT_NAME_RE, FIELD_NAME_RE
 
 METRIC_NAME_RE = re.compile(
     r"^repro_[a-z0-9]+(?:_[a-z0-9]+)*_"
@@ -33,7 +42,9 @@ class ObsHygieneRule(Rule):
     title = "obs hygiene: metric naming and context-managed spans"
     hint = (
         "name metrics repro_<subsystem>_<name>_<unit> (counters end "
-        "_total) and open spans with `with OBS.span(...):`"
+        "_total), open spans with `with OBS.span(...):`, and emit wide "
+        "events through OBS.emit_event with dotted snake_case names and "
+        "snake_case fields"
     )
 
     def check_module(
@@ -43,6 +54,8 @@ class ObsHygieneRule(Rule):
         findings.extend(self._check_metric_names(module))
         if not module.module.startswith("repro.obs"):
             findings.extend(self._check_spans(module))
+            findings.extend(self._check_event_emissions(module))
+            findings.extend(self._check_adhoc_events(module))
         return findings
 
     def _check_metric_names(self, module: SourceModule) -> Iterable[Finding]:
@@ -93,4 +106,78 @@ class ObsHygieneRule(Rule):
                     node,
                     "span opened outside a with-statement; manual "
                     "__enter__/__exit__ leaks the span on exceptions",
+                )
+
+    @staticmethod
+    def _is_event_emission(node: ast.Call) -> bool:
+        """``OBS.emit_event(...)`` or ``<something>.events.emit(...)``."""
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return False
+        if func.attr == "emit_event":
+            return True
+        return (
+            func.attr == "emit"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "events"
+        )
+
+    def _check_event_emissions(
+        self, module: SourceModule
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call) and self._is_event_emission(node)
+            ):
+                continue
+            if not node.args:
+                continue
+            name_arg = node.args[0]
+            if not (
+                isinstance(name_arg, ast.Constant)
+                and isinstance(name_arg.value, str)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "event name must be a constant string so the event "
+                    "vocabulary is auditable statically",
+                )
+            elif not EVENT_NAME_RE.match(name_arg.value):
+                yield self.finding(
+                    module,
+                    node,
+                    f"event name {name_arg.value!r} must be dotted "
+                    "snake_case (e.g. 'engine.answer')",
+                )
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    continue
+                if not FIELD_NAME_RE.match(keyword.arg):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"event field {keyword.arg!r} must be snake_case",
+                    )
+
+    def _check_adhoc_events(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "dumps"
+                and node.args
+                and isinstance(node.args[0], ast.Dict)
+            ):
+                continue
+            keys = node.args[0].keys
+            if any(
+                isinstance(key, ast.Constant) and key.value == "event"
+                for key in keys
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "ad-hoc wide event (json.dumps over a dict with an "
+                    "'event' key); emit through OBS.emit_event instead",
                 )

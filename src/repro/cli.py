@@ -10,13 +10,19 @@ Four commands cover the life cycle a downstream user walks through:
 * ``experiment`` — rerun one of the paper's tables/figures;
 * ``stats``    — exercise the full pipeline once with observability on
   and dump the metrics snapshot;
+* ``trace``    — answer one query with tracing + wide events on and
+  summarise the recorded spans (or summarise an existing JSONL event
+  log via ``--from-events``);
 * ``bench``    — time every fast path against its reference path and
   emit a ``BENCH_perf.json`` report (see ``docs/PERFORMANCE.md``).
 
-Every command also accepts ``--trace`` (print the recorded span trees
-afterwards) and ``--metrics-out PATH`` (write a metrics snapshot, JSON
-or Prometheus text per ``--metrics-format``); either flag switches the
-observability runtime on for the run.
+Every command also accepts the observability flags, before **or**
+after the subcommand: ``--trace`` (print the recorded span trees
+afterwards), ``--metrics-out PATH`` (metrics snapshot, JSON or
+Prometheus text per ``--metrics-format``), ``--events-out PATH``
+(wide-event log as JSONL), ``--events-probe`` (additionally one event
+per issued probe), and ``--chrome-out PATH`` (Chrome/Perfetto trace
+JSON for ``chrome://tracing`` or https://ui.perfetto.dev).
 
 Examples::
 
@@ -24,7 +30,9 @@ Examples::
     python -m repro mine cardb --rows 8000 --sample 2000 --save /tmp/model.json
     python -m repro query cardb --rows 8000 --sample 2000 -k 5 \\
         Model=Camry Price=10000
-    python -m repro --trace query cardb --rows 2000 --sample 500 Make=Ford
+    python -m repro query cardb --batched --batch-workers 4 --trace \\
+        --events-out events.jsonl --chrome-out trace.json Make=Ford
+    python -m repro trace cardb --batched --batch-workers 4 Make=Ford
     python -m repro experiment fig5
     python -m repro stats cardb --rows 2000 --sample 500 --format prom
     python -m repro bench --scale smoke --check --out BENCH_perf.json
@@ -72,7 +80,14 @@ from repro.evalx import (
     run_table2,
     run_table3,
 )
-from repro.obs import OBS, render_span_tree, to_json, to_prometheus
+from repro.obs import (
+    OBS,
+    render_span_tree,
+    span_summary,
+    to_json,
+    to_prometheus,
+    write_chrome_trace,
+)
 from repro.perf.bench import (
     SCALES,
     SCENARIOS,
@@ -266,21 +281,79 @@ def _demo_query(
     return ImpreciseQuery.like(schema.name, **bindings)
 
 
+def _preregister_stats_families() -> None:
+    """Zero-init the resilience metric families for ``repro stats``.
+
+    A healthy run never trips a retry or opens the breaker, so those
+    families would be absent from the dump exactly when a reader most
+    wants to confirm they are quiet.  Register one concrete zero
+    series per family (a bare family with no series would violate the
+    snapshot schema).
+    """
+    registry = OBS.registry
+    registry.counter(
+        "repro_resilience_attempts_total",
+        "Guarded probe attempts, by outcome.",
+        labels=("outcome",),
+    ).labels(outcome="ok").inc(0)
+    registry.counter(
+        "repro_resilience_retries_total",
+        "Retry sleeps performed, by transient error kind.",
+        labels=("error",),
+    ).labels(error="TransientSourceError").inc(0)
+    registry.counter(
+        "repro_resilience_retry_exhaustions_total",
+        "Guarded calls whose transient failures "
+        "outlasted the retry allowance.",
+    ).inc(0)
+    registry.counter(
+        "repro_resilience_deadline_refusals_total",
+        "Backoff sleeps refused by a deadline budget, by scope.",
+        labels=("scope",),
+    ).labels(scope="probe").inc(0)
+    registry.histogram(
+        "repro_resilience_backoff_seconds",
+        "Backoff sleep durations before retrying a probe.",
+        buckets=(0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0),
+    ).unlabelled()
+    registry.counter(
+        "repro_resilience_breaker_rejections_total",
+        "Guarded calls refused because the circuit was open.",
+    ).inc(0)
+    registry.counter(
+        "repro_resilience_breaker_transitions_total",
+        "Circuit-breaker state transitions.",
+        labels=("from_state", "to_state"),
+    ).labels(from_state="closed", to_state="open").inc(0)
+    registry.counter(
+        "repro_resilience_skipped_steps_total",
+        "Relaxation work abandoned after resilience gave up, "
+        "by stage and error kind.",
+        labels=("stage", "error"),
+    ).labels(stage="relaxation", error="TransientSourceError").inc(0)
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Run build + one query with observability on; dump the snapshot."""
     OBS.reset()
     OBS.enable()
+    _preregister_stats_families()
     webdb, model = _mine_model(args)
-    # Answer through the resilience wrapper so its metric families
-    # (attempt outcomes, retries, breaker state) appear in the dump.
-    engine = model.engine(webdb, resilience=ResiliencePolicy())
+    # Answer through the resilience wrapper and the semantic planner so
+    # every layer's metric families (attempt outcomes, retries, breaker
+    # state, probe subsumption, frontier batches) appear in the dump.
+    engine = model.engine(
+        webdb,
+        resilience=ResiliencePolicy(),
+        planner=PlannerConfig(frontier="tuple", workers=1),
+    )
     engine.answer(_demo_query(webdb, model), k=args.k)
     snapshot = OBS.registry.snapshot()
     sections = []
     if args.format in ("json", "both"):
         sections.append(to_json(snapshot))
     if args.format in ("prom", "both"):
-        sections.append(to_prometheus(snapshot))
+        sections.append(to_prometheus(snapshot).rstrip("\n"))
     output = "\n\n".join(sections)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -288,6 +361,80 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"metrics snapshot written to {args.out}")
     else:
         print(output)
+    return 0
+
+
+def _summarise_events(path: str) -> int:
+    """Summarise an existing JSONL wide-event log without running."""
+    counts: dict[str, int] = {}
+    last_answer = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            name = str(record.get("event", "?"))
+            counts[name] = counts.get(name, 0) + 1
+            if name.startswith("engine."):
+                last_answer = record
+    if not counts:
+        print(f"no events in {path}")
+        return 0
+    for name in sorted(counts):
+        print(f"{counts[name]:>6}  {name}")
+    if last_answer is not None:
+        print()
+        print(json.dumps(last_answer, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Answer one query with tracing + events on; summarise the trace."""
+    if args.from_events:
+        return _summarise_events(args.from_events)
+    OBS.reset()
+    OBS.enable()
+    OBS.events.enabled = True
+    webdb, model = _mine_model(args)
+    if args.constraints:
+        bindings = dict(_parse_binding(text) for text in args.constraints)
+        query = ImpreciseQuery.like(webdb.schema.name, **bindings)
+    else:
+        query = _demo_query(webdb, model)
+    resilience = ResiliencePolicy() if args.resilient else None
+    planner = (
+        PlannerConfig(frontier=args.frontier, workers=args.batch_workers)
+        if args.batched
+        else None
+    )
+    engine = model.engine(webdb, resilience=resilience, planner=planner)
+    engine.answer(query, k=args.k)
+    root = None
+    for candidate in reversed(OBS.tracer.traces()):
+        if candidate.name == "engine.answer":
+            root = candidate
+            break
+    if root is None:
+        print("no engine.answer trace recorded", file=sys.stderr)
+        return 1
+    if args.tree:
+        print(render_span_tree(root))
+    else:
+        print(
+            f"{'span':<28} {'count':>6} {'total_s':>9} "
+            f"{'max_s':>9} {'errors':>6}"
+        )
+        for row in span_summary([root]):
+            print(
+                f"{row['name']:<28} {row['count']:>6} "
+                f"{row['total_seconds']:>9.4f} {row['max_seconds']:>9.4f} "
+                f"{row['errors']:>6}"
+            )
+    event = OBS.events.last()
+    if event is not None:
+        print()
+        print(json.dumps(event, indent=2, sort_keys=True))
     return 0
 
 
@@ -339,27 +486,67 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 # -- parser -------------------------------------------------------------------
 
 
+def _add_obs_args(
+    target: argparse.ArgumentParser, suppress: bool = False
+) -> None:
+    """Register the observability flags on ``target``.
+
+    The same flags are registered on the root parser (real defaults)
+    and on every subparser (``SUPPRESS`` defaults), so
+    ``repro --trace query ...`` and ``repro query --trace ...`` both
+    work: a suppressed subparser flag never overwrites the root value.
+    """
+    extra: dict[str, object] = (
+        {"default": argparse.SUPPRESS} if suppress else {}
+    )
+    target.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable observability and print the recorded span trees",
+        **extra,  # type: ignore[arg-type]
+    )
+    target.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="enable observability and write a metrics snapshot to PATH",
+        **extra,  # type: ignore[arg-type]
+    )
+    metrics_format: dict[str, object] = (
+        {"default": argparse.SUPPRESS} if suppress else {"default": "json"}
+    )
+    target.add_argument(
+        "--metrics-format",
+        choices=("json", "prom"),
+        help="format for --metrics-out (default: json)",
+        **metrics_format,  # type: ignore[arg-type]
+    )
+    target.add_argument(
+        "--events-out",
+        metavar="PATH",
+        help="enable the wide-event log and write it to PATH as JSONL",
+        **extra,  # type: ignore[arg-type]
+    )
+    target.add_argument(
+        "--events-probe",
+        action="store_true",
+        help="additionally emit one wide event per issued probe",
+        **extra,  # type: ignore[arg-type]
+    )
+    target.add_argument(
+        "--chrome-out",
+        metavar="PATH",
+        help="enable observability and write a Chrome/Perfetto trace "
+        "(chrome://tracing, ui.perfetto.dev) to PATH",
+        **extra,  # type: ignore[arg-type]
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="AIMQ (ICDE 2006) reproduction command line",
     )
-    parser.add_argument(
-        "--trace",
-        action="store_true",
-        help="enable observability and print the recorded span trees",
-    )
-    parser.add_argument(
-        "--metrics-out",
-        metavar="PATH",
-        help="enable observability and write a metrics snapshot to PATH",
-    )
-    parser.add_argument(
-        "--metrics-format",
-        choices=("json", "prom"),
-        default="json",
-        help="format for --metrics-out (default: json)",
-    )
+    _add_obs_args(parser)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     generate = subparsers.add_parser(
@@ -372,6 +559,7 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument(
         "--labels-out", help="censusdb only: income labels output path"
     )
+    _add_obs_args(generate, suppress=True)
     generate.set_defaults(handler=_cmd_generate)
 
     def add_mining_args(sub: argparse.ArgumentParser) -> None:
@@ -388,6 +576,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_mining_args(mine)
     mine.add_argument("--save", help="persist the mined model as JSON")
+    _add_obs_args(mine, suppress=True)
     mine.set_defaults(handler=_cmd_mine)
 
     query = subparsers.add_parser("query", help="answer an imprecise query")
@@ -438,6 +627,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="bounded thread pool size for batch dispatch (default: 1)",
     )
+    _add_obs_args(query, suppress=True)
     query.add_argument(
         "constraints",
         nargs="*",
@@ -450,6 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="rerun one of the paper's tables/figures"
     )
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    _add_obs_args(experiment, suppress=True)
     experiment.set_defaults(handler=_cmd_experiment)
 
     stats = subparsers.add_parser(
@@ -465,7 +656,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot rendering(s) to emit (default: both)",
     )
     stats.add_argument("--out", help="write the snapshot here, not stdout")
+    _add_obs_args(stats, suppress=True)
     stats.set_defaults(handler=_cmd_stats)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="answer one query with tracing + wide events on and "
+        "summarise the recorded spans",
+    )
+    trace.add_argument(
+        "dataset", nargs="?", choices=("cardb", "censusdb"), default="cardb"
+    )
+    trace.add_argument("--rows", type=int, default=2_000)
+    trace.add_argument("--sample", type=int, default=500)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--model", help="load a stored model instead of mining")
+    trace.add_argument("-k", type=int, default=5)
+    trace.add_argument(
+        "--batched",
+        action="store_true",
+        help="answer through the semantic probe planner",
+    )
+    trace.add_argument(
+        "--frontier",
+        choices=FRONTIER_MODES,
+        default="tuple",
+        help="planner frontier mode for --batched (default: tuple)",
+    )
+    trace.add_argument(
+        "--batch-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="bounded thread pool size for batch dispatch (default: 1)",
+    )
+    trace.add_argument(
+        "--resilient",
+        action="store_true",
+        help="answer through the resilience wrapper",
+    )
+    trace.add_argument(
+        "--tree",
+        action="store_true",
+        help="print the full span tree instead of the per-span summary",
+    )
+    trace.add_argument(
+        "--from-events",
+        metavar="PATH",
+        help="summarise an existing JSONL event log instead of running",
+    )
+    _add_obs_args(trace, suppress=True)
+    trace.add_argument(
+        "constraints",
+        nargs="*",
+        metavar="Attr=Value",
+        help="likeness constraints (default: a demo query from the sample)",
+    )
+    trace.set_defaults(handler=_cmd_trace)
 
     bench = subparsers.add_parser(
         "bench",
@@ -508,6 +755,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="append one trajectory line for this run (JSONL)",
     )
+    _add_obs_args(bench, suppress=True)
     bench.set_defaults(handler=_cmd_bench)
 
     lint = subparsers.add_parser(
@@ -515,6 +763,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the reprolint invariant checks (REP001-REP006)",
     )
     add_lint_arguments(lint)
+    _add_obs_args(lint, suppress=True)
     lint.set_defaults(handler=_cmd_lint)
 
     return parser
@@ -526,7 +775,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     # Attr=Value pairs behind optionals; collect them as extras.
     args, extras = parser.parse_known_args(argv)
     if extras:
-        if getattr(args, "command", None) != "query":
+        if getattr(args, "command", None) not in ("query", "trace"):
             print(f"error: unrecognized arguments: {extras}", file=sys.stderr)
             return 2
         malformed = [text for text in extras if "=" not in text]
@@ -537,24 +786,47 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             return 2
         args.constraints = list(args.constraints) + extras
-    if getattr(args, "trace", False) or getattr(args, "metrics_out", None):
+    trace_flag = getattr(args, "trace", False)
+    metrics_out = getattr(args, "metrics_out", None)
+    chrome_out = getattr(args, "chrome_out", None)
+    events_out = getattr(args, "events_out", None)
+    events_probe = getattr(args, "events_probe", False)
+    saved_events = (OBS.events.enabled, OBS.events.probe_events)
+    if trace_flag or metrics_out or chrome_out:
         OBS.enable()
+    if events_out or events_probe:
+        OBS.events.enabled = True
+    if events_probe:
+        OBS.events.probe_events = True
     try:
         code = args.handler(args)
-        if getattr(args, "trace", False):
+        if trace_flag:
             for root in OBS.tracer.traces():
                 print(render_span_tree(root))
-        if getattr(args, "metrics_out", None):
+        if metrics_out:
             render = (
-                to_json if args.metrics_format == "json" else to_prometheus
+                to_json
+                if getattr(args, "metrics_format", "json") == "json"
+                else to_prometheus
             )
-            with open(args.metrics_out, "w", encoding="utf-8") as handle:
-                handle.write(render(OBS.registry.snapshot()) + "\n")
-            print(f"metrics snapshot written to {args.metrics_out}")
+            rendered = render(OBS.registry.snapshot())
+            if not rendered.endswith("\n"):
+                rendered += "\n"
+            with open(metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+            print(f"metrics snapshot written to {metrics_out}")
+        if events_out:
+            written = OBS.events.write_jsonl(events_out)
+            print(f"{written} events written to {events_out}")
+        if chrome_out:
+            written = write_chrome_trace(OBS.tracer.traces(), chrome_out)
+            print(f"{written} trace events written to {chrome_out}")
         return code
     except (ValueError, OSError, DatabaseError, StoreError, ResilienceError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        OBS.events.enabled, OBS.events.probe_events = saved_events
 
 
 if __name__ == "__main__":  # pragma: no cover - module execution path

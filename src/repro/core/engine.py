@@ -123,31 +123,45 @@ class AIMQEngine:
         top_k = settings.top_k if k is None else k
 
         trace = RelaxationTrace()
+        recorder = OBS.flight_recorder("engine.answer")
+        log_before = self.webdb.log.snapshot() if recorder is not None else None
+        phase = (
+            recorder.phase
+            if recorder is not None
+            else (lambda name: nullcontext())
+        )
         resilience_before = self._snapshot_resilience()
         with OBS.span(
             "engine.answer", query=query.describe(), k=top_k
         ) as root, self._deadline_scope():
+            if recorder is not None and OBS.enabled:
+                # Events and spans of one call share the span's id.
+                recorder.trace_id = root.trace_id
             base_rows: list[tuple[int, tuple]] = []
-            try:
-                with OBS.span("engine.base_query_mapping") as mapping_span:
-                    base = self.mapper.map(query)
-                    mapping_span.set_attribute("base_set_size", len(base))
-                    mapping_span.set_attribute(
-                        "generalisation_steps", len(base.generalisation_steps)
+            with phase("mapping"):
+                try:
+                    with OBS.span("engine.base_query_mapping") as mapping_span:
+                        base = self.mapper.map(query)
+                        mapping_span.set_attribute("base_set_size", len(base))
+                        mapping_span.set_attribute(
+                            "generalisation_steps",
+                            len(base.generalisation_steps),
+                        )
+                except (
+                    ProbeLimitExceededError,
+                    TransientSourceError,
+                    CircuitOpenError,
+                    DeadlineExceededError,
+                ) as exc:
+                    # Without a base set there is nothing to relax; the
+                    # degraded answer is empty but still structured.
+                    trace.degradation.record("base_query", exc)
+                else:
+                    trace.generalisation_steps = base.generalisation_steps
+                    base_rows = list(
+                        zip(base.result.row_ids, base.result.rows)
                     )
-            except (
-                ProbeLimitExceededError,
-                TransientSourceError,
-                CircuitOpenError,
-                DeadlineExceededError,
-            ) as exc:
-                # Without a base set there is nothing to relax; the
-                # degraded answer is empty but still structured.
-                trace.degradation.record("base_query", exc)
-            else:
-                trace.generalisation_steps = base.generalisation_steps
-                base_rows = list(zip(base.result.row_ids, base.result.rows))
-                base_rows = base_rows[: settings.base_set_cap]
+                    base_rows = base_rows[: settings.base_set_cap]
             trace.base_set_size = len(base_rows)
 
             # One compiled scorer serves every Sim(Q, t) evaluation of
@@ -170,28 +184,29 @@ class AIMQEngine:
 
             session = self._open_plan_session()
             programs = self._materialise_programs(session, base_rows)
-            try:
-                for tuple_index, (base_row_id, base_row) in enumerate(
-                    base_rows
-                ):
-                    try:
-                        self._expand_base_tuple(
-                            base_row_id, base_row, query_scorer, threshold,
-                            extended, trace,
-                            session=session,
-                            steps=(
-                                programs[tuple_index]
-                                if programs is not None
-                                else None
-                            ),
-                            tuple_index=tuple_index,
-                        )
-                    except _ExpansionAborted:
-                        break
-            finally:
-                self._close_plan_session(session, trace)
+            with phase("expansion"):
+                try:
+                    for tuple_index, (base_row_id, base_row) in enumerate(
+                        base_rows
+                    ):
+                        try:
+                            self._expand_base_tuple(
+                                base_row_id, base_row, query_scorer,
+                                threshold, extended, trace,
+                                session=session,
+                                steps=(
+                                    programs[tuple_index]
+                                    if programs is not None
+                                    else None
+                                ),
+                                tuple_index=tuple_index,
+                            )
+                        except _ExpansionAborted:
+                            break
+                finally:
+                    self._close_plan_session(session, trace)
 
-            with OBS.span(
+            with phase("ranking"), OBS.span(
                 "engine.ranking", candidates=len(extended)
             ):
                 # nsmallest(k, key=...) == sorted(key=...)[:k] by
@@ -207,6 +222,11 @@ class AIMQEngine:
         self._finish_degradation(trace, resilience_before)
         if OBS.enabled:
             self._record_query_metrics("answer", trace)
+        if recorder is not None:
+            self._emit_query_event(
+                recorder, "answer", query.describe(), trace, log_before,
+                answers=len(answers), k=top_k, threshold=threshold,
+            )
         return AnswerSet(query=query, answers=answers, trace=trace)
 
     def answer_by_example(
@@ -248,27 +268,39 @@ class AIMQEngine:
         trace = RelaxationTrace(base_set_size=1)
         extended: dict[int, RankedAnswer] = {}
         seed_id = row_id if row_id is not None else -1
+        recorder = OBS.flight_recorder("engine.gather_similar")
+        log_before = self.webdb.log.snapshot() if recorder is not None else None
+        phase = (
+            recorder.phase
+            if recorder is not None
+            else (lambda name: nullcontext())
+        )
         resilience_before = self._snapshot_resilience()
         with OBS.span(
             "engine.gather_similar", row_id=seed_id, threshold=threshold
         ) as root, self._deadline_scope():
+            if recorder is not None and OBS.enabled:
+                recorder.trace_id = root.trace_id
             session = self._open_plan_session()
-            try:
-                self._expand_base_tuple(
-                    seed_id,
-                    row,
-                    None,
-                    threshold,
-                    extended,
-                    trace,
-                    target=target,
-                    session=session,
-                )
-            except _ExpansionAborted:
-                pass
-            finally:
-                self._close_plan_session(session, trace)
-            with OBS.span("engine.ranking", candidates=len(extended)):
+            with phase("expansion"):
+                try:
+                    self._expand_base_tuple(
+                        seed_id,
+                        row,
+                        None,
+                        threshold,
+                        extended,
+                        trace,
+                        target=target,
+                        session=session,
+                    )
+                except _ExpansionAborted:
+                    pass
+                finally:
+                    self._close_plan_session(session, trace)
+            with phase("ranking"), OBS.span(
+                "engine.ranking", candidates=len(extended)
+            ):
                 answers = sorted(extended.values(), key=base_rank_key)
             root.set_attribute("answers", len(answers))
             root.set_attribute("probes", trace.queries_issued)
@@ -276,6 +308,13 @@ class AIMQEngine:
         self._finish_degradation(trace, resilience_before)
         if OBS.enabled:
             self._record_query_metrics("gather_similar", trace)
+        if recorder is not None:
+            self._emit_query_event(
+                recorder, "gather_similar", f"row:{seed_id}", trace,
+                log_before, answers=len(answers),
+                k=target if target is not None else 0,
+                threshold=threshold,
+            )
         return answers, trace
 
     # -- internals --------------------------------------------------------
@@ -576,6 +615,69 @@ class AIMQEngine:
         trace.degradation.retries_used = after[0] - before[0]
         trace.degradation.breaker_opens = after[1] - before[1]
 
+    def _emit_query_event(
+        self,
+        recorder,
+        mode: str,
+        query_text: str,
+        trace: RelaxationTrace,
+        log_before,
+        answers: int,
+        k: int,
+        threshold: float,
+    ) -> None:
+        """Flatten one call's cross-layer accounting into one wide event.
+
+        Every field mirrors its source exactly: the ``probes_*`` family
+        comes from the :class:`RelaxationTrace` (paper Figs 6–7
+        semantics), the ``log_*`` family from the facade's
+        :class:`~repro.db.ProbeLog` delta over the call, and the
+        degradation block from :class:`DegradationReport` — no
+        re-derivation, so the event can be asserted against all three.
+        """
+        log_delta = self.webdb.log.delta(log_before)
+        degradation = trace.degradation
+        planner = self.planner
+        recorder.note(
+            mode=mode,
+            dataset=self.webdb.schema.name,
+            query=query_text,
+            k=k,
+            threshold=threshold,
+            answers=answers,
+            base_set_size=trace.base_set_size,
+            generalisation_steps=len(trace.generalisation_steps),
+            deepest_level=trace.deepest_level,
+            probes_issued=trace.queries_issued,
+            probes_cached=trace.probes_cached,
+            probes_subsumed=trace.probes_subsumed,
+            probes_speculative=trace.probes_speculative,
+            logical_probes=trace.logical_probes,
+            frontier_batches=trace.frontier_batches,
+            tuples_extracted=trace.tuples_extracted,
+            tuples_relevant=trace.tuples_relevant,
+            frontier="none" if planner is None else planner.frontier,
+            batch_workers=0 if planner is None else planner.workers,
+            resilient=isinstance(self.webdb, ResilientWebDatabase),
+            degraded=trace.degraded,
+            steps_skipped=len(degradation.skipped),
+            skipped_stages=",".join(
+                sorted({step.stage for step in degradation.skipped})
+            ),
+            probes_failed=degradation.probes_failed,
+            retries_used=degradation.retries_used,
+            breaker_opens=degradation.breaker_opens,
+            budget_exhausted=degradation.budget_exhausted,
+            breaker_open=degradation.breaker_open,
+            deadline_exceeded=degradation.deadline_exceeded,
+            log_probes_issued=log_delta.probes_issued,
+            log_tuples_returned=log_delta.tuples_returned,
+            log_empty_results=log_delta.empty_results,
+            log_count_probes=log_delta.count_probes,
+            log_cache_hits=log_delta.cache_hits,
+        )
+        recorder.finish()
+
     def _record_query_metrics(self, mode: str, trace: RelaxationTrace) -> None:
         """Publish one answered query's work accounting."""
         registry = OBS.registry
@@ -597,17 +699,18 @@ class AIMQEngine:
             "repro_core_tuples_relevant_total",
             "Extracted tuples clearing the similarity threshold.",
         ).inc(trace.tuples_relevant)
-        if trace.probes_subsumed:
-            registry.counter(
-                "repro_core_probes_subsumed_total",
-                "Relaxation steps answered locally from subsuming "
-                "results instead of probing the source.",
-            ).inc(trace.probes_subsumed)
-        if trace.frontier_batches:
-            registry.counter(
-                "repro_core_frontier_batches_total",
-                "Frontier waves scheduled by the semantic planner.",
-            ).inc(trace.frontier_batches)
+        # Registered unconditionally (inc(0) on the sequential path) so
+        # `repro stats` always shows the planner families alongside the
+        # rest of the pipeline.
+        registry.counter(
+            "repro_core_probes_subsumed_total",
+            "Relaxation steps answered locally from subsuming "
+            "results instead of probing the source.",
+        ).inc(trace.probes_subsumed)
+        registry.counter(
+            "repro_core_frontier_batches_total",
+            "Frontier waves scheduled by the semantic planner.",
+        ).inc(trace.frontier_batches)
         if trace.degraded:
             registry.counter(
                 "repro_core_degraded_answers_total",

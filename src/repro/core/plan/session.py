@@ -40,6 +40,8 @@ from repro.db import (
     SelectionQuery,
     TransientSourceError,
 )
+from repro.obs.runtime import OBS
+from repro.obs.tracing import TraceContext
 from repro.resilience import (
     CircuitOpenError,
     DeadlineExceededError,
@@ -135,12 +137,18 @@ class PlanSession:
             return
         if self.workers > 1 and len(batch) > 1:
             pool = self._ensure_pool()
+            # Worker threads start with empty span stacks, so batch
+            # probes would otherwise become orphan roots: capture the
+            # caller's span and re-activate it around each dispatch so
+            # probe spans nest under the answering span.
+            context = OBS.tracer.capture() if OBS.enabled else None
             # Each worker writes a distinct canonical key into the
             # store, so the dict updates cannot collide; the facade
             # serialises the probes themselves under its accounting
             # lock.
             futures = [
-                pool.submit(self._dispatch_one, query) for query in batch
+                pool.submit(self._dispatch_traced, query, context)
+                for query in batch
             ]
             for future in futures:
                 future.result()
@@ -148,13 +156,28 @@ class PlanSession:
             for query in batch:
                 self._dispatch_one(query)
 
+    def _dispatch_traced(
+        self, query: SelectionQuery, context: TraceContext | None
+    ) -> None:
+        """Pool-side dispatch under the dispatcher's trace context."""
+        if context is None:
+            self._dispatch_one(query)
+            return
+        with OBS.tracer.activate(context):
+            self._dispatch_one(query)
+
     def _dispatch_one(self, query: SelectionQuery) -> None:
-        try:
-            result = self.webdb.query(query)
-        except _DISPATCH_ERRORS as exc:
-            self.store.put_error(query, exc, prefetched=True)
-        else:
-            self.store.put_result(query, result, prefetched=True)
+        with OBS.span("plan.batch_probe") as span:
+            if OBS.enabled:
+                span.set_attribute("query", query.describe())
+            try:
+                result = self.webdb.query(query)
+            except _DISPATCH_ERRORS as exc:
+                self.store.put_error(query, exc, prefetched=True)
+                span.set_attribute("outcome", type(exc).__name__)
+            else:
+                self.store.put_result(query, result, prefetched=True)
+                span.set_attribute("rows", len(result))
 
     # -- demand-side fetching --------------------------------------------------
 

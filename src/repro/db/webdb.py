@@ -297,6 +297,9 @@ class AutonomousWebDatabase:
             if cached is not None:
                 self.log.record_cache_hit()
                 self._record_cache_metrics(hit=True)
+                self._emit_probe_event(
+                    query, kind="query", rows=len(cached), from_cache=True
+                )
                 return replace(cached, from_cache=True)
         self._check_budget()
         decision = self._consult_faults()
@@ -321,6 +324,13 @@ class AutonomousWebDatabase:
                     "repro_db_result_cap_truncations_total",
                     "Probes whose result page was cut by the facade's cap.",
                 ).inc()
+        self._emit_probe_event(
+            query,
+            kind="query",
+            rows=len(result),
+            from_cache=False,
+            truncated=result.truncated,
+        )
         return result
 
     def count(self, query: SelectionQuery) -> int:
@@ -343,6 +353,9 @@ class AutonomousWebDatabase:
             if cached is not None:
                 self.log.record_cache_hit()
                 self._record_cache_metrics(hit=True)
+                self._emit_probe_event(
+                    query, kind="count", rows=cached, from_cache=True
+                )
                 return cached
         self._check_budget()
         self._consult_faults()
@@ -353,6 +366,9 @@ class AutonomousWebDatabase:
             self._record_cache_metrics(hit=False, evicted=evicted)
         if OBS.enabled:
             self._record_probe_metrics(query, kind="count", empty=matches == 0)
+        self._emit_probe_event(
+            query, kind="count", rows=matches, from_cache=False
+        )
         return matches
 
     # -- fault injection ---------------------------------------------------------
@@ -479,6 +495,28 @@ class AutonomousWebDatabase:
                 "repro_db_empty_results_total",
                 "Probes that returned (or counted) zero tuples.",
             ).inc()
+
+    def _emit_probe_event(
+        self,
+        query: SelectionQuery,
+        kind: str,
+        rows: int,
+        from_cache: bool,
+        truncated: bool = False,
+    ) -> None:
+        """One wide event per probe — opt-in (``--events-probe``)."""
+        events = OBS.events
+        if not (events.enabled and events.probe_events):
+            return
+        OBS.emit_event(
+            "db.probe",
+            query=query.describe(),
+            kind=kind,
+            rows=rows,
+            from_cache=from_cache,
+            truncated=truncated,
+            trace_id=OBS.current_trace_id() or "",
+        )
 
 
 def _predicate_shape(query: SelectionQuery) -> str:

@@ -1,0 +1,145 @@
+"""Wide-event query log: one flat JSON record per unit of work.
+
+A *wide event* is the per-request complement of the metrics registry:
+where counters aggregate across calls, an event carries every fact
+about **one** call — query form, probe accounting, degradation flags,
+per-phase latencies, trace id — as flat, scalar fields in a single
+JSON-serialisable dict.  One event per ``AIMQEngine.answer`` /
+``gather_similar`` call explains *why* that answer looks the way it
+does; the opt-in ``probe_events`` flag adds one event per facade probe
+and per resilience retry for fine-grained forensics.
+
+Events live in a bounded ring (a long-lived server keeps the most
+recent N without growing), and drain to a JSONL sink — one compact
+JSON object per line — via :meth:`EventLog.write_jsonl` (the CLI's
+``--events-out``).
+
+The schema contract is deliberately strict and enforced at emit time:
+event names are dotted snake_case (``engine.answer``), field names are
+snake_case, and values are flat JSON scalars (str/int/float/bool/None)
+— no nesting, so every field is directly filterable/groupable by any
+log pipeline.  reprolint's REP005 enforces the same contract
+statically at every call site.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from collections import deque
+
+__all__ = ["EventLog", "EVENT_NAME_RE", "FIELD_NAME_RE"]
+
+#: Event names: dotted snake_case, e.g. ``engine.answer``, ``db.probe``.
+EVENT_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)+$")
+
+#: Field names: plain snake_case identifiers.
+FIELD_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Fields the log stamps itself; emitters may not supply them.
+_RESERVED_FIELDS = frozenset({"event", "ts", "seq"})
+
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+class EventLog:
+    """Thread-safe bounded ring of wide events with a JSONL sink.
+
+    ``enabled`` gates all emission (off by default — the disabled path
+    is one attribute read); ``probe_events`` additionally opts into the
+    high-volume per-probe/per-retry events.  Both flags are independent
+    of the tracer: events can be on with tracing off and vice versa.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.enabled = False
+        self.probe_events = False
+        self._lock = threading.Lock()
+        self._ring: deque[dict[str, object]] = deque(maxlen=capacity)
+        self._seq = 0
+
+    # -- emission --------------------------------------------------------------
+
+    def emit(
+        self, event: str, /, **fields: object
+    ) -> dict[str, object] | None:
+        """Record one wide event; returns the stored record (or None).
+
+        Validates the schema contract eagerly — a malformed emit is a
+        programming error worth failing loudly on, not a log line worth
+        silently mangling.  The name is positional-only so a reserved
+        ``event=`` keyword lands in ``fields`` and is rejected.
+        """
+        if not self.enabled:
+            return None
+        record = self._build(event, fields)
+        with self._lock:
+            self._seq += 1
+            record["seq"] = self._seq
+            self._ring.append(record)
+        return record
+
+    @staticmethod
+    def _build(event: str, fields: dict[str, object]) -> dict[str, object]:
+        if not EVENT_NAME_RE.match(event):
+            raise ValueError(
+                f"event name {event!r} must be dotted snake_case "
+                "(e.g. 'engine.answer')"
+            )
+        record: dict[str, object] = {"event": event, "ts": time.time()}
+        for name, value in fields.items():
+            if name in _RESERVED_FIELDS:
+                raise ValueError(f"event field {name!r} is reserved")
+            if not FIELD_NAME_RE.match(name):
+                raise ValueError(
+                    f"event field {name!r} must be snake_case"
+                )
+            if value is not None and not isinstance(value, _SCALAR_TYPES):
+                raise TypeError(
+                    f"event field {name!r} must be a flat JSON scalar, "
+                    f"got {type(value).__name__}"
+                )
+            record[name] = value
+        return record
+
+    # -- inspection ------------------------------------------------------------
+
+    def events(self) -> list[dict[str, object]]:
+        """The buffered events, oldest first (copies of the records)."""
+        with self._lock:
+            return [dict(record) for record in self._ring]
+
+    def last(self) -> dict[str, object] | None:
+        with self._lock:
+            return dict(self._ring[-1]) if self._ring else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    # -- sink ------------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The buffered events as JSONL text (one object per line)."""
+        lines = [
+            json.dumps(record, sort_keys=True) for record in self.events()
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the buffered events to ``path``; returns the count."""
+        events = self.events()
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in events:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(events)
+
+    def reset(self) -> None:
+        """Drop buffered events and restart ``seq`` (flags unchanged)."""
+        with self._lock:
+            self._ring.clear()
+            self._seq = 0

@@ -6,7 +6,9 @@
   scraper pointed at a file (or a future HTTP endpoint) ingests the
   same numbers.  Histograms render as standard ``_bucket``/``_sum``/
   ``_count`` series; the reservoir quantiles are JSON-only because the
-  Prometheus histogram model has no slot for them.
+  Prometheus histogram model has no slot for them.  Output always ends
+  with the OpenMetrics ``# EOF`` terminator so file-based scrapes can
+  tell a complete exposition from a truncated one.
 """
 
 from __future__ import annotations
@@ -87,4 +89,5 @@ def to_prometheus(source: MetricsRegistry | Mapping[str, object]) -> str:
             lines.append(
                 f"{name}_count{_render_labels(labels)} {series['count']}"
             )
-    return "\n".join(lines) + ("\n" if lines else "")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,69 @@
+"""Per-call flight recorder: phases + fields → one wide event.
+
+A :class:`FlightRecorder` is the engine-facing way to build the single
+wide event an ``answer()``/``gather_similar()`` call emits.  The engine
+creates one at call entry (via ``OBS.flight_recorder``), brackets its
+phases with :meth:`FlightRecorder.phase`, accumulates flat fields with
+:meth:`FlightRecorder.note`, and emits everything as one event with
+:meth:`FlightRecorder.finish`.  Per-phase durations land as
+``<phase>_seconds`` fields next to ``total_seconds``, so the event is
+a self-contained latency breakdown as well as a work account.
+
+The recorder carries the call's ``trace_id``: drawn fresh from the
+deterministic counter at construction, and overwritten by the engine
+with the answering span's id when tracing is on — so events and spans
+of the same call always correlate.
+
+This module deliberately knows nothing about the engine's types — it
+takes scalar fields only — keeping ``repro.obs`` import-free of the
+layers it observes (reprolint REP003).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.events import EventLog
+from repro.obs.tracing import next_trace_id
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Accumulates one call's wide-event fields, phase by phase."""
+
+    def __init__(self, sink: EventLog, event: str) -> None:
+        self._sink = sink
+        self.event = event
+        self.trace_id = next_trace_id()
+        self._start = time.perf_counter()
+        self._phases: dict[str, float] = {}
+        self._fields: dict[str, object] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one named phase; repeated phases accumulate."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._phases[name] = self._phases.get(name, 0.0) + elapsed
+
+    def note(self, **fields: object) -> None:
+        """Merge flat fields into the pending event."""
+        self._fields.update(fields)
+
+    def finish(self, **fields: object) -> dict[str, object] | None:
+        """Emit the accumulated wide event; returns the stored record."""
+        payload = dict(self._fields)
+        payload.update(fields)
+        for name, seconds in self._phases.items():
+            payload[f"{name}_seconds"] = round(seconds, 6)
+        payload["total_seconds"] = round(
+            time.perf_counter() - self._start, 6
+        )
+        payload["trace_id"] = self.trace_id
+        return self._sink.emit(self.event, **payload)

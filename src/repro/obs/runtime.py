@@ -27,6 +27,8 @@ from __future__ import annotations
 import time
 from typing import Mapping
 
+from repro.obs.events import EventLog
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NOOP_SPAN, NullTracer, Span, Tracer, _NoopSpan
 
@@ -36,11 +38,17 @@ _NULL_TRACER = NullTracer()
 
 
 class Observability:
-    """One registry + one tracer behind a cheap enabled flag."""
+    """One registry + one tracer + one event log behind cheap flags.
+
+    ``enabled`` gates metrics and spans; the event log carries its own
+    ``events.enabled`` flag so wide events can be on with tracing off
+    (the cheap production posture) or vice versa.
+    """
 
     def __init__(self, enabled: bool = False, max_traces: int = 128) -> None:
         self.registry = MetricsRegistry()
         self._tracer = Tracer(max_traces=max_traces)
+        self.events = EventLog()
         self.enabled = enabled
 
     @property
@@ -54,15 +62,40 @@ class Observability:
         self.enabled = False
 
     def reset(self) -> None:
-        """Clear all recorded metrics and traces (keeps the on/off state)."""
+        """Clear recorded metrics/traces/events (keeps the on/off state)."""
         self.registry.reset()
         self._tracer.reset()
+        self.events.reset()
 
     def span(self, name: str, **attributes: object):
         """A real span when enabled, the shared no-op span otherwise."""
         if not self.enabled:
             return NOOP_SPAN
         return self._tracer.span(name, **attributes)
+
+    # -- wide events -----------------------------------------------------------
+
+    def emit_event(self, event: str, /, **fields: object):
+        """Emit one wide event (no-op unless the event log is enabled).
+
+        This is the blessed emission API reprolint REP005 checks call
+        sites of: event names dotted snake_case, fields snake_case,
+        values flat scalars.
+        """
+        if not self.events.enabled:
+            return None
+        return self.events.emit(event, **fields)
+
+    def flight_recorder(self, event: str) -> FlightRecorder | None:
+        """A per-call recorder when the event log is on, else None."""
+        if not self.events.enabled:
+            return None
+        return FlightRecorder(self.events, event)
+
+    def current_trace_id(self) -> str | None:
+        """The trace id of this thread's open span, if any."""
+        span = self._tracer.current()
+        return span.trace_id if span is not None else None
 
 
 #: The process-wide runtime every instrumented layer records into.

@@ -10,6 +10,22 @@ same thread.
 Completed root spans go to a bounded ring buffer — a long-lived server
 keeps the most recent traces without growing without bound.
 
+Because the stack is thread-local, work dispatched to another thread
+(the planner's batch pool) would start a fresh root there and lose its
+parentage.  :meth:`Tracer.capture` + :meth:`Tracer.activate` fix that:
+the dispatching thread captures its current span as a
+:class:`TraceContext`, and the worker activates it, borrowing the
+parent span as the bottom of its own stack — so spans the worker opens
+nest under the dispatcher's span and share its trace id.  The borrowed
+parent is never popped by the worker, so it cannot enter the ring
+twice; child-list appends are atomic under the GIL, so concurrent
+workers may attach children to one parent safely.
+
+Every root span is assigned a ``trace_id`` from a deterministic
+process-wide counter (no wall clock, no RNG — REP001-friendly), and
+descendants inherit it; the id is what correlates a span tree with the
+wide events (:mod:`repro.obs.events`) emitted during the same call.
+
 When observability is disabled the runtime hands out :data:`NOOP_SPAN`
 instead, whose enter/exit/set_attribute do nothing; the instrumentation
 cost collapses to one attribute check plus an argument-dict build.
@@ -20,9 +36,30 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Iterator
+from contextlib import contextmanager
+from typing import Iterator, Sequence
 
-__all__ = ["Span", "Tracer", "NullTracer", "NOOP_SPAN", "render_span_tree"]
+__all__ = [
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "NullTracer",
+    "NOOP_SPAN",
+    "next_trace_id",
+    "render_span_tree",
+    "span_summary",
+]
+
+_TRACE_ID_LOCK = threading.Lock()
+_TRACE_ID_COUNTER = 0
+
+
+def next_trace_id() -> str:
+    """The next id from the process-wide deterministic counter."""
+    global _TRACE_ID_COUNTER
+    with _TRACE_ID_LOCK:
+        _TRACE_ID_COUNTER += 1
+        return f"t-{_TRACE_ID_COUNTER:06d}"
 
 
 class Span:
@@ -35,6 +72,8 @@ class Span:
         "started_at",
         "status",
         "error",
+        "trace_id",
+        "tid",
         "_start",
         "_duration",
     )
@@ -46,6 +85,8 @@ class Span:
         self.started_at = time.time()  # wall clock, for correlation
         self.status = "in_progress"
         self.error: str | None = None
+        self.trace_id = ""  # assigned at push: inherited or freshly drawn
+        self.tid = threading.get_ident()  # thread that opened the span
         self._start = time.perf_counter()  # monotonic, for duration
         self._duration: float | None = None
 
@@ -75,6 +116,7 @@ class Span:
     def as_dict(self) -> dict[str, object]:
         return {
             "name": self.name,
+            "trace_id": self.trace_id,
             "started_at": self.started_at,
             "duration_seconds": self._duration,
             "status": self.status,
@@ -100,6 +142,24 @@ class _NoopSpan:
 
 
 NOOP_SPAN = _NoopSpan()
+
+
+class TraceContext:
+    """A portable capture of one thread's current span.
+
+    Produced by :meth:`Tracer.capture` on the dispatching thread and
+    consumed by :meth:`Tracer.activate` on a worker thread; holding one
+    keeps the parent span alive and addressable across the hop.
+    """
+
+    __slots__ = ("span",)
+
+    def __init__(self, span: Span | None) -> None:
+        self.span = span
+
+    @property
+    def trace_id(self) -> str | None:
+        return self.span.trace_id if self.span is not None else None
 
 
 class _SpanContext:
@@ -152,7 +212,11 @@ class Tracer:
             stack = []
             self._local.stack = stack
         if stack:
-            stack[-1].children.append(span)
+            parent = stack[-1]
+            parent.children.append(span)
+            span.trace_id = parent.trace_id
+        else:
+            span.trace_id = next_trace_id()
         stack.append(span)
 
     def _pop(self, span: Span) -> None:
@@ -166,6 +230,34 @@ class Tracer:
         if not stack:
             with self._lock:
                 self._traces.append(span)
+
+    # -- cross-thread propagation ---------------------------------------------
+
+    def capture(self) -> TraceContext:
+        """Capture this thread's current span for another thread to adopt."""
+        return TraceContext(self.current())
+
+    @contextmanager
+    def activate(self, context: TraceContext | None) -> Iterator[None]:
+        """Adopt a captured span as this thread's parent for the block.
+
+        The borrowed span sits at the bottom of a fresh stack: spans
+        opened inside the block become its children (and inherit its
+        trace id), but popping back down to it never re-enters it into
+        the completed-trace ring — the owning thread finishes it.  The
+        thread's previous stack is restored on exit, so activation
+        nests and never leaks across pool task boundaries.
+        """
+        if context is None or context.span is None:
+            yield
+            return
+        local = self._local
+        saved = getattr(local, "stack", None)
+        local.stack = [context.span]
+        try:
+            yield
+        finally:
+            local.stack = saved if saved is not None else []
 
     # -- inspection -----------------------------------------------------------
 
@@ -198,6 +290,13 @@ class NullTracer:
     def current(self) -> None:
         return None
 
+    def capture(self) -> TraceContext:
+        return TraceContext(None)
+
+    @contextmanager
+    def activate(self, context: TraceContext | None) -> Iterator[None]:
+        yield
+
     def traces(self) -> list[Span]:
         return []
 
@@ -228,3 +327,37 @@ def render_span_tree(span: Span, indent: int = 0) -> str:
     for child in span.children:
         lines.append(render_span_tree(child, indent + 1))
     return "\n".join(lines)
+
+
+def span_summary(roots: Sequence[Span]) -> list[dict[str, object]]:
+    """Aggregate spans by name across the given trees.
+
+    One row per distinct span name — call count, total and max
+    duration, error count — sorted by total duration descending.  This
+    is the ``repro trace`` CLI's default view: a profile of where one
+    traced call spent its time, without the full tree.
+    """
+    rows: dict[str, dict[str, object]] = {}
+    for root in roots:
+        for span in root.walk():
+            row = rows.setdefault(
+                span.name,
+                {
+                    "name": span.name,
+                    "count": 0,
+                    "total_seconds": 0.0,
+                    "max_seconds": 0.0,
+                    "errors": 0,
+                },
+            )
+            duration = span.duration_seconds or 0.0
+            row["count"] = int(row["count"]) + 1
+            row["total_seconds"] = float(row["total_seconds"]) + duration
+            row["max_seconds"] = max(float(row["max_seconds"]), duration)
+            if span.status == "error":
+                row["errors"] = int(row["errors"]) + 1
+    return sorted(
+        rows.values(),
+        key=lambda row: float(row["total_seconds"]),  # type: ignore[arg-type]
+        reverse=True,
+    )

@@ -40,6 +40,16 @@ one overhead guard for the resilience layer:
     (``frontier="tuple"``, two workers): each base tuple's
     per-level frontier is deduplicated and dispatched as a batch
     before consumption resumes in serial order.
+``obs_overhead``
+    Repeated answering with observability fully off (the reference)
+    vs the wide-event log alone vs events *and* tracing together.
+    Another guard: all three passes must produce bit-identical
+    answers. The wide-events-on pass — the always-on production
+    posture, budget < 5% — is the ``fast`` leg, so the regression and
+    baseline gates pin its overhead. Full span tracing is a debugging
+    mode whose cost is proportional to span count (per-probe spans
+    over microsecond in-memory probes), so its measured fraction is
+    reported in ``details["full_overhead"]`` rather than gated.
 
 Every scenario checks that the fast and slow paths produced identical
 results; ``check_regressions`` turns a report into CI failures when a
@@ -572,6 +582,65 @@ def bench_resilience_overhead(
     )
 
 
+def bench_obs_overhead(scale: BenchScale, fixture: _Fixture) -> ScenarioResult:
+    webdb = fixture.webdb
+    engine = fixture.model.engine(webdb)
+    queries = _fixture_queries(fixture, scale.queries)
+
+    def run() -> list[list[tuple[int, float, float]]]:
+        outputs: list[list[tuple[int, float, float]]] = []
+        for _ in range(scale.repeats):
+            for query in queries:
+                answers = engine.answer(query)
+                outputs.append(
+                    [
+                        (a.row_id, a.similarity, a.base_similarity)
+                        for a in answers
+                    ]
+                )
+        return outputs
+
+    saved = (OBS.enabled, OBS.events.enabled, OBS.events.probe_events)
+    try:
+        OBS.reset()
+        OBS.disable()
+        OBS.events.enabled = False
+        OBS.events.probe_events = False
+        off_out, off_seconds = _timed(run)
+        OBS.events.enabled = True
+        events_out, events_seconds = _timed(run)
+        events_recorded = len(OBS.events)
+        OBS.reset()
+        OBS.enable()
+        full_out, full_seconds = _timed(run)
+        traces_recorded = len(OBS.tracer.traces())
+        events_full = len(OBS.events)
+    finally:
+        OBS.reset()
+        OBS.enabled, OBS.events.enabled, OBS.events.probe_events = saved
+    return ScenarioResult(
+        name="obs_overhead",
+        slow_seconds=off_seconds,
+        fast_seconds=events_seconds,
+        equivalent=(
+            off_out == events_out == full_out
+            and events_recorded > 0
+            and events_full > 0
+            and traces_recorded > 0
+        ),
+        details={
+            "repeats": scale.repeats,
+            "queries": len(queries),
+            "full_seconds": round(full_seconds, 6),
+            "events_overhead": round(events_seconds / off_seconds - 1.0, 4),
+            "full_overhead": round(full_seconds / off_seconds - 1.0, 4),
+            "events_recorded": events_recorded,
+            "events_recorded_full": events_full,
+            "traces_recorded": traces_recorded,
+        },
+    )
+
+
 def _overlap_webdb(
     scale: BenchScale,
     seed: int = 71,
@@ -699,6 +768,7 @@ SCENARIOS: dict[str, Callable[[BenchScale, _Fixture], ScenarioResult]] = {
     "similarity_memo": bench_similarity_memo,
     "lazy_partition": bench_lazy_partition,
     "resilience_overhead": bench_resilience_overhead,
+    "obs_overhead": bench_obs_overhead,
     "semantic_reuse": bench_semantic_reuse,
     "batched_frontier": bench_batched_frontier,
 }

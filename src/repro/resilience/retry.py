@@ -138,6 +138,15 @@ class Retrier:
                             ).labels(scope=budget.scope).inc()
                         raise budget.refuse_sleep(delay) from exc
                 self.retries += 1
+                if OBS.events.enabled and OBS.events.probe_events:
+                    OBS.emit_event(
+                        "resilience.retry",
+                        attempt=attempt,
+                        max_attempts=config.max_attempts,
+                        delay_seconds=round(delay, 6),
+                        error=type(exc).__name__,
+                        trace_id=OBS.current_trace_id() or "",
+                    )
                 if OBS.enabled:
                     OBS.registry.counter(
                         "repro_resilience_retries_total",
@@ -152,6 +161,7 @@ class Retrier:
                     with OBS.span(
                         "resilience.backoff",
                         attempt=attempt,
+                        max_attempts=config.max_attempts,
                         delay=round(delay, 6),
                         error=type(exc).__name__,
                     ):

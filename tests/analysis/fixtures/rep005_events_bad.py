@@ -1,0 +1,15 @@
+"""Golden fixture: violates REP005's wide-event hygiene checks."""
+
+import json
+
+from repro.obs import OBS
+
+
+def emit(name):
+    OBS.emit_event("Engine.Answer", probes=3)  # event name not snake_case
+    OBS.emit_event("answer", probes=3)  # no dotted namespace
+    OBS.emit_event(name, probes=3)  # non-constant event name
+    OBS.emit_event("engine.answer", probesIssued=3)  # camelCase field
+    OBS.events.emit("engine.answer", Total=3)  # capitalised field
+    # Ad-hoc wide event bypassing the ring buffer and validation.
+    return json.dumps({"event": "engine.answer", "probes": 3})

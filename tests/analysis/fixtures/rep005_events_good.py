@@ -1,0 +1,13 @@
+"""Golden fixture: the REP005-clean version of rep005_events_bad."""
+
+import json
+
+from repro.obs import OBS
+
+
+def emit(payload):
+    OBS.emit_event("engine.answer", probes_issued=3, total_seconds=0.25)
+    OBS.events.emit("db.probe", rows=3, from_cache=False)
+    # Serialising an arbitrary payload is fine; only literal dicts
+    # carrying an "event" key count as ad-hoc wide events.
+    return json.dumps(payload)

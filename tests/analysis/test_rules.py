@@ -96,6 +96,23 @@ def test_rep004_fabricate_good_fixture_is_clean_under_all_rules():
     assert run.findings == [], [f.render() for f in run.findings]
 
 
+def test_rep005_flags_event_hygiene_violations():
+    run = run_rule("REP005", FIXTURES / "rep005_events_bad.py")
+    assert len(run.findings) == 6
+    messages = " ".join(f.message for f in run.findings)
+    assert "'Engine.Answer'" in messages
+    assert "'answer'" in messages
+    assert "constant string" in messages
+    assert "'probesIssued'" in messages
+    assert "'Total'" in messages
+    assert "ad-hoc wide event" in messages
+
+
+def test_rep005_events_good_fixture_is_clean_under_all_rules():
+    run = LintEngine().run([FIXTURES / "rep005_events_good.py"])
+    assert run.findings == [], [f.render() for f in run.findings]
+
+
 def test_suppression_comment_silences_a_finding(tmp_path):
     source = FIXTURES / "rep006_bad.py"
     patched = tmp_path / "patched.py"

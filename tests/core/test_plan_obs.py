@@ -1,0 +1,280 @@
+"""Cross-layer observability of the answering hot path.
+
+Pins the PR 6 contract: batch-dispatched probe spans nest under the
+answering span regardless of which pool thread ran them; resilience
+retry spans do too; the single ``engine.answer`` wide event's probe
+accounting equals the :class:`RelaxationTrace` and
+:class:`~repro.db.ProbeLog` numbers exactly; and turning events and
+tracing on never changes an answer bit.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import AIMQSettings, ImpreciseQuery, build_model
+from repro.core.plan import PlannerConfig
+from repro.db.faults import FaultPolicy, FaultSpec
+from repro.db.schema import RelationSchema
+from repro.db.table import Table
+from repro.db.webdb import AutonomousWebDatabase
+from repro.obs import OBS
+from repro.resilience import ResiliencePolicy
+from repro.resilience.clock import VirtualClock
+
+
+@pytest.fixture()
+def obs_full():
+    """Tracing + events on with clean state; everything restored after."""
+    OBS.reset()
+    OBS.enable()
+    OBS.events.enabled = True
+    try:
+        yield OBS
+    finally:
+        OBS.disable()
+        OBS.events.enabled = False
+        OBS.events.probe_events = False
+        OBS.reset()
+
+
+def _overlap_webdb(n_rows: int = 300, profiles: int = 6, seed: int = 9):
+    """Rows drawn from few profiles: guaranteed cross-tuple reuse."""
+    rng = random.Random(seed)
+    schema = RelationSchema.build(
+        "mini", categorical=("A", "B", "C"), numeric=(), order=("A", "B", "C")
+    )
+    pool = [
+        (f"a{rng.randrange(3)}", f"b{rng.randrange(3)}", f"c{rng.randrange(3)}")
+        for _ in range(profiles)
+    ]
+    table = Table(schema)
+    for _ in range(n_rows):
+        table.insert(rng.choice(pool))
+    return AutonomousWebDatabase(table)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    webdb = _overlap_webdb()
+    model = build_model(
+        webdb,
+        sample_size=120,
+        rng=random.Random(4),
+        settings=AIMQSettings(max_relaxation_level=2),
+    )
+    webdb.reset_accounting()
+    query = ImpreciseQuery.like(webdb.schema.name, A="a1")
+    return webdb, model, query
+
+
+def _sig(answers):
+    return [(a.row_id, a.similarity, a.base_similarity) for a in answers]
+
+
+def _answer_root():
+    for root in reversed(OBS.tracer.traces()):
+        if root.name == "engine.answer":
+            return root
+    raise AssertionError("no engine.answer root recorded")
+
+
+PLANNER = PlannerConfig(frontier="tuple", workers=4)
+
+
+class TestSpanParentage:
+    def test_batch_probe_spans_are_children_of_the_answering_span(
+        self, obs_full, setup
+    ):
+        webdb, model, query = setup
+        model.engine(webdb, planner=PLANNER).answer(query)
+        root = _answer_root()
+        in_tree = [
+            span for span in root.walk() if span.name == "plan.batch_probe"
+        ]
+        assert in_tree, "batched run dispatched no pool probes"
+        # Pool threads differ from the answering thread — parentage
+        # survived the hop.
+        assert any(span.tid != root.tid for span in in_tree)
+        assert {span.trace_id for span in in_tree} == {root.trace_id}
+        # And none of them leaked into the ring as orphan roots.
+        for recorded_root in OBS.tracer.traces():
+            assert recorded_root.name != "plan.batch_probe"
+
+    def test_retry_spans_nest_under_the_answering_span(
+        self, obs_full, setup
+    ):
+        webdb, model, query = setup
+        webdb.set_fault_policy(
+            FaultPolicy(FaultSpec(transient_rate=0.4), seed=5)
+        )
+        try:
+            model.engine(
+                webdb, resilience=ResiliencePolicy(), clock=VirtualClock()
+            ).answer(query)
+        finally:
+            webdb.set_fault_policy(None)
+        root = _answer_root()
+        backoffs = [
+            span
+            for span in root.walk()
+            if span.name == "resilience.backoff"
+        ]
+        assert backoffs, "fault schedule produced no retries"
+        for span in backoffs:
+            assert span.trace_id == root.trace_id
+            assert span.attributes["attempt"] >= 1
+            assert span.attributes["max_attempts"] >= span.attributes["attempt"]
+            assert "delay" in span.attributes
+            assert "error" in span.attributes
+
+
+class TestAnswerEvent:
+    def test_single_event_with_exact_probe_accounting(
+        self, obs_full, setup
+    ):
+        webdb, model, query = setup
+        log_before = webdb.log.snapshot()
+        answers = model.engine(webdb, planner=PLANNER).answer(query, k=5)
+        events = [
+            e for e in OBS.events.events() if e["event"] == "engine.answer"
+        ]
+        assert len(events) == 1
+        (event,) = events
+        trace = answers.trace
+        assert event["mode"] == "answer"
+        assert event["dataset"] == webdb.schema.name
+        assert event["k"] == 5
+        assert event["answers"] == len(answers)
+        assert event["base_set_size"] == trace.base_set_size
+        assert event["probes_issued"] == trace.queries_issued
+        assert event["probes_cached"] == trace.probes_cached
+        assert event["probes_subsumed"] == trace.probes_subsumed
+        assert event["probes_speculative"] == trace.probes_speculative
+        assert event["logical_probes"] == trace.logical_probes
+        assert event["logical_probes"] == (
+            event["probes_issued"]
+            + event["probes_cached"]
+            + event["probes_subsumed"]
+        )
+        assert event["frontier_batches"] == trace.frontier_batches
+        assert event["tuples_extracted"] == trace.tuples_extracted
+        assert event["tuples_relevant"] == trace.tuples_relevant
+        assert event["frontier"] == "tuple"
+        assert event["batch_workers"] == 4
+        assert event["resilient"] is False
+        assert event["degraded"] is False
+        log_delta = webdb.log.delta(log_before)
+        assert event["log_probes_issued"] == log_delta.probes_issued
+        assert event["log_tuples_returned"] == log_delta.tuples_returned
+        assert event["log_empty_results"] == log_delta.empty_results
+        for phase in ("mapping", "expansion", "ranking"):
+            assert event[f"{phase}_seconds"] >= 0.0
+        assert event["total_seconds"] > 0.0
+
+    def test_event_trace_id_matches_the_answering_span(
+        self, obs_full, setup
+    ):
+        webdb, model, query = setup
+        model.engine(webdb, planner=PLANNER).answer(query)
+        event = OBS.events.last()
+        assert event["event"] == "engine.answer"
+        assert event["trace_id"] == _answer_root().trace_id
+
+    def test_events_without_tracing_still_carry_an_id(self, setup):
+        webdb, model, query = setup
+        OBS.reset()
+        OBS.disable()
+        OBS.events.enabled = True
+        try:
+            model.engine(webdb).answer(query)
+            event = OBS.events.last()
+            assert event["event"] == "engine.answer"
+            assert event["trace_id"].startswith("t-")
+            assert OBS.tracer.traces() == []
+        finally:
+            OBS.events.enabled = False
+            OBS.reset()
+
+    def test_gather_similar_emits_its_own_event(self, obs_full, setup):
+        webdb, model, query = setup
+        seed_row = model.sample.row(0)
+        model.engine(webdb).gather_similar(seed_row, target=4, row_id=3)
+        event = OBS.events.last()
+        assert event["event"] == "engine.gather_similar"
+        assert event["mode"] == "gather_similar"
+        assert event["query"] == "row:3"
+        assert event["k"] == 4
+
+
+class TestProbeEvents:
+    def test_opt_in_probe_events_correlate_with_the_answer(
+        self, obs_full, setup
+    ):
+        webdb, model, query = setup
+        OBS.events.probe_events = True
+        model.engine(webdb, planner=PLANNER).answer(query)
+        events = OBS.events.events()
+        probes = [e for e in events if e["event"] == "db.probe"]
+        answer = next(e for e in events if e["event"] == "engine.answer")
+        assert probes
+        assert {e["kind"] for e in probes} <= {"query", "count"}
+        # Every probe issued inside the answering span shares its
+        # trace id — including pool-dispatched ones.
+        assert {e["trace_id"] for e in probes} == {answer["trace_id"]}
+        issued = [e for e in probes if not e["from_cache"]]
+        assert len(issued) == answer["log_probes_issued"]
+
+    def test_probe_events_off_by_default(self, obs_full, setup):
+        webdb, model, query = setup
+        model.engine(webdb).answer(query)
+        assert all(
+            e["event"] != "db.probe" for e in OBS.events.events()
+        )
+
+    def test_retry_events_carry_attempt_and_budget(self, obs_full, setup):
+        webdb, model, query = setup
+        OBS.events.probe_events = True
+        webdb.set_fault_policy(
+            FaultPolicy(FaultSpec(transient_rate=0.4), seed=5)
+        )
+        try:
+            model.engine(
+                webdb, resilience=ResiliencePolicy(), clock=VirtualClock()
+            ).answer(query)
+        finally:
+            webdb.set_fault_policy(None)
+        retries = [
+            e
+            for e in OBS.events.events()
+            if e["event"] == "resilience.retry"
+        ]
+        assert retries
+        answer_id = _answer_root().trace_id
+        for event in retries:
+            assert 1 <= event["attempt"] < event["max_attempts"]
+            assert event["delay_seconds"] >= 0.0
+            assert event["error"] == "TransientProbeError"
+            assert event["trace_id"] == answer_id
+
+
+class TestBitIdentity:
+    def test_observability_never_changes_an_answer(self, setup):
+        webdb, model, query = setup
+        engine = model.engine(webdb, planner=PLANNER)
+        OBS.reset()
+        OBS.disable()
+        OBS.events.enabled = False
+        baseline = _sig(engine.answer(query))
+        try:
+            OBS.events.enabled = True
+            events_only = _sig(engine.answer(query))
+            OBS.enable()
+            full = _sig(engine.answer(query))
+        finally:
+            OBS.disable()
+            OBS.events.enabled = False
+            OBS.reset()
+        assert baseline == events_only == full

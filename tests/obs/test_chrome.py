@@ -1,0 +1,80 @@
+"""Chrome trace-event exporter tests."""
+
+import json
+
+from repro.obs import to_chrome_trace, write_chrome_trace
+from repro.obs.tracing import Tracer
+
+
+def _recorded_tree():
+    tracer = Tracer()
+    with tracer.span("engine.answer", query="Make=Ford"):
+        with tracer.span("db.probe", rows=4):
+            pass
+        with tracer.span("engine.ranking"):
+            pass
+    return tracer.traces()
+
+
+class TestToChromeTrace:
+    def test_one_complete_event_per_span(self):
+        payload = to_chrome_trace(_recorded_tree())
+        names = [event["name"] for event in payload["traceEvents"]]
+        assert names == ["engine.answer", "db.probe", "engine.ranking"]
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_events_use_complete_phase_and_microseconds(self):
+        payload = to_chrome_trace(_recorded_tree())
+        for event in payload["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["pid"] == 1
+            assert isinstance(event["tid"], int)
+            assert event["dur"] >= 0.0
+            assert event["ts"] > 0.0
+
+    def test_category_is_the_name_prefix(self):
+        payload = to_chrome_trace(_recorded_tree())
+        categories = {e["name"]: e["cat"] for e in payload["traceEvents"]}
+        assert categories == {
+            "engine.answer": "engine",
+            "db.probe": "db",
+            "engine.ranking": "engine",
+        }
+
+    def test_args_carry_attributes_status_and_trace_id(self):
+        payload = to_chrome_trace(_recorded_tree())
+        by_name = {e["name"]: e["args"] for e in payload["traceEvents"]}
+        assert by_name["engine.answer"]["query"] == "Make=Ford"
+        assert by_name["db.probe"]["rows"] == 4
+        trace_ids = {args["trace_id"] for args in by_name.values()}
+        assert len(trace_ids) == 1
+        assert all(args["status"] == "ok" for args in by_name.values())
+
+    def test_error_span_includes_error_arg(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("engine.answer"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        payload = to_chrome_trace(tracer.traces())
+        (event,) = payload["traceEvents"]
+        assert event["args"]["status"] == "error"
+        assert "boom" in event["args"]["error"]
+
+
+class TestWriteChromeTrace:
+    def test_writes_valid_json_and_returns_count(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(_recorded_tree(), str(path))
+        assert count == 3
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert len(loaded["traceEvents"]) == 3
+
+    def test_empty_roots_still_valid(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert write_chrome_trace([], str(path)) == 0
+        assert json.loads(path.read_text(encoding="utf-8")) == {
+            "displayTimeUnit": "ms",
+            "traceEvents": [],
+        }

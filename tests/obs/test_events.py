@@ -1,0 +1,102 @@
+"""Unit tests for the bounded wide-event log."""
+
+import json
+
+import pytest
+
+from repro.obs import EventLog
+
+
+def enabled_log(**kwargs) -> EventLog:
+    log = EventLog(**kwargs)
+    log.enabled = True
+    return log
+
+
+class TestEmission:
+    def test_disabled_by_default_and_emit_is_noop(self):
+        log = EventLog()
+        assert log.emit("engine.answer", probes=3) is None
+        assert len(log) == 0
+
+    def test_emit_returns_the_stored_record(self):
+        log = enabled_log()
+        record = log.emit("engine.answer", probes_issued=3, degraded=False)
+        assert record is not None
+        assert record["event"] == "engine.answer"
+        assert record["probes_issued"] == 3
+        assert record["degraded"] is False
+        assert log.events() == [record]
+
+    def test_records_carry_monotonic_seq_and_timestamp(self):
+        log = enabled_log()
+        first = log.emit("engine.answer", n=1)
+        second = log.emit("engine.answer", n=2)
+        assert second["seq"] == first["seq"] + 1
+        assert second["ts"] >= first["ts"]
+
+    def test_ring_is_bounded_oldest_dropped(self):
+        log = enabled_log(capacity=3)
+        for index in range(6):
+            log.emit("engine.answer", n=index)
+        assert [record["n"] for record in log.events()] == [3, 4, 5]
+        assert log.last()["n"] == 5
+
+    def test_reset_clears_records_but_keeps_flags(self):
+        log = enabled_log()
+        log.probe_events = True
+        log.emit("engine.answer", n=1)
+        log.reset()
+        assert len(log) == 0
+        assert log.enabled and log.probe_events
+
+
+class TestValidation:
+    def test_rejects_undotted_or_camelcase_event_names(self):
+        log = enabled_log()
+        for bad in ("answer", "Engine.Answer", "engine.", "engine..answer"):
+            with pytest.raises(ValueError):
+                log.emit(bad, n=1)
+
+    def test_rejects_bad_field_names(self):
+        log = enabled_log()
+        with pytest.raises(ValueError):
+            log.emit("engine.answer", probesIssued=1)
+
+    def test_rejects_reserved_field_names(self):
+        log = enabled_log()
+        for reserved in ("event", "ts", "seq"):
+            with pytest.raises(ValueError):
+                log.emit("engine.answer", **{reserved: 1})
+
+    def test_rejects_non_scalar_values(self):
+        log = enabled_log()
+        with pytest.raises(TypeError):
+            log.emit("engine.answer", steps=[1, 2])
+
+    def test_none_is_a_legal_value(self):
+        log = enabled_log()
+        record = log.emit("engine.answer", threshold=None)
+        assert record["threshold"] is None
+
+
+class TestJsonl:
+    def test_to_jsonl_one_object_per_line(self):
+        log = enabled_log()
+        log.emit("engine.answer", n=1)
+        log.emit("db.probe", rows=4)
+        lines = log.to_jsonl().strip().split("\n")
+        parsed = [json.loads(line) for line in lines]
+        assert [p["event"] for p in parsed] == ["engine.answer", "db.probe"]
+
+    def test_write_jsonl_round_trips(self, tmp_path):
+        log = enabled_log()
+        log.emit("engine.answer", probes_issued=3, query="Make=Ford")
+        path = tmp_path / "events.jsonl"
+        written = log.write_jsonl(str(path))
+        assert written == 1
+        loaded = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert loaded == log.events()

@@ -75,6 +75,72 @@ class TestPrometheus:
         text = to_prometheus(registry)
         assert r'text="say \"hi\"\nplease\\now"' in text
 
-    def test_empty_registry_renders_empty(self):
-        assert to_prometheus(MetricsRegistry()) == ""
+    def test_empty_registry_renders_terminator_only(self):
+        assert to_prometheus(MetricsRegistry()) == "# EOF\n"
         assert json.loads(to_json(MetricsRegistry())) == {"metrics": []}
+
+    def test_ends_with_eof_terminator(self, populated):
+        text = to_prometheus(populated)
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert lines[-1] == "# EOF"
+        assert lines.count("# EOF") == 1
+
+
+def _bucket_lines(text: str, name: str) -> list[tuple[str, int]]:
+    """``(le, cumulative)`` pairs for one label-less histogram family."""
+    pairs: list[tuple[str, int]] = []
+    for line in text.splitlines():
+        if not line.startswith(f"{name}_bucket{{"):
+            continue
+        labels, _, value = line.partition("} ")
+        le = labels.split('le="', 1)[1].rstrip('"')
+        pairs.append((le, int(value)))
+    return pairs
+
+
+class TestPrometheusRoundTrip:
+    """Scrape-side invariants of the rendered histogram series."""
+
+    def test_buckets_are_cumulative_and_monotonic(self, populated):
+        pairs = _bucket_lines(to_prometheus(populated), "repro_db_probe_seconds")
+        counts = [count for _, count in pairs]
+        assert counts == sorted(counts)
+
+    def test_terminal_bucket_is_inf(self, populated):
+        pairs = _bucket_lines(to_prometheus(populated), "repro_db_probe_seconds")
+        assert pairs[-1][0] == "+Inf"
+
+    def test_inf_bucket_equals_count(self, populated):
+        text = to_prometheus(populated)
+        pairs = _bucket_lines(text, "repro_db_probe_seconds")
+        count_line = next(
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_db_probe_seconds_count ")
+        )
+        assert pairs[-1][1] == int(count_line.rsplit(" ", 1)[1])
+
+    def test_labelled_histogram_keeps_invariants(self):
+        registry = MetricsRegistry()
+        family = registry.histogram(
+            "repro_test_latency_seconds",
+            "Labelled latency.",
+            labels=("phase",),
+            buckets=(0.1, 1.0),
+        )
+        family.labels(phase="map").observe(0.05)
+        family.labels(phase="map").observe(5.0)
+        family.labels(phase="rank").observe(0.5)
+        text = to_prometheus(registry)
+        for phase, expected_count in (("map", 2), ("rank", 1)):
+            rows = [
+                line
+                for line in text.splitlines()
+                if line.startswith("repro_test_latency_seconds_bucket")
+                and f'phase="{phase}"' in line
+            ]
+            counts = [int(line.rsplit(" ", 1)[1]) for line in rows]
+            assert counts == sorted(counts)
+            assert rows[-1].count('le="+Inf"') == 1
+            assert counts[-1] == expected_count

@@ -1,0 +1,71 @@
+"""Flight-recorder tests: phases + fields become one wide event."""
+
+import time
+
+from repro.obs import EventLog, FlightRecorder
+
+
+def _log() -> EventLog:
+    log = EventLog()
+    log.enabled = True
+    return log
+
+
+class TestFlightRecorder:
+    def test_finish_emits_one_event_with_fields(self):
+        log = _log()
+        recorder = FlightRecorder(log, "engine.answer")
+        recorder.note(probes_issued=4, dataset="cardb")
+        record = recorder.finish(answers=5)
+        assert record is not None
+        assert len(log) == 1
+        assert record["event"] == "engine.answer"
+        assert record["probes_issued"] == 4
+        assert record["dataset"] == "cardb"
+        assert record["answers"] == 5
+
+    def test_phases_become_seconds_fields(self):
+        recorder = FlightRecorder(_log(), "engine.answer")
+        with recorder.phase("mapping"):
+            time.sleep(0.002)
+        with recorder.phase("ranking"):
+            pass
+        record = recorder.finish()
+        assert record["mapping_seconds"] > 0.0
+        assert record["ranking_seconds"] >= 0.0
+        assert record["total_seconds"] >= record["mapping_seconds"]
+
+    def test_repeated_phases_accumulate(self):
+        recorder = FlightRecorder(_log(), "engine.answer")
+        with recorder.phase("expansion"):
+            time.sleep(0.001)
+        first = recorder._phases["expansion"]
+        with recorder.phase("expansion"):
+            time.sleep(0.001)
+        assert recorder._phases["expansion"] > first
+        assert "expansion_seconds" in recorder.finish()
+
+    def test_carries_a_trace_id(self):
+        log = _log()
+        recorder = FlightRecorder(log, "engine.answer")
+        assert recorder.trace_id.startswith("t-")
+        assert recorder.finish()["trace_id"] == recorder.trace_id
+
+    def test_trace_id_can_be_overwritten_before_finish(self):
+        recorder = FlightRecorder(_log(), "engine.answer")
+        recorder.trace_id = "t-000042"
+        assert recorder.finish()["trace_id"] == "t-000042"
+
+    def test_finish_fields_override_notes(self):
+        recorder = FlightRecorder(_log(), "engine.answer")
+        recorder.note(answers=0)
+        assert recorder.finish(answers=7)["answers"] == 7
+
+    def test_phase_survives_exceptions(self):
+        recorder = FlightRecorder(_log(), "engine.answer")
+        try:
+            with recorder.phase("mapping"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert recorder._phases["mapping"] >= 0.0

@@ -167,3 +167,66 @@ class TestSnapshot:
         for thread in threads:
             thread.join()
         assert family.unlabelled().value == 8_000
+
+
+class TestWorkerThreadSafety:
+    """Registry correctness under batch-worker-style concurrency.
+
+    Mirrors the planner's dispatch shape (`--batch-workers > 1`): a
+    small pool of worker threads hammering the same families the db
+    facade and retrier touch, with exact totals asserted afterwards.
+    """
+
+    def test_concurrent_labelled_incs_are_exact(self, registry):
+        from concurrent.futures import ThreadPoolExecutor
+
+        family = registry.counter("probes_total", labels=("kind",))
+
+        def work(kind: str) -> None:
+            for _ in range(500):
+                family.labels(kind=kind).inc()
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [
+                pool.submit(work, kind)
+                for kind in ("query", "count", "query", "count")
+            ]
+            for future in futures:
+                future.result()
+        assert family.labels(kind="query").value == 1_000
+        assert family.labels(kind="count").value == 1_000
+
+    def test_concurrent_observes_are_exact(self, registry):
+        from concurrent.futures import ThreadPoolExecutor
+
+        family = registry.histogram("latency_seconds", buckets=(0.5,))
+
+        def work() -> None:
+            for index in range(400):
+                family.observe(0.25 if index % 2 == 0 else 0.75)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(work) for _ in range(4)]
+            for future in futures:
+                future.result()
+        instrument = family.unlabelled()
+        assert instrument.count == 1_600
+        assert instrument.sum == pytest.approx(1_600 * 0.5)
+        (series,) = registry.snapshot()["metrics"][0]["series"]
+        assert series["buckets"]["0.5"] == 800
+        assert series["buckets"]["+Inf"] == 1_600
+
+    def test_concurrent_family_registration_yields_one_family(self, registry):
+        from concurrent.futures import ThreadPoolExecutor
+
+        def work() -> None:
+            for _ in range(200):
+                registry.counter("races_total", "Races.").inc()
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(work) for _ in range(4)]
+            for future in futures:
+                future.result()
+        (metric,) = registry.snapshot()["metrics"]
+        assert metric["name"] == "races_total"
+        assert metric["series"][0]["value"] == 800

@@ -203,3 +203,37 @@ def test_parallel_with_prune_matches_serial_naive():
         )
     ).mine(table)
     assert _model_state(serial) == _model_state(combined)
+
+
+# -- obs_overhead scenario ---------------------------------------------------
+
+
+def test_obs_overhead_scenario_proves_bit_identity():
+    """events/tracing on never changes an answer, and both get recorded."""
+    from repro.obs import OBS
+    from repro.perf.bench import BenchScale, _Fixture, bench_obs_overhead
+
+    scale = BenchScale(
+        rows=300,
+        sample=100,
+        repeats=1,
+        queries=1,
+        mining_rows=100,
+        mining_values=10,
+        mining_attributes=3,
+        mining_threshold=0.2,
+        candidates=100,
+        top_k=5,
+        score_rows=50,
+        score_repeats=1,
+        partition_rows=100,
+        partition_products=2,
+    )
+    result = bench_obs_overhead(scale, _Fixture(scale))
+    assert result.name == "obs_overhead"
+    assert result.equivalent is True
+    assert result.details["events_recorded"] >= 1
+    assert result.details["traces_recorded"] >= 1
+    # The scenario restores the global runtime to the disabled posture.
+    assert OBS.enabled is False
+    assert OBS.events.enabled is False

@@ -313,3 +313,256 @@ class TestBenchCommand:
     def test_bench_rejects_unknown_scenario(self, capsys):
         with pytest.raises(SystemExit):
             main(["bench", "--only", "nonsense"])
+
+
+class TestWideEventsCli:
+    """The PR 6 acceptance path: query --trace --events-out --chrome-out."""
+
+    @pytest.fixture(autouse=True)
+    def _isolate_obs(self):
+        from repro.obs import OBS
+
+        OBS.reset()
+        yield
+        OBS.disable()
+        OBS.events.enabled = False
+        OBS.events.probe_events = False
+        OBS.reset()
+
+    def test_acceptance_invocation_yields_one_consistent_event(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        events = tmp_path / "e.jsonl"
+        chrome = tmp_path / "t.json"
+        code = main(
+            [
+                "query",
+                "cardb",
+                "--rows",
+                "300",
+                "--sample",
+                "100",
+                "--batched",
+                "--batch-workers",
+                "4",
+                "--resilient",
+                "--trace",
+                "--events-out",
+                str(events),
+                "--chrome-out",
+                str(chrome),
+                "Make=Ford",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"events written to {events}" in out
+        assert f"trace events written to {chrome}" in out
+        records = [
+            json.loads(line)
+            for line in events.read_text(encoding="utf-8").splitlines()
+            if line
+        ]
+        answers = [r for r in records if r["event"] == "engine.answer"]
+        assert len(answers) == 1
+        (event,) = answers
+        assert event["dataset"] == "CarDB"
+        assert event["batch_workers"] == 4
+        assert event["frontier"] == "tuple"
+        assert event["resilient"] is True
+        assert event["logical_probes"] == (
+            event["probes_issued"]
+            + event["probes_cached"]
+            + event["probes_subsumed"]
+        )
+        assert event["trace_id"].startswith("t-")
+        trace = json.loads(chrome.read_text(encoding="utf-8"))
+        names = [e["name"] for e in trace["traceEvents"]]
+        assert "engine.answer" in names
+        # Every probe/retry span belongs to the answering trace.
+        answer_args = next(
+            e["args"]
+            for e in trace["traceEvents"]
+            if e["name"] == "engine.answer"
+        )
+        assert answer_args["trace_id"] == event["trace_id"]
+
+    def test_obs_flags_accepted_before_the_subcommand(self, tmp_path, capsys):
+        events = tmp_path / "e.jsonl"
+        code = main(
+            [
+                "--events-out",
+                str(events),
+                "query",
+                "cardb",
+                "--rows",
+                "300",
+                "--sample",
+                "100",
+                "Make=Ford",
+            ]
+        )
+        assert code == 0
+        assert events.exists()
+        assert "events written to" in capsys.readouterr().out
+
+    def test_events_probe_flag_adds_probe_events(self, tmp_path, capsys):
+        import json
+
+        events = tmp_path / "e.jsonl"
+        code = main(
+            [
+                "query",
+                "cardb",
+                "--rows",
+                "300",
+                "--sample",
+                "100",
+                "--events-out",
+                str(events),
+                "--events-probe",
+                "Make=Ford",
+            ]
+        )
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in events.read_text(encoding="utf-8").splitlines()
+            if line
+        ]
+        kinds = {r["event"] for r in records}
+        assert "db.probe" in kinds and "engine.answer" in kinds
+
+    def test_main_restores_event_flags(self, tmp_path):
+        from repro.obs import OBS
+
+        events = tmp_path / "e.jsonl"
+        assert OBS.events.enabled is False
+        code = main(
+            [
+                "query",
+                "cardb",
+                "--rows",
+                "300",
+                "--sample",
+                "100",
+                "--events-out",
+                str(events),
+                "--events-probe",
+                "Make=Ford",
+            ]
+        )
+        assert code == 0
+        assert OBS.events.enabled is False
+        assert OBS.events.probe_events is False
+
+
+class TestTraceCommand:
+    @pytest.fixture(autouse=True)
+    def _isolate_obs(self):
+        from repro.obs import OBS
+
+        OBS.reset()
+        yield
+        OBS.disable()
+        OBS.events.enabled = False
+        OBS.events.probe_events = False
+        OBS.reset()
+
+    def test_trace_parser_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.dataset == "cardb" and args.k == 5
+        assert args.tree is False and args.from_events is None
+
+    def test_prints_summary_table_and_answer_event(self, capsys):
+        code = main(
+            [
+                "trace",
+                "cardb",
+                "--rows",
+                "300",
+                "--sample",
+                "100",
+                "--batched",
+                "--batch-workers",
+                "2",
+                "Make=Ford",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine.answer" in out
+        assert "total_s" in out  # summary table header
+        assert '"event": "engine.answer"' in out
+
+    def test_tree_flag_prints_the_span_tree(self, capsys):
+        code = main(
+            [
+                "trace",
+                "cardb",
+                "--rows",
+                "300",
+                "--sample",
+                "100",
+                "--tree",
+                "Make=Ford",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine.answer" in out
+        assert "engine.base_query_mapping" in out
+
+    def test_from_events_summarises_an_existing_log(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "e.jsonl"
+        lines = [
+            {"event": "db.probe", "rows": 3},
+            {"event": "db.probe", "rows": 0},
+            {"event": "engine.answer", "answers": 5, "probes_issued": 2},
+        ]
+        path.write_text(
+            "\n".join(json.dumps(line) for line in lines) + "\n",
+            encoding="utf-8",
+        )
+        code = main(["trace", "--from-events", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2  db.probe" in out
+        assert "1  engine.answer" in out
+        assert '"probes_issued": 2' in out
+
+
+class TestStatsFamilies:
+    @pytest.fixture(autouse=True)
+    def _isolate_obs(self):
+        from repro.obs import OBS
+
+        OBS.reset()
+        yield
+        OBS.disable()
+        OBS.reset()
+
+    def test_stats_includes_resilience_and_planner_families(self, capsys):
+        code = main(
+            ["stats", "cardb", "--rows", "300", "--sample", "120", "-k", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for family in (
+            "repro_resilience_attempts_total",
+            "repro_resilience_retries_total",
+            "repro_resilience_retry_exhaustions_total",
+            "repro_resilience_deadline_refusals_total",
+            "repro_resilience_backoff_seconds",
+            "repro_resilience_breaker_rejections_total",
+            "repro_resilience_breaker_transitions_total",
+            "repro_resilience_skipped_steps_total",
+            "repro_core_probes_subsumed_total",
+            "repro_core_frontier_batches_total",
+        ):
+            assert family in out
+        assert "# EOF" in out
