@@ -30,7 +30,14 @@ from repro.analysis.finding import Finding
 from repro.analysis.rulebase import Rule, register, runtime_imports
 from repro.analysis.source import ProjectContext, SourceModule
 
-FORBIDDEN_SUBMODULES = ("repro.db.executor", "repro.db.index")
+FORBIDDEN_SUBMODULES = (
+    "repro.db.executor",
+    "repro.db.index",
+    # The columnar data plane: raw column arrays and the vectorized
+    # mask evaluator would answer queries without any ProbeLog entry.
+    "repro.db.columns",
+    "repro.db.vectorized",
+)
 FORBIDDEN_FACADE_NAMES = {"Executor"}
 PRIVATE_DB_ATTRS = {
     "_table",
@@ -41,6 +48,15 @@ PRIVATE_DB_ATTRS = {
     "_probe_cache",
     "_plan",
     "_index_candidates",
+    # Columnar / sharded internals (same contract as the row internals):
+    # the column store, its typed columns and zone maps, and the
+    # sharded facade's shard list and global-id tables.
+    "_store",
+    "_columns",
+    "_zone_maps",
+    "_zone_rows",
+    "_shards",
+    "_global_ids",
 }
 # ProbeLog's mutators.  ``record`` is a common method name, so it is
 # only flagged on a probe-log-shaped receiver; the other two are

@@ -38,7 +38,8 @@ from repro.db.predicates import (
 from repro.db.probe_cache import ProbeCache, canonical_probe_key
 from repro.db.query import SelectionQuery
 from repro.db.schema import Attribute, AttributeKind, RelationSchema
-from repro.db.table import Table
+from repro.db.sharded import ShardedWebDatabase, ShardFailure, ShardGuard
+from repro.db.table import ColumnarTable, Table
 from repro.db.webdb import AutonomousWebDatabase, ProbeLog
 
 __all__ = [
@@ -46,6 +47,7 @@ __all__ = [
     "AttributeKind",
     "AutonomousWebDatabase",
     "Between",
+    "ColumnarTable",
     "DatabaseError",
     "Eq",
     "ExecutionStats",
@@ -76,6 +78,9 @@ __all__ = [
     "RelationSchema",
     "SchemaError",
     "SelectionQuery",
+    "ShardFailure",
+    "ShardGuard",
+    "ShardedWebDatabase",
     "Table",
     "TypeMismatchError",
     "UnknownAttributeError",

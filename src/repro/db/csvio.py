@@ -13,9 +13,10 @@ import csv
 from pathlib import Path
 from typing import Iterable
 
+from repro.db.columns import DEFAULT_BLOCK_ROWS
 from repro.db.errors import SchemaError
 from repro.db.schema import RelationSchema
-from repro.db.table import Table
+from repro.db.table import ColumnarTable, Table
 
 __all__ = ["write_csv", "read_csv"]
 
@@ -49,14 +50,23 @@ def _parse_categorical(text: str) -> object:
     return None if text == "" else text
 
 
-def read_csv(schema: RelationSchema, path: str | Path) -> Table:
+def read_csv(
+    schema: RelationSchema,
+    path: str | Path,
+    columnar: bool = False,
+    block_rows: int = DEFAULT_BLOCK_ROWS,
+) -> Table:
     """Load a table previously written by :func:`write_csv`.
 
     The header must list exactly the schema's attributes, though column
-    order in the file may differ from schema order.
+    order in the file may differ from schema order.  With
+    ``columnar=True`` the rows land directly in a
+    :class:`ColumnarTable` (same contents, columnar physical layout).
     """
     path = Path(path)
-    table = Table(schema)
+    table: Table = (
+        ColumnarTable(schema, block_rows=block_rows) if columnar else Table(schema)
+    )
     with path.open("r", newline="", encoding="utf-8") as handle:
         reader = csv.reader(handle)
         try:

@@ -10,22 +10,35 @@ fully deterministic:
 3. verify every remaining predicate against the driver's candidates.
 
 When no predicate is indexable the executor falls back to a full scan.
+On a :class:`~repro.db.table.ColumnarTable` both paths are vectorized:
+full scans evaluate one bitmask per conjunct per block (after zone maps
+prune blocks that provably hold no match), and index candidate lists
+are regrouped into per-block runs so residual predicates can prune and
+verify block-at-a-time.  The vectorized layer is exact by construction
+(:mod:`repro.db.vectorized`); whenever a query cannot be reproduced
+bit-identically it falls back to the per-row path, so results — rows,
+order, truncation — never depend on the storage engine.
+
 An :class:`ExecutionStats` record reports how much work each query did —
 the efficiency experiments (paper Figs 6–7) count extracted tuples
 through this channel — and, when observability is enabled, the same
 work lands in the shared metrics registry (probe latency histogram,
-rows scanned vs returned, truncations).
+rows scanned vs returned, blocks pruned, truncations).  Accounting is
+honest: a zone-map-pruned block contributes to ``blocks_pruned`` and
+*nothing* to ``rows_examined``, because its values were never touched.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Iterator
+from typing import Callable, Iterator
 
+from repro.db.index import block_spans
 from repro.db.predicates import Eq, IsIn, Predicate
 from repro.db.query import SelectionQuery
-from repro.db.table import Table
+from repro.db.table import ColumnarTable, Table
+from repro.db.vectorized import CompiledQuery, compile_query
 from repro.obs.runtime import OBS
 
 __all__ = ["ExecutionStats", "QueryResult", "Executor"]
@@ -33,13 +46,20 @@ __all__ = ["ExecutionStats", "QueryResult", "Executor"]
 
 @dataclass
 class ExecutionStats:
-    """Cumulative work counters for one executor."""
+    """Cumulative work counters for one executor.
+
+    ``rows_examined`` counts rows whose values were actually evaluated;
+    ``blocks_pruned`` counts blocks zone maps skipped wholesale (their
+    rows are deliberately *not* part of ``rows_examined``).
+    """
 
     queries_executed: int = 0
     rows_examined: int = 0
     rows_returned: int = 0
     full_scans: int = 0
     index_lookups: int = 0
+    blocks_scanned: int = 0
+    blocks_pruned: int = 0
 
     def merge(self, other: "ExecutionStats") -> None:
         self.queries_executed += other.queries_executed
@@ -47,6 +67,8 @@ class ExecutionStats:
         self.rows_returned += other.rows_returned
         self.full_scans += other.full_scans
         self.index_lookups += other.index_lookups
+        self.blocks_scanned += other.blocks_scanned
+        self.blocks_pruned += other.blocks_pruned
 
     def snapshot(self) -> "ExecutionStats":
         """An independent copy of the current counters."""
@@ -60,6 +82,8 @@ class ExecutionStats:
             rows_returned=self.rows_returned - since.rows_returned,
             full_scans=self.full_scans - since.full_scans,
             index_lookups=self.index_lookups - since.index_lookups,
+            blocks_scanned=self.blocks_scanned - since.blocks_scanned,
+            blocks_pruned=self.blocks_pruned - since.blocks_pruned,
         )
 
 
@@ -131,12 +155,18 @@ class Executor:
         """Exact candidate row ids from an index, or None if unservable."""
         if isinstance(predicate, (Eq, IsIn)):
             hash_index = self.table.hash_index(predicate.attribute)
-            if hash_index is not None:
+            if hash_index is not None and hash_index.serves(predicate):
                 return hash_index.candidates(predicate)
         sorted_index = self.table.sorted_index(predicate.attribute)
         if sorted_index is not None and sorted_index.serves(predicate):
             return sorted_index.candidates(predicate)
         return None
+
+    def _compile(self, query: SelectionQuery) -> CompiledQuery | None:
+        """Vectorized form of ``query``, when exactly reproducible."""
+        if not isinstance(self.table, ColumnarTable):
+            return None
+        return compile_query(query, self.table.column_store)
 
     # -- execution ------------------------------------------------------------
 
@@ -167,14 +197,16 @@ class Executor:
         started = time.perf_counter() if observing else 0.0
         self.stats.queries_executed += 1
         plan = self._plan(query)
+        compiled = self._compile(query)
 
         matched_ids: list[int] = []
         skipped = 0
         truncated = False
         examined = 0
+        pruned = 0
         schema = self.table.schema
 
-        def consume(row_id: int, row: tuple) -> bool:
+        def consume(row_id: int) -> bool:
             """Track one match; returns True when the window is full."""
             nonlocal skipped, truncated
             if skipped < offset:
@@ -188,18 +220,27 @@ class Executor:
 
         if plan.candidates is None:
             self.stats.full_scans += 1
-            for row_id, row in enumerate(self.table):
-                examined += 1
-                if query.matches(row, schema) and consume(row_id, row):
-                    break
+            if compiled is not None:
+                examined, pruned = self._scan_blocks(compiled, consume)
+            else:
+                for row_id, row in enumerate(self.table):
+                    examined += 1
+                    if query.matches(row, schema) and consume(row_id):
+                        break
         else:
             self.stats.index_lookups += 1
-            residual = SelectionQuery(plan.residual)
-            for row_id in sorted(plan.candidates):
-                examined += 1
-                row = self.table.row(row_id)
-                if residual.matches(row, schema) and consume(row_id, row):
-                    break
+            ordered = sorted(plan.candidates)
+            if compiled is not None:
+                examined, pruned = self._verify_candidates(
+                    compiled, plan, ordered, consume
+                )
+            else:
+                residual = SelectionQuery(plan.residual)
+                for row_id in ordered:
+                    examined += 1
+                    row = self.table.row(row_id)
+                    if residual.matches(row, schema) and consume(row_id):
+                        break
 
         self.stats.rows_examined += examined
         rows = tuple(self.table.row(row_id) for row_id in matched_ids)
@@ -211,6 +252,7 @@ class Executor:
                 examined=examined,
                 returned=len(rows),
                 truncated=truncated,
+                pruned=pruned,
             )
         return QueryResult(
             query=query,
@@ -232,23 +274,46 @@ class Executor:
         started = time.perf_counter() if observing else 0.0
         self.stats.queries_executed += 1
         plan = self._plan(query)
+        compiled = self._compile(query)
         schema = self.table.schema
         matches = 0
         examined = 0
+        pruned = 0
 
         if plan.candidates is None:
             self.stats.full_scans += 1
-            for row in self.table:
-                examined += 1
-                if query.matches(row, schema):
-                    matches += 1
+            if compiled is not None:
+                store = compiled.store
+                scanned = 0
+                for block in range(store.n_blocks()):
+                    if compiled.prune_block(block):
+                        pruned += 1
+                        continue
+                    scanned += 1
+                    start, stop = store.block_bounds(block)
+                    examined += stop - start
+                    matches += compiled.block_match_count(start, stop)
+                self.stats.blocks_scanned += scanned
+                self.stats.blocks_pruned += pruned
+            else:
+                for row in self.table:
+                    examined += 1
+                    if query.matches(row, schema):
+                        matches += 1
         else:
             self.stats.index_lookups += 1
-            residual = SelectionQuery(plan.residual)
-            for row_id in plan.candidates:
-                examined += 1
-                if residual.matches(self.table.row(row_id), schema):
-                    matches += 1
+            if compiled is not None:
+                residual_compiled = self._residual_compiled(compiled, plan)
+                for row_id in plan.candidates:
+                    examined += 1
+                    if residual_compiled.matches_at(row_id):
+                        matches += 1
+            else:
+                residual = SelectionQuery(plan.residual)
+                for row_id in plan.candidates:
+                    examined += 1
+                    if residual.matches(self.table.row(row_id), schema):
+                        matches += 1
 
         self.stats.rows_examined += examined
         if observing:
@@ -258,8 +323,95 @@ class Executor:
                 examined=examined,
                 returned=0,
                 truncated=False,
+                pruned=pruned,
             )
         return matches
+
+    # -- vectorized paths ------------------------------------------------------
+
+    def _scan_blocks(
+        self, compiled: CompiledQuery, consume: "Callable[[int], bool]"
+    ) -> tuple[int, int]:
+        """Full scan, block-at-a-time: zone-prune, then mask, then page.
+
+        Returns ``(rows_examined, blocks_pruned)``.  Matches surface in
+        ascending row-id order (blocks ascend, masks are positional), so
+        paging semantics are identical to the per-row scan.  On early
+        exit the whole current block still counts as examined — its mask
+        was fully evaluated.
+        """
+        examined = 0
+        pruned = 0
+        scanned = 0
+        store = compiled.store
+        done = False
+        for block in range(store.n_blocks()):
+            if compiled.prune_block(block):
+                pruned += 1
+                continue
+            scanned += 1
+            start, stop = store.block_bounds(block)
+            examined += stop - start
+            for row_id in compiled.block_matches(start, stop):
+                if consume(row_id):
+                    done = True
+                    break
+            if done:
+                break
+        self.stats.blocks_scanned += scanned
+        self.stats.blocks_pruned += pruned
+        return examined, pruned
+
+    def _verify_candidates(
+        self,
+        compiled: CompiledQuery,
+        plan: _Plan,
+        ordered: list[int],
+        consume: "Callable[[int], bool]",
+    ) -> tuple[int, int]:
+        """Index path: residual-verify candidates, one block run at a time.
+
+        The sorted candidate list is regrouped into per-block runs
+        (:func:`~repro.db.index.block_spans`); residual zone maps can
+        then discard a whole run before any candidate row is touched.
+        Returns ``(rows_examined, blocks_pruned)`` — pruned runs add
+        nothing to ``rows_examined``.
+        """
+        examined = 0
+        pruned = 0
+        scanned = 0
+        store = compiled.store
+        residual_compiled = self._residual_compiled(compiled, plan)
+        prunable = bool(residual_compiled.predicates)
+        done = False
+        for block, start, stop in block_spans(ordered, store.block_rows):
+            if prunable and residual_compiled.prune_block(block):
+                pruned += 1
+                continue
+            scanned += 1
+            for index in range(start, stop):
+                row_id = ordered[index]
+                examined += 1
+                if residual_compiled.matches_at(row_id) and consume(row_id):
+                    done = True
+                    break
+            if done:
+                break
+        self.stats.blocks_scanned += scanned
+        self.stats.blocks_pruned += pruned
+        return examined, pruned
+
+    @staticmethod
+    def _residual_compiled(compiled: CompiledQuery, plan: _Plan) -> CompiledQuery:
+        """The compiled conjunction minus the plan's driver predicate."""
+        return CompiledQuery(
+            compiled.store,
+            [
+                strategy
+                for strategy in compiled.predicates
+                if strategy.predicate is not plan.driver
+            ],
+        )
 
     # -- observability --------------------------------------------------------
 
@@ -270,6 +422,7 @@ class Executor:
         examined: int,
         returned: int,
         truncated: bool,
+        pruned: int = 0,
     ) -> None:
         registry = OBS.registry
         registry.histogram(
@@ -281,6 +434,11 @@ class Executor:
             "repro_db_rows_examined_total",
             "Rows touched while evaluating selection probes.",
         ).inc(examined)
+        if pruned:
+            registry.counter(
+                "repro_db_blocks_pruned_total",
+                "Blocks zone maps skipped before any value was touched.",
+            ).inc(pruned)
         if returned:
             registry.counter(
                 "repro_db_rows_returned_total",

@@ -28,7 +28,29 @@ from repro.db.predicates import (
     Predicate,
 )
 
-__all__ = ["HashIndex", "SortedIndex"]
+__all__ = ["HashIndex", "SortedIndex", "block_spans"]
+
+
+def block_spans(
+    sorted_row_ids: list[int], block_rows: int
+) -> Iterator[tuple[int, int, int]]:
+    """Group ascending row ids into per-block runs.
+
+    Yields ``(block, start, stop)`` triples where
+    ``sorted_row_ids[start:stop]`` are exactly the ids falling in
+    ``block`` (ids ``[block * block_rows, (block + 1) * block_rows)``).
+    This is how index candidate lists are retargeted onto the columnar
+    engine's blocks: the executor zone-prunes one run at a time before
+    verifying residual predicates per candidate.
+    """
+    n = len(sorted_row_ids)
+    start = 0
+    while start < n:
+        block = sorted_row_ids[start] // block_rows
+        limit = (block + 1) * block_rows
+        stop = bisect.bisect_left(sorted_row_ids, limit, lo=start)
+        yield (block, start, stop)
+        start = stop
 
 
 class HashIndex:
@@ -66,9 +88,19 @@ class HashIndex:
         return {value: len(rows) for value, rows in self._buckets.items()}
 
     def serves(self, predicate: Predicate) -> bool:
-        return predicate.attribute == self.attribute and isinstance(
-            predicate, (Eq, IsIn)
-        )
+        """True when this index can answer ``predicate`` *exactly*.
+
+        Null values are not indexed, so predicates a null cell can
+        satisfy — ``Eq(None)``, ``IsIn`` with a None member — must go
+        to the scan path or their matches would silently vanish.
+        """
+        if predicate.attribute != self.attribute:
+            return False
+        if isinstance(predicate, Eq):
+            return predicate.value is not None
+        if isinstance(predicate, IsIn):
+            return None not in predicate.values
+        return False
 
     def candidates(self, predicate: Predicate) -> list[int]:
         """Row ids possibly matching ``predicate`` (exact for Eq/IsIn)."""
@@ -148,9 +180,21 @@ class SortedIndex:
         return self._keys[-1] if self._keys else None
 
     def serves(self, predicate: Predicate) -> bool:
-        return predicate.attribute == self.attribute and isinstance(
-            predicate, (Eq, Lt, Le, Gt, Ge, Between)
-        )
+        """True when this index can answer ``predicate`` *exactly*.
+
+        A None comparison value disqualifies the index: nulls are not
+        indexed (``Eq(None)`` matches rows the index cannot see), and a
+        None range bound makes the scan path raise ``TypeError`` — the
+        index must not silently answer what the engine would refuse.
+        (``Between`` rejects None bounds at construction.)
+        """
+        if predicate.attribute != self.attribute:
+            return False
+        if isinstance(predicate, Eq):
+            return predicate.value is not None
+        if isinstance(predicate, (Lt, Le, Gt, Ge)):
+            return predicate.bound is not None
+        return isinstance(predicate, Between)
 
     def candidates(self, predicate: Predicate) -> list[int]:
         """Row ids matching a range (or equality) predicate exactly."""

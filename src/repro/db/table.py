@@ -1,21 +1,34 @@
 """In-memory table: row storage plus eager index maintenance.
 
-Rows are stored as positional tuples to keep 100k-tuple scans cheap;
-attribute names are resolved through the :class:`RelationSchema`.  A
-table automatically maintains a :class:`HashIndex` for every categorical
-attribute and a :class:`SortedIndex` for every numeric attribute, which
-is the combination the AIMQ probing and relaxation workloads need.
+Two storage engines share the :class:`Table` interface:
+
+* :class:`Table` stores rows as positional tuples — the seed engine,
+  simple and allocation-friendly for 100k-tuple scans;
+* :class:`ColumnarTable` decomposes rows into typed per-attribute
+  columns (:mod:`repro.db.columns`) with dictionary-encoded
+  categoricals, block-level zone maps and optional numpy shadow
+  arrays, which the executor's vectorized path evaluates
+  block-at-a-time.
+
+Both engines are append-only, resolve attribute names through the
+:class:`RelationSchema`, and by default maintain a :class:`HashIndex`
+per categorical attribute and a :class:`SortedIndex` per numeric
+attribute — the combination the AIMQ probing and relaxation workloads
+need.  Every read is served through the small storage-primitive set
+(``__len__``/``__iter__``/``row``/``_append_storage``), so results are
+bit-identical across engines by construction.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
+from repro.db.columns import DEFAULT_BLOCK_ROWS, ColumnStore
 from repro.db.errors import UnknownAttributeError
 from repro.db.index import HashIndex, SortedIndex
 from repro.db.schema import RelationSchema
 
-__all__ = ["Table"]
+__all__ = ["Table", "ColumnarTable", "DEFAULT_BLOCK_ROWS"]
 
 Row = tuple
 
@@ -34,7 +47,7 @@ class Table:
 
     def __init__(self, schema: RelationSchema, auto_index: bool = True) -> None:
         self.schema = schema
-        self._rows: list[Row] = []
+        self._init_storage()
         self._hash_indexes: dict[str, HashIndex] = {}
         self._sorted_indexes: dict[str, SortedIndex] = {}
         if auto_index:
@@ -44,6 +57,25 @@ class Table:
                 else:
                     self.create_sorted_index(attribute.name)
 
+    # -- storage primitives ----------------------------------------------------
+    #
+    # Subclasses swap the storage engine by overriding these four plus
+    # ``row``/``__len__``/``__iter__``; everything else is written
+    # against them.
+
+    def _init_storage(self) -> None:
+        self._rows: list[Row] = []
+
+    def _append_storage(self, validated: Row) -> int:
+        """Store one already-validated row; return its row id."""
+        row_id = len(self._rows)
+        self._rows.append(validated)
+        return row_id
+
+    def _derive(self) -> "Table":
+        """Empty table of the same engine/schema (for sample/filter)."""
+        return type(self)(self.schema)
+
     # -- index management -----------------------------------------------------
 
     def create_hash_index(self, attribute: str) -> HashIndex:
@@ -51,7 +83,7 @@ class Table:
         position = self.schema.position(attribute)
         if attribute not in self._hash_indexes:
             index = HashIndex(attribute)
-            for row_id, row in enumerate(self._rows):
+            for row_id, row in enumerate(self):
                 index.add(row[position], row_id)
             self._hash_indexes[attribute] = index
         return self._hash_indexes[attribute]
@@ -61,7 +93,7 @@ class Table:
         position = self.schema.position(attribute)
         if attribute not in self._sorted_indexes:
             index = SortedIndex(attribute)
-            for row_id, row in enumerate(self._rows):
+            for row_id, row in enumerate(self):
                 index.add(row[position], row_id)
             self._sorted_indexes[attribute] = index
         return self._sorted_indexes[attribute]
@@ -77,8 +109,7 @@ class Table:
     def insert(self, row: Sequence[object]) -> int:
         """Validate and append one row; return its row id."""
         validated = self.schema.validate_row(row)
-        row_id = len(self._rows)
-        self._rows.append(validated)
+        row_id = self._append_storage(validated)
         for attribute, index in self._hash_indexes.items():
             index.add(validated[self.schema.position(attribute)], row_id)
         for attribute, sorted_index in self._sorted_indexes.items():
@@ -110,18 +141,18 @@ class Table:
 
     def rows(self, row_ids: Iterable[int] | None = None) -> list[Row]:
         if row_ids is None:
-            return list(self._rows)
-        return [self._rows[row_id] for row_id in row_ids]
+            return list(self)
+        return [self.row(row_id) for row_id in row_ids]
 
     def column(self, attribute: str) -> list[object]:
         """Materialise one column in row order."""
         position = self.schema.position(attribute)
-        return [row[position] for row in self._rows]
+        return [row[position] for row in self]
 
     def columns(self, attributes: Sequence[str]) -> list[tuple[object, ...]]:
         """Materialise several columns as a list of value tuples."""
         positions = self.schema.positions(attributes)
-        return [tuple(row[p] for p in positions) for row in self._rows]
+        return [tuple(row[p] for p in positions) for row in self]
 
     def distinct_values(self, attribute: str) -> list[object]:
         """Distinct non-null values of ``attribute``.
@@ -133,7 +164,7 @@ class Table:
             return index.distinct_values()
         position = self.schema.position(attribute)
         seen: dict[object, None] = {}
-        for row in self._rows:
+        for row in self:
             value = row[position]
             if value is not None:
                 seen.setdefault(value)
@@ -146,7 +177,7 @@ class Table:
             return index.value_counts()
         position = self.schema.position(attribute)
         counts: dict[object, int] = {}
-        for row in self._rows:
+        for row in self:
             value = row[position]
             if value is not None:
                 counts[value] = counts.get(value, 0) + 1
@@ -171,19 +202,115 @@ class Table:
 
     def sample(self, row_ids: Iterable[int]) -> "Table":
         """New table holding copies of the given rows (same schema)."""
-        derived = Table(self.schema)
+        derived = self._derive()
         for row_id in row_ids:
-            derived.insert(self._rows[row_id])
+            derived.insert(self.row(row_id))
         return derived
 
     def filter(self, keep: Callable[[Row], bool]) -> "Table":
         """New table with rows passing ``keep`` (same schema)."""
-        derived = Table(self.schema)
-        for row in self._rows:
+        derived = self._derive()
+        for row in self:
             if keep(row):
                 derived.insert(row)
         return derived
 
     def to_mappings(self) -> list[dict[str, object]]:
         """All rows rendered as dicts (test/debug convenience)."""
-        return [self.schema.row_to_mapping(row) for row in self._rows]
+        return [self.schema.row_to_mapping(row) for row in self]
+
+
+class ColumnarTable(Table):
+    """Table backed by a :class:`~repro.db.columns.ColumnStore`.
+
+    Same append-only interface and bit-identical read results; the
+    difference is purely physical — typed columns, dictionary-encoded
+    categoricals, and block zone maps the executor's vectorized path
+    exploits.  ``block_rows``/``zone_maps`` tune that layout.
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        auto_index: bool = True,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+        zone_maps: bool = True,
+    ) -> None:
+        self._block_rows = block_rows
+        self._zone_maps_enabled = zone_maps
+        super().__init__(schema, auto_index=auto_index)
+
+    @classmethod
+    def from_table(
+        cls,
+        table: Table,
+        auto_index: bool = True,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+        zone_maps: bool = True,
+    ) -> "ColumnarTable":
+        """Re-encode an existing table columnar (same rows, same ids)."""
+        derived = cls(
+            table.schema,
+            auto_index=auto_index,
+            block_rows=block_rows,
+            zone_maps=zone_maps,
+        )
+        for row in table:
+            derived.insert(row)
+        return derived
+
+    # -- storage primitives ----------------------------------------------------
+
+    def _init_storage(self) -> None:
+        self._store = ColumnStore(
+            self.schema,
+            block_rows=self._block_rows,
+            zone_maps=self._zone_maps_enabled,
+        )
+
+    def _append_storage(self, validated: Row) -> int:
+        return self._store.append(validated)
+
+    def _derive(self) -> "Table":
+        return ColumnarTable(
+            self.schema,
+            block_rows=self._block_rows,
+            zone_maps=self._zone_maps_enabled,
+        )
+
+    @property
+    def column_store(self) -> ColumnStore:
+        """The underlying columnar storage (the executor's fast path)."""
+        return self._store
+
+    # -- reads ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __iter__(self) -> Iterator[Row]:
+        return self._store.iter_rows()
+
+    def row(self, row_id: int) -> Row:
+        return self._store.row(row_id)
+
+    def column(self, attribute: str) -> list[object]:
+        """Materialise one column straight from columnar storage."""
+        return self._store.column_values(attribute)
+
+    def distinct_values(self, attribute: str) -> list[object]:
+        """Distinct non-null values, dictionary-served for categoricals.
+
+        The dictionary is built in first-appearance order, which is the
+        same scan order the base implementation (and the hash index)
+        reports — callers observe no difference.
+        """
+        if self.schema.attribute(attribute).is_categorical:
+            return list(self._store.distinct_values(attribute))
+        return super().distinct_values(attribute)
+
+    def value_counts(self, attribute: str) -> dict[object, int]:
+        """Histogram of non-null values, code-counted for categoricals."""
+        if self.schema.attribute(attribute).is_categorical:
+            return dict(self._store.value_counts(attribute))
+        return super().value_counts(attribute)

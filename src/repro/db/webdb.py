@@ -27,7 +27,7 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Iterator
+from typing import Iterator, Protocol
 
 from repro.db.errors import ProbeLimitExceededError
 from repro.db.executor import ExecutionStats, Executor, QueryResult
@@ -38,7 +38,12 @@ from repro.db.schema import RelationSchema
 from repro.db.table import Table
 from repro.obs.runtime import OBS
 
-__all__ = ["ProbeLog", "AccountingWindow", "AutonomousWebDatabase"]
+__all__ = [
+    "ProbeLog",
+    "AccountedSource",
+    "AccountingWindow",
+    "AutonomousWebDatabase",
+]
 
 
 @dataclass
@@ -102,6 +107,20 @@ class ProbeLog:
         self.cache_hits = 0
 
 
+class AccountedSource(Protocol):
+    """Anything with a probe log and engine counters to window over.
+
+    Satisfied by :class:`AutonomousWebDatabase` and by the sharded
+    facade (:class:`~repro.db.sharded.ShardedWebDatabase`), whose
+    ``execution_stats`` roll up per-shard engine work.
+    """
+
+    log: ProbeLog
+
+    @property
+    def execution_stats(self) -> ExecutionStats: ...
+
+
 class AccountingWindow:
     """Delta view over a webdb's accounting since the window opened.
 
@@ -111,7 +130,7 @@ class AccountingWindow:
     """
 
     def __init__(
-        self, webdb: "AutonomousWebDatabase", log_start: ProbeLog,
+        self, webdb: AccountedSource, log_start: ProbeLog,
         stats_start: ExecutionStats,
     ) -> None:
         self._webdb = webdb
@@ -461,40 +480,12 @@ class AutonomousWebDatabase:
             )
 
     def _record_cache_metrics(self, hit: bool, evicted: bool = False) -> None:
-        if not OBS.enabled:
-            return
-        registry = OBS.registry
-        if hit:
-            registry.counter(
-                "repro_db_probe_cache_hits_total",
-                "Probe lookups served from the facade's probe cache.",
-            ).inc()
-        else:
-            registry.counter(
-                "repro_db_probe_cache_misses_total",
-                "Probe lookups that missed the cache and reached the source.",
-            ).inc()
-        if evicted:
-            registry.counter(
-                "repro_db_probe_cache_evictions_total",
-                "Probe cache entries evicted by the LRU capacity bound.",
-            ).inc()
+        _record_cache_metrics(hit, evicted)
 
     def _record_probe_metrics(
         self, query: SelectionQuery, kind: str, empty: bool
     ) -> None:
-        registry = OBS.registry
-        registry.counter(
-            "repro_db_probes_total",
-            "Probes issued against the autonomous source, by kind and "
-            "predicate shape.",
-            labels=("kind", "shape"),
-        ).labels(kind=kind, shape=_predicate_shape(query)).inc()
-        if empty:
-            registry.counter(
-                "repro_db_empty_results_total",
-                "Probes that returned (or counted) zero tuples.",
-            ).inc()
+        _record_probe_metrics(query, kind, empty)
 
     def _emit_probe_event(
         self,
@@ -504,19 +495,70 @@ class AutonomousWebDatabase:
         from_cache: bool,
         truncated: bool = False,
     ) -> None:
-        """One wide event per probe — opt-in (``--events-probe``)."""
-        events = OBS.events
-        if not (events.enabled and events.probe_events):
-            return
-        OBS.emit_event(
-            "db.probe",
-            query=query.describe(),
-            kind=kind,
-            rows=rows,
-            from_cache=from_cache,
-            truncated=truncated,
-            trace_id=OBS.current_trace_id() or "",
-        )
+        _emit_probe_event(query, kind, rows, from_cache, truncated)
+
+
+# The accounting helpers below are module-level so every facade flavour
+# (single-source and sharded) reports probes through the same metric
+# names and the same wide-event shape.
+
+
+def _record_cache_metrics(hit: bool, evicted: bool = False) -> None:
+    if not OBS.enabled:
+        return
+    registry = OBS.registry
+    if hit:
+        registry.counter(
+            "repro_db_probe_cache_hits_total",
+            "Probe lookups served from the facade's probe cache.",
+        ).inc()
+    else:
+        registry.counter(
+            "repro_db_probe_cache_misses_total",
+            "Probe lookups that missed the cache and reached the source.",
+        ).inc()
+    if evicted:
+        registry.counter(
+            "repro_db_probe_cache_evictions_total",
+            "Probe cache entries evicted by the LRU capacity bound.",
+        ).inc()
+
+
+def _record_probe_metrics(query: SelectionQuery, kind: str, empty: bool) -> None:
+    registry = OBS.registry
+    registry.counter(
+        "repro_db_probes_total",
+        "Probes issued against the autonomous source, by kind and "
+        "predicate shape.",
+        labels=("kind", "shape"),
+    ).labels(kind=kind, shape=_predicate_shape(query)).inc()
+    if empty:
+        registry.counter(
+            "repro_db_empty_results_total",
+            "Probes that returned (or counted) zero tuples.",
+        ).inc()
+
+
+def _emit_probe_event(
+    query: SelectionQuery,
+    kind: str,
+    rows: int,
+    from_cache: bool,
+    truncated: bool = False,
+) -> None:
+    """One wide event per probe — opt-in (``--events-probe``)."""
+    events = OBS.events
+    if not (events.enabled and events.probe_events):
+        return
+    OBS.emit_event(
+        "db.probe",
+        query=query.describe(),
+        kind=kind,
+        rows=rows,
+        from_cache=from_cache,
+        truncated=truncated,
+        trace_id=OBS.current_trace_id() or "",
+    )
 
 
 def _predicate_shape(query: SelectionQuery) -> str:

@@ -22,9 +22,11 @@ from repro.resilience.errors import (
 )
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.retry import Retrier, RetryConfig
+from repro.resilience.sharding import BreakerShardGuard, ShardResilience
 from repro.resilience.source import ResilientWebDatabase
 
 __all__ = [
+    "BreakerShardGuard",
     "BreakerState",
     "CircuitBreaker",
     "CircuitOpenError",
@@ -37,6 +39,7 @@ __all__ = [
     "ResilientWebDatabase",
     "Retrier",
     "RetryConfig",
+    "ShardResilience",
     "SkippedStep",
     "SystemClock",
     "VirtualClock",

@@ -1,0 +1,98 @@
+"""Resilience wiring for the sharded scatter-gather facade.
+
+:class:`~repro.db.sharded.ShardedWebDatabase` knows nothing about this
+package (layering, enforced by REP003); it only exposes two injection
+points — per-shard admission guards and a failure listener.
+:class:`ShardResilience` plugs the PR 4 resilience stack into both:
+
+* one :class:`CircuitBreaker` per shard (sized by the policy's breaker
+  knobs, measured against one injected clock), adapted to the facade's
+  ``ShardGuard`` protocol, so a shard that keeps failing is ejected
+  from scatters until its recovery window lapses;
+* every shard dropout lands in a :class:`DegradationReport` under the
+  stage ``shard<N>:<query|count>`` — open breakers set
+  ``breaker_open``, transient taxonomy errors read as probes that
+  failed past all resilience — which is exactly the partial-results
+  contract the answering engine already renders for unsharded sources.
+"""
+
+from __future__ import annotations
+
+from repro.db.sharded import ShardedWebDatabase, ShardFailure
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.clock import Clock, SystemClock
+from repro.resilience.degradation import DegradationReport
+from repro.resilience.policy import ResiliencePolicy
+
+__all__ = ["BreakerShardGuard", "ShardResilience"]
+
+
+class BreakerShardGuard:
+    """Adapts a :class:`CircuitBreaker` to the facade's guard protocol.
+
+    The protocol passes the triggering error to ``record_failure``; the
+    consecutive-failure breaker does not need it, so the adapter drops
+    it.
+    """
+
+    def __init__(self, breaker: CircuitBreaker) -> None:
+        self.breaker = breaker
+
+    def before_call(self) -> None:
+        self.breaker.before_call()
+
+    def record_success(self) -> None:
+        self.breaker.record_success()
+
+    def record_failure(self, error: BaseException) -> None:
+        self.breaker.record_failure()
+
+
+class ShardResilience:
+    """Per-shard breakers plus degradation accounting for one facade.
+
+    Construction attaches the guards and the failure listener; the
+    facade must be in ``partial_results`` mode for degraded scatters to
+    return (otherwise the first failure still propagates, which is the
+    intended strict behaviour — the report then records the fatal
+    step).
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedWebDatabase,
+        policy: ResiliencePolicy | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.sharded = sharded
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        self.clock: Clock = clock if clock is not None else SystemClock()
+        self.report = DegradationReport()
+        self.breakers: tuple[CircuitBreaker, ...] = ()
+        if self.policy.breaker_failure_threshold is not None:
+            self.breakers = tuple(
+                CircuitBreaker(
+                    failure_threshold=self.policy.breaker_failure_threshold,
+                    recovery_seconds=self.policy.breaker_recovery_seconds,
+                    clock=self.clock,
+                )
+                for _ in range(sharded.n_shards)
+            )
+            sharded.attach_guards(
+                [BreakerShardGuard(breaker) for breaker in self.breakers]
+            )
+        sharded.set_failure_listener(self._on_failure)
+
+    def _on_failure(self, failure: ShardFailure) -> None:
+        self.report.record(
+            stage=f"shard{failure.shard}:{failure.stage}", error=failure.error
+        )
+
+    def fresh_report(self) -> DegradationReport:
+        """Start a new report (e.g. per answering call); returns the new one."""
+        self.report = DegradationReport()
+        return self.report
+
+    def breaker_opens(self) -> int:
+        """Total times any shard's breaker opened so far."""
+        return sum(breaker.open_count for breaker in self.breakers)

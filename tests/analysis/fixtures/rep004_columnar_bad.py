@@ -1,0 +1,28 @@
+"""Golden fixture: columnar data-plane access outside repro.db (REP004)."""
+
+from repro.db.columns import ColumnStore
+from repro.db.vectorized import compile_query
+
+
+def scan_for_free(table, query):
+    # Evaluating masks straight off the column store answers the query
+    # with no facade and no ProbeLog entry.
+    store = table._store
+    compiled = compile_query(query, store)
+    return [i for i in range(len(store)) if compiled.matches_at(i)], ColumnStore
+
+
+def peek_zone_maps(store):
+    # Zone maps reveal per-block statistics the form never exposes.
+    return [stats for column in store._zone_maps for stats in column]
+
+
+def read_raw_columns(store):
+    return store._columns
+
+
+def drain_shards(sharded, query):
+    rows = []
+    for shard, ids in zip(sharded._shards, sharded._global_ids):
+        rows.extend(shard.query(query).rows)
+    return rows, ids

@@ -1,0 +1,23 @@
+"""Golden fixture: the REP004-clean twin of rep004_columnar_bad.
+
+Columnar storage is a private layout detail of ``repro.db``: callers
+probe the facade (single-source or sharded) and every query lands in a
+ProbeLog, whatever engine serves it underneath.
+"""
+
+
+def scan_through_facade(webdb, query):
+    # The facade records the probe; the storage engine is invisible.
+    return webdb.query(query).rows
+
+
+def gather_from_shards(sharded, query):
+    # The sharded facade scatters, gathers, and accounts one logical
+    # probe; shard topology stays on its side of the interface.
+    return sharded.query(query).rows
+
+
+def inspect_plan_cost(window):
+    # Work accounting flows out through the public stats channel.
+    stats = window.execution_stats
+    return (stats.rows_examined, stats.blocks_pruned)

@@ -96,6 +96,22 @@ def test_rep004_fabricate_good_fixture_is_clean_under_all_rules():
     assert run.findings == [], [f.render() for f in run.findings]
 
 
+def test_rep004_flags_columnar_internals():
+    run = run_rule("REP004", FIXTURES / "rep004_columnar_bad.py")
+    messages = " ".join(f.message for f in run.findings)
+    assert "repro.db.columns" in messages
+    assert "repro.db.vectorized" in messages
+    for attr in ("_store", "_zone_maps", "_columns", "_shards", "_global_ids"):
+        assert f"({attr})" in messages
+    # Two forbidden imports plus five private-internal accesses.
+    assert len(run.findings) == 7
+
+
+def test_rep004_columnar_good_fixture_is_clean_under_all_rules():
+    run = LintEngine().run([FIXTURES / "rep004_columnar_good.py"])
+    assert run.findings == [], [f.render() for f in run.findings]
+
+
 def test_rep005_flags_event_hygiene_violations():
     run = run_rule("REP005", FIXTURES / "rep005_events_bad.py")
     assert len(run.findings) == 6

@@ -1,0 +1,306 @@
+"""Row-dict vs columnar engine equivalence properties (hypothesis).
+
+The columnar data plane (typed columns, vectorized masks, zone-map
+pruning, sharded scatter-gather) is an *optimisation*: its contract is
+bit-identity with the row-dict engine — same rows, same canonical
+ascending-row-id order, same truncation flags, same ProbeLog numbers.
+These properties drive that contract across every operator the facade
+supports (``=, !=, <, <=, >, >=, between, in``), nulls included, on
+randomly generated tables, paging windows and shard counts.  Tiny
+blocks (``block_rows=8``) force multi-block scans so zone maps and the
+block merge paths are genuinely exercised.
+
+Roll-up caveat (docs/PERFORMANCE.md §8): the sharded facade's
+``ProbeLog`` is bit-identical to the unsharded one, but its
+``execution_stats`` sum *physical* per-shard work — a healthy scatter
+runs one engine query per shard — so these tests deliberately never
+assert ``queries_executed`` equality across sharding.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.faults import FaultPolicy, FaultSpec
+from repro.db.predicates import Between, Eq, Ge, Gt, IsIn, Le, Lt, Ne, Predicate
+from repro.db.query import SelectionQuery
+from repro.db.schema import RelationSchema
+from repro.db.sharded import ShardedWebDatabase, ShardFailure, shard_of
+from repro.db.table import ColumnarTable, Table
+from repro.db.webdb import AutonomousWebDatabase
+
+BLOCK_ROWS = 8
+
+_SCHEMA = RelationSchema.build(
+    "prop",
+    categorical=("C0", "C1"),
+    numeric=("N0", "N1"),
+    order=("C0", "C1", "N0", "N1"),
+)
+_CATEGORIES = ["x", "y", "z", "w"]
+# 2**53 + 1 is not float64-representable: any row containing it makes
+# that numeric column inexact, forcing the whole-query row-path
+# fallback — the property then checks the fallback, not the masks.
+_HUGE = 2**53 + 1
+_NUMERIC_CELLS = [0, 1, 2, 3, 4, 5, 2.5, 0.5, _HUGE, None]
+_NUMERIC_BOUNDS = [0, 1, 2, 3, 4, 5, 2.5, 3.0, _HUGE]
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(_CATEGORIES + [None]),
+        st.sampled_from(_CATEGORIES + [None]),
+        st.sampled_from(_NUMERIC_CELLS),
+        st.sampled_from(_NUMERIC_CELLS),
+    ),
+    min_size=1,
+    max_size=48,
+)
+
+
+@st.composite
+def predicate_strategy(draw) -> Predicate:
+    kind = draw(
+        st.sampled_from(("eq", "ne", "lt", "le", "gt", "ge", "between", "in"))
+    )
+    categorical = draw(st.booleans())
+    if categorical:
+        attribute = draw(st.sampled_from(("C0", "C1")))
+        if kind == "eq":
+            return Eq(attribute, draw(st.sampled_from(_CATEGORIES + [None])))
+        if kind == "ne":
+            return Ne(attribute, draw(st.sampled_from(_CATEGORIES + [None])))
+        if kind == "in":
+            values = draw(
+                st.lists(
+                    st.sampled_from(_CATEGORIES + [None]),
+                    min_size=1,
+                    max_size=3,
+                    unique=True,
+                )
+            )
+            return IsIn(attribute, values)
+        bound = draw(st.sampled_from(_CATEGORIES))
+        if kind == "lt":
+            return Lt(attribute, bound)
+        if kind == "le":
+            return Le(attribute, bound)
+        if kind == "gt":
+            return Gt(attribute, bound)
+        if kind == "ge":
+            return Ge(attribute, bound)
+        high = draw(st.sampled_from([c for c in _CATEGORIES if c >= bound]))
+        return Between(attribute, bound, high)
+    attribute = draw(st.sampled_from(("N0", "N1")))
+    if kind == "eq":
+        return Eq(attribute, draw(st.sampled_from(_NUMERIC_BOUNDS + [None])))
+    if kind == "ne":
+        return Ne(attribute, draw(st.sampled_from(_NUMERIC_BOUNDS + [None])))
+    if kind == "in":
+        values = draw(
+            st.lists(
+                st.sampled_from(_NUMERIC_BOUNDS + [None]),
+                min_size=1,
+                max_size=3,
+                unique=True,
+            )
+        )
+        return IsIn(attribute, values)
+    bound = draw(st.sampled_from(_NUMERIC_BOUNDS))
+    if kind == "lt":
+        return Lt(attribute, bound)
+    if kind == "le":
+        return Le(attribute, bound)
+    if kind == "gt":
+        return Gt(attribute, bound)
+    if kind == "ge":
+        return Ge(attribute, bound)
+    high = draw(st.sampled_from([b for b in _NUMERIC_BOUNDS if b >= bound]))
+    return Between(attribute, bound, high)
+
+
+query_strategy = st.builds(
+    SelectionQuery,
+    st.lists(predicate_strategy(), min_size=0, max_size=3).map(tuple),
+)
+window_strategy = st.tuples(
+    st.one_of(st.none(), st.integers(min_value=1, max_value=5)),
+    st.integers(min_value=0, max_value=3),
+)
+
+
+def _row_table(rows, auto_index: bool) -> Table:
+    table = Table(_SCHEMA, auto_index=auto_index)
+    for row in rows:
+        table.insert(row)
+    return table
+
+
+def _columnar_table(rows, auto_index: bool) -> ColumnarTable:
+    table = ColumnarTable(_SCHEMA, auto_index=auto_index, block_rows=BLOCK_ROWS)
+    for row in rows:
+        table.insert(row)
+    return table
+
+
+def _engines(rows) -> list[AutonomousWebDatabase]:
+    return [
+        AutonomousWebDatabase(_row_table(rows, auto_index=False)),
+        AutonomousWebDatabase(_row_table(rows, auto_index=True)),
+        AutonomousWebDatabase(_columnar_table(rows, auto_index=False)),
+        AutonomousWebDatabase(_columnar_table(rows, auto_index=True)),
+    ]
+
+
+@given(rows=rows_strategy, query=query_strategy, window=window_strategy)
+@settings(max_examples=150, deadline=None)
+def test_every_engine_returns_identical_pages_and_counts(rows, query, window):
+    limit, offset = window
+    baseline, *others = _engines(rows)
+    expected = baseline.query(query, limit=limit, offset=offset)
+    expected_count = baseline.count(query)
+    for engine in others:
+        result = engine.query(query, limit=limit, offset=offset)
+        assert result.row_ids == expected.row_ids
+        assert result.rows == expected.rows
+        assert result.truncated == expected.truncated
+        assert engine.count(query) == expected_count
+    assert list(expected.row_ids) == sorted(expected.row_ids)
+
+
+@given(rows=rows_strategy, query=query_strategy)
+@settings(max_examples=100, deadline=None)
+def test_unindexed_scan_stats_honour_block_accounting(rows, query):
+    row_engine = AutonomousWebDatabase(_row_table(rows, auto_index=False))
+    col_engine = AutonomousWebDatabase(_columnar_table(rows, auto_index=False))
+    row_engine.query(query)
+    col_engine.query(query)
+    row_stats = row_engine.execution_stats
+    col_stats = col_engine.execution_stats
+    total = len(rows)
+    n_blocks = -(-total // BLOCK_ROWS)
+    assert col_stats.queries_executed == row_stats.queries_executed == 1
+    assert col_stats.rows_returned == row_stats.rows_returned
+    assert col_stats.full_scans == row_stats.full_scans == 1
+    # The row engine looks at every row; the columnar engine may skip
+    # whole blocks via zone maps, and a pruned block's rows must never
+    # count as examined.
+    assert row_stats.rows_examined == total
+    if col_stats.blocks_scanned + col_stats.blocks_pruned == 0:
+        # The query did not vectorize (e.g. a conjunct touched a column
+        # holding an int beyond 2**53): the engine fell back to the
+        # row path, which examines every row and counts no blocks.
+        assert col_stats.rows_examined == total
+    else:
+        assert col_stats.blocks_scanned + col_stats.blocks_pruned == n_blocks
+        assert col_stats.rows_examined <= total
+        assert (
+            col_stats.rows_examined
+            >= total - col_stats.blocks_pruned * BLOCK_ROWS
+        )
+        if col_stats.blocks_pruned == 0:
+            assert col_stats.rows_examined == total
+    assert row_stats.blocks_pruned == row_stats.blocks_scanned == 0
+
+
+@given(
+    rows=rows_strategy,
+    query=query_strategy,
+    window=window_strategy,
+    n_shards=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=100, deadline=None)
+def test_sharded_facade_is_bit_identical_to_unsharded(
+    rows, query, window, n_shards
+):
+    limit, offset = window
+    table = _row_table(rows, auto_index=True)
+    unsharded = AutonomousWebDatabase(_row_table(rows, auto_index=True))
+    sharded = ShardedWebDatabase.partition(
+        table, n_shards, columnar=True, block_rows=BLOCK_ROWS
+    )
+    expected = unsharded.query(query, limit=limit, offset=offset)
+    gathered = sharded.query(query, limit=limit, offset=offset)
+    assert gathered.row_ids == expected.row_ids
+    assert gathered.rows == expected.rows
+    assert gathered.truncated == expected.truncated
+    assert sharded.count(query) == unsharded.count(query)
+    # One logical probe per call, bit-identical accounting — even though
+    # execution_stats roll up n_shards times the physical engine work.
+    assert sharded.log == unsharded.log
+    assert sharded.cardinality_hint() == unsharded.cardinality_hint()
+    assert sharded.form_options("C0") == unsharded.form_options("C0")
+
+
+@given(
+    rows=rows_strategy,
+    query=query_strategy,
+    n_shards=st.integers(min_value=2, max_value=4),
+    failing=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=75, deadline=None)
+def test_partial_results_drop_exactly_the_failing_shard(
+    rows, query, n_shards, failing, seed
+):
+    failing %= n_shards
+    unsharded = AutonomousWebDatabase(_row_table(rows, auto_index=True))
+    sharded = ShardedWebDatabase.partition(
+        _row_table(rows, auto_index=True),
+        n_shards,
+        columnar=True,
+        block_rows=BLOCK_ROWS,
+        partial_results=True,
+    )
+    # A seeded always-on outage window: every probe against the failing
+    # shard raises SourceUnavailableError, deterministically.
+    sharded.set_shard_fault_policy(
+        failing, FaultPolicy(FaultSpec(outages=((0, 10_000),)), seed=seed)
+    )
+    failures: list[ShardFailure] = []
+    sharded.set_failure_listener(failures.append)
+    expected = unsharded.query(query)
+    degraded = sharded.query(query)
+    lost = {
+        row_id
+        for row_id, row in enumerate(rows)
+        if shard_of(row, n_shards) == failing
+    }
+    assert degraded.row_ids == tuple(
+        row_id for row_id in expected.row_ids if row_id not in lost
+    )
+    assert set(degraded.row_ids).isdisjoint(lost)
+    assert [f.shard for f in failures] == [failing]
+    assert failures[0].stage == "query"
+    # The degraded gather is still one logical probe.
+    assert sharded.log.probes_issued == 1
+    # Counts degrade the same way: the failing shard's matches vanish.
+    expected_count = unsharded.count(query)
+    lost_matches = sum(1 for row_id in expected.row_ids if row_id in lost)
+    assert sharded.count(query) == expected_count - lost_matches
+
+
+@given(
+    rows=rows_strategy,
+    n_shards=st.integers(min_value=2, max_value=3),
+    seed=st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=25, deadline=None)
+def test_without_partial_results_a_shard_outage_propagates(rows, n_shards, seed):
+    sharded = ShardedWebDatabase.partition(
+        _row_table(rows, auto_index=True), n_shards, block_rows=BLOCK_ROWS
+    )
+    sharded.set_shard_fault_policy(
+        0, FaultPolicy(FaultSpec(outages=((0, 10_000),)), seed=seed)
+    )
+    query = SelectionQuery((Eq("C0", "x"),))
+    try:
+        sharded.query(query)
+    except Exception as error:  # noqa: BLE001 - asserting the exact type below
+        from repro.db.errors import SourceUnavailableError
+
+        assert isinstance(error, SourceUnavailableError)
+    else:
+        raise AssertionError("the outage should have propagated")
+    # An aborted scatter records nothing: the probe never completed.
+    assert sharded.log.probes_issued == 0

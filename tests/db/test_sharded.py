@@ -1,0 +1,332 @@
+"""Unit tests for the sharded scatter-gather facade (mechanics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import (
+    DatabaseError,
+    ProbeLimitExceededError,
+    QueryError,
+)
+from repro.db.faults import FaultPolicy, FaultSpec
+from repro.db.predicates import Eq, Ge
+from repro.db.query import SelectionQuery
+from repro.db.schema import RelationSchema
+from repro.db.sharded import ShardedWebDatabase, ShardFailure, shard_of
+from repro.db.table import Table
+from repro.db.webdb import AutonomousWebDatabase
+
+SCHEMA = RelationSchema.build(
+    "cars",
+    categorical=("Make",),
+    numeric=("Price",),
+    order=("Make", "Price"),
+)
+
+ROWS = [
+    ("honda", 10),
+    ("toyota", 20),
+    ("honda", 30),
+    ("ford", 40),
+    ("toyota", 50),
+    ("honda", 60),
+    ("ford", 70),
+    ("toyota", 80),
+    ("honda", 90),
+    ("ford", 100),
+]
+
+
+def build_table(rows=ROWS) -> Table:
+    table = Table(SCHEMA)
+    for row in rows:
+        table.insert(row)
+    return table
+
+
+def build_sharded(n_shards=3, **kwargs) -> ShardedWebDatabase:
+    return ShardedWebDatabase.partition(build_table(), n_shards, **kwargs)
+
+
+ALL = SelectionQuery(())
+HONDAS = SelectionQuery((Eq("Make", "honda"),))
+
+
+class RefusingGuard:
+    """A guard that always refuses admission with ``error``."""
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+        self.successes = 0
+        self.failures: list[BaseException] = []
+
+    def before_call(self) -> None:
+        raise self.error
+
+    def record_success(self) -> None:
+        self.successes += 1
+
+    def record_failure(self, error: BaseException) -> None:
+        self.failures.append(error)
+
+
+class OpenGuard:
+    """A guard that admits everything and tallies outcomes."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.successes = 0
+        self.failures: list[BaseException] = []
+
+    def before_call(self) -> None:
+        self.calls += 1
+
+    def record_success(self) -> None:
+        self.successes += 1
+
+    def record_failure(self, error: BaseException) -> None:
+        self.failures.append(error)
+
+
+# -- partitioning --------------------------------------------------------------
+
+
+def test_partition_covers_every_row_exactly_once():
+    sharded = build_sharded(n_shards=3)
+    result = sharded.query(ALL)
+    assert list(result.row_ids) == list(range(len(ROWS)))
+    assert result.rows == tuple(ROWS)
+
+
+def test_shard_of_is_deterministic_and_in_range():
+    for n in (1, 2, 3, 7):
+        for row in ROWS:
+            home = shard_of(row, n)
+            assert 0 <= home < n
+            assert home == shard_of(row, n)
+
+
+def test_partition_rejects_bad_shard_counts():
+    with pytest.raises(ValueError, match="at least 1"):
+        ShardedWebDatabase.partition(build_table(), 0)
+
+
+def test_constructor_rejects_capped_or_budgeted_shards():
+    shard = AutonomousWebDatabase(build_table(), result_cap=5)
+    with pytest.raises(ValueError, match="uncapped"):
+        ShardedWebDatabase([shard], [list(range(len(ROWS)))])
+
+
+def test_constructor_rejects_mismatched_id_tables():
+    shard = AutonomousWebDatabase(build_table())
+    with pytest.raises(ValueError, match="one global-id table per shard"):
+        ShardedWebDatabase([shard], [])
+
+
+def test_constructor_rejects_zero_shards():
+    with pytest.raises(ValueError, match="at least one shard"):
+        ShardedWebDatabase([], [])
+
+
+# -- gather / paging -----------------------------------------------------------
+
+
+def test_gather_merges_in_global_row_id_order():
+    sharded = build_sharded(n_shards=4)
+    result = sharded.query(HONDAS)
+    assert list(result.row_ids) == [0, 2, 5, 8]
+    assert all(row[0] == "honda" for row in result.rows)
+
+
+def test_paging_window_matches_unsharded_facade():
+    unsharded = AutonomousWebDatabase(build_table())
+    sharded = build_sharded(n_shards=3)
+    for limit, offset in [(None, 0), (2, 0), (2, 1), (3, 2), (None, 3), (1, 9)]:
+        expected = unsharded.query(HONDAS, limit=limit, offset=offset)
+        got = sharded.query(HONDAS, limit=limit, offset=offset)
+        assert got.row_ids == expected.row_ids
+        assert got.rows == expected.rows
+        assert got.truncated == expected.truncated
+
+
+def test_result_cap_truncates_like_the_unsharded_facade():
+    unsharded = AutonomousWebDatabase(build_table(), result_cap=3)
+    sharded = build_sharded(n_shards=3, result_cap=3)
+    expected = unsharded.query(ALL)
+    got = sharded.query(ALL)
+    assert got.row_ids == expected.row_ids
+    assert got.truncated and expected.truncated
+
+
+def test_negative_offset_is_rejected():
+    with pytest.raises(ValueError, match="offset"):
+        build_sharded().query(ALL, offset=-1)
+
+
+def test_count_is_the_shard_sum():
+    sharded = build_sharded(n_shards=3)
+    assert sharded.count(HONDAS) == 4
+    assert sharded.count(SelectionQuery((Ge("Price", 60),))) == 5
+
+
+# -- accounting roll-up --------------------------------------------------------
+
+
+def test_facade_log_counts_logical_probes_and_shards_count_fanout():
+    sharded = build_sharded(n_shards=3)
+    sharded.query(HONDAS)
+    sharded.count(HONDAS)
+    assert sharded.log.probes_issued == 2
+    assert sharded.log.count_probes == 1
+    assert sharded.log.tuples_returned == 4
+    for shard_log in sharded.shard_probe_logs():
+        # Physical fan-out: every healthy scatter touches every shard.
+        assert shard_log.probes_issued == 2
+        assert shard_log.count_probes == 1
+
+
+def test_execution_stats_roll_up_physical_engine_work():
+    sharded = build_sharded(n_shards=3)
+    sharded.query(HONDAS)
+    # One logical probe ran one engine query per shard.
+    assert sharded.execution_stats.queries_executed == 3
+    assert sharded.execution_stats.rows_returned == 4
+
+
+def test_reset_accounting_clears_facade_and_shards():
+    sharded = build_sharded(n_shards=2)
+    sharded.query(ALL)
+    sharded.reset_accounting()
+    assert sharded.log.probes_issued == 0
+    assert all(log.probes_issued == 0 for log in sharded.shard_probe_logs())
+    assert sharded.execution_stats.queries_executed == 0
+
+
+def test_accounting_scope_windows_the_rolled_up_stats():
+    sharded = build_sharded(n_shards=2)
+    sharded.query(ALL)
+    with sharded.accounting_scope() as window:
+        sharded.query(HONDAS)
+        assert window.probes_issued == 1
+        assert window.execution_stats.queries_executed == 2
+
+
+def test_metadata_matches_unsharded_facade():
+    unsharded = AutonomousWebDatabase(build_table())
+    sharded = build_sharded(n_shards=3)
+    assert sharded.schema is not None
+    assert sharded.name == unsharded.name
+    assert sharded.cardinality_hint() == unsharded.cardinality_hint()
+    assert sharded.form_options("Make") == unsharded.form_options("Make")
+    assert sharded.n_shards == 3
+
+
+# -- budget and cache ----------------------------------------------------------
+
+
+def test_probe_budget_is_enforced_at_the_facade():
+    sharded = build_sharded(n_shards=2, probe_budget=2)
+    sharded.query(ALL)
+    sharded.count(ALL)
+    with pytest.raises(ProbeLimitExceededError):
+        sharded.query(ALL)
+    assert sharded.log.probes_issued == 2
+
+
+def test_probe_cache_serves_repeats_without_new_probes():
+    sharded = build_sharded(n_shards=2, probe_cache_capacity=8)
+    first = sharded.query(HONDAS)
+    before = sharded.shard_probe_logs()
+    second = sharded.query(HONDAS)
+    assert second.from_cache and not first.from_cache
+    assert second.rows == first.rows
+    assert sharded.log.probes_issued == 1
+    assert sharded.log.cache_hits == 1
+    # A cache hit never reaches any shard.
+    assert sharded.shard_probe_logs() == before
+
+
+def test_degraded_gathers_are_never_cached():
+    sharded = build_sharded(
+        n_shards=2, probe_cache_capacity=8, partial_results=True
+    )
+    sharded.set_shard_fault_policy(
+        0, FaultPolicy(FaultSpec(outages=((0, 1),)), seed=7)
+    )
+    sharded.set_failure_listener(lambda failure: None)
+    degraded = sharded.query(HONDAS)
+    healthy = sharded.query(HONDAS)
+    assert not healthy.from_cache  # the degraded page was not cached
+    assert len(healthy.rows) >= len(degraded.rows)
+    third = sharded.query(HONDAS)
+    assert third.from_cache  # the healthy page was
+
+
+# -- guards and failure reporting ----------------------------------------------
+
+
+def test_guard_refusal_drops_the_shard_in_partial_mode():
+    sharded = build_sharded(n_shards=2, partial_results=True)
+    refusal = RuntimeError("circuit open")
+    guards = [RefusingGuard(refusal), OpenGuard()]
+    sharded.attach_guards(guards)
+    failures: list[ShardFailure] = []
+    sharded.set_failure_listener(failures.append)
+    result = sharded.query(ALL)
+    lost = {i for i, row in enumerate(ROWS) if shard_of(row, 2) == 0}
+    assert set(result.row_ids) == set(range(len(ROWS))) - lost
+    assert [f.shard for f in failures] == [0]
+    assert failures[0].error is refusal
+    assert guards[1].successes == 1
+
+
+def test_guard_refusal_propagates_without_partial_results():
+    sharded = build_sharded(n_shards=2)
+    sharded.attach_guards([RefusingGuard(RuntimeError("open")), OpenGuard()])
+    with pytest.raises(RuntimeError, match="open"):
+        sharded.query(ALL)
+    assert sharded.log.probes_issued == 0
+
+
+def test_database_errors_from_guards_are_caller_bugs_and_propagate():
+    sharded = build_sharded(n_shards=2, partial_results=True)
+    sharded.attach_guards([RefusingGuard(QueryError("bad guard")), OpenGuard()])
+    with pytest.raises(DatabaseError):
+        sharded.query(ALL)
+
+
+def test_guards_see_failures_then_successes():
+    sharded = build_sharded(n_shards=2, partial_results=True)
+    guards = [OpenGuard(), OpenGuard()]
+    sharded.attach_guards(guards)
+    sharded.set_failure_listener(lambda failure: None)
+    sharded.set_shard_fault_policy(
+        0, FaultPolicy(FaultSpec(outages=((0, 1),)), seed=0)
+    )
+    sharded.query(ALL)  # shard 0 down
+    sharded.query(ALL)  # shard 0 recovered
+    assert len(guards[0].failures) == 1
+    assert guards[0].successes == 1
+    assert guards[1].successes == 2
+
+
+def test_attach_guards_requires_one_per_shard():
+    sharded = build_sharded(n_shards=3)
+    with pytest.raises(ValueError, match="one guard per shard"):
+        sharded.attach_guards([OpenGuard()])
+
+
+def test_count_degrades_by_dropping_the_failed_shard():
+    sharded = build_sharded(n_shards=2, partial_results=True)
+    sharded.set_shard_fault_policy(
+        0, FaultPolicy(FaultSpec(outages=((0, 1),)), seed=0)
+    )
+    failures: list[ShardFailure] = []
+    sharded.set_failure_listener(failures.append)
+    degraded = sharded.count(ALL)
+    healthy = sharded.count(ALL)
+    lost = sum(1 for row in ROWS if shard_of(row, 2) == 0)
+    assert degraded == len(ROWS) - lost
+    assert healthy == len(ROWS)
+    assert failures[0].stage == "count"

@@ -1,0 +1,177 @@
+"""Per-shard circuit breakers and degradation accounting (ShardResilience)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.faults import FaultPolicy, FaultSpec
+from repro.db.predicates import Eq
+from repro.db.query import SelectionQuery
+from repro.db.schema import RelationSchema
+from repro.db.sharded import ShardedWebDatabase, shard_of
+from repro.db.table import Table
+from repro.resilience import (
+    BreakerShardGuard,
+    CircuitBreaker,
+    ResiliencePolicy,
+    ShardResilience,
+    VirtualClock,
+)
+
+SCHEMA = RelationSchema.build(
+    "cars",
+    categorical=("Make",),
+    numeric=("Price",),
+    order=("Make", "Price"),
+)
+
+ROWS = [
+    ("honda", 10),
+    ("toyota", 20),
+    ("honda", 30),
+    ("ford", 40),
+    ("toyota", 50),
+    ("honda", 60),
+    ("ford", 70),
+    ("toyota", 80),
+]
+
+ALL = SelectionQuery(())
+
+
+def build_sharded(n_shards=2, **kwargs) -> ShardedWebDatabase:
+    table = Table(SCHEMA)
+    for row in ROWS:
+        table.insert(row)
+    return ShardedWebDatabase.partition(table, n_shards, **kwargs)
+
+
+def always_down() -> FaultPolicy:
+    return FaultPolicy(FaultSpec(outages=((0, 10_000),)), seed=0)
+
+
+def test_breakers_are_sized_by_the_policy_and_attached():
+    sharded = build_sharded(n_shards=3, partial_results=True)
+    wiring = ShardResilience(
+        sharded,
+        policy=ResiliencePolicy(breaker_failure_threshold=2),
+        clock=VirtualClock(),
+    )
+    assert len(wiring.breakers) == 3
+    assert wiring.breaker_opens() == 0
+
+
+def test_failing_shard_trips_its_breaker_and_is_ejected():
+    clock = VirtualClock()
+    sharded = build_sharded(n_shards=2, partial_results=True)
+    wiring = ShardResilience(
+        sharded,
+        policy=ResiliencePolicy(
+            breaker_failure_threshold=2, breaker_recovery_seconds=5.0
+        ),
+        clock=clock,
+    )
+    sharded.set_shard_fault_policy(0, always_down())
+    healthy_ids = [
+        i for i, row in enumerate(ROWS) if shard_of(row, 2) == 1
+    ]
+
+    # Two failing scatters reach the shard and trip the breaker.
+    for expected_failures in (1, 2):
+        result = sharded.query(ALL)
+        assert list(result.row_ids) == healthy_ids
+        assert wiring.report.probes_failed == expected_failures
+    assert wiring.breaker_opens() == 1
+    assert not wiring.report.breaker_open
+
+    # The third scatter is refused at admission: the shard source is
+    # never contacted, and the report flags the open breaker.
+    before = sharded.shard_probe_logs()[0].probes_issued
+    result = sharded.query(ALL)
+    assert list(result.row_ids) == healthy_ids
+    assert sharded.shard_probe_logs()[0].probes_issued == before
+    assert wiring.report.breaker_open
+    assert wiring.report.skipped[-1].stage == "shard0:query"
+    assert wiring.report.skipped[-1].error_kind == "CircuitOpenError"
+
+    # After the recovery window the breaker half-opens, the probe is
+    # retried against the still-down shard, and the breaker reopens.
+    clock.advance(5.0)
+    sharded.query(ALL)
+    assert sharded.shard_probe_logs()[0].probes_issued == before
+    assert wiring.breaker_opens() == 2
+
+
+def test_recovered_shard_closes_its_breaker_and_rejoins():
+    clock = VirtualClock()
+    sharded = build_sharded(n_shards=2, partial_results=True)
+    wiring = ShardResilience(
+        sharded,
+        policy=ResiliencePolicy(
+            breaker_failure_threshold=1, breaker_recovery_seconds=3.0
+        ),
+        clock=clock,
+    )
+    # Down for exactly one attempt, then healthy.
+    sharded.set_shard_fault_policy(
+        0, FaultPolicy(FaultSpec(outages=((0, 1),)), seed=0)
+    )
+    sharded.query(ALL)  # trips the threshold-1 breaker
+    assert wiring.breaker_opens() == 1
+    clock.advance(3.0)
+    result = sharded.query(ALL)  # half-open trial succeeds
+    assert list(result.row_ids) == list(range(len(ROWS)))
+    assert wiring.breakers[0].state.value == "closed"
+
+
+def test_degradation_stages_name_shard_and_probe_kind():
+    sharded = build_sharded(n_shards=2, partial_results=True)
+    wiring = ShardResilience(sharded, clock=VirtualClock())
+    sharded.set_shard_fault_policy(0, always_down())
+    sharded.query(ALL)
+    sharded.count(ALL)
+    stages = [step.stage for step in wiring.report.skipped]
+    assert stages == ["shard0:query", "shard0:count"]
+    assert wiring.report.degraded
+    assert wiring.report.probes_failed == 2
+
+
+def test_policy_without_breakers_still_reports_degradation():
+    sharded = build_sharded(n_shards=2, partial_results=True)
+    wiring = ShardResilience(
+        sharded,
+        policy=ResiliencePolicy(breaker_failure_threshold=None),
+        clock=VirtualClock(),
+    )
+    assert wiring.breakers == ()
+    sharded.set_shard_fault_policy(0, always_down())
+    sharded.query(SelectionQuery((Eq("Make", "honda"),)))
+    assert wiring.report.probes_failed == 1
+    assert wiring.breaker_opens() == 0
+
+
+def test_fresh_report_starts_a_clean_slate():
+    sharded = build_sharded(n_shards=2, partial_results=True)
+    wiring = ShardResilience(sharded, clock=VirtualClock())
+    sharded.set_shard_fault_policy(0, always_down())
+    sharded.query(ALL)
+    assert wiring.report.degraded
+    report = wiring.fresh_report()
+    assert report is wiring.report
+    assert not wiring.report.degraded
+    sharded.query(ALL)
+    assert wiring.report.probes_failed == 1
+
+
+def test_breaker_guard_adapter_feeds_the_breaker():
+    clock = VirtualClock()
+    breaker = CircuitBreaker(failure_threshold=1, clock=clock)
+    guard = BreakerShardGuard(breaker)
+    guard.before_call()
+    guard.record_failure(RuntimeError("boom"))
+    with pytest.raises(Exception, match="circuit"):
+        guard.before_call()
+    clock.advance(breaker.recovery_seconds)
+    guard.before_call()
+    guard.record_success()
+    assert breaker.state.value == "closed"
