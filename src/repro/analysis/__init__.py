@@ -16,7 +16,19 @@ of those contracts mechanically at commit time:
 * :mod:`repro.analysis.rules.obs` — REP005, metric naming and
   context-managed spans;
 * :mod:`repro.analysis.rules.exceptions` — REP006, no swallowed
-  exceptions.
+  exceptions;
+* :mod:`repro.analysis.rules.shared_state` — REP007, shared mutable
+  state written outside its guarded region;
+* :mod:`repro.analysis.rules.lock_order` — REP008, inconsistent nested
+  lock acquisition order (potential deadlock);
+* :mod:`repro.analysis.rules.blocking` — REP009, blocking operations
+  (probe dispatch, executor traffic, sleeps, I/O) under a held lock;
+* :mod:`repro.analysis.rules.thread_boundary` — REP010, non-thread-safe
+  objects crossing an executor boundary without a capture.
+
+REP007–REP010 share the cross-module substrate in
+:mod:`repro.analysis.concurrency` (call graph, lock model, thread-escape
+approximation), built once per run and memoized on the project context.
 
 Run it as ``python -m repro lint`` (see :mod:`repro.analysis.cli`).
 """

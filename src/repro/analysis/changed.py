@@ -1,0 +1,73 @@
+"""Changed-file discovery for ``repro lint --changed``.
+
+The fast local loop: ask git which Python files differ from ``HEAD``
+(staged and unstaged edits plus untracked files), lint the *whole*
+project as usual — the concurrency rules need every module parsed to
+build their call graph and lock model — and report only the findings
+that land in the changed files.  Selection is therefore a reporting
+filter, never an analysis shortcut.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+__all__ = ["git_repo_root", "changed_python_files"]
+
+
+def git_repo_root(start: Path) -> Path | None:
+    """The enclosing git work tree, or None when ``start`` is outside one."""
+    probe = start if start.is_dir() else start.parent
+    try:
+        completed = subprocess.run(
+            ["git", "-C", str(probe), "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except OSError:
+        return None
+    if completed.returncode != 0:
+        return None
+    top = completed.stdout.strip()
+    return Path(top) if top else None
+
+
+def changed_python_files(repo_root: Path, base: str = "HEAD") -> list[Path]:
+    """Absolute paths of ``.py`` files changed against ``base``.
+
+    Deleted files are excluded (nothing to lint); untracked files are
+    included (new modules are exactly what a pre-commit run must see).
+    """
+    names: list[str] = []
+    names += _git_lines(
+        repo_root,
+        ["diff", "--name-only", "--diff-filter=d", "-z", base, "--"],
+    )
+    names += _git_lines(
+        repo_root, ["ls-files", "--others", "--exclude-standard", "-z"]
+    )
+    paths: dict[Path, None] = {}
+    for name in names:
+        if not name.endswith(".py"):
+            continue
+        path = (repo_root / name).resolve()
+        if path.exists():
+            paths.setdefault(path)
+    return sorted(paths)
+
+
+def _git_lines(repo_root: Path, args: list[str]) -> list[str]:
+    try:
+        completed = subprocess.run(
+            ["git", "-C", str(repo_root), *args],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except OSError:
+        return []
+    if completed.returncode != 0:
+        return []
+    return [name for name in completed.stdout.split("\0") if name]

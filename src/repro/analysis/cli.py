@@ -11,10 +11,12 @@ import argparse
 from pathlib import Path
 
 from repro.analysis.baseline import write_baseline
+from repro.analysis.changed import changed_python_files, git_repo_root
 from repro.analysis.engine import LintEngine
 from repro.analysis.finding import Severity
 from repro.analysis.report import render_json, render_text
 from repro.analysis.rulebase import all_rules, rule_ids
+from repro.analysis.sarif import render_sarif
 
 BASELINE_FILENAME = ".reprolint-baseline.json"
 
@@ -55,9 +57,17 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "report only findings in files git says changed vs HEAD "
+            "(the full project is still analysed for cross-module context)"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -121,6 +131,14 @@ def run_lint(args: argparse.Namespace) -> int:
         print(f"error: baseline {args.baseline} does not exist")
         return 2
 
+    restrict_to: list[Path] | None = None
+    if getattr(args, "changed", False):
+        repo_root = git_repo_root(targets[0])
+        if repo_root is None:
+            print("error: --changed requires a git work tree")
+            return 2
+        restrict_to = changed_python_files(repo_root)
+
     engine = LintEngine(rules)
     try:
         if args.write_baseline:
@@ -131,13 +149,17 @@ def run_lint(args: argparse.Namespace) -> int:
                 f"wrote {len(run.findings)} fingerprint(s) to {destination}"
             )
             return 0
-        run = engine.run(targets, baseline_path=baseline_path)
+        run = engine.run(
+            targets, baseline_path=baseline_path, restrict_to=restrict_to
+        )
     except ValueError as exc:
         print(f"error: {exc}")
         return 2
 
     if args.format == "json":
         print(render_json(run))
+    elif args.format == "sarif":
+        print(render_sarif(run))
     else:
         print(render_text(run, verbose=args.verbose))
 

@@ -1,0 +1,67 @@
+"""Shared concurrency-analysis substrate for REP007-REP010.
+
+Three models over one parsed project, built once per lint run and
+memoized on the :class:`~repro.analysis.source.ProjectContext`:
+
+* :class:`CallGraph` — conservative module-level call resolution;
+* :class:`LockModel` — declared locks, guarded regions and the
+  must/may held-set fixpoints;
+* :class:`EscapeModel` — callables that cross an executor or thread
+  boundary, closed over resolved call edges.
+
+Rules obtain all three through :meth:`ConcurrencyContext.of`, so four
+rules share one analysis pass instead of re-walking every module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import cast
+
+from repro.analysis.concurrency.callgraph import CallGraph, CallSite, FunctionInfo
+from repro.analysis.concurrency.escape import BoundaryCall, EscapeModel
+from repro.analysis.concurrency.locks import (
+    Acquisition,
+    AttrAccess,
+    LockDecl,
+    LockModel,
+)
+from repro.analysis.source import ProjectContext
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "FunctionInfo",
+    "LockModel",
+    "LockDecl",
+    "Acquisition",
+    "AttrAccess",
+    "EscapeModel",
+    "BoundaryCall",
+    "ConcurrencyContext",
+]
+
+_SHARED_KEY = "concurrency-context"
+
+
+@dataclass(frozen=True)
+class ConcurrencyContext:
+    """The three concurrency models for one project, built together."""
+
+    graph: CallGraph
+    locks: LockModel
+    escape: EscapeModel
+
+    @classmethod
+    def of(cls, project: ProjectContext) -> "ConcurrencyContext":
+        """The memoized context for ``project`` (built on first use)."""
+        return cast(
+            "ConcurrencyContext", project.shared(_SHARED_KEY, cls._build)
+        )
+
+    @classmethod
+    def _build(cls, project: ProjectContext) -> "ConcurrencyContext":
+        graph = CallGraph.build(project)
+        locks = LockModel.build(project, graph)
+        escape = EscapeModel.build(project, graph)
+        return cls(graph=graph, locks=locks, escape=escape)

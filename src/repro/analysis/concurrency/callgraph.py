@@ -1,0 +1,307 @@
+"""Module-level call graph over a parsed project.
+
+The graph is a *conservative approximation*: an edge exists only when
+the callee can be resolved syntactically —
+
+* ``self.meth(...)`` / ``cls.meth(...)`` to a method of the enclosing
+  class,
+* ``name(...)`` to a function (or, via ``__init__``, a class) defined
+  in the same module or imported by name from another project module,
+* ``alias.func(...)`` to a module-level function when ``alias`` names
+  an imported project module.
+
+Everything else (duck-typed receivers, callables held in attributes,
+higher-order dispatch) stays *unresolved*: the call site is still
+recorded, with its dotted name chain, so pattern-based rules can match
+it, but no edge is added.  Under-approximating edges keeps the lock
+and escape fixpoints from inventing paths that cannot happen; the
+concurrency rules are therefore precise on the idioms this codebase
+actually uses and silent on the ones they cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.rulebase import attribute_chain
+from repro.analysis.source import ProjectContext, SourceModule
+
+__all__ = ["FunctionInfo", "CallSite", "CallGraph"]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition (nested defs included)."""
+
+    key: str  # "module:Qual.name" — globally unique
+    module: str
+    qualname: str  # "Class.method", "func" or "outer.inner"
+    cls: str | None  # enclosing class name, if any
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    relpath: str
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_private(self) -> bool:
+        """Callable only from project code we can see (by convention)."""
+        name = self.name
+        return name.startswith("_") and not name.startswith("__")
+
+    @property
+    def is_init(self) -> bool:
+        """Constructor-shaped: runs before the instance is shared."""
+        return self.name in ("__init__", "__new__", "__post_init__")
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    caller: str  # FunctionInfo.key of the enclosing function
+    callee: str | None  # resolved FunctionInfo.key, or None
+    chain: tuple[str, ...]  # dotted name parts, e.g. ("self", "webdb", "query")
+    node: ast.Call
+
+
+@dataclass
+class _ModuleIndex:
+    """Per-module name tables the resolver consults."""
+
+    functions: dict[str, str] = field(default_factory=dict)  # local qualname -> key
+    classes: dict[str, dict[str, str]] = field(default_factory=dict)
+    # imported name -> dotted target ("module" or "module.attr")
+    imports: dict[str, str] = field(default_factory=dict)
+
+
+class CallGraph:
+    """Functions, call sites and resolved edges for one project."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.call_sites: list[CallSite] = []
+        self.calls_by_caller: dict[str, list[CallSite]] = {}
+        self.callers_of: dict[str, list[CallSite]] = {}
+        self._indexes: dict[str, _ModuleIndex] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(cls, project: ProjectContext) -> "CallGraph":
+        graph = cls()
+        for module in project.modules:
+            graph._index_module(module)
+        for module in project.modules:
+            graph._collect_calls(module)
+        return graph
+
+    def _index_module(self, module: SourceModule) -> None:
+        index = _ModuleIndex()
+        self._indexes[module.module or module.relpath] = index
+        for name, target in _import_table(module).items():
+            index.imports[name] = target
+        module_key = module.module or module.relpath
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._register_function(module, module_key, node, None, node.name)
+            elif isinstance(node, ast.ClassDef):
+                methods: dict[str, str] = {}
+                index.classes[node.name] = methods
+                for child in node.body:
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qual = f"{node.name}.{child.name}"
+                        self._register_function(
+                            module, module_key, child, node.name, qual
+                        )
+                        methods[child.name] = f"{module_key}:{qual}"
+        # Nested defs (closures): registered with a dotted qualname so
+        # the escape analysis can chase locally-defined workers.
+        for info in list(self.functions.values()):
+            if info.module != module_key:
+                continue
+            self._register_nested(module, module_key, info)
+
+    def _register_nested(
+        self, module: SourceModule, module_key: str, parent: FunctionInfo
+    ) -> None:
+        for child in ast.iter_child_nodes(parent.node):
+            for node in ast.walk(child):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                qual = f"{parent.qualname}.{node.name}"
+                key = f"{module_key}:{qual}"
+                if key in self.functions:
+                    continue
+                self._register_function(
+                    module, module_key, node, parent.cls, qual
+                )
+
+    def _register_function(
+        self,
+        module: SourceModule,
+        module_key: str,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls_name: str | None,
+        qualname: str,
+    ) -> None:
+        key = f"{module_key}:{qualname}"
+        info = FunctionInfo(
+            key=key,
+            module=module_key,
+            qualname=qualname,
+            cls=cls_name,
+            node=node,
+            relpath=module.relpath,
+        )
+        self.functions[key] = info
+        index = self._indexes[module_key]
+        index.functions.setdefault(qualname, key)
+
+    # -- call collection -------------------------------------------------------
+
+    def _collect_calls(self, module: SourceModule) -> None:
+        module_key = module.module or module.relpath
+        for info in self.functions.values():
+            if info.module != module_key:
+                continue
+            nested = _nested_node_ids(info.node)
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if id(node) in nested:
+                    continue  # belongs to a nested def's own record
+                chain = tuple(attribute_chain(node.func))
+                callee = self.resolve_call(module_key, info, chain)
+                site = CallSite(
+                    caller=info.key, callee=callee, chain=chain, node=node
+                )
+                self.call_sites.append(site)
+                self.calls_by_caller.setdefault(info.key, []).append(site)
+                if callee is not None:
+                    self.callers_of.setdefault(callee, []).append(site)
+
+    # -- resolution ------------------------------------------------------------
+
+    def resolve_call(
+        self,
+        module_key: str,
+        caller: FunctionInfo,
+        chain: tuple[str, ...],
+    ) -> str | None:
+        """Best-effort callee key for a dotted call chain (or None)."""
+        if not chain:
+            return None
+        index = self._indexes.get(module_key)
+        if index is None:
+            return None
+        if len(chain) == 2 and chain[0] in ("self", "cls") and caller.cls:
+            methods = index.classes.get(caller.cls, {})
+            return methods.get(chain[1])
+        if len(chain) == 1:
+            name = chain[0]
+            nested = index.functions.get(f"{caller.qualname}.{name}")
+            if nested is not None:
+                return nested
+            key = index.functions.get(name)
+            if key is not None:
+                return key
+            if name in index.classes:
+                return index.classes[name].get("__init__")
+            target = index.imports.get(name)
+            if target is not None:
+                return self.resolve_imported(target)
+            return None
+        if len(chain) == 2:
+            target = index.imports.get(chain[0])
+            if target is not None:
+                return self.resolve_imported(f"{target}.{chain[1]}")
+        return None
+
+    def resolve_imported(self, dotted: str) -> str | None:
+        """Resolve ``module.name`` / ``module.Class`` across the project."""
+        module_name, _, name = dotted.rpartition(".")
+        if not module_name:
+            return None
+        index = self._indexes.get(module_name)
+        if index is not None:
+            key = index.functions.get(name)
+            if key is not None:
+                return key
+            if name in index.classes:
+                return index.classes[name].get("__init__")
+        # ``from package import name`` re-exported through __init__:
+        # fall back to scanning project modules for a matching function.
+        candidate = f"{module_name}:{name}"
+        if candidate in self.functions:
+            return candidate
+        return None
+
+    # -- queries ---------------------------------------------------------------
+
+    def function(self, key: str) -> FunctionInfo | None:
+        return self.functions.get(key)
+
+    def import_table(self, module_key: str) -> dict[str, str]:
+        """Imported local name -> dotted target for one module."""
+        index = self._indexes.get(module_key)
+        return index.imports if index is not None else {}
+
+    def methods_of(self, module_key: str, cls_name: str) -> list[FunctionInfo]:
+        return [
+            info
+            for info in self.functions.values()
+            if info.module == module_key and info.cls == cls_name
+        ]
+
+
+def _import_table(module: SourceModule) -> dict[str, str]:
+    """Imported local name -> dotted target for one module."""
+    table: dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                table[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_from(module, node)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                table[local] = f"{base}.{alias.name}" if base else alias.name
+    return table
+
+
+def _resolve_from(module: SourceModule, node: ast.ImportFrom) -> str:
+    if node.level == 0:
+        return node.module or ""
+    parts = module.module.split(".") if module.module else []
+    if module.path.name != "__init__.py" and parts:
+        parts = parts[:-1]
+    drop = node.level - 1
+    if drop:
+        parts = parts[:-drop] if drop <= len(parts) else []
+    if node.module:
+        parts = parts + node.module.split(".")
+    return ".".join(parts)
+
+
+def _nested_node_ids(root: ast.FunctionDef | ast.AsyncFunctionDef) -> set[int]:
+    """Ids of every node belonging to a def nested inside ``root``.
+
+    ``ast.walk`` has no parent links, so a function's own call sites
+    are separated from its closures' by excluding the closures' whole
+    subtrees (each nested def gets its own FunctionInfo and records its
+    own calls).
+    """
+    members: set[int] = set()
+    for child in ast.walk(root):
+        if child is root:
+            continue
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(child):
+                members.add(id(inner))
+            members.discard(id(child))
+    return members

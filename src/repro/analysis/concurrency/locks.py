@@ -1,0 +1,463 @@
+"""Lock model: declared locks, guarded regions, held-set dataflow.
+
+What counts as a lock
+---------------------
+
+* an instance attribute assigned ``threading.Lock()`` / ``RLock()`` /
+  ``Condition()`` / ``Semaphore()`` (or the bare imported names) inside
+  a method — identity ``module:Class.attr``, one id per *class*, which
+  is the right granularity for ordering analysis;
+* a module-level name bound the same way — identity ``module:NAME``;
+* an instance attribute assigned from a constructor parameter whose
+  annotation is one of those types (the metrics instruments share
+  their registry's lock this way).
+
+A guarded region is a ``with self.<lock>:`` / ``with <LOCK>:`` block.
+``lock.acquire()`` / ``release()`` pairs are *not* modelled — the
+codebase's convention is context managers only, and the obs rule
+already pushes spans the same way.
+
+Held-set dataflow
+-----------------
+
+Each access/call records the locks held *lexically*.  Two fixpoints
+extend that through the call graph:
+
+* ``must_held_entry`` — locks held on **every** resolved call path to
+  a function.  Only private (single-underscore) helpers participate:
+  a public method can be called from anywhere, so nothing may be
+  assumed about its entry state.  This is how ``_query_locked``-style
+  helpers inherit their caller's guard.
+* ``may_held_entry`` — locks held on **some** resolved call path; the
+  reachability side, used by the blocking-under-lock rule.
+
+``acquires_within`` closes acquisitions over callees so lock-order
+pairs cross function boundaries.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.concurrency.callgraph import CallGraph, FunctionInfo
+from repro.analysis.rulebase import attribute_chain
+from repro.analysis.source import ProjectContext, SourceModule
+
+__all__ = ["LockDecl", "Acquisition", "AttrAccess", "LockModel"]
+
+#: Constructor names that produce a lock-like object.
+LOCK_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+
+@dataclass(frozen=True)
+class LockDecl:
+    """One declared lock."""
+
+    lock_id: str  # "module:Class.attr" or "module:NAME"
+    module: str
+    cls: str | None
+    attr: str
+    kind: str  # factory name, or "param" for annotation-derived locks
+    relpath: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One ``with <lock>:`` entry, with the locks already held there."""
+
+    fn: str  # FunctionInfo.key
+    lock_id: str
+    held_before: tuple[str, ...]
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    """One read or write of ``self.<attr>`` / a module global."""
+
+    fn: str  # FunctionInfo.key
+    owner: str  # "module:Class" for instance attrs, "module" for globals
+    attr: str
+    is_write: bool
+    held: frozenset[str]
+    line: int
+    col: int
+
+
+class LockModel:
+    """Declared locks plus every lock-relevant fact about the project."""
+
+    def __init__(self) -> None:
+        self.decls: dict[str, LockDecl] = {}
+        self.class_locks: dict[str, set[str]] = {}  # "module:Class" -> ids
+        self.module_locks: dict[str, set[str]] = {}  # module -> ids
+        self.acquisitions: list[Acquisition] = []
+        self.accesses: list[AttrAccess] = []
+        self.held_at_call: dict[int, frozenset[str]] = {}  # id(Call) -> locks
+        self.must_held_entry: dict[str, frozenset[str]] = {}
+        self.may_held_entry: dict[str, frozenset[str]] = {}
+        self.acquires_within: dict[str, frozenset[str]] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(cls, project: ProjectContext, graph: CallGraph) -> "LockModel":
+        model = cls()
+        by_name = {m.module or m.relpath: m for m in project.modules}
+        for module in project.modules:
+            model._collect_decls(module, graph)
+        for info in graph.functions.values():
+            module = by_name.get(info.module)
+            if module is not None:
+                _FunctionScanner(model, info, graph).scan()
+        model._solve(graph)
+        return model
+
+    # -- queries ---------------------------------------------------------------
+
+    def locks_of_class(self, module: str, cls_name: str) -> frozenset[str]:
+        return frozenset(self.class_locks.get(f"{module}:{cls_name}", ()))
+
+    def entry_held(self, fn_key: str) -> frozenset[str]:
+        """Locks guaranteed held whenever ``fn_key`` runs."""
+        return self.must_held_entry.get(fn_key, frozenset())
+
+    def reachable_held(self, fn_key: str) -> frozenset[str]:
+        """Locks held on at least one known path into ``fn_key``."""
+        return self.may_held_entry.get(fn_key, frozenset())
+
+    def held_at(self, call_node: ast.Call, fn_key: str) -> frozenset[str]:
+        """Locks held at one call site (lexical + guaranteed entry)."""
+        lexical = self.held_at_call.get(id(call_node), frozenset())
+        return lexical | self.entry_held(fn_key)
+
+    # -- lock declarations -----------------------------------------------------
+
+    def _collect_decls(self, module: SourceModule, graph: CallGraph) -> None:
+        module_key = module.module or module.relpath
+        imports = graph.import_table(module_key)
+        # Module-level locks.
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                kind = _lock_factory(node.value, imports)
+                if isinstance(target, ast.Name) and kind is not None:
+                    self._declare(
+                        LockDecl(
+                            lock_id=f"{module_key}:{target.id}",
+                            module=module_key,
+                            cls=None,
+                            attr=target.id,
+                            kind=kind,
+                            relpath=module.relpath,
+                            line=node.lineno,
+                        )
+                    )
+        # Instance locks: ``self.attr = threading.Lock()`` anywhere in a
+        # method body, or assignment from a lock-annotated parameter.
+        for info in graph.functions.values():
+            if info.module != module_key or info.cls is None:
+                continue
+            annotated = _lock_annotated_params(info.node, imports)
+            for node in ast.walk(info.node):
+                if not (
+                    isinstance(node, ast.Assign) and len(node.targets) == 1
+                ):
+                    continue
+                target = node.targets[0]
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                kind = _lock_factory(node.value, imports)
+                if kind is None and (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id in annotated
+                ):
+                    kind = "param"
+                if kind is not None:
+                    self._declare(
+                        LockDecl(
+                            lock_id=f"{module_key}:{info.cls}.{target.attr}",
+                            module=module_key,
+                            cls=info.cls,
+                            attr=target.attr,
+                            kind=kind,
+                            relpath=module.relpath,
+                            line=node.lineno,
+                        )
+                    )
+
+    def _declare(self, decl: LockDecl) -> None:
+        self.decls.setdefault(decl.lock_id, decl)
+        if decl.cls is not None:
+            owner = f"{decl.module}:{decl.cls}"
+            self.class_locks.setdefault(owner, set()).add(decl.lock_id)
+        else:
+            self.module_locks.setdefault(decl.module, set()).add(decl.lock_id)
+
+    # -- fixpoints -------------------------------------------------------------
+
+    def _solve(self, graph: CallGraph) -> None:
+        self._solve_must(graph)
+        self._solve_may(graph)
+        self._solve_acquires(graph)
+
+    def _solve_must(self, graph: CallGraph) -> None:
+        universe = frozenset(self.decls)
+        must: dict[str, frozenset[str]] = {}
+        for key, info in graph.functions.items():
+            callers = graph.callers_of.get(key, ())
+            if info.is_private and callers:
+                must[key] = universe
+            else:
+                must[key] = frozenset()
+        for _ in range(len(graph.functions) + 1):
+            changed = False
+            for key, info in graph.functions.items():
+                callers = graph.callers_of.get(key, ())
+                if not (info.is_private and callers):
+                    continue
+                entry: frozenset[str] | None = None
+                for site in callers:
+                    lexical = self.held_at_call.get(
+                        id(site.node), frozenset()
+                    )
+                    held = lexical | must[site.caller]
+                    entry = held if entry is None else (entry & held)
+                value = entry if entry is not None else frozenset()
+                if value != must[key]:
+                    must[key] = value
+                    changed = True
+            if not changed:
+                break
+        self.must_held_entry = must
+
+    def _solve_may(self, graph: CallGraph) -> None:
+        may: dict[str, frozenset[str]] = {
+            key: frozenset() for key in graph.functions
+        }
+        for _ in range(len(graph.functions) + 1):
+            changed = False
+            for key in graph.functions:
+                union: set[str] = set(may[key])
+                for site in graph.callers_of.get(key, ()):
+                    union |= self.held_at_call.get(id(site.node), frozenset())
+                    union |= may[site.caller]
+                    union |= self.must_held_entry.get(
+                        site.caller, frozenset()
+                    )
+                value = frozenset(union)
+                if value != may[key]:
+                    may[key] = value
+                    changed = True
+            if not changed:
+                break
+        self.may_held_entry = may
+
+    def _solve_acquires(self, graph: CallGraph) -> None:
+        direct: dict[str, set[str]] = {key: set() for key in graph.functions}
+        for acq in self.acquisitions:
+            direct.setdefault(acq.fn, set()).add(acq.lock_id)
+        acquires = {key: frozenset(value) for key, value in direct.items()}
+        for _ in range(len(graph.functions) + 1):
+            changed = False
+            for key in graph.functions:
+                union = set(acquires.get(key, frozenset()))
+                for site in graph.calls_by_caller.get(key, ()):
+                    if site.callee is not None:
+                        union |= acquires.get(site.callee, frozenset())
+                value = frozenset(union)
+                if value != acquires.get(key, frozenset()):
+                    acquires[key] = value
+                    changed = True
+            if not changed:
+                break
+        self.acquires_within = acquires
+
+
+class _FunctionScanner:
+    """One function body walk tracking the lexical lock stack."""
+
+    def __init__(
+        self, model: LockModel, fn: FunctionInfo, graph: CallGraph
+    ) -> None:
+        self.model = model
+        self.fn = fn
+        self.graph = graph
+        self.held: list[str] = []
+        self.globals: set[str] = set()
+
+    def scan(self) -> None:
+        for stmt in self.fn.node.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Global):
+                    self.globals.update(node.names)
+        for stmt in self.fn.node.body:
+            self._visit(stmt)
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs are scanned as their own functions
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._visit_with(node)
+            return
+        if isinstance(node, ast.Call):
+            self.model.held_at_call[id(node)] = frozenset(self.held)
+        elif isinstance(node, ast.Attribute):
+            self._record_attribute(node)
+        elif isinstance(node, ast.Subscript):
+            self._record_subscript(node)
+        elif isinstance(node, ast.Name):
+            self._record_name(node)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        pushed = 0
+        for item in node.items:
+            self._visit(item.context_expr)
+            lock_id = self._identify(item.context_expr)
+            if lock_id is not None:
+                self.model.acquisitions.append(
+                    Acquisition(
+                        fn=self.fn.key,
+                        lock_id=lock_id,
+                        held_before=tuple(self.held),
+                        line=item.context_expr.lineno,
+                        col=item.context_expr.col_offset,
+                    )
+                )
+                self.held.append(lock_id)
+                pushed += 1
+            if item.optional_vars is not None:
+                self._visit(item.optional_vars)
+        for stmt in node.body:
+            self._visit(stmt)
+        for _ in range(pushed):
+            self.held.pop()
+
+    # -- facts -----------------------------------------------------------------
+
+    def _record_attribute(self, node: ast.Attribute) -> None:
+        if not (
+            isinstance(node.value, ast.Name)
+            and node.value.id in ("self", "cls")
+            and self.fn.cls is not None
+        ):
+            return
+        self.model.accesses.append(
+            AttrAccess(
+                fn=self.fn.key,
+                owner=f"{self.fn.module}:{self.fn.cls}",
+                attr=node.attr,
+                is_write=isinstance(node.ctx, (ast.Store, ast.Del)),
+                held=frozenset(self.held),
+                line=node.lineno,
+                col=node.col_offset,
+            )
+        )
+
+    def _record_subscript(self, node: ast.Subscript) -> None:
+        # ``self.attr[i] = v`` mutates the shared container bound to
+        # ``attr`` even though the Attribute node itself is a Load.
+        if not isinstance(node.ctx, (ast.Store, ast.Del)):
+            return
+        target = node.value
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id in ("self", "cls")
+            and self.fn.cls is not None
+        ):
+            self.model.accesses.append(
+                AttrAccess(
+                    fn=self.fn.key,
+                    owner=f"{self.fn.module}:{self.fn.cls}",
+                    attr=target.attr,
+                    is_write=True,
+                    held=frozenset(self.held),
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+            )
+
+    def _record_name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)) and node.id in self.globals:
+            self.model.accesses.append(
+                AttrAccess(
+                    fn=self.fn.key,
+                    owner=self.fn.module,
+                    attr=node.id,
+                    is_write=True,
+                    held=frozenset(self.held),
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+            )
+
+    # -- lock identification ---------------------------------------------------
+
+    def _identify(self, expr: ast.expr) -> str | None:
+        chain = attribute_chain(expr)
+        if (
+            len(chain) == 2
+            and chain[0] in ("self", "cls")
+            and self.fn.cls is not None
+        ):
+            lock_id = f"{self.fn.module}:{self.fn.cls}.{chain[1]}"
+            return lock_id if lock_id in self.model.decls else None
+        if len(chain) == 1:
+            lock_id = f"{self.fn.module}:{chain[0]}"
+            return lock_id if lock_id in self.model.decls else None
+        return None
+
+
+def _lock_factory(expr: ast.expr, imports: dict[str, str]) -> str | None:
+    """The lock-factory name a constructor expression calls, or None."""
+    if not isinstance(expr, ast.Call):
+        return None
+    chain = attribute_chain(expr.func)
+    if not chain:
+        return None
+    name = chain[-1]
+    if name not in LOCK_FACTORIES:
+        return None
+    if len(chain) == 1:
+        target = imports.get(name, "")
+        return name if target == f"threading.{name}" else None
+    head = imports.get(chain[0], chain[0])
+    return name if head == "threading" else None
+
+
+def _lock_annotated_params(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, imports: dict[str, str]
+) -> set[str]:
+    """Parameter names annotated with a lock type."""
+    names: set[str] = set()
+    args = list(node.args.posonlyargs) + list(node.args.args) + list(
+        node.args.kwonlyargs
+    )
+    for arg in args:
+        if arg.annotation is None:
+            continue
+        chain = attribute_chain(arg.annotation)
+        if not chain:
+            continue
+        name = chain[-1]
+        if name not in LOCK_FACTORIES:
+            continue
+        if len(chain) == 1 and imports.get(name, "") == f"threading.{name}":
+            names.add(arg.arg)
+        elif len(chain) == 2 and imports.get(chain[0], chain[0]) == "threading":
+            names.add(arg.arg)
+    return names

@@ -8,7 +8,7 @@ from pathlib import Path
 from repro.analysis.baseline import load_baseline, match_baseline
 from repro.analysis.finding import Finding, Severity
 from repro.analysis.rulebase import Rule, all_rules
-from repro.analysis.source import ProjectContext, load_project
+from repro.analysis.source import ProjectContext, _relative, load_project
 
 __all__ = ["LintEngine", "LintRun"]
 
@@ -25,6 +25,7 @@ class LintRun:
     stale_fingerprints: set[str] = field(default_factory=set)
     files_checked: int = 0
     rules_run: list[str] = field(default_factory=list)
+    root: Path | None = None
 
     def worst_severity(self) -> Severity | None:
         if not self.findings:
@@ -47,12 +48,18 @@ class LintEngine:
         targets: list[Path],
         baseline_path: Path | None = None,
         root: Path | None = None,
+        restrict_to: list[Path] | None = None,
     ) -> LintRun:
         project = load_project(targets, root=root)
-        return self.run_project(project, baseline_path=baseline_path)
+        return self.run_project(
+            project, baseline_path=baseline_path, restrict_to=restrict_to
+        )
 
     def run_project(
-        self, project: ProjectContext, baseline_path: Path | None = None
+        self,
+        project: ProjectContext,
+        baseline_path: Path | None = None,
+        restrict_to: list[Path] | None = None,
     ) -> LintRun:
         raw: list[Finding] = list(self._parse_errors(project))
         for rule in self.rules:
@@ -71,11 +78,25 @@ class LintEngine:
             else:
                 kept.append(finding)
 
+        if restrict_to is not None:
+            # Changed-file mode: the whole project was analysed (the
+            # concurrency rules need cross-module context), but only
+            # findings landing in the changed files are reported.
+            allowed = {
+                _relative(path.resolve(), project.root) for path in restrict_to
+            }
+            kept = [f for f in kept if f.path in allowed]
+            suppressed = [f for f in suppressed if f.path in allowed]
+
         baselined: list[Finding] = []
         stale: set[str] = set()
         if baseline_path is not None and baseline_path.exists():
             accepted = load_baseline(baseline_path)
             kept, baselined, stale = match_baseline(kept, accepted)
+            if restrict_to is not None:
+                # A partial run cannot judge which accepted
+                # fingerprints are still live elsewhere in the tree.
+                stale = set()
 
         return LintRun(
             findings=kept,
@@ -84,6 +105,7 @@ class LintEngine:
             stale_fingerprints=stale,
             files_checked=len(project.modules) + len(project.parse_errors),
             rules_run=[rule.rule_id for rule in self.rules],
+            root=project.root,
         )
 
     @staticmethod

@@ -1,19 +1,27 @@
 """The rule set.  Importing this package registers every rule."""
 
 from repro.analysis.rules import (  # noqa: F401
+    blocking,
     determinism,
     exceptions,
     floats,
     layering,
+    lock_order,
     obs,
     probes,
+    shared_state,
+    thread_boundary,
 )
 
 __all__ = [
+    "blocking",
     "determinism",
     "exceptions",
     "floats",
     "layering",
+    "lock_order",
     "obs",
     "probes",
+    "shared_state",
+    "thread_boundary",
 ]

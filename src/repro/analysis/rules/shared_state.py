@@ -1,0 +1,127 @@
+"""REP007: shared mutable state must stay inside its guarded region.
+
+A class that declares a lock has opted into a locking discipline: any
+attribute touched while that lock is held belongs to the guarded
+state.  Writing such an attribute *without* the lock (outside
+``__init__``, which runs before the instance is shared) is the classic
+lost-update seed — ``enable_probe_cache`` flipping a field the locked
+query path reads concurrently.
+
+Separately, any attribute written from a *thread-escaping* callable
+(one reachable from an executor submit or ``threading.Thread`` target)
+with no lock held at all is flagged, whether or not its class declares
+a lock: the write happens on a worker thread by construction.
+
+Constructor-shaped methods (``__init__``/``__new__``/
+``__post_init__``) are exempt; so are the lock attributes themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.concurrency import ConcurrencyContext
+from repro.analysis.finding import Finding
+from repro.analysis.rulebase import Rule, register
+from repro.analysis.source import ProjectContext, SourceModule
+
+
+@register
+class SharedMutableStateRule(Rule):
+    rule_id = "REP007"
+    title = "shared mutable state written outside its guarded region"
+    hint = (
+        "wrap the write in `with self.<lock>:`, or confine the state to "
+        "one thread and pass snapshots across"
+    )
+
+    def run(self, project: ProjectContext) -> Iterator[Finding]:
+        ctx = ConcurrencyContext.of(project)
+        modules = {m.module or m.relpath: m for m in project.modules}
+        lock_attrs = {
+            (decl.module, decl.cls, decl.attr) for decl in ctx.locks.decls.values()
+        }
+
+        # Group accesses per (owner, attr) with their *effective* held
+        # sets (lexical locks plus locks guaranteed at function entry).
+        guarded_attrs: set[tuple[str, str]] = set()
+        for access in ctx.locks.accesses:
+            held = access.held | ctx.locks.entry_held(access.fn)
+            if held & self._owner_locks(ctx, access.owner):
+                guarded_attrs.add((access.owner, access.attr))
+
+        findings: list[tuple[str, int, Finding]] = []
+        for access in ctx.locks.accesses:
+            if not access.is_write:
+                continue
+            fn = ctx.graph.function(access.fn)
+            if fn is None or fn.is_init:
+                continue
+            if (fn.module, fn.cls, access.attr) in lock_attrs or (
+                fn.cls is None and (fn.module, None, access.attr) in lock_attrs
+            ):
+                continue
+            module = modules.get(fn.module)
+            if module is None:
+                continue
+            held = access.held | ctx.locks.entry_held(access.fn)
+            owner_locks = self._owner_locks(ctx, access.owner)
+            unguarded = not (held & owner_locks)
+            if (
+                unguarded
+                and owner_locks
+                and (access.owner, access.attr) in guarded_attrs
+            ):
+                lock_names = ", ".join(
+                    sorted(lock.rpartition(".")[2] or lock for lock in owner_locks)
+                )
+                findings.append(
+                    (
+                        module.relpath,
+                        access.line,
+                        self.finding(
+                            module,
+                            _anchor(access.line, access.col),
+                            f"'{access.attr}' is accessed under {lock_names} "
+                            f"elsewhere but written here with no lock held",
+                        ),
+                    )
+                )
+                continue
+            if not held and ctx.escape.escapes(access.fn):
+                findings.append(
+                    (
+                        module.relpath,
+                        access.line,
+                        self.finding(
+                            module,
+                            _anchor(access.line, access.col),
+                            f"'{access.attr}' is written from "
+                            f"'{fn.qualname}', which runs on a worker "
+                            f"thread, with no lock held",
+                        ),
+                    )
+                )
+        seen: set[tuple[str, int, str]] = set()
+        for relpath, line, finding in sorted(
+            findings, key=lambda item: (item[0], item[1], item[2].message)
+        ):
+            key = (relpath, line, finding.message)
+            if key not in seen:
+                seen.add(key)
+                yield finding
+
+    @staticmethod
+    def _owner_locks(ctx: ConcurrencyContext, owner: str) -> frozenset[str]:
+        if ":" in owner:
+            module, _, cls_name = owner.rpartition(":")
+            return ctx.locks.locks_of_class(module, cls_name)
+        return frozenset(ctx.locks.module_locks.get(owner, ()))
+
+
+def _anchor(line: int, col: int) -> ast.AST:
+    node = ast.Pass()
+    node.lineno = line
+    node.col_offset = col
+    return node

@@ -1,0 +1,106 @@
+"""SARIF 2.1.0 rendering for lint runs.
+
+One ``run`` with the full rule catalogue, one ``result`` per fresh
+finding.  URIs are repo-relative when the lint root sits inside the
+working directory (the CI checkout case), so GitHub code scanning can
+anchor inline annotations; ``partialFingerprints`` carries the same
+content key the baseline uses, which keeps alert identity stable
+across unrelated edits to the same file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.engine import LintRun
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.rulebase import all_rules
+
+__all__ = ["render_sarif"]
+
+_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+_INFO_URI = "https://example.invalid/reprolint"
+
+
+def render_sarif(run: LintRun) -> str:
+    rules = all_rules(run.rules_run) if run.rules_run else all_rules()
+    rule_index = {rule.rule_id: index for index, rule in enumerate(rules)}
+    driver = {
+        "name": "reprolint",
+        "informationUri": _INFO_URI,
+        "rules": [
+            {
+                "id": rule.rule_id,
+                "name": type(rule).__name__,
+                "shortDescription": {"text": rule.title or rule.rule_id},
+                "help": {"text": rule.hint or rule.title or rule.rule_id},
+                "defaultConfiguration": {
+                    "level": _level(rule.severity),
+                },
+            }
+            for rule in rules
+        ],
+    }
+    payload = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "results": [
+                    _result(finding, rule_index, _uri_prefix(run.root))
+                    for finding in run.findings
+                ],
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _result(
+    finding: Finding, rule_index: dict[str, int], prefix: str
+) -> dict:
+    uri = f"{prefix}{finding.path}" if prefix else finding.path
+    text = finding.message
+    if finding.hint:
+        text = f"{text} ({finding.hint})"
+    result = {
+        "ruleId": finding.rule_id,
+        "level": _level(finding.severity),
+        "message": {"text": text},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.column, 1),
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "reprolint/contentKey": finding.content_key
+        },
+    }
+    index = rule_index.get(finding.rule_id)
+    if index is not None:
+        result["ruleIndex"] = index
+    return result
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _uri_prefix(root: Path | None) -> str:
+    """Lint-root prefix that rebases finding paths onto the checkout."""
+    if root is None:
+        return ""
+    try:
+        relative = root.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        return ""
+    posix = relative.as_posix()
+    return "" if posix == "." else f"{posix}/"

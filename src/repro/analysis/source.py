@@ -17,6 +17,7 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any, Callable
 
 __all__ = [
     "SourceModule",
@@ -66,6 +67,7 @@ class ProjectContext:
     root: Path
     modules: list[SourceModule]
     parse_errors: list[tuple[str, int, str]] = field(default_factory=list)
+    _shared: dict[str, Any] = field(default_factory=dict, repr=False)
 
     def by_module_name(self) -> dict[str, SourceModule]:
         return {m.module: m for m in self.modules if m.module}
@@ -75,6 +77,17 @@ class ProjectContext:
             if module.relpath == relpath:
                 return module
         return None
+
+    def shared(self, key: str, build: Callable[["ProjectContext"], Any]) -> Any:
+        """Memoize a cross-module analysis product on this project.
+
+        Rules that need whole-project context (call graph, lock model,
+        escape sets) build it once per lint run through this hook; the
+        first caller pays, later rules reuse the same object.
+        """
+        if key not in self._shared:
+            self._shared[key] = build(self)
+        return self._shared[key]
 
 
 def _module_name(path: Path) -> str:

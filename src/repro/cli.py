@@ -760,7 +760,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = subparsers.add_parser(
         "lint",
-        help="run the reprolint invariant checks (REP001-REP006)",
+        help="run the reprolint invariant checks (REP001-REP010)",
     )
     add_lint_arguments(lint)
     _add_obs_args(lint, suppress=True)

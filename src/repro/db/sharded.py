@@ -237,13 +237,15 @@ class ShardedWebDatabase:
         """Install one admission guard per shard (index-aligned)."""
         if len(guards) != len(self._shards):
             raise ValueError("need exactly one guard per shard")
-        self._guards = list(guards)
+        with self._accounting_lock:
+            self._guards = list(guards)
 
     def set_failure_listener(
         self, listener: Callable[[ShardFailure], None] | None
     ) -> None:
         """Observe shard dropouts (the resilience wiring's hook)."""
-        self._failure_listener = listener
+        with self._accounting_lock:
+            self._failure_listener = listener
 
     def set_shard_fault_policy(self, shard: int, policy: FaultPolicy | None) -> None:
         """Attach a seeded fault schedule to one shard source."""
@@ -303,7 +305,11 @@ class ShardedWebDatabase:
                 degraded = True
                 continue
             try:
-                sub = shard.query(query, limit=per_shard_limit, offset=0)
+                # The facade lock IS the admission gate: shard sub-probes
+                # are one logical probe, serialised by design (PR 7).
+                sub = shard.query(  # reprolint: disable=REP009
+                    query, limit=per_shard_limit, offset=0
+                )
             except TransientSourceError as error:
                 self._shard_failed(index, "query", error)
                 degraded = True
@@ -382,7 +388,9 @@ class ShardedWebDatabase:
                 degraded = True
                 continue
             try:
-                matches += shard.count(query)
+                # Same rationale as the query path: sub-counts are one
+                # logical probe under the admission-gate lock.
+                matches += shard.count(query)  # reprolint: disable=REP009
             except TransientSourceError as error:
                 self._shard_failed(index, "count", error)
                 degraded = True
@@ -452,11 +460,13 @@ class ShardedWebDatabase:
         return self._probe_cache
 
     def enable_probe_cache(self, capacity: int = 1024) -> ProbeCache:
-        self._probe_cache = ProbeCache(capacity)
-        return self._probe_cache
+        with self._accounting_lock:
+            self._probe_cache = ProbeCache(capacity)
+            return self._probe_cache
 
     def disable_probe_cache(self) -> None:
-        self._probe_cache = None
+        with self._accounting_lock:
+            self._probe_cache = None
 
     @property
     def execution_stats(self) -> ExecutionStats:

@@ -399,7 +399,8 @@ class AutonomousWebDatabase:
 
     def set_fault_policy(self, policy: FaultPolicy | None) -> None:
         """Install (or, with None, remove) the fault-injection policy."""
-        self._fault_policy = policy
+        with self._accounting_lock:
+            self._fault_policy = policy
 
     def _consult_faults(self) -> FaultDecision | None:
         """Draw the fault schedule for one source-reaching attempt.
@@ -425,12 +426,14 @@ class AutonomousWebDatabase:
 
     def enable_probe_cache(self, capacity: int = 1024) -> ProbeCache:
         """Switch the probe cache on (replacing any existing one)."""
-        self._probe_cache = ProbeCache(capacity)
-        return self._probe_cache
+        with self._accounting_lock:
+            self._probe_cache = ProbeCache(capacity)
+            return self._probe_cache
 
     def disable_probe_cache(self) -> None:
         """Switch the probe cache off and drop its entries."""
-        self._probe_cache = None
+        with self._accounting_lock:
+            self._probe_cache = None
 
     # -- bookkeeping -----------------------------------------------------------
 

@@ -1,0 +1,1 @@
+"""Miniature tree for concurrency-substrate tests."""

@@ -1,0 +1,44 @@
+"""Miniature plan session: the executor shape the escape model must see."""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.db.webdb import MiniWebDB
+
+
+def _score(chunk: list[str]) -> int:
+    return len(chunk)
+
+
+def build_session() -> "MiniSession":
+    return MiniSession(MiniWebDB())
+
+
+class MiniSession:
+    """Dispatches probes through a thread pool, like PlanSession."""
+
+    def __init__(self, webdb: MiniWebDB) -> None:
+        self.webdb = webdb
+        self._pool = ThreadPoolExecutor(max_workers=2)
+
+    def prefetch(self, queries: list[str]) -> None:
+        for query in queries:
+            self._pool.submit(self._dispatch, query)
+
+    def _dispatch(self, query: str) -> list[str]:
+        return self._run_one(query)
+
+    def _run_one(self, query: str) -> list[str]:
+        return self.webdb.query(query)
+
+    def drain_later(self, queries: list[str]) -> Future:
+        def drain() -> list[list[str]]:
+            return [self.webdb.query(query) for query in queries]
+
+        return self._pool.submit(drain)
+
+    def offline_scores(self, chunks: list[list[str]]) -> list[int]:
+        # Process pools cross a *process* boundary: no thread escape.
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            return list(pool.map(_score, chunks))

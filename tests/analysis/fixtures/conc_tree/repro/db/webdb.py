@@ -1,0 +1,35 @@
+"""Miniature locked facade: the webdb shape the lock model must see."""
+
+from __future__ import annotations
+
+import threading
+
+_REGISTRY_LOCK = threading.Lock()
+_REGISTRY: dict[str, int] = {}
+
+
+def register_source(name: str) -> int:
+    with _REGISTRY_LOCK:
+        _REGISTRY[name] = _REGISTRY.get(name, 0) + 1
+        return _REGISTRY[name]
+
+
+class MiniWebDB:
+    """Accounting serialised by one RLock, the repo's facade idiom."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._issued = 0
+
+    def query(self, predicate: str) -> list[str]:
+        with self._lock:
+            return self._query_locked(predicate)
+
+    def _query_locked(self, predicate: str) -> list[str]:
+        self._issued += 1
+        return [predicate]
+
+    @property
+    def issued(self) -> int:
+        with self._lock:
+            return self._issued

@@ -1,0 +1,47 @@
+"""Bad: shared counters mutated outside the guard that protects them."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class ProbeAccounting:
+    """Budgeted probe counter with a declared lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._issued = 0
+        self._budget = 100
+
+    def charge(self) -> bool:
+        with self._lock:
+            if self._issued >= self._budget:
+                return False
+            self._issued += 1
+            return True
+
+    def set_budget(self, budget: int) -> None:
+        # _budget is consulted under _lock in charge(); this write races.
+        self._budget = budget
+
+    def rollback(self) -> None:
+        # Same shape: guarded state written with no lock held.
+        self._issued -= 1
+
+
+class Dispatcher:
+    """Fans work out to a pool, then scribbles on itself off-thread."""
+
+    def __init__(self) -> None:
+        self._last_result: object | None = None
+
+    def run(self, jobs: list[object]) -> None:
+        pool = ThreadPoolExecutor(max_workers=2)
+        for job in jobs:
+            pool.submit(self._work, job)
+        pool.shutdown(wait=True)
+
+    def _work(self, job: object) -> None:
+        # Runs on a worker thread; nothing synchronises this write.
+        self._last_result = job

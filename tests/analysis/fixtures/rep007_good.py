@@ -1,0 +1,47 @@
+"""Good: every write to guarded state happens under its lock."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class ProbeAccounting:
+    """Budgeted probe counter with a declared lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._issued = 0
+        self._budget = 100
+
+    def charge(self) -> bool:
+        with self._lock:
+            if self._issued >= self._budget:
+                return False
+            self._issued += 1
+            return True
+
+    def set_budget(self, budget: int) -> None:
+        with self._lock:
+            self._budget = budget
+
+    def rollback(self) -> None:
+        with self._lock:
+            self._issued -= 1
+
+
+class Dispatcher:
+    """Workers return values; only the owner thread mutates state."""
+
+    def __init__(self) -> None:
+        self._last_result: object | None = None
+
+    def run(self, jobs: list[object]) -> None:
+        pool = ThreadPoolExecutor(max_workers=2)
+        futures = [pool.submit(self._work, job) for job in jobs]
+        pool.shutdown(wait=True)
+        for future in futures:
+            self._last_result = future.result()
+
+    def _work(self, job: object) -> object:
+        return job

@@ -1,0 +1,23 @@
+"""Bad: two code paths acquire the same locks in opposite orders."""
+
+from __future__ import annotations
+
+import threading
+
+_CACHE_LOCK = threading.Lock()
+_STATS_LOCK = threading.Lock()
+
+
+def refresh_cache(cache: dict, entries: dict, stats: dict) -> None:
+    with _CACHE_LOCK:
+        cache.update(entries)
+        with _STATS_LOCK:
+            stats["refreshes"] = stats.get("refreshes", 0) + 1
+
+
+def publish_stats(cache: dict, stats: dict) -> dict:
+    with _STATS_LOCK:
+        snapshot = dict(stats)
+        with _CACHE_LOCK:
+            snapshot["cache_size"] = len(cache)
+    return snapshot

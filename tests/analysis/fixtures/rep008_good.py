@@ -1,0 +1,24 @@
+"""Good: every path that needs both locks takes them in one order."""
+
+from __future__ import annotations
+
+import threading
+
+_CACHE_LOCK = threading.Lock()
+_STATS_LOCK = threading.Lock()
+
+
+def refresh_cache(cache: dict, entries: dict, stats: dict) -> None:
+    with _CACHE_LOCK:
+        cache.update(entries)
+        with _STATS_LOCK:
+            stats["refreshes"] = stats.get("refreshes", 0) + 1
+
+
+def publish_stats(cache: dict, stats: dict) -> dict:
+    with _CACHE_LOCK:
+        size = len(cache)
+        with _STATS_LOCK:
+            snapshot = dict(stats)
+            snapshot["cache_size"] = size
+    return snapshot

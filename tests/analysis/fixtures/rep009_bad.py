@@ -1,0 +1,28 @@
+"""Bad: slow operations run while the accounting lock is held."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class SourceGateway:
+    """Serialises probes by holding its lock across the dispatch."""
+
+    def __init__(self, webdb: object) -> None:
+        self._lock = threading.Lock()
+        self._webdb = webdb
+        self._tally = 0
+
+    def probe(self, query: object) -> object:
+        with self._lock:
+            webdb = self._webdb
+            result = webdb.query(query)
+            time.sleep(1)
+            self._tally += 1
+            return result
+
+    def wait_for(self, pool: object, job: object) -> object:
+        with self._lock:
+            future = pool.submit(job)
+            return future.result()

@@ -1,0 +1,26 @@
+"""Good: snapshot under the lock, block only after releasing it."""
+
+from __future__ import annotations
+
+import threading
+
+
+class SourceGateway:
+    """Holds its lock for bookkeeping only, never across a probe."""
+
+    def __init__(self, webdb: object) -> None:
+        self._lock = threading.Lock()
+        self._webdb = webdb
+        self._tally = 0
+
+    def probe(self, query: object) -> object:
+        with self._lock:
+            webdb = self._webdb
+        result = webdb.query(query)
+        with self._lock:
+            self._tally += 1
+        return result
+
+    def wait_for(self, pool: object, job: object) -> object:
+        future = pool.submit(job)
+        return future.result()

@@ -1,0 +1,49 @@
+"""Bad: live single-writer objects handed straight to worker threads."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class EventLog:
+    """Append-only ring; single-writer by design."""
+
+    def __init__(self) -> None:
+        self.rows: list[object] = []
+
+    def append(self, row: object) -> None:
+        self.rows.append(row)
+
+
+class RelaxationTrace:
+    """Ordered relaxation steps; single-writer by design."""
+
+    def __init__(self) -> None:
+        self.steps: list[str] = []
+
+    def extend(self, steps: list[str]) -> None:
+        self.steps.extend(steps)
+
+
+def _consume(job: object, events: EventLog) -> None:
+    events.append(job)
+
+
+def fan_out(jobs: list[object]) -> EventLog:
+    events = EventLog()
+    pool = ThreadPoolExecutor(max_workers=2)
+    for job in jobs:
+        # The live ring crosses the executor boundary with the job.
+        pool.submit(_consume, job, events)
+    pool.shutdown(wait=True)
+    return events
+
+
+def spawn_tracer(steps: list[str]) -> RelaxationTrace:
+    trace = RelaxationTrace()
+    # Bound method of a live trace becomes another thread's callable.
+    worker = threading.Thread(target=trace.extend, args=(steps,))
+    worker.start()
+    worker.join()
+    return trace

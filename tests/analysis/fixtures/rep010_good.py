@@ -1,0 +1,58 @@
+"""Good: captures cross the boundary; the owner merges results back."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class EventLog:
+    """Append-only ring; single-writer by design."""
+
+    def __init__(self) -> None:
+        self.rows: list[object] = []
+
+    def append(self, row: object) -> None:
+        self.rows.append(row)
+
+    def snapshot(self) -> list[object]:
+        return list(self.rows)
+
+
+class RelaxationTrace:
+    """Ordered relaxation steps; single-writer by design."""
+
+    def __init__(self) -> None:
+        self.steps: list[str] = []
+
+    def extend(self, steps: list[str]) -> None:
+        self.steps.extend(steps)
+
+
+def _transform(job: object, seen: list[object]) -> object:
+    return (job, len(seen))
+
+
+def fan_out(jobs: list[object]) -> EventLog:
+    events = EventLog()
+    pool = ThreadPoolExecutor(max_workers=2)
+    # Workers get an immutable capture; the owner thread appends.
+    futures = [pool.submit(_transform, job, events.snapshot()) for job in jobs]
+    pool.shutdown(wait=True)
+    for future in futures:
+        events.append(future.result())
+    return events
+
+
+def _collect(steps: list[str], sink: list[str]) -> None:
+    sink.extend(steps)
+
+
+def spawn_tracer(steps: list[str]) -> RelaxationTrace:
+    trace = RelaxationTrace()
+    sink: list[str] = []
+    worker = threading.Thread(target=_collect, args=(steps, sink))
+    worker.start()
+    worker.join()
+    trace.extend(sink)
+    return trace

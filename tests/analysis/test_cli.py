@@ -58,6 +58,10 @@ def test_json_output_schema(capsys):
         "REP004",
         "REP005",
         "REP006",
+        "REP007",
+        "REP008",
+        "REP009",
+        "REP010",
     }
     assert payload["findings"], "expected findings for the bad fixture"
     for finding in payload["findings"]:
@@ -108,6 +112,107 @@ def test_fail_on_never_reports_but_exits_zero(capsys):
     )
     assert code == 0
     assert "REP006" in capsys.readouterr().out
+
+
+def test_sarif_output_is_valid_and_anchored(capsys):
+    code = main(
+        [
+            "lint",
+            "--no-baseline",
+            "--format",
+            "sarif",
+            "--fail-on",
+            "never",
+            str(FIXTURES / "rep009_bad.py"),
+        ]
+    )
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    assert "sarif-2.1.0" in doc["$schema"]
+    run = doc["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "reprolint"
+    assert {rule["id"] for rule in driver["rules"]} >= {"REP009"}
+    assert run["results"], "expected SARIF results for the bad fixture"
+    for result in run["results"]:
+        assert result["ruleId"] == "REP009"
+        assert result["level"] == "warning"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("rep009_bad.py")
+        assert location["region"]["startLine"] >= 1
+        assert result["partialFingerprints"]["reprolint/contentKey"]
+
+
+def _git(repo: Path, *args: str) -> None:
+    import subprocess
+
+    subprocess.run(
+        ["git", "-C", str(repo), *args],
+        check=True,
+        capture_output=True,
+        env={
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(repo),
+        },
+    )
+
+
+def test_changed_mode_reports_only_changed_files(tmp_path, capsys):
+    repo = tmp_path / "repo"
+    repo.mkdir()
+    _git(repo, "init", "--quiet")
+    committed = repo / "committed.py"
+    committed.write_text(
+        (FIXTURES / "rep006_bad.py").read_text(encoding="utf-8"),
+        encoding="utf-8",
+    )
+    _git(repo, "add", "committed.py")
+    _git(repo, "commit", "--quiet", "-m", "seed")
+    # An untracked new file with its own violations.
+    fresh = repo / "fresh.py"
+    fresh.write_text(
+        (FIXTURES / "rep002_bad.py").read_text(encoding="utf-8"),
+        encoding="utf-8",
+    )
+    code = main(
+        ["lint", "--no-baseline", "--changed", "--format", "json", str(repo)]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    paths = {finding["path"] for finding in payload["findings"]}
+    # committed.py is unchanged vs HEAD: analysed, but not reported.
+    assert paths == {"fresh.py"}
+
+
+def test_changed_mode_outside_git_is_a_usage_error(tmp_path, capsys):
+    target = tmp_path / "lone.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    code = main(["lint", "--no-baseline", "--changed", str(target)])
+    out = capsys.readouterr().out
+    if code == 2:
+        assert "git" in out
+    else:
+        # The tmp dir may sit inside an enclosing work tree; then the
+        # run degrades to an ordinary (restricted) lint.
+        assert code in (0, 1)
+
+
+def test_full_repo_lint_stays_fast():
+    import time
+
+    from repro.analysis import LintEngine
+    from repro.analysis.cli import default_target
+
+    start = time.monotonic()
+    LintEngine().run([default_target()])
+    elapsed = time.monotonic() - start
+    # CI budget is 15s for the whole job step; leave headroom here.
+    assert elapsed < 15.0, f"full-repo lint took {elapsed:.1f}s"
 
 
 def test_write_baseline_then_clean_run(tmp_path, capsys):

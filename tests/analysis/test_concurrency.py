@@ -1,0 +1,150 @@
+"""Unit tests for the concurrency substrate: call graph, locks, escape."""
+
+from pathlib import Path
+
+from repro.analysis import LintEngine, all_rules, load_project
+from repro.analysis.concurrency import ConcurrencyContext
+
+FIXTURES = Path(__file__).parent / "fixtures"
+TREE = FIXTURES / "conc_tree"
+
+WEBDB = "repro.db.webdb"
+SESSION = "repro.core.plan.session"
+
+
+def tree_context() -> ConcurrencyContext:
+    return ConcurrencyContext.of(load_project([TREE]))
+
+
+class TestCallGraph:
+    def test_indexes_methods_functions_and_nested_defs(self):
+        ctx = tree_context()
+        keys = set(ctx.graph.functions)
+        assert f"{WEBDB}:MiniWebDB.query" in keys
+        assert f"{WEBDB}:register_source" in keys
+        assert f"{SESSION}:MiniSession.drain_later.drain" in keys
+
+    def test_resolves_self_method_calls(self):
+        ctx = tree_context()
+        callers = ctx.graph.callers_of[f"{SESSION}:MiniSession._run_one"]
+        assert {site.caller for site in callers} == {
+            f"{SESSION}:MiniSession._dispatch"
+        }
+
+    def test_resolves_cross_module_constructor_imports(self):
+        ctx = tree_context()
+        callees = {
+            site.callee
+            for site in ctx.graph.calls_by_caller[f"{SESSION}:build_session"]
+        }
+        assert f"{WEBDB}:MiniWebDB.__init__" in callees
+
+    def test_unresolved_calls_keep_their_name_chain(self):
+        ctx = tree_context()
+        sites = ctx.graph.calls_by_caller[f"{SESSION}:MiniSession._run_one"]
+        chains = {site.chain for site in sites}
+        assert ("self", "webdb", "query") in chains
+        assert all(
+            site.callee is None
+            for site in sites
+            if site.chain == ("self", "webdb", "query")
+        )
+
+    def test_context_is_memoized_per_project(self):
+        project = load_project([TREE])
+        assert ConcurrencyContext.of(project) is ConcurrencyContext.of(project)
+
+
+class TestLockModel:
+    def test_declares_instance_and_module_locks(self):
+        ctx = tree_context()
+        assert f"{WEBDB}:MiniWebDB._lock" in ctx.locks.decls
+        assert f"{WEBDB}:_REGISTRY_LOCK" in ctx.locks.decls
+        assert ctx.locks.decls[f"{WEBDB}:MiniWebDB._lock"].kind == "RLock"
+
+    def test_locked_helper_inherits_the_guard(self):
+        ctx = tree_context()
+        entry = ctx.locks.entry_held(f"{WEBDB}:MiniWebDB._query_locked")
+        assert entry == {f"{WEBDB}:MiniWebDB._lock"}
+
+    def test_public_entry_points_assume_nothing(self):
+        ctx = tree_context()
+        assert ctx.locks.entry_held(f"{WEBDB}:MiniWebDB.query") == frozenset()
+
+    def test_mutations_record_their_held_set(self):
+        ctx = tree_context()
+        writes = [
+            access
+            for access in ctx.locks.accesses
+            if access.attr == "_issued"
+            and access.is_write
+            and not access.fn.endswith("__init__")
+        ]
+        assert writes, "expected the _issued increment to be recorded"
+        for access in writes:
+            held = access.held | ctx.locks.entry_held(access.fn)
+            assert f"{WEBDB}:MiniWebDB._lock" in held
+
+    def test_acquisitions_close_over_callees(self):
+        ctx = tree_context()
+        acquired = ctx.locks.acquires_within[f"{SESSION}:MiniSession._run_one"]
+        assert acquired == frozenset()  # webdb.query is unresolved
+        assert (
+            f"{WEBDB}:MiniWebDB._lock"
+            in ctx.locks.acquires_within[f"{WEBDB}:MiniWebDB.query"]
+        )
+
+    def test_nested_with_records_held_before(self):
+        ctx = ConcurrencyContext.of(
+            load_project([FIXTURES / "rep008_bad.py"])
+        )
+        ordered = {
+            (acq.held_before, acq.lock_id) for acq in ctx.locks.acquisitions
+        }
+        assert (
+            ("rep008_bad:_CACHE_LOCK",),
+            "rep008_bad:_STATS_LOCK",
+        ) in ordered
+        assert (
+            ("rep008_bad:_STATS_LOCK",),
+            "rep008_bad:_CACHE_LOCK",
+        ) in ordered
+
+
+class TestEscapeModel:
+    def test_submit_targets_become_roots(self):
+        ctx = tree_context()
+        assert f"{SESSION}:MiniSession._dispatch" in ctx.escape.roots
+
+    def test_closure_follows_resolved_edges(self):
+        ctx = tree_context()
+        assert ctx.escape.escapes(f"{SESSION}:MiniSession._run_one")
+
+    def test_nested_worker_defs_escape(self):
+        ctx = tree_context()
+        assert ctx.escape.escapes(f"{SESSION}:MiniSession.drain_later.drain")
+
+    def test_process_pools_do_not_thread_escape(self):
+        ctx = tree_context()
+        assert not ctx.escape.escapes(f"{SESSION}:_score")
+
+    def test_boundary_calls_record_the_payload(self):
+        ctx = tree_context()
+        submits = [b for b in ctx.escape.boundary_calls if b.kind == "submit"]
+        assert len(submits) == 2
+        prefetch = [
+            b
+            for b in submits
+            if b.fn == f"{SESSION}:MiniSession.prefetch"
+        ]
+        assert len(prefetch) == 1
+        assert len(prefetch[0].payload) == 1
+
+
+class TestTreeUnderTheRules:
+    def test_mini_tree_is_clean_under_the_concurrency_rules(self):
+        engine = LintEngine(
+            all_rules(["REP007", "REP008", "REP009", "REP010"])
+        )
+        run = engine.run([TREE])
+        assert run.findings == [], [f.render() for f in run.findings]

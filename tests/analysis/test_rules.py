@@ -15,6 +15,10 @@ RULE_FIXTURES = {
     "REP004": ("rep004_bad.py", "rep004_good.py"),
     "REP005": ("rep005_bad.py", "rep005_good.py"),
     "REP006": ("rep006_bad.py", "rep006_good.py"),
+    "REP007": ("rep007_bad.py", "rep007_good.py"),
+    "REP008": ("rep008_bad.py", "rep008_good.py"),
+    "REP009": ("rep009_bad.py", "rep009_good.py"),
+    "REP010": ("rep010_bad.py", "rep010_good.py"),
 }
 
 
@@ -127,6 +131,54 @@ def test_rep005_flags_event_hygiene_violations():
 def test_rep005_events_good_fixture_is_clean_under_all_rules():
     run = LintEngine().run([FIXTURES / "rep005_events_good.py"])
     assert run.findings == [], [f.render() for f in run.findings]
+
+
+def test_rep007_reports_unguarded_and_escaping_writes():
+    run = run_rule("REP007", FIXTURES / "rep007_bad.py")
+    messages = " ".join(f.message for f in run.findings)
+    assert "'_budget'" in messages
+    assert "'_issued'" in messages
+    assert "no lock held" in messages
+    assert "worker thread" in messages
+
+
+def test_rep008_names_the_conflicting_site():
+    run = run_rule("REP008", FIXTURES / "rep008_bad.py")
+    assert len(run.findings) == 2
+    messages = " ".join(f.message for f in run.findings)
+    assert "_CACHE_LOCK" in messages
+    assert "_STATS_LOCK" in messages
+    assert "opposite order" in messages
+    assert "deadlock" in messages
+
+
+def test_rep009_labels_each_blocking_kind():
+    run = run_rule("REP009", FIXTURES / "rep009_bad.py")
+    messages = " ".join(f.message for f in run.findings)
+    assert "probe dispatch 'webdb.query()'" in messages
+    assert "time.sleep()" in messages
+    assert "executor '.submit()'" in messages
+    assert "executor '.result()'" in messages
+
+
+def test_rep010_reports_payload_and_callable_crossings():
+    run = run_rule("REP010", FIXTURES / "rep010_bad.py")
+    assert len(run.findings) == 2
+    messages = " ".join(f.message for f in run.findings)
+    assert "EventLog" in messages
+    assert "RelaxationTrace" in messages
+    assert "argument payload" in messages
+    assert "as the callable" in messages
+
+
+def test_sharded_scatter_gather_suppressions_are_intentional():
+    import repro
+
+    package = Path(repro.__file__).resolve().parent
+    run = LintEngine(all_rules(["REP009"])).run([package / "db"])
+    assert run.findings == [], [f.render() for f in run.findings]
+    assert {f.rule_id for f in run.suppressed} == {"REP009"}
+    assert len(run.suppressed) == 2
 
 
 def test_suppression_comment_silences_a_finding(tmp_path):
