@@ -38,8 +38,9 @@ LAYERS: dict[str, int] = {
     "repro.evalx": 5,
     "repro.perf": 5,
     "repro.analysis": 5,
-    "repro.cli": 6,
-    "repro.__main__": 7,
+    "repro.serve": 6,
+    "repro.cli": 7,
+    "repro.__main__": 8,
 }
 
 # Facade contract: these packages see repro.db only through its

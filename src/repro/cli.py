@@ -98,6 +98,7 @@ from repro.perf.bench import (
     run_bench,
 )
 from repro.resilience import ResilienceError, ResiliencePolicy, ResilientWebDatabase
+from repro.serve import AIMQServer, ServeConfig, preregister_serve_metrics
 
 __all__ = ["main", "build_parser"]
 
@@ -331,6 +332,9 @@ def _preregister_stats_families() -> None:
         "by stage and error kind.",
         labels=("stage", "error"),
     ).labels(stage="relaxation", error="TransientSourceError").inc(0)
+    # The serving families too: a stats dump should show the server-side
+    # metric shapes even when no server ran in this process.
+    preregister_serve_metrics(registry)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -441,6 +445,40 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run the static invariant checks over the source tree."""
     return run_lint(args)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived answering server until SIGTERM/SIGINT."""
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        dataset=args.dataset,
+        rows=args.rows,
+        sample=args.sample,
+        seed=args.seed,
+        model_path=args.model,
+        default_k=args.k,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        queue_wait_seconds=args.queue_wait,
+        rate=args.rate,
+        burst=args.burst,
+        pressure_threshold=args.pressure_threshold,
+        query_deadline_seconds=args.deadline,
+        pressured_deadline_seconds=args.pressured_deadline,
+        pressured_probe_cap=args.pressured_probe_cap,
+        drain_seconds=args.drain_seconds,
+    )
+    # A server always runs with metrics and wide events on — /metrics
+    # and the per-request audit trail are part of its contract.
+    OBS.enable()
+    OBS.events.enabled = True
+    print(f"loading {config.dataset} model ...", flush=True)
+    server = AIMQServer(config)
+    print(f"serving {config.dataset} on {server.url}", flush=True)
+    drained = server.serve_forever()
+    print(f"shut down ({'drained' if drained else 'drain deadline hit'})")
+    return 0 if drained else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -765,6 +803,91 @@ def build_parser() -> argparse.ArgumentParser:
     add_lint_arguments(lint)
     _add_obs_args(lint, suppress=True)
     lint.set_defaults(handler=_cmd_lint)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived answering server (HTTP, stdlib only)",
+    )
+    add_mining_args(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="listen port; 0 binds an ephemeral port (default: 8080)",
+    )
+    serve.add_argument(
+        "-k", type=int, default=10, help="default top-k per request"
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="concurrently answering requests before queueing (default: 8)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="bounded wait-queue depth; beyond it requests are shed "
+        "with 429 (default: 16)",
+    )
+    serve.add_argument(
+        "--queue-wait",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="how long a queued request may wait for a slot (default: 2)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="token-bucket admission rate in requests/second "
+        "(0 disables throttling)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=int,
+        default=1,
+        help="token-bucket burst size (default: 1)",
+    )
+    serve.add_argument(
+        "--pressure-threshold",
+        type=float,
+        default=0.75,
+        help="in-flight utilisation at which per-request budgets "
+        "shrink (default: 0.75)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-query deadline budget under normal load "
+        "(default: none)",
+    )
+    serve.add_argument(
+        "--pressured-deadline",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="per-query deadline once pressured (default: 2)",
+    )
+    serve.add_argument(
+        "--pressured-probe-cap",
+        type=int,
+        default=64,
+        help="per-request source-probe cap once pressured (default: 64)",
+    )
+    serve.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=5.0,
+        help="how long SIGTERM waits for in-flight requests (default: 5)",
+    )
+    _add_obs_args(serve, suppress=True)
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

@@ -147,6 +147,11 @@ class BenchScale:
     # zone_map_prune needs a larger source: its gap is scan work saved
     # per probe, which must dominate the per-probe facade overhead.
     zone_rows: int = 100_000
+    # serve_load (registered by repro.serve.bench): concurrent clients
+    # against the answering server, with the shared probe cache as the
+    # fast path.
+    serve_clients: int = 6
+    serve_requests: int = 24
 
 
 SCALES: dict[str, BenchScale] = {

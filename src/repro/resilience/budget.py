@@ -64,9 +64,18 @@ class DeadlineBudget:
             )
 
     def affords_sleep(self, duration: float) -> bool:
-        """Would sleeping ``duration`` still leave the deadline intact?"""
+        """Would sleeping ``duration`` leave time for another attempt?
+
+        A sleep is affordable only while it is *strictly shorter* than
+        the remaining budget: sleeping exactly to the deadline (or past
+        it, or with nothing left at all) buys no useful next attempt —
+        the follow-up ``require()`` would fail anyway, after time was
+        already burned.  Refusing here caps every backoff at the
+        budget's remaining time and surfaces the refusal *before* the
+        sleep, chained from the error that caused it.
+        """
         remaining = self.remaining
-        return remaining is None or duration <= remaining
+        return remaining is None or (remaining > 0.0 and duration < remaining)
 
     def refuse_sleep(self, duration: float) -> DeadlineExceededError:
         """The refusal to raise when a sleep cannot be afforded."""

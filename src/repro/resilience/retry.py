@@ -103,9 +103,12 @@ class Retrier:
         """Run ``fn``, retrying transient failures within the budgets.
 
         Every attempt first checks each budget; a budget that cannot
-        afford the next backoff sleep turns the transient failure into
-        a :class:`~repro.resilience.errors.DeadlineExceededError`
-        chained from it.
+        afford the next backoff sleep — because the delay would consume
+        its entire remaining time, or nothing remains at all — turns
+        the transient failure into a
+        :class:`~repro.resilience.errors.DeadlineExceededError` chained
+        from it, *before* any time is slept.  Backoff therefore never
+        sleeps up to (or past) an active deadline.
         """
         config = self.config
         attempt = 0

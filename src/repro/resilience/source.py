@@ -17,6 +17,7 @@ subclasses pass straight through on the first attempt.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, TypeVar
 
@@ -63,7 +64,17 @@ class ResilientWebDatabase:
                 recovery_seconds=self.policy.breaker_recovery_seconds,
                 clock=self.clock,
             )
-        self._query_budget: DeadlineBudget | None = None
+        # Per-thread deadline scope: concurrent sessions (the serve
+        # layer runs many answer() calls against one facade) each open
+        # their own scope, and one thread's budget must never shadow or
+        # clobber another's.  threading.local gives every thread an
+        # independent slot with no locking on the probe hot path.
+        self._scopes = threading.local()
+
+    @property
+    def _query_budget(self) -> DeadlineBudget | None:
+        budget: DeadlineBudget | None = getattr(self._scopes, "budget", None)
+        return budget
 
     # -- guarded probing -------------------------------------------------------
 
@@ -84,19 +95,21 @@ class ResilientWebDatabase:
     def deadline_scope(self) -> Iterator[DeadlineBudget]:
         """Open a per-query deadline covering all probes issued inside.
 
-        Nested scopes shadow the outer one for their duration.  With
-        ``query_deadline_seconds=None`` the budget is unlimited, so the
-        engine can open a scope unconditionally.
+        Nested scopes shadow the outer one for their duration, and the
+        scope is *thread-local*: concurrent sessions on one facade each
+        see only their own budget.  With ``query_deadline_seconds=None``
+        the budget is unlimited, so the engine can open a scope
+        unconditionally.
         """
         budget = DeadlineBudget(
             self.policy.query_deadline_seconds, self.clock, scope="query"
         )
         previous = self._query_budget
-        self._query_budget = budget
+        self._scopes.budget = budget
         try:
             yield budget
         finally:
-            self._query_budget = previous
+            self._scopes.budget = previous
 
     def _guard(self, fn: Callable[[], T]) -> T:
         if self.breaker is not None:

@@ -1,0 +1,130 @@
+"""The HTTP shell: stdlib ``ThreadingHTTPServer`` around the router.
+
+Deliberately dependency-light — ``http.server`` + ``urllib.parse`` are
+the whole transport.  All behaviour lives in :class:`~repro.serve.handlers.Router`,
+which the chaos tests drive directly; this module only adapts sockets
+to ``Router.route`` and wires the shutdown sequence:
+
+* ``SIGTERM``/``SIGINT`` → :class:`~repro.serve.lifecycle.LifecycleController`
+  flips admission into draining (new work is shed with 429),
+* ``httpd.shutdown()`` stops the accept loop from a helper thread,
+* in-flight handler threads finish naturally and the lifecycle drain
+  waits for them up to ``drain_seconds`` before the process exits.
+
+``port=0`` binds an ephemeral port (see :attr:`AIMQServer.port`) so
+tests and the CI smoke job never race over a fixed port.
+"""
+
+from __future__ import annotations
+
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs.runtime import OBS
+from repro.serve.admission import AdmissionController
+from repro.serve.config import ServeConfig
+from repro.serve.handlers import Router, preregister_serve_metrics
+from repro.serve.lifecycle import LifecycleController
+from repro.serve.state import ServeState
+
+__all__ = ["AIMQServer", "serve"]
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Socket adapter: parse, delegate to the router, write back."""
+
+    #: Bound per-server via a subclass (see :class:`AIMQServer`).
+    router: Router
+
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+    def _handle(self, method: str) -> None:
+        parsed = urlsplit(self.path)
+        params = parse_qs(parsed.query)
+        body = b""
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > 0:
+            body = self.rfile.read(length)
+        response = self.router.route(method, parsed.path, params, body)
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence the default stderr access log; the wide-event log
+        (``serve.request``) is the serving audit trail."""
+
+
+class AIMQServer:
+    """One serving process: state + admission + router + HTTP shell."""
+
+    def __init__(
+        self, config: ServeConfig, state: ServeState | None = None
+    ) -> None:
+        self.config = config
+        self.state = state if state is not None else ServeState.load(config)
+        self.admission = AdmissionController(config)
+        self.lifecycle = LifecycleController(self.admission, config)
+        self.router = Router(self.state, self.admission, config)
+        if OBS.enabled:
+            preregister_serve_metrics()
+        handler = type(
+            "BoundRequestHandler", (_RequestHandler,), {"router": self.router}
+        )
+        self._httpd = ThreadingHTTPServer((config.host, config.port), handler)
+        self._httpd.daemon_threads = True
+
+    # -- addressing --------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral pick)."""
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    # -- run / stop --------------------------------------------------------
+
+    def serve_forever(self, install_signals: bool = True) -> bool:
+        """Serve until shut down; returns True if the drain completed.
+
+        With ``install_signals`` (the default for ``repro serve``),
+        SIGTERM/SIGINT trigger the graceful sequence.  Tests pass False
+        and call :meth:`shutdown` from another thread instead.
+        """
+        if install_signals:
+            self.lifecycle.install(on_shutdown=self._httpd.shutdown)
+        try:
+            self._httpd.serve_forever()
+        finally:
+            drained = self.lifecycle.drain()
+            self._httpd.server_close()
+        return drained
+
+    def shutdown(self) -> None:
+        """Programmatic SIGTERM equivalent (callable from any thread)."""
+        self.lifecycle.request_shutdown(reason="shutdown")
+        self._httpd.shutdown()
+
+    def close(self) -> None:
+        """Release the listening socket without serving (test teardown)."""
+        self._httpd.server_close()
+
+
+def serve(config: ServeConfig) -> int:
+    """Blocking entry point behind the ``repro serve`` subcommand."""
+    server = AIMQServer(config)
+    drained = server.serve_forever()
+    return 0 if drained else 1

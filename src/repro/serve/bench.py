@@ -1,0 +1,243 @@
+"""``serve_load`` — concurrent clients through the full serving stack.
+
+The scenario drives N client threads straight into :class:`Router`
+(no sockets: the benchmark measures the answering stack, not loopback
+TCP).  Both arms run the *same* concurrent workload; the only knob that
+changes is the shared probe cache:
+
+* slow arm — cache off, every session pays full probe cost;
+* fast arm — shared cache on, repeats across concurrent sessions are
+  served locally.
+
+Equivalence is judged on what clients can see — the query echo, the
+ranked answers, and the degradation flag — because the probe-accounting
+counters in the trace are *supposed* to differ between the arms (that
+difference is the speedup).
+
+A third, deterministic overload leg pins the server at one occupied
+slot and fires a burst: every response must shed with 429 and a
+``Retry-After`` header, and the first request after release must be
+answered.  The contract is folded into the ``equivalent`` verdict so
+the CI bench gate fails if overload ever turns into errors.
+
+This module lives in :mod:`repro.serve` (layer above :mod:`repro.perf`)
+and registers itself into :data:`repro.perf.bench.SCENARIOS` on import
+— the bench CLI imports the serve package, so ``repro bench`` always
+sees it, while :mod:`repro.perf` itself never imports upward.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import replace
+from typing import Any
+
+from repro.datasets.cardb import cardb_webdb
+from repro.perf import bench as perf_bench
+from repro.perf.bench import BenchScale, ScenarioResult, _Fixture
+from repro.serve.admission import AdmissionController
+from repro.serve.config import ServeConfig
+from repro.serve.handlers import Router
+from repro.serve.state import ServeState
+
+__all__ = ["bench_serve_load"]
+
+_CACHE_CAPACITY = 8_192
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+def _workload_params(
+    fixture: _Fixture, scale: BenchScale
+) -> list[dict[str, list[str]]]:
+    """Distinct ``/query`` parameter sets drawn from the mined sample."""
+    queries = perf_bench._fixture_queries(fixture, scale.queries)
+    params: list[dict[str, list[str]]] = []
+    for query in queries:
+        constraints = [
+            f"{c.attribute}={c.value}" for c in query.constraints
+        ]
+        params.append({"c": constraints, "k": ["10"]})
+    return params
+
+
+def _serve_config(scale: BenchScale, cache_capacity: int) -> ServeConfig:
+    # Headroom above the client count keeps utilisation under the
+    # pressure threshold: the measurement arms must answer at full
+    # budgets so both arms stay comparable to the one-shot path.
+    return ServeConfig(
+        rows=scale.rows,
+        sample=scale.sample,
+        seed=11,
+        probe_cache_capacity=cache_capacity,
+        max_inflight=scale.serve_clients * 2,
+        max_queue=scale.serve_requests,
+        queue_wait_seconds=30.0,
+    )
+
+
+def _drive(
+    router: Router,
+    workload: list[dict[str, list[str]]],
+    clients: int,
+    requests: int,
+) -> tuple[list[tuple[int, dict[str, Any]]], list[float]]:
+    """Fire ``requests`` across ``clients`` threads; keep arrival order."""
+    results: list[tuple[int, dict[str, Any]] | None] = [None] * requests
+    latencies: list[float] = [0.0] * requests
+
+    def worker(slot: int) -> None:
+        for index in range(slot, requests, clients):
+            params = workload[index % len(workload)]
+            start = time.perf_counter()
+            response = router.route("GET", "/query", params)
+            latencies[index] = time.perf_counter() - start
+            results[index] = (response.status, response.json())
+
+    pool = [
+        threading.Thread(target=worker, args=(slot,))
+        for slot in range(clients)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    assert all(entry is not None for entry in results)
+    return results, latencies  # type: ignore[return-value]
+
+
+def _visible(payload: dict[str, Any]) -> tuple[Any, ...]:
+    """The client-visible answer, minus the probe-accounting counters."""
+    return (
+        payload.get("query"),
+        tuple(
+            (a["row_id"], a["similarity"], a["base_similarity"])
+            for a in payload.get("answers", ())
+        ),
+        payload.get("degraded"),
+    )
+
+
+def _overload_leg(
+    state: ServeState, scale: BenchScale
+) -> dict[str, Any]:
+    """Deterministic burst against a one-slot server: shed, then serve."""
+    config = replace(
+        _serve_config(scale, _CACHE_CAPACITY),
+        max_inflight=1,
+        max_queue=0,
+        queue_wait_seconds=0.0,
+    )
+    admission = AdmissionController(config)
+    router = Router(state, admission, config)
+    assert admission.admit().admitted  # pin the only slot
+    responses = []
+    lock = threading.Lock()
+
+    def burst() -> None:
+        response = router.route(
+            "GET", "/query", {"c": ["Make=Ford"], "k": ["5"]}
+        )
+        with lock:
+            responses.append(response)
+
+    pool = [
+        threading.Thread(target=burst) for _ in range(scale.serve_clients)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    shed_ok = all(
+        r.status == 429 and int(r.headers.get("Retry-After", 0)) >= 1
+        for r in responses
+    )
+    admission.release()
+    start = time.perf_counter()
+    recovered = router.route("GET", "/query", {"c": ["Make=Ford"], "k": ["5"]})
+    recovered_seconds = time.perf_counter() - start
+    total = len(responses) + 1
+    return {
+        "requests": total,
+        "shed": sum(1 for r in responses if r.status == 429),
+        "shed_rate": round(len(responses) / total, 3),
+        "shed_with_retry_after": shed_ok,
+        "recovered_status": recovered.status,
+        "recovered_ms": round(recovered_seconds * 1_000.0, 3),
+        "contract_held": shed_ok and recovered.status == 200,
+    }
+
+
+def bench_serve_load(scale: BenchScale, fixture: _Fixture) -> ScenarioResult:
+    workload = _workload_params(fixture, scale)
+    model = fixture.model
+    clients = scale.serve_clients
+    requests = scale.serve_requests
+
+    slow_db = cardb_webdb(scale.rows, seed=11)
+    slow_state = ServeState.from_bundle(
+        _serve_config(scale, 0), slow_db, model
+    )
+    fast_db = cardb_webdb(scale.rows, seed=11)
+    fast_db.enable_probe_cache(_CACHE_CAPACITY)
+    fast_state = ServeState.from_bundle(
+        _serve_config(scale, _CACHE_CAPACITY), fast_db, model
+    )
+
+    def arm(state: ServeState) -> tuple[list, list[float], float]:
+        config = state.config
+        router = Router(state, AdmissionController(config), config)
+        start = time.perf_counter()
+        results, latencies = _drive(router, workload, clients, requests)
+        return results, latencies, time.perf_counter() - start
+
+    slow_results, _, slow_seconds = arm(slow_state)
+    fast_results, fast_latencies, fast_seconds = arm(fast_state)
+
+    log = fast_db.log
+    lookups = log.probes_issued + log.cache_hits
+    overload = _overload_leg(fast_state, scale)
+
+    all_answered = all(
+        status == 200 for status, _ in slow_results + fast_results
+    )
+    identical = [
+        _visible(slow_payload) == _visible(fast_payload)
+        for (_, slow_payload), (_, fast_payload) in zip(
+            slow_results, fast_results
+        )
+    ]
+    millis = [latency * 1_000.0 for latency in fast_latencies]
+    return ScenarioResult(
+        name="serve_load",
+        slow_seconds=slow_seconds,
+        fast_seconds=fast_seconds,
+        equivalent=(
+            all_answered and all(identical) and overload["contract_held"]
+        ),
+        details={
+            "clients": clients,
+            "requests": requests,
+            "distinct_queries": len(workload),
+            "p50_ms": round(_percentile(millis, 0.50), 3),
+            "p95_ms": round(_percentile(millis, 0.95), 3),
+            "p99_ms": round(_percentile(millis, 0.99), 3),
+            "cache_hits": log.cache_hits,
+            "cache_hit_rate": round(
+                log.cache_hits / lookups if lookups else 0.0, 3
+            ),
+            "degraded_count": sum(
+                1 for _, payload in fast_results if payload.get("degraded")
+            ),
+            "overload": overload,
+        },
+    )
+
+
+perf_bench.SCENARIOS.setdefault("serve_load", bench_serve_load)

@@ -1,0 +1,109 @@
+"""Graceful shutdown: SIGTERM → stop admitting → drain → final event.
+
+The drain protocol has three steps and never strands a request:
+
+1. :meth:`LifecycleController.request_shutdown` flips the admission
+   controller into draining mode — new arrivals are shed with 429 and
+   queued requests are woken so they shed too.
+2. :meth:`drain` blocks until every in-flight request has released its
+   slot, or the ``drain_seconds`` deadline passes (whichever is first).
+   The wait is event-driven on the admission condition, no polling.
+3. A final ``serve.drain`` wide event records how the shutdown went,
+   and the buffered event log is flushed to ``events_out`` if one was
+   configured — so even an abrupt termination leaves a forensic trail.
+
+Signal installation is separated from the drain logic so tests can
+drive the whole protocol with a :class:`~repro.resilience.clock.VirtualClock`
+and never touch real signal handlers.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Any, Callable
+
+from repro.obs.runtime import OBS
+from repro.serve.admission import AdmissionController
+from repro.serve.config import ServeConfig
+
+__all__ = ["LifecycleController"]
+
+
+class LifecycleController:
+    """Coordinates one server's shutdown sequence."""
+
+    def __init__(
+        self, admission: AdmissionController, config: ServeConfig
+    ) -> None:
+        self.admission = admission
+        self.config = config
+        self.shutdown_requested = threading.Event()
+        self.drained: bool | None = None
+        self._signal_reason = ""
+
+    # -- signal wiring -----------------------------------------------------
+
+    def install(self, on_shutdown: Callable[[], None] | None = None) -> None:
+        """Register SIGTERM/SIGINT handlers (main thread only).
+
+        ``on_shutdown`` runs on a helper thread after the drain flag is
+        set — the server uses it to call ``httpd.shutdown()``, which
+        must not run on the thread executing ``serve_forever``.
+        """
+
+        def _handler(signum: int, _frame: Any) -> None:
+            self.request_shutdown(reason=signal.Signals(signum).name)
+            if on_shutdown is not None:
+                threading.Thread(
+                    target=on_shutdown, name="serve-shutdown", daemon=True
+                ).start()
+
+        signal.signal(signal.SIGTERM, _handler)
+        signal.signal(signal.SIGINT, _handler)
+
+    # -- drain protocol ----------------------------------------------------
+
+    def request_shutdown(self, reason: str = "requested") -> None:
+        """Step one: stop admitting.  Idempotent and signal-safe —
+        everything here is a flag flip plus a condition notify."""
+        if not self.shutdown_requested.is_set():
+            self._signal_reason = reason
+            self.shutdown_requested.set()
+        self.admission.start_drain()
+
+    def drain(self) -> bool:
+        """Steps two and three: wait out in-flight work, then record.
+
+        Returns True when every request finished inside the drain
+        budget, False when the deadline cut the wait short (remaining
+        requests keep running until the process exits — they are never
+        cancelled mid-answer).
+        """
+        self.request_shutdown(reason=self._signal_reason or "drain")
+        drained = self.admission.await_idle(self.config.drain_seconds)
+        self.drained = drained
+        self._emit_final_event(drained)
+        self._flush_events()
+        return drained
+
+    # -- forensics ---------------------------------------------------------
+
+    def _emit_final_event(self, drained: bool) -> None:
+        if not OBS.events.enabled:
+            return
+        snapshot = self.admission.snapshot()
+        OBS.emit_event(
+            "serve.drain",
+            reason=self._signal_reason or "drain",
+            drained=drained,
+            drain_seconds=self.config.drain_seconds,
+            inflight_at_deadline=snapshot["inflight"],
+            admitted_total=snapshot["admitted_total"],
+            shed_total=snapshot["shed_total"],
+            trace_id=OBS.current_trace_id() or "",
+        )
+
+    def _flush_events(self) -> None:
+        if self.config.events_out and OBS.events.enabled:
+            OBS.events.write_jsonl(self.config.events_out)

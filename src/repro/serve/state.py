@@ -1,0 +1,183 @@
+"""Server state: load the mined artifacts once, swap them atomically.
+
+The expensive offline artifacts — the source facade, the AFD/VSim
+model (mined or loaded from a :mod:`repro.core.store` JSON file) — are
+built exactly the way the ``repro query`` CLI builds them, so every
+answer served from this state is bit-identical to the one-shot path.
+
+Warm reload is crash-safe by construction: :meth:`ServeState.reload`
+builds a complete new bundle *outside* the state lock (model mining
+probes the source; nothing slow runs under a lock), then swaps the
+reference in one locked assignment.  A reload that raises leaves the
+previous bundle untouched and still serving.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.config import AIMQSettings
+from repro.core.pipeline import AIMQModel, build_model
+from repro.core.store import load_model
+from repro.datasets.cardb import cardb_webdb
+from repro.datasets.census import census_webdb
+from repro.db.webdb import AutonomousWebDatabase
+from repro.evalx import census_settings
+from repro.obs.runtime import OBS
+from repro.serve.config import ServeConfig
+
+__all__ = ["ModelBundle", "ServeState"]
+
+
+@dataclass(frozen=True)
+class ModelBundle:
+    """One immutable generation of serving state.
+
+    Handlers snapshot the current bundle once per request and use it
+    throughout, so a concurrent reload never mixes generations inside
+    a single answer.
+    """
+
+    webdb: AutonomousWebDatabase
+    model: AIMQModel
+    generation: int
+
+
+def _dataset_webdb(config: ServeConfig) -> AutonomousWebDatabase:
+    """The shared source facade, built the way the CLI builds it."""
+    if config.dataset == "cardb":
+        webdb = cardb_webdb(config.rows, seed=config.seed)
+    else:
+        webdb = census_webdb(config.rows, seed=config.seed)[0]
+    if config.probe_cache_capacity > 0:
+        # The shared, admission-bounded probe cache: repeats across
+        # concurrent sessions are served locally.  A cold cache charges
+        # nothing and changes nothing, so first-touch answers remain
+        # bit-identical to the cache-less CLI path.
+        webdb.enable_probe_cache(config.probe_cache_capacity)
+    return webdb
+
+
+def _dataset_settings(config: ServeConfig) -> AIMQSettings:
+    if config.dataset == "censusdb":
+        return census_settings(error_threshold=0.3)
+    return AIMQSettings(max_relaxation_level=3)
+
+
+def _build_bundle(config: ServeConfig, generation: int) -> ModelBundle:
+    webdb = _dataset_webdb(config)
+    if config.model_path:
+        model = load_model(config.model_path, webdb.schema)
+    else:
+        model = build_model(
+            webdb,
+            sample_size=config.sample,
+            rng=random.Random(config.seed + 1),
+            settings=_dataset_settings(config),
+        )
+    return ModelBundle(webdb=webdb, model=model, generation=generation)
+
+
+class ServeState:
+    """Holds the current :class:`ModelBundle` behind an atomic swap."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self._lock = threading.Lock()
+        self._bundle: ModelBundle | None = None
+        self._reloads = 0
+        self._reload_failures = 0
+
+    @classmethod
+    def load(cls, config: ServeConfig) -> "ServeState":
+        """Build the first generation eagerly (server start)."""
+        state = cls(config)
+        state.reload()
+        return state
+
+    @classmethod
+    def from_bundle(
+        cls,
+        config: ServeConfig,
+        webdb: AutonomousWebDatabase,
+        model: AIMQModel,
+    ) -> "ServeState":
+        """Adopt already-built artifacts (bench and test harnesses).
+
+        The caller owns the facade's probe-cache setting; this skips
+        :func:`_dataset_webdb` entirely so a harness can serve several
+        configurations of the same mined model without re-mining.
+        """
+        state = cls(config)
+        with state._lock:
+            state._bundle = ModelBundle(webdb=webdb, model=model, generation=1)
+            state._reloads = 1
+        return state
+
+    # -- access ------------------------------------------------------------
+
+    def current(self) -> ModelBundle:
+        with self._lock:
+            if self._bundle is None:
+                raise RuntimeError("serve state not loaded yet")
+            return self._bundle
+
+    @property
+    def ready(self) -> bool:
+        with self._lock:
+            return self._bundle is not None
+
+    # -- warm reload -------------------------------------------------------
+
+    def reload(self) -> ModelBundle:
+        """Build a fresh bundle and swap it in atomically.
+
+        All mining/loading happens before the lock is taken; a failure
+        propagates to the caller and the old bundle keeps serving.
+        """
+        with self._lock:
+            generation = self._bundle.generation + 1 if self._bundle else 1
+        try:
+            bundle = _build_bundle(self.config, generation)
+        except Exception:
+            with self._lock:
+                self._reload_failures += 1
+            raise
+        with self._lock:
+            self._bundle = bundle
+            self._reloads += 1
+        if OBS.events.enabled:
+            OBS.emit_event(
+                "serve.state_reload",
+                generation=generation,
+                dataset=self.config.dataset,
+                from_store=bool(self.config.model_path),
+                trace_id=OBS.current_trace_id() or "",
+            )
+        return bundle
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain JSON-able state summary for ``/stats``."""
+        with self._lock:
+            bundle = self._bundle
+            reloads = self._reloads
+            failures = self._reload_failures
+        payload: dict[str, Any] = {
+            "ready": bundle is not None,
+            "reloads": reloads,
+            "reload_failures": failures,
+            "dataset": self.config.dataset,
+        }
+        if bundle is not None:
+            payload.update(
+                generation=bundle.generation,
+                relation=bundle.webdb.schema.name,
+                rows=bundle.webdb.cardinality_hint(),
+                sample_rows=len(bundle.model.sample),
+            )
+        return payload

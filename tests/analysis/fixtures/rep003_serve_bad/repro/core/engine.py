@@ -1,0 +1,7 @@
+"""Golden fixture: the engine reaching up into the serving layer."""
+
+from repro.serve.admission import AdmissionController
+
+
+def answer_with_admission(config):
+    return AdmissionController(config)

@@ -1,0 +1,6 @@
+"""Golden fixture: the admission side of the core -> serve upward import."""
+
+
+class AdmissionController:
+    def __init__(self, config):
+        self.config = config

@@ -1,0 +1,5 @@
+"""Golden fixture: the engine stays below the serving layer."""
+
+
+def answer(query, k):
+    return (query, k)

@@ -1,0 +1,7 @@
+"""Golden fixture: serve imports downward into the core, never upward."""
+
+from repro.core.engine import answer
+
+
+def handle(query, k):
+    return answer(query, k)

@@ -70,6 +70,20 @@ def test_rep003_reports_facade_and_cycle():
     assert "upward import" in messages
 
 
+def test_rep003_flags_core_importing_serve():
+    run = run_rule("REP003", FIXTURES / "rep003_serve_bad")
+    assert run.findings, "core -> serve import was not flagged"
+    messages = " ".join(f.message for f in run.findings)
+    assert "upward import" in messages
+    assert "repro.core (layer 4)" in messages
+    assert "repro.serve.admission (layer 6)" in messages
+
+
+def test_rep003_serve_good_fixture_is_clean_under_all_rules():
+    run = LintEngine().run([FIXTURES / "rep003_serve_good"])
+    assert run.findings == [], [f.render() for f in run.findings]
+
+
 def test_rep006_flags_retry_loops_swallowing_permanent_errors():
     run = run_rule("REP006", FIXTURES / "rep006_retry_bad.py")
     assert len(run.findings) == 2

@@ -159,6 +159,51 @@ class TestDeadlineBudget:
         assert isinstance(info.value.__cause__, TransientSourceError)
         assert clock.sleeps == []  # the refusal happened before sleeping
 
+    def test_affords_sleep_requires_strictly_positive_headroom(self):
+        clock = VirtualClock()
+        budget = DeadlineBudget(1.0, clock, scope="probe")
+        assert budget.affords_sleep(0.999)
+        assert not budget.affords_sleep(1.0)  # sleeps exactly to the deadline
+        assert not budget.affords_sleep(1.5)
+        clock.advance(1.0)
+        assert not budget.affords_sleep(0.0)  # nothing left at all
+
+    def test_backoff_never_sleeps_budget_to_exhaustion(self):
+        # Regression: a delay exactly equal to the remaining budget used
+        # to be "affordable", so the retrier slept the budget to zero and
+        # the next attempt's require() raised an *uncaused* deadline
+        # error after the time was already burned.  The refusal must now
+        # happen before the sleep, chained from the transient failure.
+        clock = VirtualClock()
+        retrier = Retrier(
+            RetryConfig(max_attempts=5, base_delay=1.0, jitter=0.0), clock
+        )
+        budget = DeadlineBudget(1.0, clock, scope="query")
+        with pytest.raises(DeadlineExceededError) as info:
+            retrier.call(_Flaky(failures=10), budgets=(budget,))
+        assert info.value.scope == "query"
+        assert isinstance(info.value.__cause__, TransientSourceError)
+        assert clock.sleeps == []
+
+    def test_budget_exhausted_during_attempt_refuses_without_sleeping(self):
+        # The attempt itself can consume the whole budget (a slow probe
+        # under a SystemClock).  The follow-up backoff must refuse with
+        # the causal chain intact rather than sleeping past the deadline.
+        clock = VirtualClock()
+
+        def slow_then_transient():
+            clock.advance(1.5)
+            raise TransientProbeError()
+
+        retrier = Retrier(
+            RetryConfig(max_attempts=5, base_delay=0.01, jitter=0.0), clock
+        )
+        budget = DeadlineBudget(1.0, clock, scope="probe")
+        with pytest.raises(DeadlineExceededError) as info:
+            retrier.call(slow_then_transient, budgets=(budget,))
+        assert isinstance(info.value.__cause__, TransientSourceError)
+        assert clock.sleeps == []
+
     def test_budget_spanning_retries_expires_between_attempts(self):
         clock = VirtualClock()
         retrier = Retrier(
@@ -169,3 +214,55 @@ class TestDeadlineBudget:
             retrier.call(_Flaky(failures=10), budgets=(budget,))
         # 0.6 affordable, cumulative 1.2 is not: exactly one sleep ran.
         assert clock.sleeps == [pytest.approx(0.6)]
+
+
+class TestDeadlineScopeThreadIsolation:
+    def test_scope_is_invisible_to_other_threads(self, car_webdb):
+        import threading
+
+        from repro.db import Eq, SelectionQuery
+        from repro.resilience import (
+            DeadlineExceededError as Expired,
+            ResiliencePolicy,
+            ResilientWebDatabase,
+        )
+
+        clock = VirtualClock()
+        guarded = ResilientWebDatabase(
+            car_webdb,
+            ResiliencePolicy(query_deadline_seconds=1.0),
+            clock=clock,
+        )
+        probe = SelectionQuery((Eq("Make", "Toyota"),))
+        expired_scope_open = threading.Event()
+        other_thread_done = threading.Event()
+        outcome = {}
+
+        def holder():
+            with guarded.deadline_scope():
+                clock.advance(2.0)  # this thread's budget is now expired
+                try:
+                    guarded.count(probe)
+                except Expired:
+                    outcome["holder"] = "expired"
+                expired_scope_open.set()
+                other_thread_done.wait(timeout=10)
+
+        def prober():
+            expired_scope_open.wait(timeout=10)
+            # Concurrent session on the same facade: the holder's
+            # expired budget must not leak into this thread.
+            outcome["prober"] = guarded.count(probe)
+            other_thread_done.set()
+
+        threads = [
+            threading.Thread(target=holder),
+            threading.Thread(target=prober),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not any(thread.is_alive() for thread in threads)
+        assert outcome["holder"] == "expired"
+        assert isinstance(outcome["prober"], int)

@@ -1,0 +1,70 @@
+"""Serving test fixtures: one shared model state, per-test routers.
+
+The mined state is expensive, so it is built once per session with the
+probe cache off — the configuration under which served answers are
+payload-identical to the cache-less CLI path.  Each test then wires its
+own admission controller/router over that shared state, usually on a
+:class:`~repro.resilience.clock.VirtualClock` so nothing really sleeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.obs import OBS
+from repro.serve import AdmissionController, Router, ServeConfig, ServeState
+
+
+def base_serve_config(**overrides: object) -> ServeConfig:
+    defaults: dict[str, object] = dict(
+        dataset="cardb",
+        rows=300,
+        sample=120,
+        seed=7,
+        probe_cache_capacity=0,
+        queue_wait_seconds=0.0,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)  # type: ignore[arg-type]
+
+
+@pytest.fixture(scope="session")
+def serve_config() -> ServeConfig:
+    return base_serve_config()
+
+
+@pytest.fixture(scope="session")
+def serve_state(serve_config: ServeConfig) -> ServeState:
+    return ServeState.load(serve_config)
+
+
+@pytest.fixture()
+def make_router(serve_state, serve_config):
+    """Build a router over the shared state with per-test knobs."""
+
+    def _make(clock=None, **overrides):
+        config = (
+            dataclasses.replace(serve_config, **overrides)
+            if overrides
+            else serve_config
+        )
+        admission = AdmissionController(config, clock=clock)
+        return Router(serve_state, admission, config, clock=clock)
+
+    return _make
+
+
+@pytest.fixture()
+def obs_serving():
+    """Metrics + wide events on, isolated, restored afterwards."""
+    saved = (OBS.enabled, OBS.events.enabled)
+    OBS.reset()
+    OBS.enable()
+    OBS.events.enabled = True
+    try:
+        yield OBS
+    finally:
+        OBS.enabled, OBS.events.enabled = saved
+        OBS.reset()

@@ -1,0 +1,183 @@
+"""Admission control: token bucket, bounded queue, shedding, drain.
+
+All deterministic — the controller runs on a VirtualClock, so token
+refills and queue deadlines move only when the test advances time.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.resilience import VirtualClock
+from repro.serve import AdmissionController
+from repro.serve.admission import (
+    SHED_DRAINING,
+    SHED_QUEUE_FULL,
+    SHED_THROTTLED,
+)
+
+from tests.serve.conftest import base_serve_config
+
+
+def controller(clock=None, **overrides):
+    return AdmissionController(
+        base_serve_config(**overrides), clock=clock or VirtualClock()
+    )
+
+
+def wait_until_queued(admission, depth=1, timeout=5.0):
+    """Spin (briefly) until ``depth`` requests are parked in the queue."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if admission.snapshot()["queued"] >= depth:
+            return
+        time.sleep(0.001)
+    raise AssertionError(f"no request reached queue depth {depth}")
+
+
+class TestSlots:
+    def test_admits_until_max_inflight_then_sheds(self):
+        admission = controller(max_inflight=2, max_queue=0)
+        first = admission.admit()
+        second = admission.admit()
+        assert first.admitted and second.admitted
+        third = admission.admit()
+        assert not third.admitted
+        assert third.reason == SHED_QUEUE_FULL
+        assert third.retry_after_seconds > 0
+
+    def test_release_frees_a_slot(self):
+        admission = controller(max_inflight=1, max_queue=0)
+        assert admission.admit().admitted
+        assert not admission.admit().admitted
+        admission.release()
+        assert admission.admit().admitted
+
+    def test_pressure_reflects_inflight_utilisation(self):
+        admission = controller(max_inflight=4, max_queue=0)
+        pressures = [admission.admit().pressure for _ in range(4)]
+        assert pressures == [0.25, 0.5, 0.75, 1.0]
+
+    def test_counters_add_up(self):
+        admission = controller(max_inflight=1, max_queue=0)
+        admission.admit()
+        admission.admit()
+        admission.admit()
+        snapshot = admission.snapshot()
+        assert snapshot["admitted_total"] == 1
+        assert snapshot["shed_total"] == 2
+        assert snapshot["shed_by_reason"] == {SHED_QUEUE_FULL: 2}
+
+
+class TestTokenBucket:
+    def test_throttles_past_burst_and_refills_with_time(self):
+        clock = VirtualClock()
+        admission = controller(
+            clock=clock, rate=1.0, burst=2, max_inflight=8, max_queue=0
+        )
+        assert admission.admit().admitted
+        assert admission.admit().admitted
+        throttled = admission.admit()
+        assert not throttled.admitted
+        assert throttled.reason == SHED_THROTTLED
+        clock.advance(1.0)
+        assert admission.admit().admitted
+
+    def test_throttle_retry_after_covers_the_token_deficit(self):
+        clock = VirtualClock()
+        admission = controller(
+            clock=clock, rate=0.5, burst=1, max_inflight=8, max_queue=0
+        )
+        admission.admit()
+        shed = admission.admit()
+        assert not shed.admitted
+        # One token at rate 0.5/s is two seconds away.
+        assert shed.retry_after_seconds == pytest.approx(2.0)
+
+    def test_rate_zero_never_throttles(self):
+        admission = controller(rate=0.0, max_inflight=8, max_queue=0)
+        assert all(admission.admit().admitted for _ in range(8))
+
+
+class TestQueue:
+    def test_queued_request_admitted_when_slot_frees(self):
+        admission = controller(
+            clock=VirtualClock(),
+            max_inflight=1,
+            max_queue=4,
+            queue_wait_seconds=60.0,
+        )
+        assert admission.admit().admitted
+        decisions = []
+
+        def queued():
+            decisions.append(admission.admit())
+
+        waiter = threading.Thread(target=queued)
+        waiter.start()
+        wait_until_queued(admission)
+        admission.release()
+        waiter.join(timeout=5)
+        assert not waiter.is_alive()
+        assert decisions and decisions[0].admitted
+
+    def test_queue_depth_beyond_max_queue_sheds_immediately(self):
+        admission = controller(
+            clock=VirtualClock(),
+            max_inflight=1,
+            max_queue=1,
+            queue_wait_seconds=60.0,
+        )
+        assert admission.admit().admitted
+        parked = threading.Thread(target=admission.admit)
+        parked.start()
+        wait_until_queued(admission)
+        overflow = admission.admit()
+        assert not overflow.admitted
+        assert overflow.reason == SHED_QUEUE_FULL
+        admission.start_drain()
+        parked.join(timeout=5)
+        assert not parked.is_alive()
+
+
+class TestDrain:
+    def test_draining_sheds_new_arrivals(self):
+        admission = controller(max_inflight=2, max_queue=0)
+        admission.start_drain()
+        decision = admission.admit()
+        assert not decision.admitted
+        assert decision.reason == SHED_DRAINING
+
+    def test_drain_wakes_queued_requests_to_shed(self):
+        admission = controller(
+            clock=VirtualClock(),
+            max_inflight=1,
+            max_queue=4,
+            queue_wait_seconds=60.0,
+        )
+        assert admission.admit().admitted
+        decisions = []
+        waiter = threading.Thread(
+            target=lambda: decisions.append(admission.admit())
+        )
+        waiter.start()
+        wait_until_queued(admission)
+        admission.start_drain()
+        waiter.join(timeout=5)
+        assert not waiter.is_alive()
+        assert decisions and not decisions[0].admitted
+        assert decisions[0].reason == SHED_DRAINING
+
+    def test_await_idle_true_once_all_slots_released(self):
+        admission = controller(max_inflight=2, max_queue=0)
+        admission.admit()
+        admission.admit()
+        admission.release()
+        admission.release()
+        assert admission.await_idle(timeout_seconds=0.0)
+
+    def test_await_idle_false_at_deadline_with_inflight_work(self):
+        admission = controller(max_inflight=1, max_queue=0)
+        admission.admit()
+        assert not admission.await_idle(timeout_seconds=0.0)

@@ -1,0 +1,137 @@
+"""Serving chaos: concurrent sessions, seeded faults, shed-before-collapse.
+
+Deterministic chaos, same doctrine as ``tests/resilience/test_chaos``:
+fault schedules are seeded, retry backoff runs on a shared VirtualClock
+(sleeps are recorded, never slept), and every assertion is about the
+overload contract — requests either answer (possibly degraded) or shed
+with 429; the structured-500 path stays cold.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.db import FaultPolicy, FaultSpec
+from repro.resilience import VirtualClock
+from repro.serve import AdmissionController, Router
+
+from tests.serve.conftest import base_serve_config
+
+pytestmark = pytest.mark.chaos
+
+QUERY_PARAMS = {"c": ["Make=Ford"], "k": ["5"]}
+
+
+def make_router(serve_state, clock, **overrides):
+    config = base_serve_config(**overrides)
+    admission = AdmissionController(config, clock=clock)
+    return Router(serve_state, admission, config, clock=clock)
+
+
+def hammer(router, threads, requests_per_thread=1):
+    """Fire concurrent sessions; collect (status, payload) pairs."""
+    results = []
+    lock = threading.Lock()
+
+    def worker():
+        for _ in range(requests_per_thread):
+            response = router.route("GET", "/query", QUERY_PARAMS)
+            payload = json.loads(response.body.decode("utf-8"))
+            with lock:
+                results.append((response.status, payload))
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join(timeout=120)
+    assert not any(thread.is_alive() for thread in pool)
+    return results
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_concurrent_sessions_under_faults_answer_or_shed(serve_state, seed):
+    webdb = serve_state.current().webdb
+    clock = VirtualClock()
+    router = make_router(serve_state, clock, max_inflight=4, max_queue=0)
+    webdb.set_fault_policy(
+        FaultPolicy(FaultSpec(transient_rate=0.2), seed=seed)
+    )
+    try:
+        results = hammer(router, threads=8)
+    finally:
+        webdb.set_fault_policy(None)
+    statuses = [status for status, _ in results]
+    assert len(statuses) == 8
+    # The overload contract: answers or sheds, never a 5xx.
+    assert set(statuses) <= {200, 429}
+    assert statuses.count(200) >= 1
+    snapshot = router.admission.snapshot()
+    assert snapshot["inflight"] == 0
+    assert snapshot["admitted_total"] == statuses.count(200)
+    assert snapshot["shed_total"] == statuses.count(429)
+
+
+def test_shed_before_collapse_under_burst(serve_state):
+    clock = VirtualClock()
+    router = make_router(serve_state, clock, max_inflight=2, max_queue=0)
+    results = hammer(router, threads=10)
+    statuses = [status for status, _ in results]
+    assert set(statuses) <= {200, 429}
+    shed = [payload for status, payload in results if status == 429]
+    for payload in shed:
+        assert payload["reason"] == "queue_full"
+        assert payload["retry_after_seconds"] > 0
+    assert router.admission.snapshot()["inflight"] == 0
+
+
+def test_answers_stay_identical_across_fault_free_concurrency(serve_state):
+    clock = VirtualClock()
+    router = make_router(serve_state, clock, max_inflight=16, max_queue=0)
+    results = hammer(router, threads=6)
+    payloads = []
+    for status, payload in results:
+        assert status == 200
+        payload.pop("trace_id")
+        payloads.append(payload)
+    # Same query, same model, no faults: every concurrent session gets
+    # the same rows in the same order with the same probe accounting.
+    for payload in payloads[1:]:
+        assert payload == payloads[0]
+    assert payloads[0]["degraded"] is False
+
+
+def test_draining_router_sheds_while_inflight_finishes(serve_state):
+    clock = VirtualClock()
+    router = make_router(serve_state, clock, max_inflight=4, max_queue=0)
+    assert router.admission.admit().admitted  # one request "in flight"
+    router.admission.start_drain()
+    response = router.route("GET", "/query", QUERY_PARAMS)
+    assert response.status == 429
+    payload = json.loads(response.body.decode("utf-8"))
+    assert payload["reason"] == "draining"
+    router.admission.release()
+    assert router.admission.await_idle(timeout_seconds=0.0)
+
+
+def test_faulty_source_degrades_payload_not_status(serve_state):
+    webdb = serve_state.current().webdb
+    clock = VirtualClock()
+    router = make_router(serve_state, clock, max_inflight=4, max_queue=0)
+    # Heavy transient faults: retries will exhaust on some probes and
+    # the engine must degrade into a partial answer, not an error.
+    webdb.set_fault_policy(
+        FaultPolicy(FaultSpec(transient_rate=0.6), seed=13)
+    )
+    try:
+        response = router.route("GET", "/query", QUERY_PARAMS)
+    finally:
+        webdb.set_fault_policy(None)
+    assert response.status == 200
+    payload = json.loads(response.body.decode("utf-8"))
+    assert payload["degraded"] is True
+    assert payload["degradation"]["steps_skipped"] > 0
+    assert payload["degradation"]["retries_used"] > 0
+    # Backoff ran on the virtual clock — recorded, never slept.
+    assert clock.sleeps

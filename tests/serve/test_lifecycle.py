@@ -1,0 +1,83 @@
+"""Graceful drain: SIGTERM-shaped shutdown driven by a VirtualClock."""
+
+import json
+
+from repro.obs import OBS
+from repro.resilience import VirtualClock
+from repro.serve import AdmissionController, LifecycleController
+
+from tests.serve.conftest import base_serve_config
+
+
+def make_lifecycle(clock=None, **overrides):
+    config = base_serve_config(**overrides)
+    admission = AdmissionController(config, clock=clock or VirtualClock())
+    return LifecycleController(admission, config), admission
+
+
+class TestDrainProtocol:
+    def test_shutdown_stops_admission_immediately(self):
+        lifecycle, admission = make_lifecycle()
+        lifecycle.request_shutdown(reason="SIGTERM")
+        assert lifecycle.shutdown_requested.is_set()
+        decision = admission.admit()
+        assert not decision.admitted
+        assert decision.reason == "draining"
+
+    def test_drain_completes_once_inflight_work_finishes(self):
+        lifecycle, admission = make_lifecycle()
+        assert admission.admit().admitted
+        admission.release()
+        lifecycle.request_shutdown(reason="SIGTERM")
+        assert lifecycle.drain() is True
+        assert lifecycle.drained is True
+
+    def test_drain_deadline_cuts_the_wait_short(self):
+        lifecycle, admission = make_lifecycle(drain_seconds=0.0)
+        assert admission.admit().admitted  # never released
+        lifecycle.request_shutdown(reason="SIGTERM")
+        assert lifecycle.drain() is False
+        assert lifecycle.drained is False
+
+    def test_request_shutdown_is_idempotent(self):
+        lifecycle, admission = make_lifecycle()
+        lifecycle.request_shutdown(reason="SIGTERM")
+        lifecycle.request_shutdown(reason="SIGINT")
+        assert admission.snapshot()["draining"] is True
+
+
+class TestFinalEvent:
+    def test_drain_emits_the_final_wide_event(self, obs_serving):
+        lifecycle, admission = make_lifecycle()
+        admission.admit()
+        admission.admit()
+        admission.release()
+        admission.release()
+        admission.start_drain()
+        admission.admit()  # shed while draining
+        lifecycle.request_shutdown(reason="SIGTERM")
+        assert lifecycle.drain() is True
+        events = [
+            e for e in OBS.events.events() if e["event"] == "serve.drain"
+        ]
+        assert len(events) == 1
+        record = events[0]
+        assert record["reason"] == "SIGTERM"
+        assert record["drained"] is True
+        assert record["inflight_at_deadline"] == 0
+        assert record["admitted_total"] == 2
+        assert record["shed_total"] == 1
+
+    def test_drain_flushes_events_to_the_configured_sink(
+        self, obs_serving, tmp_path
+    ):
+        out = tmp_path / "events.jsonl"
+        lifecycle, admission = make_lifecycle(events_out=str(out))
+        admission.admit()
+        admission.release()
+        lifecycle.request_shutdown(reason="SIGTERM")
+        assert lifecycle.drain() is True
+        lines = out.read_text(encoding="utf-8").splitlines()
+        assert lines, "no events flushed"
+        names = [json.loads(line)["event"] for line in lines]
+        assert "serve.drain" in names
