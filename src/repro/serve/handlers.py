@@ -38,6 +38,7 @@ from repro.obs.runtime import OBS
 from repro.resilience import ResilienceError
 from repro.resilience.clock import Clock, SystemClock
 from repro.serve.admission import SHED_QUEUE_FULL, AdmissionController
+from repro.simmining.index import preregister_index_metrics
 from repro.serve.config import ServeConfig
 from repro.serve.session import RequestSession, SessionBudgets, budgets_for
 from repro.serve.state import ServeState
@@ -441,6 +442,10 @@ def preregister_serve_metrics(registry: Any = None) -> None:
         labels=("route",),
         buckets=REQUEST_SECONDS_BUCKETS,
     ).labels(route="/query")
+    # The inverted-index families ride along: a server running without
+    # sim_index keeps them at explicit zero on /metrics rather than
+    # leaving scrapers to guess whether the index is quiet or absent.
+    preregister_index_metrics(registry)
 
 
 #: Routes with their own label value in the request metrics.

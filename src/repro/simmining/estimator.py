@@ -12,7 +12,7 @@ categorical attributes is the O(m·k²) cost the paper contrasts with
 ROCK's O(n³) (§6.1): it depends on the number of AV-pairs, not on the
 number of tuples.
 
-Two fast paths attack that cost (both opt-in, both provably
+Three fast paths attack that cost (all opt-in, all provably
 result-equivalent to the naive pass — see ``docs/PERFORMANCE.md``):
 
 * **Prune bounds** (``prune_bound=True``): per bag,
@@ -25,6 +25,19 @@ result-equivalent to the naive pass — see ``docs/PERFORMANCE.md``):
   attribute is chunked across a ``ProcessPoolExecutor``; results are
   folded back in deterministic task order.  ``workers=1`` keeps the
   serial loop bit-for-bit.
+* **Inverted-index candidate generation** (``use_index=True``): each
+  attribute's supertuples are indexed by their ``(attribute, keyword)``
+  features (:class:`~repro.simmining.index.SuperTupleIndex`) and only
+  pairs sharing at least one feature are evaluated — skipped pairs
+  have VSim exactly 0 and could never be stored.  The candidate list
+  replaces the pair grid in both the serial and the parallel path, so
+  the index composes with ``workers``/``prune_bound`` bit-identically.
+
+``index_topk=True`` additionally attaches a
+:class:`~repro.simmining.index.TopSimilarIndex` to the produced model,
+making :meth:`SimilarityModel.top_similar` an O(n)-entry merge instead
+of a scan over all known values — identical rankings, tie order
+included.
 """
 
 from __future__ import annotations
@@ -34,6 +47,7 @@ import heapq
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Iterable, Mapping, Sequence
 
 from repro.db.schema import RelationSchema
@@ -41,6 +55,7 @@ from repro.db.table import Table
 from repro.obs.runtime import OBS, timed_phase
 from repro.simmining.avpair import AVPair
 from repro.simmining.bag import jaccard_bags, jaccard_sets
+from repro.simmining.index import SuperTupleIndex, TopSimilarIndex
 from repro.simmining.supertuple import (
     SuperTuple,
     build_binners,
@@ -83,6 +98,17 @@ class SimilarityMinerConfig:
         have stored; a no-op when ``store_threshold`` is 0.
     parallel_chunk_pairs:
         Pairs per worker task when ``workers > 1``.
+    use_index:
+        When True, build a :class:`~repro.simmining.index.SuperTupleIndex`
+        per attribute and evaluate only the candidate pairs it emits
+        (pairs sharing at least one co-occurring keyword or both-empty
+        bag).  Skipped pairs have VSim exactly 0, so the produced model
+        is bit-identical at any ``store_threshold``; composes with
+        ``workers`` and ``prune_bound``.
+    index_topk:
+        When True, the produced :class:`SimilarityModel` carries a
+        :class:`~repro.simmining.index.TopSimilarIndex` per attribute,
+        serving ``top_similar`` sublinearly with identical rankings.
     """
 
     numeric_bins: int = 10
@@ -92,6 +118,8 @@ class SimilarityMinerConfig:
     workers: int = 1
     prune_bound: bool = False
     parallel_chunk_pairs: int = 512
+    use_index: bool = False
+    index_topk: bool = False
 
     def __post_init__(self) -> None:
         if self.numeric_bins < 1:
@@ -118,18 +146,55 @@ class MiningTimings:
         return self.supertuple_seconds + self.estimation_seconds
 
 
+#: Shared immutable view returned by ``pairs()`` for unknown attributes.
+_NO_PAIRS: Mapping[tuple[str, str], float] = MappingProxyType({})
+
+
 class SimilarityModel:
-    """Mined value-similarity lookup for categorical attributes."""
+    """Mined value-similarity lookup for categorical attributes.
+
+    With :meth:`enable_top_index` (or ``index_topk=True`` in the miner
+    config) every attribute carries a
+    :class:`~repro.simmining.index.TopSimilarIndex` that is maintained
+    incrementally by :meth:`record`/:meth:`register_value`, and
+    :meth:`top_similar` retrieves sublinearly instead of scanning all
+    known values — the rankings are identical either way.
+    """
 
     def __init__(self, attributes: Iterable[str]) -> None:
         self._pairs: dict[str, dict[tuple[str, str], float]] = {
             name: {} for name in attributes
         }
         self._values: dict[str, set[str]] = {name: set() for name in attributes}
+        self._pair_views: dict[str, Mapping[tuple[str, str], float]] = {}
+        self._top_index: dict[str, TopSimilarIndex] | None = None
 
     @property
     def attributes(self) -> tuple[str, ...]:
         return tuple(self._pairs)
+
+    @property
+    def has_top_index(self) -> bool:
+        """Whether ``top_similar`` is served from the neighbour index."""
+        return self._top_index is not None
+
+    def enable_top_index(self) -> None:
+        """Attach (and backfill) a per-attribute top-k retrieval index.
+
+        Safe to call at any point: pairs and values recorded so far are
+        replayed into the index, later ones are indexed incrementally.
+        Idempotent.
+        """
+        if self._top_index is not None:
+            return
+        index = {name: TopSimilarIndex() for name in self._pairs}
+        for name, values in self._values.items():
+            for value in sorted(values):
+                index[name].register(value)
+        for name, pairs in self._pairs.items():
+            for (value_a, value_b), similarity in pairs.items():
+                index[name].record(value_a, value_b, similarity)
+        self._top_index = index
 
     def known_values(self, attribute: str) -> frozenset[str]:
         return frozenset(self._values.get(attribute, ()))
@@ -144,10 +209,14 @@ class SimilarityModel:
         key = (value_a, value_b) if value_a <= value_b else (value_b, value_a)
         self._pairs[attribute][key] = similarity
         self._values[attribute].update((value_a, value_b))
+        if self._top_index is not None:
+            self._top_index[attribute].record(value_a, value_b, similarity)
 
     def register_value(self, attribute: str, value: str) -> None:
         """Mark a value as seen even if it stores no pairs."""
         self._values[attribute].add(value)
+        if self._top_index is not None:
+            self._top_index[attribute].register(value)
 
     def similarity(self, attribute: str, value_a: str, value_b: str) -> float:
         """VSim lookup: 1 for identical values, 0 for unknown pairs."""
@@ -163,6 +232,12 @@ class SimilarityModel:
         self, attribute: str, value: str, n: int = 3
     ) -> list[tuple[str, float]]:
         """The ``n`` most similar other values (paper Table 3 rows)."""
+        if self._top_index is not None:
+            index = self._top_index.get(attribute)
+            if index is not None:
+                # Sorted-neighbour-list merge: identical ranking (tie
+                # order included) touching only ~n entries.
+                return index.top(value, n)
         scored = [
             (other, self.similarity(attribute, value, other))
             for other in self._values.get(attribute, ())
@@ -173,9 +248,40 @@ class SimilarityModel:
         # kept over the k known values.
         return heapq.nsmallest(n, scored, key=lambda pair: (-pair[1], pair[0]))
 
-    def pairs(self, attribute: str) -> dict[tuple[str, str], float]:
-        """Copy of the stored pair scores for one attribute."""
-        return dict(self._pairs.get(attribute, {}))
+    def max_similarity(self, attribute: str, value: str) -> float:
+        """Upper bound on ``similarity(value, other)`` over ``other ≠ value``.
+
+        Exact (the largest stored pair score involving ``value``) when
+        the top index is enabled; the trivial bound 1.0 otherwise.
+        Identical values always score 1.0 and are outside this bound —
+        callers handle equality separately.
+        """
+        if self._top_index is None:
+            return 1.0
+        index = self._top_index.get(attribute)
+        if index is None:
+            # Unmined attribute: every non-identical lookup returns 0.
+            return 0.0
+        return index.max_score(value)
+
+    def pairs(self, attribute: str) -> Mapping[tuple[str, str], float]:
+        """Read-only **live view** of one attribute's stored pair scores.
+
+        Contract: the returned mapping reflects later :meth:`record`
+        calls and must not be mutated (it is a ``MappingProxyType``);
+        copy it (``dict(model.pairs(a))``) to snapshot.  Views are
+        memoised, so hot-path callers iterating per access (the Figure
+        5 graph builder, feedback tuners, the model store) no longer
+        pay an O(pairs) copy per call.
+        """
+        view = self._pair_views.get(attribute)
+        if view is None:
+            store = self._pairs.get(attribute)
+            if store is None:
+                return _NO_PAIRS
+            view = MappingProxyType(store)
+            self._pair_views[attribute] = view
+        return view
 
     def pair_count(self) -> int:
         return sum(len(pairs) for pairs in self._pairs.values())
@@ -270,6 +376,9 @@ class ValueSimilarityMiner:
         observing = OBS.enabled
         pair_evaluations = 0
         pairs_pruned = 0
+        index_candidates = 0
+        index_skipped = 0
+        index_postings = 0
         with timed_phase(
             "simmining.estimate",
             histogram="repro_simmining_phase_seconds",
@@ -278,6 +387,8 @@ class ValueSimilarityMiner:
             n_attributes=len(names),
         ) as phase:
             model = SimilarityModel(names)
+            if config.index_topk:
+                model.enable_top_index()
             by_attribute: dict[str, list[SuperTuple]] = {name: [] for name in names}
             for avpair, supertuple in self._supertuples.items():
                 if avpair.attribute in by_attribute:
@@ -300,8 +411,41 @@ class ValueSimilarityMiner:
                 )
                 jobs.append((name, supertuples, weight_items))
 
+            pair_lists: dict[str, list[tuple[int, int]]] | None = None
+            if config.use_index:
+                # Candidate generation via posting-list intersection:
+                # only pairs sharing a feature survive, in the exact
+                # grid order, so evaluation folds bit-identically and
+                # every skipped pair has VSim exactly 0 (the empty-bag
+                # sentinel keeps ∅-vs-∅ pairs, whose SimJ is 1).
+                pair_lists = {}
+                for name, supertuples, weight_items in jobs:
+                    build_start = time.perf_counter() if observing else 0.0
+                    index = SuperTupleIndex(
+                        weight_items, bag_semantics=config.bag_semantics
+                    )
+                    for supertuple in supertuples:
+                        index.add(supertuple)
+                    candidates = index.candidate_pairs(
+                        [st.avpair.value for st in supertuples]
+                    )
+                    pair_lists[name] = candidates
+                    grid_size = len(supertuples) * (len(supertuples) - 1) // 2
+                    index_candidates += len(candidates)
+                    index_skipped += grid_size - len(candidates)
+                    index_postings += index.posting_count
+                    if observing:
+                        OBS.registry.histogram(
+                            "repro_simmining_index_build_seconds",
+                            "Inverted-index construction time per "
+                            "attribute.",
+                            buckets=(
+                                0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+                            ),
+                        ).observe(time.perf_counter() - build_start)
+
             if config.workers > 1:
-                outcomes = self._estimate_parallel(jobs)
+                outcomes = self._estimate_parallel(jobs, pair_lists)
             else:
                 outcomes = [
                     (
@@ -309,7 +453,9 @@ class ValueSimilarityMiner:
                         _evaluate_pairs(
                             supertuples,
                             weight_items,
-                            _pair_grid(len(supertuples)),
+                            pair_lists[name]
+                            if pair_lists is not None
+                            else _pair_grid(len(supertuples)),
                             bag_semantics=config.bag_semantics,
                             store_threshold=config.store_threshold,
                             prune=config.prune_bound,
@@ -333,22 +479,48 @@ class ValueSimilarityMiner:
                 "Supertuple pairs skipped by the bag-size upper bound "
                 "before (or during) VSim evaluation.",
             ).inc(pairs_pruned)
+            if config.use_index:
+                OBS.registry.counter(
+                    "repro_simmining_index_candidate_pairs_total",
+                    "Supertuple pairs emitted by posting-list "
+                    "intersection.",
+                ).inc(index_candidates)
+                OBS.registry.counter(
+                    "repro_simmining_index_pairs_skipped_total",
+                    "Grid pairs skipped as provably VSim 0 (no shared "
+                    "feature).",
+                ).inc(index_skipped)
+                OBS.registry.counter(
+                    "repro_simmining_index_postings_total",
+                    "Posting entries inserted while building supertuple "
+                    "indexes.",
+                ).inc(index_postings)
         self.timings.estimation_seconds += phase.elapsed_seconds
         return model
 
     def _estimate_parallel(
         self,
         jobs: list[tuple[str, list[SuperTuple], tuple[tuple[str, float], ...]]],
+        pair_lists: dict[str, list[tuple[int, int]]] | None = None,
     ) -> list[tuple[str, tuple[list[tuple[str, str, float]], int, int]]]:
-        """Chunk every attribute's pair grid across a process pool.
+        """Chunk every attribute's pair list across a process pool.
 
-        The shared supertuples travel once per worker (pool
+        The pairs are the full grid, or — with ``use_index`` — the
+        index's candidate list (``pair_lists``), which is a subsequence
+        of the grid in the grid's order, so chunking and folding are
+        unchanged.  The shared supertuples travel once per worker (pool
         initializer); tasks carry only ``(attribute, pair indices)``.
         Results fold back in deterministic task order, and a pool that
         cannot start (sandboxed fork, missing semaphores) degrades to
         the serial path rather than failing the build.
         """
         config = self.config
+
+        def pairs_for(name: str, count: int) -> list[tuple[int, int]]:
+            if pair_lists is not None:
+                return pair_lists[name]
+            return _pair_grid(count)
+
         context = {
             "supertuples": {name: supertuples for name, supertuples, _ in jobs},
             "weights": {name: weight_items for name, _, weight_items in jobs},
@@ -358,7 +530,7 @@ class ValueSimilarityMiner:
         }
         tasks: list[tuple[str, list[tuple[int, int]]]] = []
         for name, supertuples, _ in jobs:
-            grid = _pair_grid(len(supertuples))
+            grid = pairs_for(name, len(supertuples))
             for start in range(0, len(grid), config.parallel_chunk_pairs):
                 tasks.append(
                     (name, grid[start : start + config.parallel_chunk_pairs])
@@ -386,7 +558,7 @@ class ValueSimilarityMiner:
                         _evaluate_pairs(
                             supertuples,
                             weight_items,
-                            _pair_grid(len(supertuples)),
+                            pairs_for(name, len(supertuples)),
                             bag_semantics=config.bag_semantics,
                             store_threshold=config.store_threshold,
                             prune=config.prune_bound,
@@ -471,8 +643,7 @@ def _pair_grid(n: int) -> list[tuple[int, int]]:
 
 
 def _bag_magnitude(supertuple: SuperTuple, attribute: str, bag_semantics: bool) -> int:
-    bag = supertuple.bag(attribute)
-    return len(bag) if bag_semantics else bag.support
+    return supertuple.bag_magnitude(attribute, bag_semantics)
 
 
 def _evaluate_pairs(

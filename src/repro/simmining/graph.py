@@ -28,6 +28,8 @@ def similarity_graph(
         raise ValueError("threshold must be in [0, 1]")
     graph = nx.Graph(attribute=attribute, threshold=threshold)
     graph.add_nodes_from(sorted(model.known_values(attribute)))
+    # pairs() is a read-only live view (no per-call copy), so rendering
+    # many thresholds over a large model stays O(pairs) per graph.
     for (value_a, value_b), similarity in model.pairs(attribute).items():
         if similarity >= threshold:
             graph.add_edge(value_a, value_b, weight=similarity)

@@ -1,0 +1,342 @@
+"""Inverted-index retrieval over supertuples and mined similarities.
+
+Two exact-by-construction index structures back the sublinear
+similarity paths (ROADMAP's "index the similarity side" item; see
+``docs/PERFORMANCE.md`` §9 for the full argument):
+
+:class:`SuperTupleIndex`
+    Each supertuple is a sparse vector over the features
+    ``(unbound attribute, keyword)``; the index maps every feature to
+    its posting list of ``(value, keyword count)`` entries.  Candidate
+    generation for VSim mining intersects posting lists: only value
+    pairs sharing at least one feature are emitted, and every skipped
+    pair provably has VSim exactly 0.  The one subtlety is emptiness:
+    ``SimJ(∅, ∅) = 1`` (two empty bags are identical), so a supertuple
+    whose bag for some attribute is empty carries a per-attribute
+    *empty-bag sentinel* feature — two such supertuples share the
+    sentinel and are correctly kept as candidates.  Postings are stored
+    and traversed in deterministic insertion order, and candidate pairs
+    come out in the exact ``(i, j), i < j`` order of the naive grid, so
+    downstream evaluation folds bit-identically.
+
+:class:`TopSimilarIndex`
+    Per-value neighbour lists over the *mined* pairs, kept sorted by
+    the ranking key ``(-similarity, value)`` under incremental
+    :meth:`TopSimilarIndex.record` updates.  ``top(value, n)`` merges
+    the neighbour list with a lexicographic stream of similarity-0
+    known values (``heapq.merge``), reproducing the linear scan's
+    ranking — including tie order — while touching only ``O(n)``
+    entries.  The head of a neighbour list is also the sharp upper
+    bound on any non-identical similarity involving that value, which
+    is what drives the engine's early-terminating candidate scorer.
+
+Both structures support incremental add/remove so a drifting source
+does not force a full rebuild; :func:`preregister_index_metrics`
+zero-registers every ``repro_simmining_index_*`` family per the repo's
+"quiet ≠ absent" convention.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from typing import Any, Iterator, Sequence
+
+from repro.obs.runtime import OBS
+from repro.simmining.supertuple import SuperTuple
+
+__all__ = [
+    "SuperTupleIndex",
+    "TopSimilarIndex",
+    "preregister_index_metrics",
+]
+
+#: Sentinel keyword marking "this attribute's bag is empty".  Two empty
+#: bags have SimJ exactly 1 (not 0), so empty-vs-empty pairs must stay
+#: candidates; the sentinel makes them share a feature.  The NUL prefix
+#: keeps it disjoint from any real keyword.
+EMPTY_BAG = "\0<empty>"
+
+
+class SuperTupleIndex:
+    """Inverted index over one attribute's supertuples.
+
+    Parameters
+    ----------
+    weight_items:
+        The ``(attribute, weight)`` pairs the VSim evaluation will use,
+        pre-filtered to non-zero weights (zero-weight attributes
+        contribute nothing to VSim and therefore index nothing).
+    bag_semantics:
+        Matches the miner's setting; only bag *emptiness* feeds the
+        candidate criterion, which is identical under both semantics,
+        but the cached magnitudes follow the active semantics.
+    """
+
+    def __init__(
+        self,
+        weight_items: Sequence[tuple[str, float]],
+        bag_semantics: bool = True,
+    ) -> None:
+        self.weight_items = tuple(weight_items)
+        self.bag_semantics = bag_semantics
+        # feature -> {value: keyword count}; both levels keep
+        # deterministic insertion order (plain dicts, never sets).
+        self._postings: dict[tuple[str, str], dict[str, int]] = {}
+        # value -> features carried, in extraction order.
+        self._features: dict[str, tuple[tuple[str, str], ...]] = {}
+        # value -> per-attribute bag magnitudes aligned with
+        # ``weight_items`` (the cached "vector norms": exactly the
+        # sizes the prune bound needs).
+        self._magnitudes: dict[str, tuple[int, ...]] = {}
+
+    # -- maintenance -------------------------------------------------------
+
+    def add(self, supertuple: SuperTuple) -> None:
+        """Index one supertuple's postings (replacing any stale entry)."""
+        value = supertuple.avpair.value
+        if value in self._features:
+            self.remove(value)
+        features: list[tuple[str, str]] = []
+        magnitudes: list[int] = []
+        for attribute, _ in self.weight_items:
+            bag = supertuple.bag(attribute)
+            magnitudes.append(
+                supertuple.bag_magnitude(attribute, self.bag_semantics)
+            )
+            if bag.support == 0:
+                feature = (attribute, EMPTY_BAG)
+                features.append(feature)
+                self._postings.setdefault(feature, {})[value] = 0
+                continue
+            for keyword in bag:
+                feature = (attribute, str(keyword))
+                features.append(feature)
+                self._postings.setdefault(feature, {})[value] = bag.count(
+                    keyword
+                )
+        self._features[value] = tuple(features)
+        self._magnitudes[value] = tuple(magnitudes)
+
+    def remove(self, value: str) -> None:
+        """Drop one value's postings (no-op when it was never added)."""
+        features = self._features.pop(value, ())
+        self._magnitudes.pop(value, None)
+        for feature in features:
+            posting = self._postings.get(feature)
+            if posting is None:
+                continue
+            posting.pop(value, None)
+            if not posting:
+                del self._postings[feature]
+
+    # -- accessors ---------------------------------------------------------
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._features
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    @property
+    def posting_count(self) -> int:
+        """Total posting entries across all features."""
+        return sum(len(posting) for posting in self._postings.values())
+
+    @property
+    def feature_count(self) -> int:
+        return len(self._postings)
+
+    def magnitudes(self, value: str) -> tuple[int, ...]:
+        """Cached bag sizes aligned with ``weight_items``."""
+        return self._magnitudes[value]
+
+    def snapshot(self) -> dict[tuple[str, str], tuple[tuple[str, int], ...]]:
+        """Canonical (sorted) posting map, for equality checks.
+
+        Two indexes over the same surviving supertuples are equal here
+        regardless of the add/remove history that produced them.
+        """
+        return {
+            feature: tuple(sorted(self._postings[feature].items()))
+            for feature in sorted(self._postings)
+        }
+
+    # -- candidate generation ----------------------------------------------
+
+    def candidate_pairs(
+        self, values: Sequence[str] | None = None
+    ) -> list[tuple[int, int]]:
+        """Index pairs ``(i, j), i < j`` that share at least one feature.
+
+        ``values`` fixes the ordinal order (the miner passes its
+        sorted-by-value supertuple order); default is sorted values.
+        The output is the subsequence of the full pair grid restricted
+        to co-occurring pairs, in the grid's exact order, so feeding it
+        to the evaluator reproduces the naive loop's accumulation
+        order.  Every omitted pair shares no feature, hence every
+        weighted SimJ term is 0 (empty-vs-empty pairs share the
+        sentinel), hence VSim is exactly 0 and the pair could never be
+        stored.
+        """
+        order = list(values) if values is not None else sorted(self._features)
+        ordinal = {value: index for index, value in enumerate(order)}
+        pairs: list[tuple[int, int]] = []
+        for index, value in enumerate(order):
+            partners: set[int] = set()
+            for feature in self._features.get(value, ()):
+                for other in self._postings[feature]:
+                    other_index = ordinal.get(other)
+                    if other_index is not None and other_index > index:
+                        partners.add(other_index)
+            for other_index in sorted(partners):
+                pairs.append((index, other_index))
+        return pairs
+
+
+class TopSimilarIndex:
+    """Sorted neighbour lists over mined pairs for one attribute.
+
+    Maintains, per value, the list of ``(-similarity, other, similarity)``
+    entries sorted ascending — i.e. by the exact ranking key the linear
+    ``top_similar`` scan uses — under incremental :meth:`record` and
+    :meth:`register` updates (re-recording a pair replaces its old
+    entries).  :meth:`top` then serves top-``n`` retrieval by merging
+    the neighbour list with the lexicographic zero-similarity stream of
+    the remaining known values.
+    """
+
+    __slots__ = ("_neighbors", "_scores", "_known", "_known_set")
+
+    def __init__(self) -> None:
+        self._neighbors: dict[str, list[tuple[float, str, float]]] = {}
+        self._scores: dict[tuple[str, str], float] = {}
+        self._known: list[str] = []
+        self._known_set: set[str] = set()
+
+    def register(self, value: str) -> None:
+        """Mark a value as known (a zero-similarity candidate)."""
+        if value not in self._known_set:
+            self._known_set.add(value)
+            insort(self._known, value)
+
+    def record(self, value_a: str, value_b: str, similarity: float) -> None:
+        """Insert or replace one mined pair."""
+        self.register(value_a)
+        self.register(value_b)
+        if value_a == value_b:
+            # Identity similarity is definitional (1.0) and the ranking
+            # skips self-pairs, so there is nothing to index.
+            return
+        key = (
+            (value_a, value_b) if value_a <= value_b else (value_b, value_a)
+        )
+        old = self._scores.get(key)
+        if old is not None:
+            self._neighbors[value_a].remove((-old, value_b, old))
+            self._neighbors[value_b].remove((-old, value_a, old))
+        self._scores[key] = similarity
+        insort(
+            self._neighbors.setdefault(value_a, []),
+            (-similarity, value_b, similarity),
+        )
+        insort(
+            self._neighbors.setdefault(value_b, []),
+            (-similarity, value_a, similarity),
+        )
+
+    def remove_value(self, value: str) -> None:
+        """Drop a value and every pair that mentions it."""
+        if value not in self._known_set:
+            return
+        self._known_set.discard(value)
+        self._known.remove(value)
+        for _, other, similarity in self._neighbors.pop(value, []):
+            self._neighbors[other].remove((-similarity, value, similarity))
+            key = (value, other) if value <= other else (other, value)
+            del self._scores[key]
+
+    # -- retrieval ---------------------------------------------------------
+
+    def max_score(self, value: str) -> float:
+        """Sharp upper bound on similarity(value, other ≠ value).
+
+        The head of the sorted neighbour list; 0.0 for values with no
+        stored pairs (every non-identical lookup returns 0 for them).
+        """
+        neighbors = self._neighbors.get(value)
+        if not neighbors:
+            return 0.0
+        return neighbors[0][2]
+
+    def top(self, value: str, n: int) -> list[tuple[str, float]]:
+        """Top-``n`` most similar other values, linear-scan-identical.
+
+        The neighbour list is already in ranking-key order; the fill
+        stream supplies the remaining known values (similarity 0) in
+        lexicographic order, which is exactly their relative order
+        under the key ``(-similarity, value)``.  ``heapq.merge`` is
+        lazy, so only ~``n`` entries are ever materialised.
+        """
+        if OBS.enabled:
+            OBS.registry.counter(
+                "repro_simmining_index_topk_queries_total",
+                "top_similar calls served from the neighbour-list index.",
+            ).inc()
+        neighbors = self._neighbors.get(value, [])
+
+        def fill() -> Iterator[tuple[float, str, float]]:
+            for other in self._known:
+                if other == value:
+                    continue
+                key = (value, other) if value <= other else (other, value)
+                if key in self._scores:
+                    continue  # already streamed from the neighbour list
+                yield (0.0, other, 0.0)
+
+        ranked: list[tuple[str, float]] = []
+        for _, other, similarity in heapq.merge(iter(neighbors), fill()):
+            if other == value:
+                continue
+            ranked.append((other, similarity))
+            if len(ranked) >= n:
+                break
+        return ranked
+
+    def snapshot(
+        self,
+    ) -> tuple[tuple[str, ...], dict[tuple[str, str], float]]:
+        """Canonical state (known values + pair scores) for equality."""
+        return tuple(self._known), dict(self._scores)
+
+
+def preregister_index_metrics(registry: Any = None) -> None:
+    """Zero-init every ``repro_simmining_index_*`` family.
+
+    Called by ``repro stats`` and the serving preregistration so a run
+    that never touched the index still reports explicit zeros — the
+    repo's "quiet ≠ absent" convention.
+    """
+    if registry is None:
+        registry = OBS.registry
+    registry.counter(
+        "repro_simmining_index_candidate_pairs_total",
+        "Supertuple pairs emitted by posting-list intersection.",
+    ).inc(0)
+    registry.counter(
+        "repro_simmining_index_pairs_skipped_total",
+        "Grid pairs skipped as provably VSim 0 (no shared feature).",
+    ).inc(0)
+    registry.counter(
+        "repro_simmining_index_postings_total",
+        "Posting entries inserted while building supertuple indexes.",
+    ).inc(0)
+    registry.counter(
+        "repro_simmining_index_topk_queries_total",
+        "top_similar calls served from the neighbour-list index.",
+    ).inc(0)
+    registry.histogram(
+        "repro_simmining_index_build_seconds",
+        "Inverted-index construction time per attribute.",
+        buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
+    ).unlabelled()

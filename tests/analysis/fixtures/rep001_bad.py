@@ -12,3 +12,13 @@ def ranked(values):
     out.sort(key=lambda _: random.random())  # global unseeded RNG
     stamp = time.time()  # wall clock in a scoring path
     return out, stamp
+
+
+def posting_candidates(postings):
+    partners = set()
+    for value, _count in postings:
+        partners.add(value)
+    pairs = []
+    for partner in partners:  # posting traversal must not follow set order
+        pairs.append(partner)
+    return pairs

@@ -11,3 +11,10 @@ def ranked(values, seed=7):
     rng.shuffle(out)  # seeded instance, reproducible
     duration = time.perf_counter()  # monotonic timer, not wall clock
     return out, duration
+
+
+def posting_candidates(postings):
+    partners = set()
+    for value, _count in postings:
+        partners.add(value)
+    return sorted(partners)  # canonical order before emission

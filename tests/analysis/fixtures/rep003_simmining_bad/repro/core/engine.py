@@ -1,0 +1,5 @@
+"""Golden fixture: the engine side of the simmining -> core upward import."""
+
+
+def rank_candidates(value, n):
+    return [(value, n)]

@@ -1,0 +1,7 @@
+"""Golden fixture: the similarity index reaching up into the engine."""
+
+from repro.core.engine import rank_candidates
+
+
+def top_similar(value, n):
+    return rank_candidates(value, n)

@@ -1,0 +1,7 @@
+"""Golden fixture: the engine consuming the index from above (downward)."""
+
+from repro.simmining.index import build_postings
+
+
+def rank_candidates(values):
+    return build_postings(values)

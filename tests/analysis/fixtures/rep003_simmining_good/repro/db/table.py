@@ -1,0 +1,5 @@
+"""Golden fixture: the data-plane side of the downward import."""
+
+
+def posting_rows(values):
+    return [(value, 1) for value in values]

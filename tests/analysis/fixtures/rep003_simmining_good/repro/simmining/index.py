@@ -1,0 +1,7 @@
+"""Golden fixture: the index imports downward into the data plane only."""
+
+from repro.db.table import posting_rows
+
+
+def build_postings(values):
+    return posting_rows(sorted(values))

@@ -62,6 +62,16 @@ def test_rep001_reports_each_violation_kind():
     assert "wall-clock" in messages
 
 
+def test_rep001_flags_posting_set_traversal():
+    # The inverted-index idiom: partner sets gathered from posting
+    # lists must be sorted before they feed an ordered pair list.
+    run = run_rule("REP001", FIXTURES / "rep001_bad.py")
+    set_iterations = [
+        f for f in run.findings if "iterating a set" in f.message
+    ]
+    assert len(set_iterations) == 2  # the ranked() loop + the posting loop
+
+
 def test_rep003_reports_facade_and_cycle():
     run = run_rule("REP003", FIXTURES / "rep003_bad")
     messages = " ".join(f.message for f in run.findings)
@@ -81,6 +91,20 @@ def test_rep003_flags_core_importing_serve():
 
 def test_rep003_serve_good_fixture_is_clean_under_all_rules():
     run = LintEngine().run([FIXTURES / "rep003_serve_good"])
+    assert run.findings == [], [f.render() for f in run.findings]
+
+
+def test_rep003_flags_simmining_importing_core():
+    run = run_rule("REP003", FIXTURES / "rep003_simmining_bad")
+    assert run.findings, "simmining -> core import was not flagged"
+    messages = " ".join(f.message for f in run.findings)
+    assert "upward import" in messages
+    assert "repro.simmining (layer 2)" in messages
+    assert "repro.core.engine (layer 4)" in messages
+
+
+def test_rep003_simmining_good_fixture_is_clean_under_all_rules():
+    run = LintEngine().run([FIXTURES / "rep003_simmining_good"])
     assert run.findings == [], [f.render() for f in run.findings]
 
 

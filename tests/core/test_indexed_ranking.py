@@ -1,0 +1,62 @@
+"""End-to-end bit-identity of the inverted-index answering path.
+
+``indexed_ranking`` (the engine's early-terminating
+:class:`~repro.core.similarity.BoundedScorer`) and the simmining
+``use_index``/``index_topk`` flags are pure retrieval optimisations:
+with all three on — the ``--sim-index`` CLI posture — every query must
+return the identical ranked answers, tie order included.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.config import AIMQSettings
+from repro.core.pipeline import build_model
+from repro.core.query import ImpreciseQuery
+from repro.datasets.cardb import cardb_webdb
+
+
+def _answers(settings: AIMQSettings, query: ImpreciseQuery):
+    webdb = cardb_webdb(600, seed=11)
+    model = build_model(
+        webdb, sample_size=200, rng=random.Random(12), settings=settings
+    )
+    result = model.engine(webdb).answer(query, k=25)
+    answers = result.answers if hasattr(result, "answers") else result[0]
+    return [
+        (
+            answer.row_id,
+            answer.similarity,
+            answer.base_similarity,
+            answer.relaxation_level,
+        )
+        for answer in answers
+    ]
+
+
+QUERIES = [
+    ImpreciseQuery.like("CarDB", Make="Ford"),
+    ImpreciseQuery.like("CarDB", Model="Civic", Price=7000),
+    ImpreciseQuery.like("CarDB", Model="Corolla", Year=2002),
+]
+
+
+@pytest.mark.parametrize("query", QUERIES, ids=lambda q: str(q.constraints))
+def test_sim_index_posture_answers_bit_identical(query):
+    plain = AIMQSettings(max_relaxation_level=3)
+    indexed = dataclasses.replace(
+        plain,
+        indexed_ranking=True,
+        simmining=dataclasses.replace(
+            plain.simmining, use_index=True, index_topk=True
+        ),
+    )
+    ranking_only = dataclasses.replace(plain, indexed_ranking=True)
+    baseline = _answers(plain, query)
+    assert baseline  # a vacuous comparison would prove nothing
+    assert _answers(indexed, query) == baseline
+    assert _answers(ranking_only, query) == baseline

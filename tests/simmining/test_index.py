@@ -1,0 +1,418 @@
+"""Inverted-index retrieval: unit and bit-identity properties.
+
+The index layer's contract is exactness, not approximation:
+
+* candidate generation emits the subsequence of the naive pair grid
+  whose pairs share at least one feature, in grid order, and every
+  omitted pair has VSim exactly 0 (the empty-bag sentinel keeps
+  empty-vs-empty pairs, whose SimJ is 1, in the candidate set);
+* mining with ``use_index=True`` produces the bit-identical
+  :class:`SimilarityModel` as the naive grid, composed with any
+  ``workers``/``prune_bound`` setting;
+* ``top_similar`` served from :class:`TopSimilarIndex` reproduces the
+  linear scan's ranking including tie order;
+* incremental add/remove converges to the same index a fresh rebuild
+  over the surviving supertuples produces.
+"""
+
+from __future__ import annotations
+
+import random
+from types import MappingProxyType
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.schema import RelationSchema
+from repro.db.table import Table
+from repro.simmining.avpair import AVPair
+from repro.simmining.bag import Bag
+from repro.simmining.estimator import (
+    SimilarityMinerConfig,
+    SimilarityModel,
+    ValueSimilarityMiner,
+    _evaluate_pairs,
+    _pair_grid,
+)
+from repro.simmining.index import (
+    EMPTY_BAG,
+    SuperTupleIndex,
+    TopSimilarIndex,
+)
+from repro.simmining.supertuple import SuperTuple
+
+# -- helpers ----------------------------------------------------------------
+
+WEIGHTS = (("X", 0.6), ("Y", 0.4))
+
+
+def _supertuple(value: str, x: dict, y: dict) -> SuperTuple:
+    """A two-bag supertuple for the ``WEIGHTS`` attribute set."""
+    bags = {"X": Bag.from_counts(x), "Y": Bag.from_counts(y)}
+    return SuperTuple(AVPair("A", value), bags, answerset_size=1)
+
+
+def _random_table(
+    rng: random.Random, n_attributes: int, n_values: int, n_rows: int
+) -> Table:
+    """All-categorical table with Zipf-skewed value frequencies."""
+    names = tuple(f"A{index}" for index in range(n_attributes))
+    schema = RelationSchema.build(
+        "prop", categorical=names, numeric=(), order=names
+    )
+    domains = [
+        [f"{name}_{value}" for value in range(n_values)] for name in names
+    ]
+    weights = [1.0 / (rank + 1) for rank in range(n_values)]
+    table = Table(schema)
+    for _ in range(n_rows):
+        table.insert(
+            tuple(
+                rng.choices(domain, weights=weights, k=1)[0]
+                for domain in domains
+            )
+        )
+    return table
+
+
+def _model_state(model: SimilarityModel):
+    return (
+        {name: model.pairs(name) for name in model.attributes},
+        {name: model.known_values(name) for name in model.attributes},
+    )
+
+
+# -- SuperTupleIndex units --------------------------------------------------
+
+
+class TestSuperTupleIndex:
+    def test_add_contains_len(self):
+        index = SuperTupleIndex(WEIGHTS)
+        index.add(_supertuple("a", {"k": 2}, {"m": 1}))
+        assert "a" in index and "b" not in index
+        assert len(index) == 1
+        assert index.posting_count == 2
+        assert index.feature_count == 2
+
+    def test_candidates_require_a_shared_feature(self):
+        index = SuperTupleIndex(WEIGHTS)
+        index.add(_supertuple("a", {"k": 2}, {"m": 1}))
+        index.add(_supertuple("b", {"k": 1}, {"n": 3}))
+        index.add(_supertuple("c", {"q": 1}, {"r": 1}))
+        assert index.candidate_pairs(["a", "b", "c"]) == [(0, 1)]
+
+    def test_candidates_in_grid_order(self):
+        index = SuperTupleIndex(WEIGHTS)
+        for value in ("a", "b", "c", "d"):
+            index.add(_supertuple(value, {"k": 1}, {}))
+        assert index.candidate_pairs(["a", "b", "c", "d"]) == _pair_grid(4)
+
+    def test_empty_vs_empty_stays_candidate(self):
+        # SimJ(∅, ∅) = 1, so two all-empty supertuples must share the
+        # sentinel feature and survive candidate generation.
+        index = SuperTupleIndex(WEIGHTS)
+        index.add(_supertuple("a", {}, {}))
+        index.add(_supertuple("b", {}, {}))
+        index.add(_supertuple("c", {"k": 1}, {"m": 1}))
+        assert index.candidate_pairs(["a", "b", "c"]) == [(0, 1)]
+        assert ("X", EMPTY_BAG) in dict(index.snapshot())
+
+    def test_magnitudes_follow_semantics(self):
+        bag_index = SuperTupleIndex(WEIGHTS, bag_semantics=True)
+        set_index = SuperTupleIndex(WEIGHTS, bag_semantics=False)
+        st_a = _supertuple("a", {"k": 3, "l": 1}, {})
+        bag_index.add(st_a)
+        set_index.add(st_a)
+        assert bag_index.magnitudes("a") == (4, 0)
+        assert set_index.magnitudes("a") == (2, 0)
+
+    def test_add_replaces_stale_entry(self):
+        index = SuperTupleIndex(WEIGHTS)
+        index.add(_supertuple("a", {"k": 2}, {}))
+        index.add(_supertuple("a", {"m": 1}, {}))
+        assert len(index) == 1
+        snapshot = index.snapshot()
+        assert ("X", "m") in snapshot and ("X", "k") not in snapshot
+
+    def test_remove_drops_postings(self):
+        index = SuperTupleIndex(WEIGHTS)
+        index.add(_supertuple("a", {"k": 2}, {"m": 1}))
+        index.add(_supertuple("b", {"k": 1}, {}))
+        index.remove("a")
+        assert "a" not in index
+        assert index.snapshot() == {
+            ("X", "k"): (("b", 1),),
+            ("Y", EMPTY_BAG): (("b", 0),),
+        }
+        index.remove("never-added")  # no-op, not an error
+
+    def test_zero_weight_attributes_are_not_indexed(self):
+        index = SuperTupleIndex((("X", 1.0),))
+        index.add(_supertuple("a", {}, {"m": 5}))
+        index.add(_supertuple("b", {}, {"m": 5}))
+        # Only X is weighted; both bags are empty there, so the pair
+        # survives via the sentinel, and Y's keywords index nothing.
+        assert index.candidate_pairs(["a", "b"]) == [(0, 1)]
+        assert index.feature_count == 1
+
+
+# -- TopSimilarIndex units --------------------------------------------------
+
+
+class TestTopSimilarIndex:
+    def test_top_ranks_by_score_then_value(self):
+        index = TopSimilarIndex()
+        index.record("ford", "chevy", 0.25)
+        index.record("ford", "toyota", 0.25)  # tie: value breaks it
+        index.record("ford", "dodge", 0.5)
+        assert index.top("ford", 3) == [
+            ("dodge", 0.5),
+            ("chevy", 0.25),
+            ("toyota", 0.25),
+        ]
+
+    def test_top_fills_with_zero_similarity_known_values(self):
+        index = TopSimilarIndex()
+        index.record("a", "b", 0.5)
+        index.register("c")
+        index.register("d")
+        assert index.top("a", 10) == [("b", 0.5), ("c", 0.0), ("d", 0.0)]
+
+    def test_max_score_is_neighbour_head(self):
+        index = TopSimilarIndex()
+        assert index.max_score("a") == 0.0
+        index.record("a", "b", 0.3)
+        index.record("a", "c", 0.7)
+        assert index.max_score("a") == 0.7
+        assert index.max_score("d") == 0.0
+
+    def test_rerecord_replaces_old_entry(self):
+        index = TopSimilarIndex()
+        index.record("a", "b", 0.9)
+        index.record("a", "b", 0.1)
+        assert index.top("a", 5) == [("b", 0.1)]
+        assert index.max_score("a") == 0.1
+
+    def test_remove_value_drops_its_pairs(self):
+        index = TopSimilarIndex()
+        index.record("a", "b", 0.5)
+        index.record("a", "c", 0.4)
+        index.remove_value("b")
+        assert index.top("a", 5) == [("c", 0.4)]
+        known, scores = index.snapshot()
+        assert known == ("a", "c")
+        assert scores == {("a", "c"): 0.4}
+
+    def test_self_pair_is_ignored(self):
+        index = TopSimilarIndex()
+        index.record("a", "a", 1.0)
+        assert index.top("a", 5) == []
+        assert index.max_score("a") == 0.0
+
+
+# -- model integration ------------------------------------------------------
+
+
+class TestModelTopIndex:
+    def test_enable_is_idempotent_and_backfills(self):
+        model = SimilarityModel(["Make"])
+        model.record("Make", "ford", "chevy", 0.25)
+        model.enable_top_index()
+        model.enable_top_index()
+        assert model.has_top_index
+        assert model.top_similar("Make", "ford", n=1) == [("chevy", 0.25)]
+
+    def test_pairs_returns_live_readonly_view(self):
+        model = SimilarityModel(["Make"])
+        model.record("Make", "a", "b", 0.5)
+        view = model.pairs("Make")
+        assert isinstance(view, MappingProxyType)
+        assert model.pairs("Make") is view  # memoised, no per-call copy
+        with pytest.raises(TypeError):
+            view[("a", "b")] = 0.9  # type: ignore[index]
+        model.record("Make", "a", "c", 0.25)
+        assert ("a", "c") in view  # live: later records show through
+
+    def test_max_similarity_without_index_is_one(self):
+        model = SimilarityModel(["Make"])
+        model.record("Make", "a", "b", 0.5)
+        assert model.max_similarity("Make", "a") == 1.0
+        model.enable_top_index()
+        assert model.max_similarity("Make", "a") == 0.5
+        assert model.max_similarity("Make", "zzz") == 0.0
+
+
+# -- properties -------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_attributes=st.integers(min_value=2, max_value=3),
+    n_values=st.integers(min_value=2, max_value=8),
+    n_rows=st.integers(min_value=4, max_value=60),
+    threshold=st.sampled_from([0.0, 0.1, 0.5]),
+    bag_semantics=st.booleans(),
+)
+def test_indexed_mining_is_bit_identical(
+    seed, n_attributes, n_values, n_rows, threshold, bag_semantics
+):
+    table = _random_table(random.Random(seed), n_attributes, n_values, n_rows)
+    base = SimilarityMinerConfig(
+        store_threshold=threshold, bag_semantics=bag_semantics
+    )
+    indexed = SimilarityMinerConfig(
+        store_threshold=threshold,
+        bag_semantics=bag_semantics,
+        use_index=True,
+    )
+    base_model = ValueSimilarityMiner(base).mine(table)
+    indexed_model = ValueSimilarityMiner(indexed).mine(table)
+    assert _model_state(base_model) == _model_state(indexed_model)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+@pytest.mark.parametrize("prune_bound", [False, True])
+@pytest.mark.parametrize("threshold", [0.0, 0.5])
+def test_indexed_mining_composes_with_workers_and_prune(
+    workers, prune_bound, threshold
+):
+    table = _random_table(random.Random(97), 3, 10, 150)
+    base = SimilarityMinerConfig(store_threshold=threshold)
+    composed = SimilarityMinerConfig(
+        store_threshold=threshold,
+        workers=workers,
+        prune_bound=prune_bound,
+        parallel_chunk_pairs=16,
+        use_index=True,
+        index_topk=True,
+    )
+    base_model = ValueSimilarityMiner(base).mine(table)
+    composed_model = ValueSimilarityMiner(composed).mine(table)
+    assert _model_state(base_model) == _model_state(composed_model)
+    assert composed_model.has_top_index and not base_model.has_top_index
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_values=st.integers(min_value=2, max_value=8),
+    n_rows=st.integers(min_value=4, max_value=50),
+    bag_semantics=st.booleans(),
+)
+def test_skipped_pairs_have_vsim_exactly_zero(
+    seed, n_values, n_rows, bag_semantics
+):
+    """The proof obligation behind candidate generation.
+
+    Every grid pair the index omits must score VSim exactly 0, so no
+    store threshold — including 0, where any positive score is kept —
+    can distinguish indexed mining from the naive grid.
+    """
+    table = _random_table(random.Random(seed), 3, n_values, n_rows)
+    miner = ValueSimilarityMiner(
+        SimilarityMinerConfig(bag_semantics=bag_semantics)
+    )
+    by_attribute = miner.build_supertuples(table)
+    grouped: dict[str, list] = {}
+    for avpair, supertuple in by_attribute.items():
+        grouped.setdefault(avpair.attribute, []).append(supertuple)
+    weights = {name: 1.0 for name in table.schema.attribute_names}
+    for attribute, supertuples in grouped.items():
+        supertuples.sort(key=lambda st_: st_.avpair.value)
+        weight_items = tuple(
+            (name, weight)
+            for name, weight in weights.items()
+            if name != attribute
+        )
+        index = SuperTupleIndex(weight_items, bag_semantics)
+        for supertuple in supertuples:
+            index.add(supertuple)
+        candidates = set(
+            index.candidate_pairs([st_.avpair.value for st_ in supertuples])
+        )
+        skipped = [
+            pair
+            for pair in _pair_grid(len(supertuples))
+            if pair not in candidates
+        ]
+        stored, _, _ = _evaluate_pairs(
+            supertuples,
+            weight_items,
+            skipped,
+            bag_semantics,
+            store_threshold=0.0,
+            prune=False,
+        )
+        assert stored == []  # every skipped pair scored exactly 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    records=st.lists(
+        st.tuples(
+            st.sampled_from("abcdefgh"),
+            st.sampled_from("abcdefgh"),
+            st.sampled_from([0.0, 0.1, 0.25, 0.25, 0.5, 1.0]),
+        ),
+        max_size=24,
+    ),
+    lonely=st.lists(st.sampled_from("wxyz"), max_size=3),
+    n=st.integers(min_value=1, max_value=12),
+)
+def test_top_similar_index_matches_linear_scan(records, lonely, n):
+    """Identical rankings, including ties and the zero-similarity fill."""
+    linear = SimilarityModel(["A"])
+    indexed = SimilarityModel(["A"])
+    indexed.enable_top_index()
+    for value in lonely:
+        linear.register_value("A", value)
+        indexed.register_value("A", value)
+    for value_a, value_b, similarity in records:
+        if value_a == value_b:
+            continue
+        linear.record("A", value_a, value_b, similarity)
+        indexed.record("A", value_a, value_b, similarity)
+    probes = sorted(linear.known_values("A")) + ["never-seen"]
+    for probe in probes:
+        assert indexed.top_similar("A", probe, n=n) == linear.top_similar(
+            "A", probe, n=n
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["add", "remove"]),
+            st.sampled_from("abcdef"),
+            st.integers(min_value=0, max_value=3),
+        ),
+        max_size=20,
+    )
+)
+def test_incremental_index_matches_rebuild(operations):
+    """Any add/remove history converges to the fresh-build index."""
+    incremental = SuperTupleIndex(WEIGHTS)
+    surviving: dict[str, SuperTuple] = {}
+    for action, value, variant in operations:
+        if action == "add":
+            supertuple = _supertuple(
+                value,
+                {f"k{variant}": variant + 1} if variant else {},
+                {f"m{variant % 2}": 1},
+            )
+            incremental.add(supertuple)
+            surviving[value] = supertuple
+        else:
+            incremental.remove(value)
+            surviving.pop(value, None)
+    rebuilt = SuperTupleIndex(WEIGHTS)
+    for supertuple in surviving.values():
+        rebuilt.add(supertuple)
+    assert incremental.snapshot() == rebuilt.snapshot()
+    order = sorted(surviving)
+    assert incremental.candidate_pairs(order) == rebuilt.candidate_pairs(order)
+    for value in order:
+        assert incremental.magnitudes(value) == rebuilt.magnitudes(value)
